@@ -1,0 +1,31 @@
+//! # diam-bdd
+//!
+//! A from-scratch reduced ordered binary decision diagram (ROBDD) package —
+//! the symbolic-set substrate used by the target-enlargement engine
+//! (Section 3.4 of the paper: k-step preimages with input quantification)
+//! and by parametric re-encoding.
+//!
+//! The manager keeps a unique table (hash-consing) so equal functions are
+//! pointer-equal, a computed table memoizing [`Manager::ite`], and variable
+//! indices ordered by creation. No garbage collection is performed; the
+//! structures this project builds are small enough that arena growth is the
+//! right trade-off.
+//!
+//! ## Example
+//!
+//! ```
+//! use diam_bdd::Manager;
+//!
+//! let mut m = Manager::new();
+//! let x = m.var(0);
+//! let y = m.var(1);
+//! let f = m.and(x, y);
+//! let g = m.or(x, y);
+//! assert!(m.implies_check(f, g));         // x∧y ⇒ x∨y
+//! let ex = m.exists(f, &[1]);             // ∃y. x∧y = x
+//! assert_eq!(ex, x);
+//! ```
+
+mod manager;
+
+pub use manager::{Bdd, Manager};

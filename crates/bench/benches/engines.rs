@@ -1,0 +1,117 @@
+#![allow(clippy::needless_range_loop)] // pigeonhole indices mirror the math
+
+//! Micro-benchmarks for the substrates: the CDCL SAT solver, the BDD
+//! manager, the min-cost-flow solver, and bit-parallel simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use diam_bdd::Manager;
+use diam_netlist::sim::{simulate, SplitMix64, Stimulus};
+use diam_netlist::{Init, Netlist};
+use diam_sat::{SolveResult, Solver};
+use diam_transform::flow::MinCostFlow;
+
+fn bench_sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engines/sat");
+    group.sample_size(10);
+    // Pigeonhole n+1 into n: a classic hard UNSAT family.
+    for n in [5usize, 6, 7] {
+        group.bench_with_input(BenchmarkId::new("pigeonhole", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = Solver::new();
+                let p: Vec<Vec<_>> = (0..n + 1)
+                    .map(|_| (0..n).map(|_| s.new_var().positive()).collect())
+                    .collect();
+                for row in &p {
+                    s.add_clause(row.iter().copied());
+                }
+                for j in 0..n {
+                    for i1 in 0..=n {
+                        for i2 in (i1 + 1)..=n {
+                            s.add_clause([!p[i1][j], !p[i2][j]]);
+                        }
+                    }
+                }
+                assert_eq!(s.solve(), SolveResult::Unsat);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bdd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engines/bdd");
+    // n-queens-ish conjunction growth.
+    for vars in [12usize, 16, 20] {
+        group.bench_with_input(BenchmarkId::new("parity_chain", vars), &vars, |b, &vars| {
+            b.iter(|| {
+                let mut m = Manager::new();
+                let mut f = diam_bdd::Bdd::FALSE;
+                for v in 0..vars as u32 {
+                    let x = m.var(v);
+                    f = m.xor(f, x);
+                }
+                assert!(m.size(f) >= vars);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engines/flow");
+    for nodes in [100usize, 400, 1600] {
+        group.bench_with_input(BenchmarkId::new("grid", nodes), &nodes, |b, &nodes| {
+            b.iter(|| {
+                // A chain with shortcuts: supplies at one end.
+                let mut net = MinCostFlow::new(nodes);
+                for v in 0..nodes - 1 {
+                    net.add_edge(v, v + 1, 1_000, 1);
+                    if v + 5 < nodes {
+                        net.add_edge(v, v + 5, 1_000, 3);
+                    }
+                }
+                let mut supplies = vec![0i64; nodes];
+                supplies[0] = 10;
+                supplies[nodes - 1] = -10;
+                net.solve(&supplies).expect("feasible");
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engines/simulation");
+    let mut rng = SplitMix64::new(3);
+    for gates in [1_000usize, 10_000] {
+        let mut n = Netlist::new();
+        let mut pool: Vec<_> = (0..8).map(|k| n.input(format!("i{k}")).lit()).collect();
+        let regs: Vec<_> = (0..32)
+            .map(|k| {
+                let r = n.reg(format!("r{k}"), Init::Zero);
+                pool.push(r.lit());
+                r
+            })
+            .collect();
+        while n.num_ands() < gates {
+            let a = pool[rng.below(pool.len() as u64) as usize];
+            let b = pool[rng.below(pool.len() as u64) as usize];
+            pool.push(n.and(a, b));
+        }
+        for &r in &regs {
+            let nx = pool[rng.below(pool.len() as u64) as usize];
+            n.set_next(r, nx);
+        }
+        n.add_target(*pool.last().unwrap(), "t");
+        let stim = Stimulus::random(&n, 64, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("64_traces_64_steps", gates),
+            &(n, stim),
+            |b, (n, stim)| b.iter(|| simulate(n, stim)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sat, bench_bdd, bench_flow, bench_sim);
+criterion_main!(benches);

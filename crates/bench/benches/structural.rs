@@ -1,0 +1,59 @@
+//! Benchmarks for the structural diameter engine — the paper's resource
+//! claim is <1 s and <1 MB per target on an 800 MHz laptop; these benches
+//! measure per-target bounding cost on representative suite designs and on
+//! the classifier's archetypes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use diam_core::{diameter_bound, Pipeline, StructuralOptions};
+use diam_gen::archetypes::{counter, pipeline, register_file};
+use diam_gen::iscas;
+use diam_netlist::{Lit, Netlist};
+
+fn bench_archetypes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structural/archetypes");
+    for depth in [8usize, 64, 256] {
+        let mut n = Netlist::new();
+        let p = pipeline(&mut n, "p", depth);
+        n.add_target(p.tail, "t");
+        group.bench_with_input(BenchmarkId::new("pipeline", depth), &n, |b, n| {
+            b.iter(|| diameter_bound(n, n.targets()[0].lit, &StructuralOptions::default()))
+        });
+    }
+    for rows in [4usize, 16, 64] {
+        let mut n = Netlist::new();
+        let m = register_file(&mut n, "m", rows, 8);
+        let cells: Vec<Lit> = m.all_cells().iter().map(|r| r.lit()).collect();
+        let t = n.and_many(cells);
+        n.add_target(t, "t");
+        group.bench_with_input(BenchmarkId::new("register_file", rows), &n, |b, n| {
+            b.iter(|| diameter_bound(n, n.targets()[0].lit, &StructuralOptions::default()))
+        });
+    }
+    for bits in [8usize, 16, 32] {
+        let mut n = Netlist::new();
+        let cnt = counter(&mut n, "c", bits, Lit::TRUE);
+        n.add_target(cnt.all_ones, "t");
+        group.bench_with_input(BenchmarkId::new("counter", bits), &n, |b, n| {
+            b.iter(|| diameter_bound(n, n.targets()[0].lit, &StructuralOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_suite_designs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structural/table1_designs");
+    group.sample_size(10);
+    for name in ["S27", "PROLOG", "S13207_1", "S38584_1"] {
+        let (p, n) = iscas::suite(1)
+            .into_iter()
+            .find(|(p, _)| p.name == name)
+            .expect("design");
+        group.bench_function(BenchmarkId::new("all_targets", p.name), |b| {
+            b.iter(|| Pipeline::new().bound_targets(&n, &StructuralOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_archetypes, bench_suite_designs);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Benchmarks for the transformation engines: redundancy removal (COM),
+//! retiming (RET), state folding, and target enlargement, on the structures
+//! each is designed to attack.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use diam_gen::archetypes::{counter, duplicate_counter, pipeline};
+use diam_netlist::sim::SplitMix64;
+use diam_netlist::{Init, Netlist};
+use diam_transform::com::{sweep, SweepOptions};
+use diam_transform::enlarge::{enlarge, EnlargeOptions};
+use diam_transform::fold::{c_slow, detect, fold};
+use diam_transform::retime::retime;
+
+fn bench_com(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transforms/com");
+    group.sample_size(10);
+    for pairs in [2usize, 6, 12] {
+        let mut n = Netlist::new();
+        let mut obs = Vec::new();
+        for k in 0..pairs {
+            let en = n.input(format!("en{k}"));
+            let (a, b) = duplicate_counter(&mut n, &format!("d{k}"), 5, en.lit());
+            let diffs: Vec<_> = a
+                .bits
+                .iter()
+                .zip(&b.bits)
+                .map(|(&x, &y)| n.xor(x, y))
+                .collect();
+            obs.push(n.or_many(diffs));
+        }
+        let t = n.or_many(obs);
+        n.add_target(t, "any_mismatch");
+        group.bench_with_input(
+            BenchmarkId::new("duplicate_counters", pairs),
+            &n,
+            |b, n| b.iter(|| sweep(n, &SweepOptions::default())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_retime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transforms/retime");
+    group.sample_size(10);
+    for depth in [16usize, 64, 256] {
+        let mut n = Netlist::new();
+        let p = pipeline(&mut n, "p", depth);
+        let cnt = counter(&mut n, "c", 4, p.tail);
+        n.add_target(cnt.all_ones, "t");
+        group.bench_with_input(
+            BenchmarkId::new("gated_counter_depth", depth),
+            &n,
+            |b, n| b.iter(|| retime(n).expect("retimable")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_fold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transforms/fold");
+    let mut rng = SplitMix64::new(5);
+    for regs in [8usize, 32, 128] {
+        // A random base design, then 2-slowed.
+        let mut base = Netlist::new();
+        let i = base.input("i");
+        let mut pool = vec![i.lit()];
+        let rs: Vec<_> = (0..regs)
+            .map(|k| {
+                let r = base.reg(format!("r{k}"), Init::Zero);
+                pool.push(r.lit());
+                r
+            })
+            .collect();
+        for _ in 0..(2 * regs) {
+            let a = pool[rng.below(pool.len() as u64) as usize];
+            let b = pool[rng.below(pool.len() as u64) as usize];
+            pool.push(base.and(a, b));
+        }
+        for &r in &rs {
+            let nx = pool[rng.below(pool.len() as u64) as usize];
+            base.set_next(r, nx);
+        }
+        base.add_target(*pool.last().unwrap(), "t");
+        let slowed = c_slow(&base, 2);
+        group.bench_with_input(BenchmarkId::new("detect_and_fold", regs), &slowed, |b, s| {
+            b.iter(|| {
+                let col = detect(s, 2);
+                if col.c >= 2 {
+                    let _ = fold(s, &col, 0);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_enlarge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transforms/enlarge");
+    for bits in [4usize, 8, 12] {
+        let mut n = Netlist::new();
+        let cnt = counter(&mut n, "c", bits, diam_netlist::Lit::TRUE);
+        n.add_target(cnt.all_ones, "t");
+        group.bench_with_input(BenchmarkId::new("counter_k2", bits), &n, |b, n| {
+            b.iter(|| {
+                enlarge(
+                    n,
+                    0,
+                    &EnlargeOptions {
+                        k: 2,
+                        ..Default::default()
+                    },
+                )
+                .expect("small bdd")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_com, bench_retime, bench_fold, bench_enlarge);
+criterion_main!(benches);

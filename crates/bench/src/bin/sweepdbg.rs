@@ -1,0 +1,25 @@
+//! Redundancy-removal statistics for a single suite design (merge counts,
+//! refinement rounds, register reduction). Set `DIAM_SWEEP_TRACE=1` for
+//! per-round candidate-pair traces.
+//!
+//! Usage: `cargo run -p diam-bench --release --bin sweepdbg <DESIGN> [table 1|2]`
+use diam_gen::{gp, iscas};
+use diam_transform::com::{sweep, SweepOptions};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "V_SNPM".into());
+    let table: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let suite = if table == 2 { gp::suite(1) } else { iscas::suite(1) };
+    let (_, n) = suite.iter().find(|(p, _)| p.name == name).expect("design");
+    let pre = diam_netlist::rebuild::reduce_coi(n);
+    let t0 = std::time::Instant::now();
+    let r = sweep(&pre.netlist, &SweepOptions::default());
+    println!(
+        "{name}: merges={} refinements={} regs {} -> {} in {:?}",
+        r.merges,
+        r.refinements,
+        pre.netlist.num_regs(),
+        r.netlist.num_regs(),
+        t0.elapsed()
+    );
+}

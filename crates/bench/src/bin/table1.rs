@@ -1,0 +1,19 @@
+//! Regenerates Table 1 of the paper (ISCAS89-profile suite): register
+//! classification and useful-diameter-bound counts under Original, COM, and
+//! COM,RET,COM.
+//!
+//! Usage: `cargo run -p diam-bench --release --bin table1 [seed]`
+
+use diam_bench::{format_sigma, run_suite};
+use diam_gen::iscas;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1u64);
+    println!("Table 1: diameter bounding experiments, ISCAS89-profile suite (seed {seed})\n");
+    let suite = iscas::suite(seed);
+    let sigma = run_suite(&suite, true);
+    println!("\n{}", format_sigma(&sigma, iscas::TABLE1_SIGMA));
+}

@@ -1,0 +1,17 @@
+//! Regenerates Table 2 of the paper (phase-abstracted GP-profile suite).
+//!
+//! Usage: `cargo run -p diam-bench --release --bin table2 [seed]`
+
+use diam_bench::{format_sigma, run_suite};
+use diam_gen::gp;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1u64);
+    println!("Table 2: diameter bounding experiments, GP-profile suite (seed {seed})\n");
+    let suite = gp::suite(seed);
+    let sigma = run_suite(&suite, true);
+    println!("\n{}", format_sigma(&sigma, gp::TABLE2_SIGMA));
+}

@@ -1,0 +1,206 @@
+//! # diam-bench
+//!
+//! The experiment harness: regenerates the paper's Table 1 and Table 2 and
+//! hosts the Criterion micro/macro benchmarks.
+//!
+//! Binaries:
+//!
+//! * `table1` — Table 1 (ISCAS89-profile suite) over the three columns
+//!   *Original*, *COM*, *COM,RET,COM*;
+//! * `table2` — Table 2 (GP-profile suite), same columns;
+//! * `ablation` — the paper's §3/§4 side observations: recurrence diameter
+//!   vs structural bound, Theorem 2 slack (bounds that *increase* slightly
+//!   after retiming), and the state-folding factor.
+//!
+//! The row computation lives here in the library so the workspace
+//! integration tests can assert the reproduced Σ shape.
+
+use diam_core::classify::{classify, ClassCounts, ClassifyOptions};
+use diam_core::{Bound, Pipeline, StructuralOptions};
+use diam_gen::profile::DesignProfile;
+use diam_netlist::Netlist;
+use std::time::Instant;
+
+/// One table column for one design.
+#[derive(Debug, Clone)]
+pub struct ColumnResult {
+    /// Register class counts over the (transformed) netlist.
+    pub counts: ClassCounts,
+    /// Targets with a back-translated bound `< 50`.
+    pub useful: usize,
+    /// Average back-translated bound over those targets.
+    pub avg: f64,
+    /// Wall-clock seconds spent on transformation + bounding.
+    pub seconds: f64,
+}
+
+/// One design row: the three columns of the paper's tables.
+#[derive(Debug, Clone)]
+pub struct DesignResult {
+    /// The design's profile (paper ground truth included).
+    pub profile: DesignProfile,
+    /// `[Original, COM, COM+RET+COM]`.
+    pub columns: [ColumnResult; 3],
+}
+
+/// The usefulness threshold the paper uses throughout.
+pub const THRESHOLD: u64 = 50;
+
+/// Runs the three columns on one design.
+pub fn run_design(profile: &DesignProfile, netlist: &Netlist) -> DesignResult {
+    let pipelines = [Pipeline::new(), Pipeline::com(), Pipeline::com_ret_com()];
+    let opts = StructuralOptions::default();
+    let columns = pipelines.map(|pipe| {
+        let start = Instant::now();
+        let result = pipe.run(netlist);
+        let regs: Vec<_> = result.netlist.regs().to_vec();
+        let counts = classify(&result.netlist, &regs, &ClassifyOptions::default()).counts();
+        let bounds = result.bound_targets(&opts);
+        let useful: Vec<u64> = bounds
+            .iter()
+            .filter_map(|b| match b.original {
+                Bound::Finite(v) if v < THRESHOLD => Some(v),
+                _ => None,
+            })
+            .collect();
+        let avg = if useful.is_empty() {
+            0.0
+        } else {
+            useful.iter().sum::<u64>() as f64 / useful.len() as f64
+        };
+        ColumnResult {
+            counts,
+            useful: useful.len(),
+            avg,
+            seconds: start.elapsed().as_secs_f64(),
+        }
+    });
+    DesignResult {
+        profile: profile.clone(),
+        columns,
+    }
+}
+
+/// Accumulated Σ row.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sigma {
+    /// Summed class counts per column.
+    pub counts: [ClassCountsSum; 3],
+    /// Summed useful-target counts per column.
+    pub useful: [usize; 3],
+    /// Total targets.
+    pub targets: usize,
+}
+
+/// Plain-integer class count sums.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClassCountsSum {
+    /// Constant registers.
+    pub constant: usize,
+    /// Acyclic registers.
+    pub acyclic: usize,
+    /// Table cells.
+    pub table: usize,
+    /// General registers.
+    pub general: usize,
+}
+
+impl Sigma {
+    /// Adds a design row.
+    pub fn add(&mut self, r: &DesignResult) {
+        for (k, c) in r.columns.iter().enumerate() {
+            self.counts[k].constant += c.counts.constant;
+            self.counts[k].acyclic += c.counts.acyclic;
+            self.counts[k].table += c.counts.table;
+            self.counts[k].general += c.counts.general;
+            self.useful[k] += c.useful;
+        }
+        self.targets += r.profile.targets;
+    }
+}
+
+/// Formats a design row like the paper's tables.
+pub fn format_row(r: &DesignResult) -> String {
+    let col = |c: &ColumnResult| {
+        format!(
+            "{:>4};{:>5};{:>5};{:>5} | {:>4}/{:>4}; {:>6.1}",
+            c.counts.constant,
+            c.counts.acyclic,
+            c.counts.table,
+            c.counts.general,
+            c.useful,
+            r.profile.targets,
+            c.avg
+        )
+    };
+    format!(
+        "{:<10} || {} || {} || {}",
+        r.profile.name,
+        col(&r.columns[0]),
+        col(&r.columns[1]),
+        col(&r.columns[2])
+    )
+}
+
+/// Prints the table header matching [`format_row`].
+pub fn header() -> String {
+    let col = |name: &str| format!("{name:<14} CC;   AC;MC+QC;   GC | |T'|/ |T|; avg d̂");
+    format!(
+        "{:<10} || {} || {} || {}",
+        "Design",
+        col("ORIGINAL"),
+        col("COM"),
+        col("COM,RET,COM")
+    )
+}
+
+/// Runs a whole suite, printing rows as they complete; returns the Σ.
+pub fn run_suite(suite: &[(DesignProfile, Netlist)], print: bool) -> Sigma {
+    if print {
+        println!("{}", header());
+    }
+    let mut sigma = Sigma::default();
+    for (profile, netlist) in suite {
+        let r = run_design(profile, netlist);
+        if print {
+            println!("{}", format_row(&r));
+        }
+        sigma.add(&r);
+    }
+    sigma
+}
+
+/// Formats the Σ row plus the paper's Σ for comparison.
+pub fn format_sigma(
+    sigma: &Sigma,
+    paper: (usize, usize, usize, usize, usize, usize, usize, usize),
+) -> String {
+    let (pcc, pac, pmc, pgc, p0, p1, p2, pt) = paper;
+    let mut s = String::new();
+    s.push_str(&format!(
+        "Σ measured || {:>4};{:>5};{:>5};{:>5} | {:>4}/{:>4} || -;-;-;- | {:>4}/{:>4} || -;-;-;- | {:>4}/{:>4}\n",
+        sigma.counts[0].constant,
+        sigma.counts[0].acyclic,
+        sigma.counts[0].table,
+        sigma.counts[0].general,
+        sigma.useful[0],
+        sigma.targets,
+        sigma.useful[1],
+        sigma.targets,
+        sigma.useful[2],
+        sigma.targets,
+    ));
+    s.push_str(&format!(
+        "Σ paper    || {pcc:>4};{pac:>5};{pmc:>5};{pgc:>5} | {p0:>4}/{pt:>4} || {p1:>4}/{pt:>4} || {p2:>4}/{pt:>4}\n"
+    ));
+    s.push_str(&format!(
+        "useful-target fractions measured: {:.0}% -> {:.0}% -> {:.0}%   (paper: {:.0}% -> {:.0}% -> {:.0}%)",
+        100.0 * sigma.useful[0] as f64 / sigma.targets as f64,
+        100.0 * sigma.useful[1] as f64 / sigma.targets as f64,
+        100.0 * sigma.useful[2] as f64 / sigma.targets as f64,
+        100.0 * p0 as f64 / pt as f64,
+        100.0 * p1 as f64 / pt as f64,
+        100.0 * p2 as f64 / pt as f64,
+    ));
+    s
+}

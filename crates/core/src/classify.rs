@@ -1,0 +1,536 @@
+//! Register and component classification — the structural taxonomy of \[7\]
+//! that the paper's experiments report (`CC; AC; MC+QC; GC` columns of
+//! Tables 1 and 2).
+//!
+//! * **CC** — *constant* registers: proven to hold a fixed value in every
+//!   reachable state by a ternary constant-propagation fixpoint. They do not
+//!   increase the diameter.
+//! * **AC** — *acyclic* registers: non-cyclic vertices of the register
+//!   dependency graph. A pipeline stage of arbitrary width adds exactly one
+//!   to the diameter (parallel stages merge via `max` in the compositional
+//!   walk).
+//! * **MC/QC** — *memory/queue table cells*: registers whose next-state
+//!   function is a hold/load mux `ite(h, r, d)` with the hold condition and
+//!   load data independent of the cell. Cells are clustered into memories by
+//!   the support of their hold conditions; a memory with `R` atomically
+//!   updated rows (distinct hold conditions) multiplies the diameter by
+//!   `R + 1` regardless of row width.
+//! * **GC** — *general* components: everything else. Their diameter is
+//!   assumed exponential in their register count (the paper deliberately
+//!   makes the same pessimistic choice "for speed").
+
+use diam_bdd::{Bdd, Manager};
+use diam_netlist::analysis::{condense, reg_graph, support, Condensation};
+use diam_netlist::{Gate, GateKind, Init, Netlist};
+use diam_transform::bridge::cone_to_bdd;
+use std::collections::HashMap;
+
+/// The structural class of a register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegClass {
+    /// Constant in all reachable states (CC).
+    Constant,
+    /// Acyclic / pipeline register (AC).
+    Acyclic,
+    /// Memory or queue table cell (MC/QC).
+    Table,
+    /// General — part of an unstructured SCC (GC).
+    General,
+}
+
+/// Per-class register counts, as reported in the paper's tables.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassCounts {
+    /// Constant registers.
+    pub constant: usize,
+    /// Acyclic registers.
+    pub acyclic: usize,
+    /// Memory/queue table cells.
+    pub table: usize,
+    /// General registers.
+    pub general: usize,
+}
+
+impl ClassCounts {
+    /// Total registers counted.
+    pub fn total(&self) -> usize {
+        self.constant + self.acyclic + self.table + self.general
+    }
+}
+
+impl std::fmt::Display for ClassCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{};{};{};{}",
+            self.constant, self.acyclic, self.table, self.general
+        )
+    }
+}
+
+/// The kind of a condensation component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ComponentKind {
+    /// Acyclic singleton.
+    Acyclic,
+    /// A table cell belonging to memory cluster `cluster`.
+    Table {
+        /// Index into [`Classification::clusters`].
+        cluster: usize,
+    },
+    /// General strongly connected component.
+    General,
+}
+
+/// A memory cluster: table-cell components grouped by hold-condition
+/// support.
+#[derive(Debug, Clone)]
+pub struct MemoryCluster {
+    /// Component indices of the member cells.
+    pub comps: Vec<usize>,
+    /// Number of atomically updated rows (distinct hold conditions).
+    pub rows: usize,
+}
+
+/// The complete classification of a register set.
+#[derive(Debug, Clone)]
+pub struct Classification {
+    /// The non-constant registers, defining the vertex numbering of
+    /// [`Classification::cond`].
+    pub regs: Vec<Gate>,
+    /// Constant registers (CC), with their proven values.
+    pub constants: Vec<(Gate, bool)>,
+    /// Condensation of the register dependency graph over `regs`.
+    pub cond: Condensation,
+    /// Kind per condensation component.
+    pub kinds: Vec<ComponentKind>,
+    /// Memory clusters.
+    pub clusters: Vec<MemoryCluster>,
+    /// Class per input register (parallel to the `regs` argument of
+    /// [`classify`]).
+    pub class_of: HashMap<Gate, RegClass>,
+}
+
+impl Classification {
+    /// Aggregated per-class counts.
+    pub fn counts(&self) -> ClassCounts {
+        let mut c = ClassCounts::default();
+        for class in self.class_of.values() {
+            match class {
+                RegClass::Constant => c.constant += 1,
+                RegClass::Acyclic => c.acyclic += 1,
+                RegClass::Table => c.table += 1,
+                RegClass::General => c.general += 1,
+            }
+        }
+        c
+    }
+}
+
+/// Options controlling classification.
+#[derive(Debug, Clone)]
+pub struct ClassifyOptions {
+    /// Give up on table-cell detection when a next-state function's support
+    /// exceeds this many signals (the cell is then classified General).
+    pub max_cell_support: usize,
+}
+
+impl Default for ClassifyOptions {
+    fn default() -> ClassifyOptions {
+        ClassifyOptions {
+            max_cell_support: 24,
+        }
+    }
+}
+
+/// A ternary value for constant propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ternary {
+    Zero,
+    One,
+    X,
+}
+
+impl Ternary {
+    fn join(self, other: Ternary) -> Ternary {
+        if self == other {
+            self
+        } else {
+            Ternary::X
+        }
+    }
+
+    fn complement(self, c: bool) -> Ternary {
+        if !c {
+            return self;
+        }
+        match self {
+            Ternary::Zero => Ternary::One,
+            Ternary::One => Ternary::Zero,
+            Ternary::X => Ternary::X,
+        }
+    }
+}
+
+/// Computes the registers that hold a constant value in every reachable
+/// state, by a ternary simulation fixpoint (inputs are `X`; register states
+/// only ever widen toward `X`).
+pub fn constant_registers(n: &Netlist) -> Vec<(Gate, bool)> {
+    let mut state: Vec<Ternary> = n
+        .regs()
+        .iter()
+        .map(|&r| match n.reg_init(r) {
+            Init::Zero => Ternary::Zero,
+            Init::One => Ternary::One,
+            Init::Nondet | Init::Fn(_) => Ternary::X,
+        })
+        .collect();
+    let mut values = vec![Ternary::X; n.num_gates()];
+    loop {
+        // Evaluate one frame.
+        for (j, &r) in n.regs().iter().enumerate() {
+            values[r.index()] = state[j];
+        }
+        for g in n.gates() {
+            match n.kind(g) {
+                GateKind::Const0 => values[g.index()] = Ternary::Zero,
+                GateKind::Input => values[g.index()] = Ternary::X,
+                GateKind::And(a, b) => {
+                    let va = values[a.gate().index()].complement(a.is_complement());
+                    let vb = values[b.gate().index()].complement(b.is_complement());
+                    values[g.index()] = match (va, vb) {
+                        (Ternary::Zero, _) | (_, Ternary::Zero) => Ternary::Zero,
+                        (Ternary::One, Ternary::One) => Ternary::One,
+                        _ => Ternary::X,
+                    };
+                }
+                GateKind::Reg => {}
+            }
+        }
+        // Widen.
+        let mut changed = false;
+        for (j, &r) in n.regs().iter().enumerate() {
+            let nx = n.reg_next(r);
+            let v = values[nx.gate().index()].complement(nx.is_complement());
+            let joined = state[j].join(v);
+            if joined != state[j] {
+                state[j] = joined;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    n.regs()
+        .iter()
+        .zip(&state)
+        .filter_map(|(&r, &t)| match t {
+            Ternary::Zero => Some((r, false)),
+            Ternary::One => Some((r, true)),
+            Ternary::X => None,
+        })
+        .collect()
+}
+
+/// Classifies the registers `regs` of `n` (typically a target's cone of
+/// influence).
+pub fn classify(n: &Netlist, regs: &[Gate], opts: &ClassifyOptions) -> Classification {
+    // CC detection runs on the whole netlist (cheap) and is filtered.
+    let all_constants = constant_registers(n);
+    let const_set: HashMap<Gate, bool> = all_constants.iter().copied().collect();
+    let constants: Vec<(Gate, bool)> = regs
+        .iter()
+        .filter_map(|&r| const_set.get(&r).map(|&v| (r, v)))
+        .collect();
+
+    // Build the dependency graph over the non-constant registers: constant
+    // registers carry no temporal information, so edges through them are
+    // dropped.
+    let live: Vec<Gate> = regs
+        .iter()
+        .copied()
+        .filter(|r| !const_set.contains_key(r))
+        .collect();
+    let graph = reg_graph(n, &live);
+    let cond = condense(&graph);
+
+    // Classify components.
+    let mut manager = Manager::new();
+    let mut kinds: Vec<ComponentKind> = Vec::with_capacity(cond.comps.len());
+    // Cluster key → cluster index; clusters collect (comp, h-bdd).
+    let mut cluster_index: HashMap<Vec<Gate>, usize> = HashMap::new();
+    let mut cluster_members: Vec<Vec<(usize, Bdd)>> = Vec::new();
+
+    for (c, comp) in cond.comps.iter().enumerate() {
+        if !cond.cyclic[c] {
+            kinds.push(ComponentKind::Acyclic);
+            continue;
+        }
+        if comp.len() > 1 {
+            kinds.push(ComponentKind::General);
+            continue;
+        }
+        // Singleton with a self-loop: test for the hold/load mux shape.
+        let r = live[comp[0]];
+        match table_cell_hold(&mut manager, n, r, opts.max_cell_support) {
+            Some(h) => {
+                // Cluster key: the non-register support of the hold
+                // condition (the shared write port — enables, addresses),
+                // so rows selected by different pointer registers (queues)
+                // still cluster into one memory. Registers are kept in the
+                // key only when nothing else identifies the port.
+                let full: Vec<Gate> = manager
+                    .support(h)
+                    .iter()
+                    .map(|&v| Gate::from_index(v as usize))
+                    .collect();
+                let inputs_only: Vec<Gate> =
+                    full.iter().copied().filter(|&g| !n.is_reg(g)).collect();
+                let key = if inputs_only.is_empty() { full } else { inputs_only };
+                let idx = *cluster_index.entry(key).or_insert_with(|| {
+                    cluster_members.push(Vec::new());
+                    cluster_members.len() - 1
+                });
+                cluster_members[idx].push((c, h));
+                kinds.push(ComponentKind::Table { cluster: idx });
+            }
+            None => kinds.push(ComponentKind::General),
+        }
+    }
+
+    let clusters: Vec<MemoryCluster> = cluster_members
+        .into_iter()
+        .map(|members| {
+            let mut hs: Vec<Bdd> = members.iter().map(|&(_, h)| h).collect();
+            hs.sort();
+            hs.dedup();
+            MemoryCluster {
+                comps: members.iter().map(|&(c, _)| c).collect(),
+                rows: hs.len(),
+            }
+        })
+        .collect();
+
+    // Per-register class map.
+    let mut class_of: HashMap<Gate, RegClass> = HashMap::new();
+    for &(r, _) in &constants {
+        class_of.insert(r, RegClass::Constant);
+    }
+    for (pos, &r) in live.iter().enumerate() {
+        let c = cond.comp_of[pos];
+        let class = match kinds[c] {
+            ComponentKind::Acyclic => RegClass::Acyclic,
+            ComponentKind::Table { .. } => RegClass::Table,
+            ComponentKind::General => RegClass::General,
+        };
+        class_of.insert(r, class);
+    }
+
+    Classification {
+        regs: live,
+        constants,
+        cond,
+        kinds,
+        clusters,
+        class_of,
+    }
+}
+
+/// If register `r`'s next-state function has the hold/load shape
+/// `ite(h, r, d)` with `h`, `d` independent of `r`, returns the hold
+/// condition `h` as a BDD over gate-indexed variables. The shape test is
+/// monotonicity in `r`: `f|r=0 ⇒ f|r=1`.
+fn table_cell_hold(
+    m: &mut Manager,
+    n: &Netlist,
+    r: Gate,
+    max_support: usize,
+) -> Option<Bdd> {
+    let f_lit = n.reg_next(r);
+    let sup = support(n, f_lit);
+    if sup.regs.len() + sup.inputs.len() > max_support {
+        return None;
+    }
+    // Variables are gate indices (shared across all cells so hold conditions
+    // from different cells are comparable).
+    let var_of = |g: Gate| Some(u32::try_from(g.index()).expect("gate index fits u32"));
+    let f = cone_to_bdd(m, n, f_lit, &var_of);
+    let rv = r.index() as u32;
+    let f1 = m.restrict(f, rv, true);
+    let f0 = m.restrict(f, rv, false);
+    if !m.implies_check(f0, f1) {
+        return None; // not monotone in r: not a hold/load cell
+    }
+    // Degenerate cells whose next value ignores r entirely are pipeline-like
+    // (no real self-dependence) — but a true self-loop always depends on r.
+    if f0 == f1 {
+        return None;
+    }
+    Some(m.diff(f1, f0))
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index loops mirror the math here
+mod tests {
+    use super::*;
+    use diam_netlist::Lit;
+
+    #[test]
+    fn constants_are_detected() {
+        let mut n = Netlist::new();
+        let stuck0 = n.reg("stuck0", Init::Zero);
+        n.set_next(stuck0, stuck0.lit());
+        let stuck1 = n.reg("stuck1", Init::One);
+        n.set_next(stuck1, stuck1.lit());
+        let i = n.input("i");
+        let free = n.reg("free", Init::Zero);
+        n.set_next(free, i.lit());
+        n.add_target(free.lit(), "t");
+        let consts = constant_registers(&n);
+        assert_eq!(consts, vec![(stuck0, false), (stuck1, true)]);
+    }
+
+    #[test]
+    fn constant_propagates_through_logic() {
+        // r2 = r1 AND input; r1 constant 0 ⇒ r2 constant 0.
+        let mut n = Netlist::new();
+        let i = n.input("i");
+        let r1 = n.reg("r1", Init::Zero);
+        n.set_next(r1, r1.lit());
+        let x = n.and(r1.lit(), i.lit());
+        let r2 = n.reg("r2", Init::Zero);
+        n.set_next(r2, x);
+        n.add_target(r2.lit(), "t");
+        let consts = constant_registers(&n);
+        assert!(consts.contains(&(r1, false)));
+        assert!(consts.contains(&(r2, false)));
+    }
+
+    #[test]
+    fn pipeline_is_acyclic() {
+        let mut n = Netlist::new();
+        let i = n.input("i");
+        let r0 = n.reg("r0", Init::Zero);
+        let r1 = n.reg("r1", Init::Zero);
+        n.set_next(r0, i.lit());
+        n.set_next(r1, r0.lit());
+        n.add_target(r1.lit(), "t");
+        let c = classify(&n, &[r0, r1], &ClassifyOptions::default());
+        assert_eq!(c.class_of[&r0], RegClass::Acyclic);
+        assert_eq!(c.class_of[&r1], RegClass::Acyclic);
+        let counts = c.counts();
+        assert_eq!(counts.acyclic, 2);
+        assert_eq!(counts.total(), 2);
+    }
+
+    #[test]
+    fn hold_register_is_table_cell() {
+        let mut n = Netlist::new();
+        let we = n.input("we");
+        let d = n.input("d");
+        let r = n.reg("cell", Init::Zero);
+        let nx = n.mux(we.lit(), d.lit(), r.lit());
+        n.set_next(r, nx);
+        n.add_target(r.lit(), "t");
+        let c = classify(&n, &[r], &ClassifyOptions::default());
+        assert_eq!(c.class_of[&r], RegClass::Table);
+        assert_eq!(c.clusters.len(), 1);
+        assert_eq!(c.clusters[0].rows, 1);
+    }
+
+    #[test]
+    fn toggle_register_is_general() {
+        let mut n = Netlist::new();
+        let r = n.reg("t", Init::Zero);
+        n.set_next(r, !r.lit());
+        n.add_target(r.lit(), "t");
+        let c = classify(&n, &[r], &ClassifyOptions::default());
+        assert_eq!(c.class_of[&r], RegClass::General);
+    }
+
+    #[test]
+    fn multi_register_scc_is_general() {
+        let mut n = Netlist::new();
+        let a = n.reg("a", Init::Zero);
+        let b = n.reg("b", Init::Zero);
+        n.set_next(a, !b.lit());
+        n.set_next(b, a.lit());
+        n.add_target(a.lit(), "t");
+        let c = classify(&n, &[a, b], &ClassifyOptions::default());
+        assert_eq!(c.class_of[&a], RegClass::General);
+        assert_eq!(c.class_of[&b], RegClass::General);
+    }
+
+    #[test]
+    fn register_file_rows_are_clustered() {
+        // 4 rows × 2 bits, one-hot row select derived from 2 address bits.
+        let mut n = Netlist::new();
+        let we = n.input("we").lit();
+        let a0 = n.input("a0").lit();
+        let a1 = n.input("a1").lit();
+        let d: Vec<Lit> = (0..2).map(|k| n.input(format!("d{k}")).lit()).collect();
+        let mut cells = Vec::new();
+        for row in 0..4u32 {
+            let sel0 = a0.xor_complement(row & 1 == 0);
+            let sel1 = a1.xor_complement(row >> 1 & 1 == 0);
+            let sel = n.and(sel0, sel1);
+            let wr = n.and(we, sel);
+            for bit in 0..2 {
+                let r = n.reg(format!("m{row}_{bit}"), Init::Zero);
+                let nx = n.mux(wr, d[bit], r.lit());
+                n.set_next(r, nx);
+                cells.push(r);
+            }
+        }
+        let read = n.and(cells[0].lit(), cells[7].lit());
+        n.add_target(read, "t");
+        let c = classify(&n, &cells, &ClassifyOptions::default());
+        let counts = c.counts();
+        assert_eq!(counts.table, 8);
+        assert_eq!(c.clusters.len(), 1, "one memory");
+        assert_eq!(c.clusters[0].rows, 4, "four atomically updated rows");
+    }
+
+    #[test]
+    fn sticky_bit_is_a_one_row_table() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let r = n.reg("sticky", Init::Zero);
+        let nx = n.or(r.lit(), a.lit());
+        n.set_next(r, nx);
+        n.add_target(r.lit(), "t");
+        let c = classify(&n, &[r], &ClassifyOptions::default());
+        assert_eq!(c.class_of[&r], RegClass::Table);
+    }
+
+    #[test]
+    fn mixed_design_counts() {
+        let mut n = Netlist::new();
+        let i = n.input("i");
+        let we = n.input("we");
+        // constant
+        let c0 = n.reg("c0", Init::One);
+        n.set_next(c0, c0.lit());
+        // acyclic
+        let p = n.reg("p", Init::Zero);
+        n.set_next(p, i.lit());
+        // table
+        let m0 = n.reg("m0", Init::Zero);
+        let nx = n.mux(we.lit(), i.lit(), m0.lit());
+        n.set_next(m0, nx);
+        // general
+        let t = n.reg("t", Init::Zero);
+        n.set_next(t, !t.lit());
+        let x = n.and(p.lit(), m0.lit());
+        let y = n.and(x, t.lit());
+        let z = n.and(y, c0.lit());
+        n.add_target(z, "t");
+        let c = classify(&n, &[c0, p, m0, t], &ClassifyOptions::default());
+        let counts = c.counts();
+        assert_eq!(
+            (counts.constant, counts.acyclic, counts.table, counts.general),
+            (1, 1, 1, 1)
+        );
+    }
+}

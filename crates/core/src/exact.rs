@@ -1,0 +1,589 @@
+//! Reference exact state-space exploration for small netlists.
+//!
+//! This is the ground truth the rest of the crate is tested against: an
+//! explicit breadth-first traversal of the reachable state space that
+//! yields, per target, the earliest time it can be hit, plus the initial
+//! eccentricity of the state graph. Every diameter bound `d̂(t)` produced by
+//! the structural engine or back-translated through a transformation
+//! pipeline must satisfy `earliest_hit(t) ≤ d̂(t) − 1` (a depth-`d̂(t) − 1`
+//! BMC is complete).
+
+use diam_netlist::sim::{eval_frame, next_state};
+use diam_netlist::{Init, Netlist};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Limits for [`explore`]; exploration is exponential by nature.
+#[derive(Debug, Clone)]
+pub struct ExploreLimits {
+    /// Maximum number of registers (state bits).
+    pub max_regs: usize,
+    /// Maximum number of primary inputs.
+    pub max_inputs: usize,
+}
+
+impl Default for ExploreLimits {
+    fn default() -> ExploreLimits {
+        ExploreLimits {
+            max_regs: 16,
+            max_inputs: 10,
+        }
+    }
+}
+
+/// Error returned by [`explore`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExploreError {
+    /// The netlist exceeds the limits.
+    TooLarge {
+        /// Registers in the netlist.
+        regs: usize,
+        /// Inputs in the netlist.
+        inputs: usize,
+    },
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::TooLarge { regs, inputs } => write!(
+                f,
+                "netlist too large for exhaustive exploration ({regs} registers, {inputs} inputs)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+/// The result of an exhaustive exploration.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// Earliest hit time per target (`None` = unreachable).
+    pub earliest_hit: Vec<Option<u64>>,
+    /// Maximum BFS level of any reachable state (initial eccentricity).
+    pub eccentricity: u64,
+    /// Number of reachable states.
+    pub reachable_states: u64,
+}
+
+/// Exhaustively explores the reachable state space of `n`.
+///
+/// # Errors
+///
+/// Fails with [`ExploreError::TooLarge`] when the register or input count
+/// exceeds `limits`.
+pub fn explore(n: &Netlist, limits: &ExploreLimits) -> Result<Exploration, ExploreError> {
+    let nr = n.num_regs();
+    let ni = n.num_inputs();
+    if nr > limits.max_regs || ni > limits.max_inputs {
+        return Err(ExploreError::TooLarge {
+            regs: nr,
+            inputs: ni,
+        });
+    }
+    let num_targets = n.targets().len();
+    let mut earliest: Vec<Option<u64>> = vec![None; num_targets];
+    // level per state (u32-encoded).
+    let mut level: HashMap<u32, u64> = HashMap::new();
+    let mut frontier: Vec<u32> = Vec::new();
+
+    // --- time 0: enumerate initial states consistently with inputs -------
+    // Initial values may depend on time-0 inputs (Init::Fn) and include
+    // nondeterministic bits; target hits at time 0 must use the same input
+    // assignment that produced the state.
+    let nondet: Vec<usize> = n
+        .regs()
+        .iter()
+        .enumerate()
+        .filter_map(|(j, &r)| (n.reg_init(r) == Init::Nondet).then_some(j))
+        .collect();
+    let input_combos = 1u64 << ni;
+    let nondet_combos = 1u64 << nondet.len();
+    for x in 0..nondet_combos {
+        // Batch input combos 64 at a time using word-parallel evaluation.
+        let mut combo = 0u64;
+        while combo < input_combos {
+            let batch = (input_combos - combo).min(64);
+            // Input word for input k: bit b = value of input k in combo+b.
+            let input_words: Vec<u64> = (0..ni)
+                .map(|k| {
+                    let mut w = 0u64;
+                    for b in 0..batch {
+                        if ((combo + b) >> k) & 1 == 1 {
+                            w |= 1 << b;
+                        }
+                    }
+                    w
+                })
+                .collect();
+            // Evaluate init values: registers depend on inputs only through
+            // Fn cones; two-pass like the simulator.
+            // Pass 1: inputs + logic with arbitrary reg values (0).
+            let zero_regs = vec![0u64; nr];
+            let frame = eval_frame(n, &zero_regs, &input_words);
+            let init_regs: Vec<u64> = n
+                .regs()
+                .iter()
+                .enumerate()
+                .map(|(j, &r)| match n.reg_init(r) {
+                    Init::Zero => 0,
+                    Init::One => !0u64,
+                    Init::Nondet => {
+                        let pos = nondet.iter().position(|&p| p == j).expect("nondet reg");
+                        if (x >> pos) & 1 == 1 {
+                            !0
+                        } else {
+                            0
+                        }
+                    }
+                    Init::Fn(l) => {
+                        let v = frame[l.gate().index()];
+                        if l.is_complement() {
+                            !v
+                        } else {
+                            v
+                        }
+                    }
+                })
+                .collect();
+            // Re-evaluate with the real register values for target checks.
+            let frame = eval_frame(n, &init_regs, &input_words);
+            for b in 0..batch {
+                let state = pack(&init_regs, b as u32);
+                level.entry(state).or_insert_with(|| {
+                    frontier.push(state);
+                    0
+                });
+                for (ti, t) in n.targets().iter().enumerate() {
+                    let w = frame[t.lit.gate().index()];
+                    let v = ((if t.lit.is_complement() { !w } else { w }) >> b) & 1 == 1;
+                    if v {
+                        earliest[ti].get_or_insert(0);
+                    }
+                }
+            }
+            combo += batch;
+        }
+    }
+
+    // --- BFS over transitions ---------------------------------------------
+    // Target hits at times ≥ 1 pair any occupied state with any input, so a
+    // state needs one free-input check the first time it is *generated as a
+    // successor* — even when it was already an initial state (time-0 pairs
+    // are correlated with Fn initial values and were checked restrictively).
+    let mut free_checked: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    let mut eccentricity = 0u64;
+    let mut depth = 0u64;
+    while !frontier.is_empty() {
+        depth += 1;
+        let mut next_frontier: Vec<u32> = Vec::new();
+        let mut to_check: Vec<u32> = Vec::new();
+        for &state in &frontier {
+            let reg_words = unpack(state, nr);
+            let mut combo = 0u64;
+            while combo < input_combos {
+                let batch = (input_combos - combo).min(64);
+                let input_words: Vec<u64> = (0..ni)
+                    .map(|k| {
+                        let mut w = 0u64;
+                        for b in 0..batch {
+                            if ((combo + b) >> k) & 1 == 1 {
+                                w |= 1 << b;
+                            }
+                        }
+                        w
+                    })
+                    .collect();
+                let frame = eval_frame(n, &reg_words, &input_words);
+                let nexts = next_state(n, &frame);
+                for b in 0..batch {
+                    let succ = pack(&nexts, b as u32);
+                    if let std::collections::hash_map::Entry::Vacant(e) = level.entry(succ) {
+                        e.insert(depth);
+                        next_frontier.push(succ);
+                        eccentricity = depth;
+                    }
+                    if free_checked.insert(succ) {
+                        to_check.push(succ);
+                    }
+                }
+                combo += batch;
+            }
+        }
+        // Free-input target checks for states first occupied (as successors)
+        // at this depth.
+        for &state in &to_check {
+            let reg_words = unpack(state, nr);
+            let mut combo = 0u64;
+            while combo < input_combos {
+                let batch = (input_combos - combo).min(64);
+                let input_words: Vec<u64> = (0..ni)
+                    .map(|k| {
+                        let mut w = 0u64;
+                        for b in 0..batch {
+                            if ((combo + b) >> k) & 1 == 1 {
+                                w |= 1 << b;
+                            }
+                        }
+                        w
+                    })
+                    .collect();
+                let frame = eval_frame(n, &reg_words, &input_words);
+                for (ti, t) in n.targets().iter().enumerate() {
+                    if earliest[ti].is_some() {
+                        continue;
+                    }
+                    let w = frame[t.lit.gate().index()];
+                    let w = if t.lit.is_complement() { !w } else { w };
+                    let mask = if batch == 64 { !0u64 } else { (1 << batch) - 1 };
+                    if w & mask != 0 {
+                        earliest[ti] = Some(depth);
+                    }
+                }
+                combo += batch;
+            }
+        }
+        frontier = next_frontier;
+    }
+
+    Ok(Exploration {
+        earliest_hit: earliest,
+        eccentricity,
+        reachable_states: level.len() as u64,
+    })
+}
+
+/// The exact state diameter of a small netlist, in the paper's +1
+/// convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateDiameter {
+    /// Max over reachable states of the BFS depth from the initial states,
+    /// plus one — the bound relevant for reachability from *initial* states
+    /// (the paper notes this suffices for property checking).
+    pub from_init: u64,
+    /// Max over ordered reachable pairs `(s, s')` with `s'` reachable from
+    /// `s` of the shortest distance, plus one — the classic diameter of \[2\].
+    pub pairwise: u64,
+    /// Number of reachable states.
+    pub reachable_states: u64,
+}
+
+/// Computes the exact state diameter by explicit graph search: reachable
+/// states from the initial states, then a BFS from every reachable state.
+///
+/// Any sound structural bound `d̂` over the netlist's registers must satisfy
+/// `d̂ ≥ pairwise ≥ from_init`; equality is the tightness reference used by
+/// the ablation harness.
+///
+/// # Errors
+///
+/// Fails with [`ExploreError::TooLarge`] when the netlist exceeds `limits`.
+pub fn state_diameter(n: &Netlist, limits: &ExploreLimits) -> Result<StateDiameter, ExploreError> {
+    let nr = n.num_regs();
+    let ni = n.num_inputs();
+    if nr > limits.max_regs || ni > limits.max_inputs {
+        return Err(ExploreError::TooLarge {
+            regs: nr,
+            inputs: ni,
+        });
+    }
+    let base = explore(n, limits)?;
+    // Rebuild the reachable set and its successor relation.
+    let mut reachable: Vec<u32> = Vec::new();
+    let mut index_of: HashMap<u32, usize> = HashMap::new();
+    let mut succs: Vec<Vec<usize>> = Vec::new();
+    // Initial states (same enumeration as `explore`).
+    let nondet: Vec<usize> = n
+        .regs()
+        .iter()
+        .enumerate()
+        .filter_map(|(j, &r)| (n.reg_init(r) == Init::Nondet).then_some(j))
+        .collect();
+    let input_combos = 1u64 << ni;
+    let mut frontier: Vec<u32> = Vec::new();
+    for x in 0..(1u64 << nondet.len()) {
+        let mut combo = 0u64;
+        while combo < input_combos {
+            let batch = (input_combos - combo).min(64);
+            let input_words: Vec<u64> = (0..ni)
+                .map(|k| {
+                    let mut w = 0u64;
+                    for b in 0..batch {
+                        if ((combo + b) >> k) & 1 == 1 {
+                            w |= 1 << b;
+                        }
+                    }
+                    w
+                })
+                .collect();
+            let zero_regs = vec![0u64; nr];
+            let frame = eval_frame(n, &zero_regs, &input_words);
+            let init_regs: Vec<u64> = n
+                .regs()
+                .iter()
+                .enumerate()
+                .map(|(j, &r)| match n.reg_init(r) {
+                    Init::Zero => 0,
+                    Init::One => !0u64,
+                    Init::Nondet => {
+                        let pos = nondet.iter().position(|&p| p == j).expect("nondet reg");
+                        if (x >> pos) & 1 == 1 {
+                            !0
+                        } else {
+                            0
+                        }
+                    }
+                    Init::Fn(l) => {
+                        let v = frame[l.gate().index()];
+                        if l.is_complement() {
+                            !v
+                        } else {
+                            v
+                        }
+                    }
+                })
+                .collect();
+            for b in 0..batch {
+                let s = pack(&init_regs, b as u32);
+                if let std::collections::hash_map::Entry::Vacant(e) = index_of.entry(s) {
+                    e.insert(reachable.len());
+                    reachable.push(s);
+                    succs.push(Vec::new());
+                    frontier.push(s);
+                }
+            }
+            combo += batch;
+        }
+    }
+    // Close under successors, recording edges.
+    let mut head = 0;
+    while head < frontier.len() {
+        let state = frontier[head];
+        head += 1;
+        let si = index_of[&state];
+        let reg_words = unpack(state, nr);
+        let mut combo = 0u64;
+        while combo < input_combos {
+            let batch = (input_combos - combo).min(64);
+            let input_words: Vec<u64> = (0..ni)
+                .map(|k| {
+                    let mut w = 0u64;
+                    for b in 0..batch {
+                        if ((combo + b) >> k) & 1 == 1 {
+                            w |= 1 << b;
+                        }
+                    }
+                    w
+                })
+                .collect();
+            let frame = eval_frame(n, &reg_words, &input_words);
+            let nexts = next_state(n, &frame);
+            for b in 0..batch {
+                let succ = pack(&nexts, b as u32);
+                let ti = *index_of.entry(succ).or_insert_with(|| {
+                    reachable.push(succ);
+                    succs.push(Vec::new());
+                    frontier.push(succ);
+                    reachable.len() - 1
+                });
+                if !succs[si].contains(&ti) {
+                    succs[si].push(ti);
+                }
+            }
+            combo += batch;
+        }
+    }
+    // BFS from every reachable state.
+    let count = reachable.len();
+    let mut pairwise = 0u64;
+    let mut dist = vec![u64::MAX; count];
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..count {
+        dist.iter_mut().for_each(|d| *d = u64::MAX);
+        dist[start] = 0;
+        queue.clear();
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for &w in &succs[v] {
+                if dist[w] == u64::MAX {
+                    dist[w] = dist[v] + 1;
+                    pairwise = pairwise.max(dist[w]);
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    Ok(StateDiameter {
+        from_init: base.eccentricity + 1,
+        pairwise: pairwise + 1,
+        reachable_states: count as u64,
+    })
+}
+
+fn pack(reg_words: &[u64], bit: u32) -> u32 {
+    let mut s = 0u32;
+    for (j, &w) in reg_words.iter().enumerate() {
+        if (w >> bit) & 1 == 1 {
+            s |= 1 << j;
+        }
+    }
+    s
+}
+
+fn unpack(state: u32, nr: usize) -> Vec<u64> {
+    (0..nr)
+        .map(|j| if (state >> j) & 1 == 1 { !0u64 } else { 0 })
+        .collect()
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index loops mirror the math here
+mod tests {
+    use super::*;
+    use diam_netlist::Netlist;
+
+    #[test]
+    fn counter_hits_five_at_five() {
+        let mut n = Netlist::new();
+        let b: Vec<_> = (0..3).map(|k| n.reg(format!("b{k}"), Init::Zero)).collect();
+        let c1 = b[0].lit();
+        let n1 = n.xor(b[1].lit(), c1);
+        let c2 = n.and(b[1].lit(), c1);
+        let n2 = n.xor(b[2].lit(), c2);
+        n.set_next(b[0], !b[0].lit());
+        n.set_next(b[1], n1);
+        n.set_next(b[2], n2);
+        let t5 = {
+            let x = n.and(b[0].lit(), !b[1].lit());
+            n.and(x, b[2].lit())
+        };
+        n.add_target(t5, "five");
+        n.add_target(diam_netlist::Lit::FALSE, "never");
+        let ex = explore(&n, &ExploreLimits::default()).unwrap();
+        assert_eq!(ex.earliest_hit[0], Some(5));
+        assert_eq!(ex.earliest_hit[1], None);
+        assert_eq!(ex.reachable_states, 8);
+        assert_eq!(ex.eccentricity, 7);
+    }
+
+    #[test]
+    fn input_dependent_hit_at_time_zero() {
+        let mut n = Netlist::new();
+        let i = n.input("i");
+        let r = n.reg("r", Init::Zero);
+        n.set_next(r, i.lit());
+        let t = n.or(i.lit(), r.lit());
+        n.add_target(t, "t");
+        let ex = explore(&n, &ExploreLimits::default()).unwrap();
+        assert_eq!(ex.earliest_hit[0], Some(0));
+    }
+
+    #[test]
+    fn fn_init_correlates_with_inputs() {
+        // Initial value = ¬i(0); target = r ∧ i must wait a step (at time 0,
+        // r = ¬i makes r ∧ i false), then hits at time 1 (load 1, keep i=1).
+        let mut n = Netlist::new();
+        let i = n.input("i");
+        let r = n.reg("r", Init::Fn(!i.lit()));
+        n.set_next(r, i.lit());
+        let t = n.and(r.lit(), i.lit());
+        n.add_target(t, "t");
+        let ex = explore(&n, &ExploreLimits::default()).unwrap();
+        assert_eq!(ex.earliest_hit[0], Some(1));
+    }
+
+    #[test]
+    fn nondet_init_reaches_both_states() {
+        let mut n = Netlist::new();
+        let r = n.reg("r", Init::Nondet);
+        n.set_next(r, r.lit());
+        n.add_target(r.lit(), "one");
+        n.add_target(!r.lit(), "zero");
+        let ex = explore(&n, &ExploreLimits::default()).unwrap();
+        assert_eq!(ex.earliest_hit[0], Some(0));
+        assert_eq!(ex.earliest_hit[1], Some(0));
+        assert_eq!(ex.reachable_states, 2);
+        assert_eq!(ex.eccentricity, 0);
+    }
+
+    #[test]
+    fn counter_state_diameter_is_the_cycle() {
+        // Free-running 3-bit counter: any state to any state takes at most
+        // 7 steps; +1 convention gives 8 for both metrics.
+        let mut n = Netlist::new();
+        let b: Vec<_> = (0..3).map(|k| n.reg(format!("b{k}"), Init::Zero)).collect();
+        let mut carry = diam_netlist::Lit::TRUE;
+        for r in &b {
+            let nk = n.xor(r.lit(), carry);
+            carry = n.and(r.lit(), carry);
+            n.set_next(*r, nk);
+        }
+        n.add_target(b[0].lit(), "t");
+        let d = state_diameter(&n, &ExploreLimits::default()).unwrap();
+        assert_eq!(d.reachable_states, 8);
+        assert_eq!(d.from_init, 8);
+        assert_eq!(d.pairwise, 8);
+    }
+
+    #[test]
+    fn memory_state_diameter_is_rows_plus_one() {
+        // 2 rows × 1 bit with free write port: any content in ≤ 2 writes;
+        // the structural ×(rows+1) bound is exactly tight.
+        let mut n = Netlist::new();
+        let we = n.input("we").lit();
+        let a = n.input("a").lit();
+        let d_in = n.input("d").lit();
+        for row in 0..2u32 {
+            let sel = a.xor_complement(row == 0);
+            let wr = n.and(we, sel);
+            let r = n.reg(format!("m{row}"), Init::Zero);
+            let nx = n.mux(wr, d_in, r.lit());
+            n.set_next(r, nx);
+        }
+        let t = n.and(n.regs()[0].lit(), n.regs()[1].lit());
+        n.add_target(t, "t");
+        let d = state_diameter(&n, &ExploreLimits::default()).unwrap();
+        assert_eq!(d.pairwise, 3, "rows + 1");
+        let tb = crate::structural::diameter_bound(
+            &n,
+            t,
+            &crate::structural::StructuralOptions::default(),
+        );
+        assert_eq!(tb.bound, crate::Bound::Finite(3), "structural bound is tight");
+    }
+
+    #[test]
+    fn pipeline_state_diameter_matches_depth() {
+        let mut n = Netlist::new();
+        let i = n.input("i");
+        let mut prev = i.lit();
+        for k in 0..3 {
+            let r = n.reg(format!("s{k}"), Init::Zero);
+            n.set_next(r, prev);
+            prev = r.lit();
+        }
+        n.add_target(prev, "t");
+        let d = state_diameter(&n, &ExploreLimits::default()).unwrap();
+        assert_eq!(d.pairwise, 4, "depth + 1");
+        assert_eq!(d.reachable_states, 8);
+    }
+
+    #[test]
+    fn too_large_is_rejected() {
+        let mut n = Netlist::new();
+        for k in 0..20 {
+            let r = n.reg(format!("r{k}"), Init::Zero);
+            n.set_next(r, !r.lit());
+        }
+        n.add_target(n.regs()[0].lit(), "t");
+        assert!(explore(
+            &n,
+            &ExploreLimits {
+                max_regs: 8,
+                max_inputs: 4
+            }
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,459 @@
+//! The recurrence diameter baseline (\[2\], discussed in Section 1 of the
+//! paper).
+//!
+//! The recurrence diameter is the length of the longest *loop-free* state
+//! sequence: once no loop-free path of length `k` exists, a bounded check of
+//! depth `k − 1` is complete. It is computed with a series of SAT queries —
+//! state sequence `s_0 … s_k` with transition constraints and pairwise
+//! state-distinctness — exactly the NP formulation the paper cites. The
+//! paper's point, which the benchmarks in this repository reproduce, is that
+//! the recurrence diameter can be **exponentially larger** than the true
+//! diameter (e.g. a loadable register file admits extremely long loop-free
+//! paths while every state is reachable from any other in a handful of
+//! steps).
+//!
+//! Two variants are provided: from an arbitrary state (the classic
+//! definition) and from the initial states (\[6\]'s refinement, which can only
+//! tighten the result).
+
+use crate::bound::Bound;
+use diam_netlist::analysis::coi;
+use diam_netlist::{Gate, Lit, Netlist};
+use diam_sat::{Lit as SatLit, SolveResult, Solver};
+use diam_transform::unroll::{FrameZero, Unroller};
+
+/// Options for [`recurrence_diameter`].
+#[derive(Debug, Clone)]
+pub struct RecurrenceOptions {
+    /// Start from the initial states instead of an arbitrary state.
+    pub from_init: bool,
+    /// Give up (returning [`RecurrenceResult::Exceeded`]) beyond this length.
+    pub max_length: u64,
+    /// SAT conflict budget per query (`None` = unlimited).
+    pub conflict_budget: Option<u64>,
+    /// Bounded cone-of-influence strengthening (\[6\], Kroening–Strichman):
+    /// states `s_i, s_j` (`i < j`) need only *differ on the registers that
+    /// can still influence the target within the remaining `k − j` steps* —
+    /// a strictly stronger distinctness requirement that can only tighten
+    /// the resulting bound. Queries are rebuilt per length (the constraint
+    /// sets depend on the horizon), trading incrementality for tightness.
+    pub bounded_coi: bool,
+}
+
+impl Default for RecurrenceOptions {
+    fn default() -> RecurrenceOptions {
+        RecurrenceOptions {
+            from_init: false,
+            max_length: 256,
+            conflict_budget: Some(200_000),
+            bounded_coi: false,
+        }
+    }
+}
+
+/// Outcome of a recurrence-diameter computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecurrenceResult {
+    /// The exact recurrence diameter: no loop-free path with this many
+    /// transitions exists, so a depth-`(value − 1)` bounded check is
+    /// complete. Reported in the same +1 convention as [`Bound`]
+    /// (Definition 3): `value` = longest loop-free path length + 1.
+    Exact(u64),
+    /// Paths of `max_length` transitions still exist (or a SAT budget ran
+    /// out) — only a lower bound on the recurrence diameter is known.
+    Exceeded(u64),
+}
+
+impl RecurrenceResult {
+    /// Converts to a diameter [`Bound`]; `Exceeded` is not a bound.
+    pub fn bound(self) -> Option<Bound> {
+        match self {
+            RecurrenceResult::Exact(v) => Some(Bound::Finite(v)),
+            RecurrenceResult::Exceeded(_) => None,
+        }
+    }
+}
+
+/// Computes the recurrence diameter of the registers in the cone of
+/// influence of `target`.
+///
+/// Increasing lengths `k = 1, 2, …` are tested until the query "is there a
+/// loop-free path of `k` transitions" becomes unsatisfiable; the result is
+/// then `k` in the paper's +1 convention (`k − 1` transitions is the longest
+/// loop-free path, plus one for Definition 3).
+pub fn recurrence_diameter(
+    n: &Netlist,
+    target: Lit,
+    opts: &RecurrenceOptions,
+) -> RecurrenceResult {
+    let cone = coi(n, [target]);
+    let regs: Vec<Gate> = cone.regs.clone();
+    if regs.is_empty() {
+        return RecurrenceResult::Exact(1);
+    }
+    let mode = if opts.from_init {
+        FrameZero::Init
+    } else {
+        FrameZero::Free
+    };
+    if opts.bounded_coi {
+        return recurrence_bounded_coi(n, target, &regs, mode, opts);
+    }
+    let mut solver = Solver::new();
+    solver.set_conflict_budget(opts.conflict_budget);
+    let mut unroller = Unroller::new(n, mode);
+
+    // State literals per frame, built on demand.
+    let mut state_lits: Vec<Vec<SatLit>> = Vec::new();
+    let ensure_frame = |solver: &mut Solver,
+                            unroller: &mut Unroller<'_>,
+                            state_lits: &mut Vec<Vec<SatLit>>,
+                            t: usize| {
+        while state_lits.len() <= t {
+            let frame = state_lits.len();
+            let lits = regs
+                .iter()
+                .map(|&r| unroller.lit_at(solver, r.lit(), frame))
+                .collect();
+            state_lits.push(lits);
+        }
+    };
+
+    let mut k = 0u64;
+    loop {
+        k += 1;
+        if k > opts.max_length {
+            return RecurrenceResult::Exceeded(opts.max_length);
+        }
+        ensure_frame(&mut solver, &mut unroller, &mut state_lits, k as usize);
+        // Distinctness of frame k against all earlier frames: permanent
+        // clauses (they only strengthen as k grows — each pair constraint is
+        // required by all later queries too, so adding them permanently is
+        // sound for this monotone series).
+        for j in 0..k as usize {
+            let diff = pairwise_diff(&mut solver, &state_lits[j], &state_lits[k as usize]);
+            solver.add_clause(diff);
+        }
+        match solver.solve() {
+            SolveResult::Sat => continue,
+            SolveResult::Unsat => return RecurrenceResult::Exact(k),
+            SolveResult::Unknown => return RecurrenceResult::Exceeded(k - 1),
+        }
+    }
+}
+
+/// The bounded-COI variant of \[6\]: a path `s_0 … s_k` hitting the target at
+/// `k` can be shortened whenever `s_i` agrees with `s_j` (`i < j`) on the
+/// registers within backward distance `k − j` of the target — replaying the
+/// suffix inputs from `s_i` reproduces the hit earlier. So loop-freeness
+/// only demands a difference on that (possibly tiny) register set, and the
+/// first unsatisfiable length is a *complete* BMC depth bound as usual.
+fn recurrence_bounded_coi(
+    n: &Netlist,
+    target: Lit,
+    regs: &[Gate],
+    mode: FrameZero,
+    opts: &RecurrenceOptions,
+) -> RecurrenceResult {
+    // relevant[m] = registers within backward distance m of the target's
+    // combinational support, in `regs`-position form.
+    let graph = diam_netlist::analysis::reg_graph(n, regs);
+    let sup = diam_netlist::analysis::support(n, target);
+    let mut relevant: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<bool> = vec![false; regs.len()];
+    for r in &sup.regs {
+        if let Some(p) = regs.iter().position(|x| x == r) {
+            current[p] = true;
+        }
+    }
+    let max_m = opts.max_length as usize + 1;
+    for _ in 0..=max_m {
+        relevant.push(
+            current
+                .iter()
+                .enumerate()
+                .filter_map(|(p, &b)| b.then_some(p))
+                .collect(),
+        );
+        let mut next = current.clone();
+        for (p, &b) in current.iter().enumerate() {
+            if b {
+                for &q in &graph.preds[p] {
+                    next[q] = true;
+                }
+            }
+        }
+        if next == current {
+            // Saturated: remaining entries equal the last one.
+            while relevant.len() <= max_m {
+                let last = relevant.last().expect("nonempty").clone();
+                relevant.push(last);
+            }
+            break;
+        }
+        current = next;
+    }
+
+    let mut k = 0u64;
+    loop {
+        k += 1;
+        if k > opts.max_length {
+            return RecurrenceResult::Exceeded(opts.max_length);
+        }
+        // Constraint sets depend on k, so each length gets a fresh solver.
+        let mut solver = Solver::new();
+        solver.set_conflict_budget(opts.conflict_budget);
+        let mut u = Unroller::new(n, mode);
+        let frames: Vec<Vec<SatLit>> = (0..=k as usize)
+            .map(|t| {
+                regs.iter()
+                    .map(|&r| u.lit_at(&mut solver, r.lit(), t))
+                    .collect()
+            })
+            .collect();
+        for j in 1..=k as usize {
+            let set = &relevant[(k as usize) - j];
+            for i in 0..j {
+                if set.is_empty() {
+                    // Nothing can influence the target from frame j on: any
+                    // two states "agree", so no loop-free path of this
+                    // length exists — unsatisfiable by construction.
+                    return RecurrenceResult::Exact(k);
+                }
+                let diffs: Vec<SatLit> = set
+                    .iter()
+                    .map(|&p| {
+                        let (a, b) = (frames[i][p], frames[j][p]);
+                        let d = solver.new_var().positive();
+                        solver.add_clause([!d, a, b]);
+                        solver.add_clause([!d, !a, !b]);
+                        d
+                    })
+                    .collect();
+                solver.add_clause(diffs);
+            }
+        }
+        match solver.solve() {
+            SolveResult::Sat => continue,
+            SolveResult::Unsat => return RecurrenceResult::Exact(k),
+            SolveResult::Unknown => return RecurrenceResult::Exceeded(k - 1),
+        }
+    }
+}
+
+/// Literals `d_i` with `d_i → (a_i ≠ b_i)` plus the clause set making at
+/// least-one-difference expressible; returns the difference literals to be
+/// OR'd by the caller.
+fn pairwise_diff(solver: &mut Solver, a: &[SatLit], b: &[SatLit]) -> Vec<SatLit> {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = solver.new_var().positive();
+            solver.add_clause([!d, x, y]);
+            solver.add_clause([!d, !x, !y]);
+            d
+        })
+        .collect()
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index loops mirror the math here
+mod tests {
+    use super::*;
+    use diam_netlist::Init;
+
+    /// k-bit binary counter netlist.
+    fn counter(bits: usize) -> (Netlist, Lit) {
+        let mut n = Netlist::new();
+        let b: Vec<Gate> = (0..bits).map(|k| n.reg(format!("b{k}"), Init::Zero)).collect();
+        let mut carry = Lit::TRUE;
+        for k in 0..bits {
+            let nk = n.xor(b[k].lit(), carry);
+            carry = n.and(b[k].lit(), carry);
+            n.set_next(b[k], nk);
+        }
+        let t = n.and_many(b.iter().map(|r| r.lit()).collect::<Vec<_>>());
+        n.add_target(t, "all_ones");
+        (n, t)
+    }
+
+    #[test]
+    fn counter_recurrence_is_full_cycle() {
+        // A 3-bit counter's loop-free paths have up to 2^3 states = 7
+        // transitions; in the +1 convention the result is 8.
+        let (n, t) = counter(3);
+        let r = recurrence_diameter(&n, t, &RecurrenceOptions::default());
+        assert_eq!(r, RecurrenceResult::Exact(8));
+    }
+
+    #[test]
+    fn pipeline_recurrence_is_loose() {
+        // A 4-stage pipeline has diameter 5, but loop-free paths can walk
+        // through many of the 2^4 states: the recurrence diameter is larger
+        // than the pipeline depth — the paper's looseness observation.
+        let mut n = Netlist::new();
+        let i = n.input("i");
+        let mut prev = i.lit();
+        let mut regs = Vec::new();
+        for k in 0..4 {
+            let r = n.reg(format!("s{k}"), Init::Zero);
+            n.set_next(r, prev);
+            prev = r.lit();
+            regs.push(r);
+        }
+        n.add_target(prev, "t");
+        let r = recurrence_diameter(&n, prev, &RecurrenceOptions::default());
+        match r {
+            RecurrenceResult::Exact(v) => assert!(v > 5, "expected loose bound, got {v}"),
+            RecurrenceResult::Exceeded(_) => panic!("should terminate"),
+        }
+    }
+
+    #[test]
+    fn from_init_tightens() {
+        // A counter initialized at 6 (3-bit) can only walk 6→7→0→…→5
+        // loop-free from init: same cycle length; but a register with
+        // constant next function shows the difference clearly.
+        let mut n = Netlist::new();
+        let i = n.input("i");
+        let r = n.reg("r", Init::Zero);
+        n.set_next(r, i.lit());
+        let s = n.reg("s", Init::Zero);
+        n.set_next(s, r.lit());
+        n.add_target(s.lit(), "t");
+        let free = recurrence_diameter(&n, s.lit(), &RecurrenceOptions::default());
+        let init = recurrence_diameter(
+            &n,
+            s.lit(),
+            &RecurrenceOptions {
+                from_init: true,
+                ..Default::default()
+            },
+        );
+        let (RecurrenceResult::Exact(f), RecurrenceResult::Exact(g)) = (free, init) else {
+            panic!("both should terminate");
+        };
+        assert!(g <= f, "init-constrained must not be looser");
+    }
+
+    #[test]
+    fn combinational_target_is_one() {
+        let mut n = Netlist::new();
+        let a = n.input("a").lit();
+        n.add_target(a, "t");
+        assert_eq!(
+            recurrence_diameter(&n, a, &RecurrenceOptions::default()),
+            RecurrenceResult::Exact(1)
+        );
+    }
+
+    #[test]
+    fn bounded_coi_tightens_pipelines() {
+        // Pipeline of depth 4: the classic recurrence diameter wanders the
+        // shift-register state space; the bounded-COI variant recognizes
+        // that only the suffix of stages still matters and collapses to the
+        // exact depth + 1.
+        let mut n = Netlist::new();
+        let i = n.input("i");
+        let mut prev = i.lit();
+        for k in 0..4 {
+            let r = n.reg(format!("s{k}"), Init::Zero);
+            n.set_next(r, prev);
+            prev = r.lit();
+        }
+        n.add_target(prev, "t");
+        let classic = recurrence_diameter(&n, prev, &RecurrenceOptions::default());
+        let bounded = recurrence_diameter(
+            &n,
+            prev,
+            &RecurrenceOptions {
+                bounded_coi: true,
+                ..Default::default()
+            },
+        );
+        let (RecurrenceResult::Exact(c), RecurrenceResult::Exact(b)) = (classic, bounded) else {
+            panic!("both should terminate");
+        };
+        assert!(b <= c, "bounded-COI must not be looser ({b} vs {c})");
+        assert_eq!(b, 5, "exact pipeline depth + 1");
+    }
+
+    #[test]
+    fn bounded_coi_equals_classic_on_counters() {
+        // Counters are a single SCC: every register stays relevant, so the
+        // refinement changes nothing.
+        let (n, t) = counter(3);
+        let classic = recurrence_diameter(&n, t, &RecurrenceOptions::default());
+        let bounded = recurrence_diameter(
+            &n,
+            t,
+            &RecurrenceOptions {
+                bounded_coi: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(classic, bounded);
+    }
+
+    #[test]
+    fn bounded_coi_is_sound_for_bmc_completeness() {
+        // On random small netlists, the earliest hit must stay within the
+        // bounded-COI recurrence diameter minus one.
+        use crate::exact::{explore, ExploreLimits};
+        use diam_netlist::sim::SplitMix64;
+        let mut rng = SplitMix64::new(0xb0a);
+        for round in 0..10 {
+            let mut n = Netlist::new();
+            let mut pool: Vec<Lit> = (0..2).map(|k| n.input(format!("i{k}")).lit()).collect();
+            let mut regs = Vec::new();
+            for k in 0..3 {
+                let r = n.reg(format!("r{k}"), if rng.bool() { Init::Zero } else { Init::One });
+                regs.push(r);
+                pool.push(r.lit());
+            }
+            for _ in 0..6 {
+                let a = pool[rng.below(pool.len() as u64) as usize];
+                let b = pool[rng.below(pool.len() as u64) as usize];
+                pool.push(match rng.below(3) {
+                    0 => n.and(a, b),
+                    1 => n.or(a, b),
+                    _ => n.xor(a, b),
+                });
+            }
+            for &r in &regs {
+                let nx = pool[rng.below(pool.len() as u64) as usize];
+                n.set_next(r, nx);
+            }
+            let t = *pool.last().unwrap();
+            n.add_target(t, "t");
+            let truth = explore(&n, &ExploreLimits::default()).unwrap().earliest_hit[0];
+            let bounded = recurrence_diameter(
+                &n,
+                t,
+                &RecurrenceOptions {
+                    bounded_coi: true,
+                    from_init: true,
+                    max_length: 64,
+                    ..Default::default()
+                },
+            );
+            if let (Some(hit), RecurrenceResult::Exact(rd)) = (truth, bounded) {
+                assert!(hit < rd, "round {round}: hit {hit} vs rd {rd}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_length_is_respected() {
+        let (n, t) = counter(6);
+        let r = recurrence_diameter(
+            &n,
+            t,
+            &RecurrenceOptions {
+                max_length: 5,
+                ..Default::default()
+            },
+        );
+        assert_eq!(r, RecurrenceResult::Exceeded(5));
+    }
+}

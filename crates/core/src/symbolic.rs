@@ -1,0 +1,390 @@
+//! Symbolic (BDD-based) forward reachability — the classic unbounded engine
+//! the paper positions BMC against, included both as a reference oracle for
+//! medium-sized designs (beyond the explicit-state exploration limit) and as
+//! a measure of exact initial-state eccentricity:
+//!
+//! breadth-first image layers `R_0 = I`, `R_{k+1} = R_k ∪ img(R_k)` reach a
+//! fixpoint after exactly the initial-state eccentricity many steps, so the
+//! layer count (+1, Definition 3 convention) is the *exact* "diameter from
+//! initial states" the paper notes suffices for property checking — every
+//! sound structural bound over the same cone must dominate it.
+
+use crate::bound::Bound;
+use diam_bdd::{Bdd, Manager};
+use diam_netlist::analysis::coi;
+use diam_netlist::{Gate, Init, Lit, Netlist};
+use diam_transform::bridge::cone_to_bdd;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Limits for the symbolic engine.
+#[derive(Debug, Clone)]
+pub struct SymbolicLimits {
+    /// Abort when the BDD manager exceeds this many nodes.
+    pub max_nodes: usize,
+    /// Abort after this many image steps.
+    pub max_steps: u64,
+}
+
+impl Default for SymbolicLimits {
+    fn default() -> SymbolicLimits {
+        SymbolicLimits {
+            max_nodes: 2_000_000,
+            max_steps: 10_000,
+        }
+    }
+}
+
+/// Error returned by the symbolic engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymbolicError {
+    /// The BDDs exceeded the node budget.
+    NodeBudget {
+        /// Nodes at the point of failure.
+        nodes: usize,
+    },
+    /// The step limit was reached before the fixpoint.
+    StepBudget,
+}
+
+impl fmt::Display for SymbolicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymbolicError::NodeBudget { nodes } => {
+                write!(f, "bdd node budget exceeded ({nodes} nodes)")
+            }
+            SymbolicError::StepBudget => write!(f, "symbolic step budget exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for SymbolicError {}
+
+/// The result of a symbolic reachability run over one target's cone.
+#[derive(Debug, Clone)]
+pub struct SymbolicReach {
+    /// Earliest time the target can be hit (`None` = unreachable — a proof).
+    pub earliest_hit: Option<u64>,
+    /// Exact initial-state eccentricity, +1 (Definition 3 convention): the
+    /// number of image steps to the reachability fixpoint, plus one.
+    pub eccentricity: u64,
+    /// Reachable states in the cone (counted over its registers).
+    pub reachable_states: f64,
+}
+
+/// Runs BDD-based forward reachability on the cone of target `index`.
+///
+/// Caveat: with [`Init::Fn`] initial values the time-0 input correlation is
+/// quantified away, so an `earliest_hit` of `Some(0)` may use a different
+/// time-0 input than the one that produced the initial state (the hit time
+/// is then a lower bound of 0 rather than exact); all later times, the
+/// eccentricity, and `None` results are exact.
+///
+/// # Errors
+///
+/// Fails when the node or step budget is exhausted (see [`SymbolicError`]).
+pub fn reach(
+    n: &Netlist,
+    index: usize,
+    limits: &SymbolicLimits,
+) -> Result<SymbolicReach, SymbolicError> {
+    let target = n.targets()[index].lit;
+    let cone = coi(n, [target]);
+    let mut m = Manager::new();
+
+    // Variable order: current and primed state interleaved (register j at
+    // 2j, its primed copy at 2j+1 — essential to keep shift-register-like
+    // transition relations linear), inputs at the end.
+    let num_regs = cone.regs.len() as u32;
+    let mut var_of_gate: HashMap<Gate, u32> = HashMap::new();
+    for (j, &r) in cone.regs.iter().enumerate() {
+        var_of_gate.insert(r, 2 * j as u32);
+    }
+    let input_base = 2 * num_regs;
+    for (k, &i) in cone.inputs.iter().enumerate() {
+        var_of_gate.insert(i, input_base + k as u32);
+    }
+    let input_vars: Vec<u32> = (0..cone.inputs.len() as u32)
+        .map(|k| input_base + k)
+        .collect();
+    let var_of = |g: Gate| var_of_gate.get(&g).copied();
+    let check = |m: &Manager| -> Result<(), SymbolicError> {
+        if m.num_nodes() > limits.max_nodes {
+            Err(SymbolicError::NodeBudget {
+                nodes: m.num_nodes(),
+            })
+        } else {
+            Ok(())
+        }
+    };
+
+    // Next-state functions and the target predicate.
+    let mut delta: HashMap<u32, Bdd> = HashMap::new();
+    for (j, &r) in cone.regs.iter().enumerate() {
+        let f = cone_to_bdd(&mut m, n, n.reg_next(r), &var_of);
+        delta.insert(j as u32, f);
+        check(&m)?;
+    }
+    let state_var = |j: u32| 2 * j;
+    let prime_var = |j: u32| 2 * j + 1;
+    let t_bdd = cone_to_bdd(&mut m, n, target, &var_of);
+    let hit_now = m.exists(t_bdd, &input_vars);
+
+    // Initial states: conjunction of per-register init constraints, with
+    // `Init::Fn` cones over time-0 inputs quantified out afterwards.
+    let mut init = Bdd::TRUE;
+    for (j, &r) in cone.regs.iter().enumerate() {
+        let v = m.var(state_var(j as u32));
+        let constraint = match n.reg_init(r) {
+            Init::Zero => m.not(v),
+            Init::One => v,
+            Init::Nondet => Bdd::TRUE,
+            Init::Fn(l) => {
+                let f = cone_to_bdd(&mut m, n, l, &var_of);
+                m.xnor(v, f)
+            }
+        };
+        init = m.and(init, constraint);
+        check(&m)?;
+    }
+    let init = m.exists(init, &input_vars);
+
+    // Forward fixpoint: img(R) = ∃ s,i . R(s) ∧ ∧_j (s'_j ↔ δ_j(s,i)),
+    // with the primed variables renamed back to current afterwards.
+    // `trans` stays mutable: the periodic compaction below re-roots it.
+    let mut trans = Bdd::TRUE;
+    for j in 0..num_regs {
+        let sp = m.var(prime_var(j));
+        let eq = m.xnor(sp, delta[&j]);
+        trans = m.and(trans, eq);
+        check(&m)?;
+    }
+    // Quantify current state + inputs during the image.
+    let mut current_and_inputs: Vec<u32> = (0..num_regs).map(state_var).collect();
+    current_and_inputs.extend(input_vars.iter().copied());
+    // Rename primed back to current.
+    let mut unprime: HashMap<u32, Bdd> = (0..num_regs)
+        .map(|j| {
+            let v = m.var(state_var(j));
+            (prime_var(j), v)
+        })
+        .collect();
+
+    let mut hit_now = hit_now;
+    let mut reached = init;
+    let mut frontier = init;
+    let mut earliest: Option<u64> = None;
+    let mut steps = 0u64;
+    loop {
+        if earliest.is_none() {
+            let overlap = m.and(frontier, hit_now);
+            if overlap != Bdd::FALSE {
+                earliest = Some(steps);
+            }
+        }
+        if steps >= limits.max_steps {
+            return Err(SymbolicError::StepBudget);
+        }
+        let img_primed = m.and_exists(frontier, trans, &current_and_inputs);
+        check(&m)?;
+        let img = m.compose(img_primed, &unprime);
+        let new = m.diff(img, reached);
+        if new == Bdd::FALSE {
+            break;
+        }
+        reached = m.or(reached, new);
+        frontier = new;
+        steps += 1;
+        check(&m)?;
+        // Periodic compaction: the arena-style manager never frees nodes,
+        // so long fixpoints re-root their live functions into a fresh
+        // manager once growth dominates.
+        if m.num_nodes() > 64 * 1024 {
+            let mut roots = vec![reached, frontier, trans, hit_now];
+            roots.extend((0..num_regs).map(|j| unprime[&prime_var(j)]));
+            let (m2, new_roots) = m.compact(&roots);
+            m = m2;
+            reached = new_roots[0];
+            frontier = new_roots[1];
+            trans = new_roots[2];
+            hit_now = new_roots[3];
+            for j in 0..num_regs {
+                unprime.insert(prime_var(j), new_roots[4 + j as usize]);
+            }
+        }
+    }
+    Ok(SymbolicReach {
+        earliest_hit: earliest,
+        eccentricity: steps + 1,
+        reachable_states: {
+            // `reached` is over the even (current-state) variables; count
+            // assignments over them by halving the all-variables count.
+            let total = m.sat_count(reached, 2 * num_regs);
+            total / (2f64).powi(num_regs as i32)
+        },
+    })
+}
+
+/// The exact diameter-from-initial-states of the target's cone, as a
+/// [`Bound`] — usable as a reference that any sound structural bound over
+/// the same cone must dominate.
+///
+/// # Errors
+///
+/// Propagates [`SymbolicError`] on budget exhaustion.
+pub fn init_eccentricity(
+    n: &Netlist,
+    target: Lit,
+    limits: &SymbolicLimits,
+) -> Result<Bound, SymbolicError> {
+    // Temporarily treat the literal as target 0 of a shadow netlist view.
+    let mut shadow = n.clone();
+    shadow.clear_targets();
+    shadow.add_target(target, "probe");
+    let r = reach(&shadow, 0, limits)?;
+    Ok(Bound::Finite(r.eccentricity))
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index loops mirror the math here
+mod tests {
+    use super::*;
+    use diam_netlist::Netlist;
+
+    #[test]
+    fn counter_reachability_is_exact() {
+        let mut n = Netlist::new();
+        let b: Vec<Gate> = (0..4).map(|k| n.reg(format!("b{k}"), Init::Zero)).collect();
+        let mut carry = Lit::TRUE;
+        for r in &b {
+            let nk = n.xor(r.lit(), carry);
+            carry = n.and(r.lit(), carry);
+            n.set_next(*r, nk);
+        }
+        let lits: Vec<Lit> = b.iter().map(|r| r.lit()).collect();
+        let t = n.and_many(lits);
+        n.add_target(t, "all_ones");
+        let r = reach(&n, 0, &SymbolicLimits::default()).unwrap();
+        assert_eq!(r.earliest_hit, Some(15));
+        assert_eq!(r.eccentricity, 16);
+        assert_eq!(r.reachable_states as u64, 16);
+    }
+
+    #[test]
+    fn unreachable_target_is_a_proof() {
+        let mut n = Netlist::new();
+        let i = n.input("i");
+        let a = n.reg("a", Init::Zero);
+        let b = n.reg("b", Init::Zero);
+        n.set_next(a, i.lit());
+        n.set_next(b, i.lit());
+        let t = n.xor(a.lit(), b.lit());
+        n.add_target(t, "differ");
+        let r = reach(&n, 0, &SymbolicLimits::default()).unwrap();
+        assert_eq!(r.earliest_hit, None);
+        assert_eq!(r.reachable_states as u64, 2);
+    }
+
+    #[test]
+    fn matches_explicit_exploration() {
+        use crate::exact::{explore, ExploreLimits};
+        use diam_netlist::sim::SplitMix64;
+        let mut rng = SplitMix64::new(0x5e1f);
+        for round in 0..10 {
+            let mut n = Netlist::new();
+            let mut pool: Vec<Lit> = (0..2).map(|k| n.input(format!("i{k}")).lit()).collect();
+            let mut regs = Vec::new();
+            for k in 0..4 {
+                let init = match rng.below(3) {
+                    0 => Init::Zero,
+                    1 => Init::One,
+                    _ => Init::Nondet,
+                };
+                let r = n.reg(format!("r{k}"), init);
+                regs.push(r);
+                pool.push(r.lit());
+            }
+            for _ in 0..8 {
+                let a = pool[rng.below(pool.len() as u64) as usize];
+                let b = pool[rng.below(pool.len() as u64) as usize];
+                pool.push(match rng.below(3) {
+                    0 => n.and(a, b),
+                    1 => n.or(a, b),
+                    _ => n.xor(a, b),
+                });
+            }
+            for &r in &regs {
+                let nx = pool[rng.below(pool.len() as u64) as usize];
+                n.set_next(r, nx);
+            }
+            n.add_target(*pool.last().unwrap(), "t");
+            let explicit = explore(&n, &ExploreLimits::default()).unwrap();
+            let symbolic = reach(&n, 0, &SymbolicLimits::default()).unwrap();
+            assert_eq!(
+                symbolic.earliest_hit, explicit.earliest_hit[0],
+                "round {round}: earliest hit"
+            );
+            // Explicit exploration explores the whole netlist; restrict the
+            // comparison to designs where the cone covers all registers.
+            let cone = diam_netlist::analysis::coi(&n, [n.targets()[0].lit]);
+            if cone.regs.len() == n.num_regs() {
+                assert_eq!(
+                    symbolic.eccentricity,
+                    explicit.eccentricity + 1,
+                    "round {round}: eccentricity"
+                );
+                assert_eq!(
+                    symbolic.reachable_states as u64, explicit.reachable_states,
+                    "round {round}: state count"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn medium_design_beyond_explicit_limits() {
+        // 24 registers — explicit exploration refuses, symbolic handles it.
+        let mut n = Netlist::new();
+        let i = n.input("i");
+        let mut prev = i.lit();
+        for k in 0..24 {
+            let r = n.reg(format!("s{k}"), Init::Zero);
+            n.set_next(r, prev);
+            prev = r.lit();
+        }
+        n.add_target(prev, "tail");
+        assert!(crate::exact::explore(&n, &crate::exact::ExploreLimits::default()).is_err());
+        let r = reach(&n, 0, &SymbolicLimits::default()).unwrap();
+        assert_eq!(r.earliest_hit, Some(24));
+        assert_eq!(r.eccentricity, 25);
+        // The structural bound is exactly tight here.
+        let tb = crate::structural::diameter_bound(
+            &n,
+            n.targets()[0].lit,
+            &crate::structural::StructuralOptions::default(),
+        );
+        assert_eq!(tb.bound, Bound::Finite(25));
+    }
+
+    #[test]
+    fn budgets_are_respected() {
+        let mut n = Netlist::new();
+        let b: Vec<Gate> = (0..8).map(|k| n.reg(format!("b{k}"), Init::Zero)).collect();
+        let mut carry = Lit::TRUE;
+        for r in &b {
+            let nk = n.xor(r.lit(), carry);
+            carry = n.and(r.lit(), carry);
+            n.set_next(*r, nk);
+        }
+        n.add_target(b[7].lit(), "t");
+        let r = reach(
+            &n,
+            0,
+            &SymbolicLimits {
+                max_steps: 5,
+                ..Default::default()
+            },
+        );
+        assert!(matches!(r, Err(SymbolicError::StepBudget)));
+    }
+}

@@ -1,0 +1,598 @@
+//! Parameterized circuit archetypes — the structural species the component
+//! classifier of \[7\] distinguishes, used to assemble profile-matched
+//! benchmark designs.
+//!
+//! Every builder appends its logic to an existing [`Netlist`] and returns
+//! handles to its observable signals, so a design is a composition of
+//! archetype instances wired into targets.
+
+use diam_netlist::sim::SplitMix64;
+use diam_netlist::{Gate, Init, Lit, Netlist};
+
+/// A pipeline: `depth` registers in series behind a fresh input.
+/// All registers classify as **AC**; a target observing the tail has
+/// structural bound `1 + depth`.
+pub fn pipeline(n: &mut Netlist, name: &str, depth: usize) -> PipelineHandle {
+    let input = n.input(format!("{name}_in"));
+    let mut prev = input.lit();
+    let mut regs = Vec::with_capacity(depth);
+    for k in 0..depth {
+        let r = n.reg(format!("{name}_s{k}"), Init::Zero);
+        n.set_next(r, prev);
+        prev = r.lit();
+        regs.push(r);
+    }
+    PipelineHandle {
+        input,
+        regs,
+        tail: prev,
+    }
+}
+
+/// Handles to a [`pipeline`] instance.
+#[derive(Debug, Clone)]
+pub struct PipelineHandle {
+    /// The driving input.
+    pub input: Gate,
+    /// The stage registers, front to back.
+    pub regs: Vec<Gate>,
+    /// The last stage's output (the input itself for depth 0).
+    pub tail: Lit,
+}
+
+/// A pipeline fed by an arbitrary literal instead of a fresh input.
+pub fn pipeline_from(n: &mut Netlist, name: &str, src: Lit, depth: usize) -> Vec<Gate> {
+    let mut prev = src;
+    let mut regs = Vec::with_capacity(depth);
+    for k in 0..depth {
+        let r = n.reg(format!("{name}_s{k}"), Init::Zero);
+        n.set_next(r, prev);
+        prev = r.lit();
+        regs.push(r);
+    }
+    regs
+}
+
+/// A `bits`-bit binary up-counter with an enable. Each bit is a singleton
+/// self-loop SCC that is *not* a hold/load mux, so the whole chain
+/// classifies **GC** with a `2^bits` multiplicative contribution.
+pub fn counter(n: &mut Netlist, name: &str, bits: usize, enable: Lit) -> CounterHandle {
+    let regs: Vec<Gate> = (0..bits)
+        .map(|k| n.reg(format!("{name}_b{k}"), Init::Zero))
+        .collect();
+    let mut carry = enable;
+    for &r in &regs {
+        let nk = n.xor(r.lit(), carry);
+        carry = n.and(r.lit(), carry);
+        n.set_next(r, nk);
+    }
+    let bits_lits: Vec<Lit> = regs.iter().map(|r| r.lit()).collect();
+    let all_ones = n.and_many(bits_lits.clone());
+    CounterHandle {
+        regs,
+        bits: bits_lits,
+        all_ones,
+    }
+}
+
+/// Handles to a [`counter`] instance.
+#[derive(Debug, Clone)]
+pub struct CounterHandle {
+    /// The state registers, LSB first.
+    pub regs: Vec<Gate>,
+    /// The state bits as literals.
+    pub bits: Vec<Lit>,
+    /// Conjunction of all bits.
+    pub all_ones: Lit,
+}
+
+/// A Fibonacci LFSR driven (xored) by an external literal; a single
+/// `bits`-register SCC → **GC**.
+pub fn lfsr(n: &mut Netlist, name: &str, bits: usize, stir: Lit) -> Vec<Gate> {
+    let regs: Vec<Gate> = (0..bits)
+        .map(|k| n.reg(format!("{name}_x{k}"), if k == 0 { Init::One } else { Init::Zero }))
+        .collect();
+    // Feedback: taps at the last two stages (plus the stir bit).
+    let fb0 = regs[bits - 1].lit();
+    let fb = if bits >= 2 {
+        let t = n.xor(fb0, regs[bits - 2].lit());
+        n.xor(t, stir)
+    } else {
+        n.xor(fb0, stir)
+    };
+    n.set_next(regs[0], fb);
+    for pair in regs.windows(2) {
+        n.set_next(pair[1], pair[0].lit());
+    }
+    regs
+}
+
+/// A register file: `rows × width` hold/load cells with a shared write
+/// port. All cells classify **MC**, clustered into one memory with `rows`
+/// atomically-updated rows: the diameter contribution is `×(rows + 1)`
+/// regardless of `width`.
+pub fn register_file(n: &mut Netlist, name: &str, rows: usize, width: usize) -> MemoryHandle {
+    assert!(rows >= 1, "memory needs at least one row");
+    let addr_bits = rows.next_power_of_two().trailing_zeros().max(1) as usize;
+    let we = n.input(format!("{name}_we"));
+    let addr: Vec<Gate> = (0..addr_bits)
+        .map(|k| n.input(format!("{name}_a{k}")))
+        .collect();
+    let data: Vec<Gate> = (0..width)
+        .map(|k| n.input(format!("{name}_d{k}")))
+        .collect();
+    let mut cells = Vec::with_capacity(rows * width);
+    for row in 0..rows {
+        let sel_bits: Vec<Lit> = (0..addr_bits)
+            .map(|k| addr[k].lit().xor_complement(row >> k & 1 == 0))
+            .collect();
+        let sel = n.and_many(sel_bits);
+        let wr = n.and(we.lit(), sel);
+        let mut row_cells = Vec::with_capacity(width);
+        for (bit, d) in data.iter().enumerate() {
+            let r = n.reg(format!("{name}_m{row}_{bit}"), Init::Zero);
+            let nx = n.mux(wr, d.lit(), r.lit());
+            n.set_next(r, nx);
+            row_cells.push(r);
+        }
+        cells.push(row_cells);
+    }
+    MemoryHandle {
+        we,
+        addr,
+        data,
+        cells,
+    }
+}
+
+/// Handles to a [`register_file`] instance.
+#[derive(Debug, Clone)]
+pub struct MemoryHandle {
+    /// Write enable input.
+    pub we: Gate,
+    /// Address inputs.
+    pub addr: Vec<Gate>,
+    /// Write data inputs.
+    pub data: Vec<Gate>,
+    /// Cell registers, `cells[row][bit]`.
+    pub cells: Vec<Vec<Gate>>,
+}
+
+impl MemoryHandle {
+    /// All cell registers flattened.
+    pub fn all_cells(&self) -> Vec<Gate> {
+        self.cells.iter().flatten().copied().collect()
+    }
+}
+
+/// A FIFO-queue archetype: `depth` one-bit hold cells written one-hot by a
+/// shifting valid token. The cells classify **MC/QC**; the token ring is a
+/// small **GC**.
+pub fn fifo(n: &mut Netlist, name: &str, depth: usize) -> FifoHandle {
+    assert!(depth >= 2, "fifo needs depth >= 2");
+    let push = n.input(format!("{name}_push"));
+    let data = n.input(format!("{name}_data"));
+    // One-hot write-pointer ring that advances on push.
+    let token: Vec<Gate> = (0..depth)
+        .map(|k| n.reg(format!("{name}_t{k}"), if k == 0 { Init::One } else { Init::Zero }))
+        .collect();
+    for k in 0..depth {
+        let prev = token[(k + depth - 1) % depth].lit();
+        let cur = token[k].lit();
+        let nx = n.mux(push.lit(), prev, cur);
+        n.set_next(token[k], nx);
+    }
+    // Cells: load data when the token points here and a push occurs.
+    let cells: Vec<Gate> = (0..depth)
+        .map(|k| {
+            let r = n.reg(format!("{name}_q{k}"), Init::Zero);
+            let wr = n.and(push.lit(), token[k].lit());
+            let nx = n.mux(wr, data.lit(), r.lit());
+            n.set_next(r, nx);
+            r
+        })
+        .collect();
+    FifoHandle {
+        push,
+        data,
+        token,
+        cells,
+    }
+}
+
+/// Handles to a [`fifo`] instance.
+#[derive(Debug, Clone)]
+pub struct FifoHandle {
+    /// Push input.
+    pub push: Gate,
+    /// Data input.
+    pub data: Gate,
+    /// Write-token ring registers (GC).
+    pub token: Vec<Gate>,
+    /// Queue cell registers (QC).
+    pub cells: Vec<Gate>,
+}
+
+/// A random Mealy machine over `2^bits` states — a dense **GC** component.
+pub fn random_fsm(n: &mut Netlist, name: &str, bits: usize, rng: &mut SplitMix64) -> Vec<Gate> {
+    let input = n.input(format!("{name}_in"));
+    let regs: Vec<Gate> = (0..bits)
+        .map(|k| n.reg(format!("{name}_f{k}"), Init::Zero))
+        .collect();
+    let mut pool: Vec<Lit> = regs.iter().map(|r| r.lit()).collect();
+    pool.push(input.lit());
+    for _ in 0..(3 * bits) {
+        let a = pool[rng.below(pool.len() as u64) as usize];
+        let b = pool[rng.below(pool.len() as u64) as usize];
+        pool.push(match rng.below(3) {
+            0 => n.and(a, b),
+            1 => n.or(a, b),
+            _ => n.xor(a, b),
+        });
+    }
+    for (k, &r) in regs.iter().enumerate() {
+        // Ensure genuine cyclic dependence: xor a pool pick with a rotated
+        // register.
+        let pick = pool[rng.below(pool.len() as u64) as usize];
+        let other = regs[(k + 1) % bits].lit();
+        let nx = n.xor(pick, other);
+        n.set_next(r, nx);
+    }
+    regs
+}
+
+/// A Gray-code counter: like the binary counter a dense **GC** chain, but
+/// with single-bit transitions — a different flavour of sequential depth
+/// for the classifier and the exact-diameter oracle.
+pub fn gray_counter(n: &mut Netlist, name: &str, bits: usize, enable: Lit) -> Vec<Gate> {
+    // Implemented as binary counter + output XOR stage folded into the
+    // next-state functions: g_k' = b_k' ⊕ b_{k+1}' over an internal binary
+    // core is equivalent to keeping the binary core and reading it through
+    // XORs; for a *registered* Gray counter we register the Gray value and
+    // decode to binary internally.
+    let regs: Vec<Gate> = (0..bits)
+        .map(|k| n.reg(format!("{name}_g{k}"), Init::Zero))
+        .collect();
+    // Decode Gray → binary: b_k = g_k ⊕ g_{k+1} ⊕ … (suffix parity).
+    let mut binary = vec![Lit::FALSE; bits];
+    let mut parity = Lit::FALSE;
+    for k in (0..bits).rev() {
+        parity = n.xor(parity, regs[k].lit());
+        binary[k] = parity;
+    }
+    // Increment binary, re-encode: g_k' = b_k' ⊕ b_{k+1}'.
+    let mut carry = enable;
+    let mut next_binary = Vec::with_capacity(bits);
+    for b in binary.iter().take(bits) {
+        next_binary.push(n.xor(*b, carry));
+        carry = n.and(*b, carry);
+    }
+    for k in 0..bits {
+        let hi = if k + 1 < bits {
+            next_binary[k + 1]
+        } else {
+            Lit::FALSE
+        };
+        let g_next = n.xor(next_binary[k], hi);
+        n.set_next(regs[k], g_next);
+    }
+    regs
+}
+
+/// A one-hot token ring of length `len` that advances on `step` — a single
+/// **GC** SCC whose reachable state count is `len` (not `2^len`), making it
+/// a prime example of structural-bound pessimism on one-hot encodings.
+pub fn token_ring(n: &mut Netlist, name: &str, len: usize, step: Lit) -> Vec<Gate> {
+    assert!(len >= 2, "ring needs at least two positions");
+    let regs: Vec<Gate> = (0..len)
+        .map(|k| n.reg(format!("{name}_t{k}"), if k == 0 { Init::One } else { Init::Zero }))
+        .collect();
+    for k in 0..len {
+        let prev = regs[(k + len - 1) % len].lit();
+        let cur = regs[k].lit();
+        let nx = n.mux(step, prev, cur);
+        n.set_next(regs[k], nx);
+    }
+    regs
+}
+
+/// A Johnson (twisted-ring) counter: `bits` registers in a shift loop with
+/// an inverted feedback tap — a single **GC** SCC whose reachable state
+/// count is `2·bits` (not `2^bits`), another one-hot-flavoured example of
+/// GC pessimism.
+pub fn johnson_counter(n: &mut Netlist, name: &str, bits: usize, step: Lit) -> Vec<Gate> {
+    assert!(bits >= 2, "johnson counter needs at least two bits");
+    let regs: Vec<Gate> = (0..bits)
+        .map(|k| n.reg(format!("{name}_j{k}"), Init::Zero))
+        .collect();
+    // Shift with enable; feedback is the complement of the last stage.
+    let fb = !regs[bits - 1].lit();
+    let nx0 = n.mux(step, fb, regs[0].lit());
+    n.set_next(regs[0], nx0);
+    for k in 1..bits {
+        let nx = n.mux(step, regs[k - 1].lit(), regs[k].lit());
+        n.set_next(regs[k], nx);
+    }
+    regs
+}
+
+/// A round-robin arbiter over `clients` request lines: a token ring picks
+/// the priority position; grants are combinational. Returns
+/// `(ring, grants)` — the grants are mutually exclusive by construction,
+/// which makes `grant_i ∧ grant_j` natural unreachable targets.
+pub fn round_robin_arbiter(
+    n: &mut Netlist,
+    name: &str,
+    clients: usize,
+) -> (Vec<Gate>, Vec<Lit>) {
+    let reqs: Vec<Lit> = (0..clients)
+        .map(|k| n.input(format!("{name}_req{k}")).lit())
+        .collect();
+    let step = n.input(format!("{name}_step")).lit();
+    let ring = token_ring(n, name, clients, step);
+    // grant_i = req_i ∧ token_i (single-cycle fixed-priority-at-token).
+    let grants: Vec<Lit> = (0..clients)
+        .map(|k| n.and(reqs[k], ring[k].lit()))
+        .collect();
+    (ring, grants)
+}
+
+/// `count` registers stuck at constant values (half 0, half 1) behind
+/// re-latching loops — the **CC** class.
+pub fn constants(n: &mut Netlist, name: &str, count: usize) -> Vec<Gate> {
+    (0..count)
+        .map(|k| {
+            let init = if k % 2 == 0 { Init::Zero } else { Init::One };
+            let r = n.reg(format!("{name}_c{k}"), init);
+            n.set_next(r, r.lit());
+            r
+        })
+        .collect()
+}
+
+/// A structurally distinct duplicate of a counter: counts in lock-step with
+/// `original` (same enable) but built through different gate structure, so
+/// only sequential redundancy removal can merge the pair.
+pub fn duplicate_counter(
+    n: &mut Netlist,
+    name: &str,
+    bits: usize,
+    enable: Lit,
+) -> (CounterHandle, CounterHandle) {
+    let a = counter(n, &format!("{name}_a"), bits, enable);
+    // The duplicate computes the same increments via mux-structured logic.
+    let regs: Vec<Gate> = (0..bits)
+        .map(|k| n.reg(format!("{name}_b_b{k}"), Init::Zero))
+        .collect();
+    let mut carry = enable;
+    for &r in &regs {
+        // x ⊕ c as mux(c, ¬x, x); carry as mux(c, x, 0).
+        let nk = n.mux(carry, !r.lit(), r.lit());
+        carry = n.mux(carry, r.lit(), Lit::FALSE);
+        n.set_next(r, nk);
+    }
+    let bits_lits: Vec<Lit> = regs.iter().map(|r| r.lit()).collect();
+    let all_ones = n.and_many(bits_lits.clone());
+    let b = CounterHandle {
+        regs,
+        bits: bits_lits,
+        all_ones,
+    };
+    (a, b)
+}
+
+/// A large input-stirred rotating ring — a `bits`-register SCC whose
+/// exponential GC bound makes any observing target practically unboundable.
+pub fn big_ring(n: &mut Netlist, name: &str, bits: usize, rng: &mut SplitMix64) -> Vec<Gate> {
+    let stir = n.input(format!("{name}_stir"));
+    let regs: Vec<Gate> = (0..bits)
+        .map(|k| n.reg(format!("{name}_r{k}"), Init::Zero))
+        .collect();
+    for k in 0..bits {
+        let prev = regs[(k + bits - 1) % bits].lit();
+        let nx = if k == 0 {
+            let t = n.xor(prev, stir.lit());
+            !t
+        } else if rng.below(4) == 0 {
+            n.xor(prev, regs[(k + bits / 2) % bits].lit())
+        } else {
+            prev
+        };
+        n.set_next(regs[k], nx);
+    }
+    regs
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index loops mirror the math here
+mod tests {
+    use super::*;
+    use diam_core::classify::{classify, ClassifyOptions, RegClass};
+    use diam_core::structural::{diameter_bound, StructuralOptions};
+    use diam_core::Bound;
+
+    #[test]
+    fn pipeline_classifies_acyclic() {
+        let mut n = Netlist::new();
+        let p = pipeline(&mut n, "p", 5);
+        n.add_target(p.tail, "t");
+        let c = classify(&n, &p.regs, &ClassifyOptions::default());
+        assert!(p.regs.iter().all(|r| c.class_of[r] == RegClass::Acyclic));
+        let b = diameter_bound(&n, p.tail, &StructuralOptions::default());
+        assert_eq!(b.bound, Bound::Finite(6));
+    }
+
+    #[test]
+    fn counter_classifies_general() {
+        let mut n = Netlist::new();
+        let c = counter(&mut n, "c", 4, Lit::TRUE);
+        n.add_target(c.all_ones, "t");
+        let cl = classify(&n, &c.regs, &ClassifyOptions::default());
+        assert!(c.regs.iter().all(|r| cl.class_of[r] == RegClass::General));
+        let b = diameter_bound(&n, c.all_ones, &StructuralOptions::default());
+        assert_eq!(b.bound, Bound::Finite(16));
+    }
+
+    #[test]
+    fn register_file_classifies_table() {
+        let mut n = Netlist::new();
+        let m = register_file(&mut n, "m", 4, 2);
+        let t = n.and(m.cells[0][0].lit(), m.cells[3][1].lit());
+        n.add_target(t, "t");
+        let cells = m.all_cells();
+        let cl = classify(&n, &cells, &ClassifyOptions::default());
+        assert!(cells.iter().all(|r| cl.class_of[r] == RegClass::Table));
+        // The target observes cells of two rows only; cone-of-influence
+        // restriction shrinks the memory to those rows: ×(2 + 1).
+        let b = diameter_bound(&n, t, &StructuralOptions::default());
+        assert_eq!(b.bound, Bound::Finite(3));
+        // A target over all four rows sees the full ×(4 + 1) factor.
+        let mut n2 = Netlist::new();
+        let m2 = register_file(&mut n2, "m", 4, 2);
+        let all: Vec<_> = m2.all_cells().iter().map(|r| r.lit()).collect();
+        let t2 = n2.and_many(all);
+        n2.add_target(t2, "t");
+        let b2 = diameter_bound(&n2, t2, &StructuralOptions::default());
+        assert_eq!(b2.bound, Bound::Finite(5));
+    }
+
+    #[test]
+    fn fifo_mixes_table_and_general() {
+        let mut n = Netlist::new();
+        let f = fifo(&mut n, "q", 4);
+        let t = n.and(f.cells[0].lit(), f.cells[3].lit());
+        n.add_target(t, "t");
+        let mut regs = f.token.clone();
+        regs.extend(&f.cells);
+        let cl = classify(&n, &regs, &ClassifyOptions::default());
+        let counts = cl.counts();
+        assert_eq!(counts.table, 4, "queue cells");
+        assert_eq!(counts.general, 4, "token ring");
+    }
+
+    #[test]
+    fn constants_classify_constant() {
+        let mut n = Netlist::new();
+        let cs = constants(&mut n, "k", 6);
+        let i = n.input("i");
+        let t = n.and(cs[1].lit(), i.lit());
+        n.add_target(t, "t");
+        let cl = classify(&n, &cs, &ClassifyOptions::default());
+        assert_eq!(cl.counts().constant, 6);
+    }
+
+    #[test]
+    fn duplicate_counters_agree() {
+        use diam_netlist::sim::{simulate, Stimulus};
+        let mut n = Netlist::new();
+        let en = n.input("en");
+        let (a, b) = duplicate_counter(&mut n, "d", 3, en.lit());
+        let differ = {
+            let d0 = n.xor(a.bits[0], b.bits[0]);
+            let d1 = n.xor(a.bits[1], b.bits[1]);
+            let d2 = n.xor(a.bits[2], b.bits[2]);
+            let x = n.or(d0, d1);
+            n.or(x, d2)
+        };
+        n.add_target(differ, "differ");
+        let mut rng = SplitMix64::new(3);
+        let stim = Stimulus::random(&n, 20, &mut rng);
+        let tr = simulate(&n, &stim);
+        for t in 0..20 {
+            assert_eq!(tr.word(differ, t), 0, "counters diverge at {t}");
+        }
+    }
+
+    #[test]
+    fn big_ring_is_one_scc() {
+        let mut n = Netlist::new();
+        let mut rng = SplitMix64::new(1);
+        let regs = big_ring(&mut n, "r", 12, &mut rng);
+        n.add_target(regs[0].lit(), "t");
+        let cl = classify(&n, &regs, &ClassifyOptions::default());
+        assert_eq!(cl.counts().general, 12);
+        let b = diameter_bound(&n, regs[0].lit(), &StructuralOptions::default());
+        assert_eq!(b.bound, Bound::Finite(4096));
+    }
+
+    #[test]
+    fn gray_counter_steps_one_bit_at_a_time() {
+        use diam_netlist::sim::{simulate, Stimulus};
+        let mut n = Netlist::new();
+        let regs = gray_counter(&mut n, "g", 4, Lit::TRUE);
+        n.add_target(regs[0].lit(), "t");
+        let tr = simulate(&n, &Stimulus::zeros(&n, 17));
+        let value = |t: usize| -> u32 {
+            (0..4)
+                .map(|k| u32::from(tr.value(regs[k].lit(), t, 0)) << k)
+                .sum()
+        };
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..16 {
+            let (a, b) = (value(t), value(t + 1));
+            assert_eq!((a ^ b).count_ones(), 1, "gray step at {t}: {a:04b}->{b:04b}");
+            seen.insert(a);
+        }
+        assert_eq!(seen.len(), 16, "full gray cycle");
+    }
+
+    #[test]
+    fn token_ring_rotates_and_explores_len_states() {
+        use diam_core::exact::{state_diameter, ExploreLimits};
+        let mut n = Netlist::new();
+        let step = n.input("step");
+        let ring = token_ring(&mut n, "r", 5, step.lit());
+        n.add_target(ring[4].lit(), "t");
+        let d = state_diameter(&n, &ExploreLimits::default()).unwrap();
+        assert_eq!(d.reachable_states, 5, "one-hot: len states, not 2^len");
+        assert_eq!(d.pairwise, 5, "full rotation");
+        // The structural GC bound is 2^5: sound but pessimistic — exactly
+        // the one-hot pessimism the paper attributes to GC components.
+        let b = diameter_bound(&n, ring[4].lit(), &StructuralOptions::default());
+        assert_eq!(b.bound, diam_core::Bound::Finite(32));
+    }
+
+    #[test]
+    fn johnson_counter_visits_2n_states() {
+        use diam_core::exact::{state_diameter, ExploreLimits};
+        let mut n = Netlist::new();
+        let regs = johnson_counter(&mut n, "j", 4, Lit::TRUE);
+        n.add_target(regs[3].lit(), "t");
+        let d = state_diameter(&n, &ExploreLimits::default()).unwrap();
+        assert_eq!(d.reachable_states, 8, "2·bits states");
+        assert_eq!(d.pairwise, 8, "full twisted ring");
+        let cl = classify(&n, &regs, &ClassifyOptions::default());
+        assert_eq!(cl.counts().general, 4);
+    }
+
+    #[test]
+    fn arbiter_grants_are_mutually_exclusive() {
+        use diam_bmc::{prove, ProveOptions, ProveOutcome};
+        let mut n = Netlist::new();
+        let (_, grants) = round_robin_arbiter(&mut n, "arb", 4);
+        let both = n.and(grants[0], grants[2]);
+        n.add_target(both, "double_grant");
+        match prove(
+            &n,
+            0,
+            &diam_core::Pipeline::com(),
+            &ProveOptions {
+                depth_cap: 64,
+                ..Default::default()
+            },
+        ) {
+            ProveOutcome::Proved { .. } => {}
+            other => panic!("expected proof, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lfsr_is_general() {
+        let mut n = Netlist::new();
+        let stir = n.input("stir");
+        let regs = lfsr(&mut n, "l", 5, stir.lit());
+        n.add_target(regs[4].lit(), "t");
+        let cl = classify(&n, &regs, &ClassifyOptions::default());
+        assert_eq!(cl.counts().general, 5);
+    }
+}

@@ -1,0 +1,136 @@
+//! The phase-abstracted IBM Gigahertz Processor suite of Table 2, as
+//! structural profiles.
+//!
+//! The original netlists are proprietary; the paper's table rows (register
+//! classes per column, `|T′|/|T|`, average `d̂`) are the only observable the
+//! experiment consumes, and are transcribed here verbatim. The designs are
+//! the *phase-abstracted* versions (the paper applies its phase-abstraction
+//! engine \[10\] before the table's "Original" column) — highly pipelined and
+//! memory-rich, with a sprinkling of constant registers, which is exactly
+//! the mix the profile builder synthesizes.
+
+use crate::profile::{build, DesignProfile};
+use diam_netlist::Netlist;
+
+/// One profile row: `(name, cc, ac, mc, gc, |T|, T'_orig, avg_orig,
+/// T'_com, avg_com, T'_ret, avg_ret)`.
+type Row = (
+    &'static str,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    f32,
+    usize,
+    f32,
+    usize,
+    f32,
+);
+
+/// Table 2 of the paper, verbatim.
+pub const TABLE2: &[Row] = &[
+    ("CP_RAS", 0, 279, 66, 315, 2, 0, 0.0, 0, 0.0, 0, 0.0),
+    ("CLB_CNTL", 0, 29, 2, 19, 2, 0, 0.0, 0, 0.0, 0, 0.0),
+    ("CR_RAS", 0, 96, 6, 329, 1, 0, 0.0, 0, 0.0, 0, 0.0),
+    ("D_DASA", 0, 16, 81, 18, 2, 1, 35.0, 2, 27.0, 2, 28.0),
+    ("D_DCLA", 0, 382, 1, 754, 2, 0, 0.0, 0, 0.0, 0, 0.0),
+    ("D_DUDD", 0, 30, 28, 71, 22, 4, 9.2, 4, 10.8, 7, 11.0),
+    ("I_IBBQn", 0, 623, 1488, 0, 15, 15, 4.7, 15, 4.7, 15, 4.7),
+    ("I_IFAR", 0, 303, 11, 99, 2, 0, 0.0, 0, 0.0, 0, 0.0),
+    ("I_IFPF", 11, 893, 44, 598, 1, 0, 0.0, 0, 0.0, 0, 0.0),
+    ("L3_SNP1", 25, 529, 39, 82, 5, 0, 0.0, 0, 0.0, 1, 1.0),
+    ("L_EMQn", 5, 146, 6, 66, 1, 0, 0.0, 1, 1.0, 1, 1.0),
+    ("L_EXEC", 12, 421, 0, 102, 2, 0, 0.0, 0, 0.0, 0, 0.0),
+    ("L_FLUSHn", 6, 198, 0, 4, 7, 7, 3.7, 7, 3.7, 7, 4.0),
+    ("L_INTRo", 14, 143, 12, 5, 30, 30, 3.8, 30, 3.8, 30, 3.6),
+    ("L_LMQ0", 28, 690, 4, 133, 16, 0, 0.0, 0, 0.0, 0, 0.0),
+    ("L_LRU", 0, 142, 20, 75, 12, 0, 0.0, 12, 15.0, 12, 15.0),
+    ("L_PFQ0", 14, 1936, 17, 84, 67, 1, 1.0, 1, 1.0, 1, 1.0),
+    ("L_PNTRn", 3, 228, 10, 11, 31, 23, 2.0, 23, 2.0, 23, 4.0),
+    ("L_PRQn", 34, 366, 106, 265, 10, 10, 15.2, 10, 15.2, 10, 8.0),
+    ("L_SLB", 3, 135, 6, 27, 3, 2, 1.0, 2, 1.0, 2, 1.0),
+    ("L_TBWKn", 0, 202, 117, 14, 21, 0, 0.0, 1, 1.0, 1, 1.0),
+    ("M_CIU", 0, 343, 10, 424, 6, 0, 0.0, 0, 0.0, 6, 1.0),
+    ("SIDECAR4", 3, 109, 32, 455, 1, 0, 0.0, 0, 0.0, 0, 0.0),
+    ("S_SCU1", 1, 232, 4, 136, 3, 0, 0.0, 0, 0.0, 2, 2.0),
+    ("V_CACH", 5, 94, 15, 59, 1, 0, 0.0, 0, 0.0, 1, 1.0),
+    ("V_DIR", 6, 91, 13, 68, 2, 0, 0.0, 0, 0.0, 2, 8.0),
+    ("V_SNPM", 65, 846, 134, 376, 2, 1, 2.0, 2, 1.5, 2, 1.5),
+    ("W_GAR", 0, 159, 0, 83, 7, 1, 1.0, 1, 1.0, 1, 1.0),
+    ("W_SFA", 0, 22, 0, 42, 8, 0, 0.0, 0, 0.0, 0, 0.0),
+];
+
+/// Converts a table row into a [`DesignProfile`].
+pub fn profile(row: &Row) -> DesignProfile {
+    DesignProfile {
+        name: row.0,
+        cc: row.1,
+        ac: row.2,
+        mc: row.3,
+        gc: row.4,
+        targets: row.5,
+        useful_orig: row.6,
+        useful_com: row.8,
+        useful_ret: row.10,
+        avg: [row.7, row.9, row.11],
+    }
+}
+
+/// All Table 2 profiles.
+pub fn profiles() -> Vec<DesignProfile> {
+    TABLE2.iter().map(profile).collect()
+}
+
+/// Builds the full synthetic suite (deterministic for a given seed).
+pub fn suite(seed: u64) -> Vec<(DesignProfile, Netlist)> {
+    profiles()
+        .into_iter()
+        .map(|p| {
+            let n = build(&p, seed);
+            (p, n)
+        })
+        .collect()
+}
+
+/// The paper's Σ row for Table 2: `(cc, ac, mc, gc, t_orig, t_com, t_ret,
+/// total_targets)`.
+pub const TABLE2_SIGMA: (usize, usize, usize, usize, usize, usize, usize, usize) =
+    (235, 9683, 2272, 4714, 95, 111, 126, 284);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_data_sums_match_paper_sigma() {
+        let (mut cc, mut ac, mut mc, mut gc) = (0, 0, 0, 0);
+        let (mut t0, mut t1, mut t2, mut tt) = (0, 0, 0, 0);
+        for r in TABLE2 {
+            cc += r.1;
+            ac += r.2;
+            mc += r.3;
+            gc += r.4;
+            tt += r.5;
+            t0 += r.6;
+            t1 += r.8;
+            t2 += r.10;
+        }
+        assert_eq!(
+            (cc, ac, mc, gc, t0, t1, t2, tt),
+            TABLE2_SIGMA,
+            "transcribed table rows disagree with the paper's Σ row"
+        );
+    }
+
+    #[test]
+    fn every_profile_builds_and_validates() {
+        for p in profiles() {
+            let n = build(&p, 7);
+            n.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            assert_eq!(n.targets().len(), p.targets, "{}", p.name);
+        }
+    }
+}

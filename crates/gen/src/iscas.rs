@@ -1,0 +1,145 @@
+//! The ISCAS89 suite of Table 1, as structural profiles.
+//!
+//! Each row carries the per-design data the paper reports for the
+//! *Original* column (register classes, target counts) plus the `|T′|` and
+//! average-`d̂` values of all three columns — the ground truth the
+//! `table1` harness compares against. See DESIGN.md §3 for why the designs
+//! are synthesized from these profiles rather than parsed from the (non-
+//! distributable) originals; real AIGER translations can be substituted via
+//! [`diam_netlist::aiger`] without touching the harness.
+
+use crate::profile::{build, DesignProfile};
+use diam_netlist::Netlist;
+
+/// One profile row: `(name, cc, ac, mc, gc, |T|, T'_orig, avg_orig,
+/// T'_com, avg_com, T'_ret, avg_ret)`.
+type Row = (
+    &'static str,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    f32,
+    usize,
+    f32,
+    usize,
+    f32,
+);
+
+/// Table 1 of the paper, verbatim.
+pub const TABLE1: &[Row] = &[
+    ("PROLOG", 0, 107, 1, 28, 73, 14, 8.9, 16, 11.9, 24, 21.0),
+    ("S1196", 0, 18, 0, 0, 14, 14, 3.3, 14, 3.3, 14, 4.3),
+    ("S1238", 0, 18, 0, 0, 14, 14, 3.3, 14, 3.3, 14, 4.3),
+    ("S1269", 0, 9, 17, 11, 10, 2, 10.0, 2, 10.0, 2, 10.0),
+    ("S13207_1", 0, 314, 128, 196, 152, 49, 2.0, 49, 2.1, 79, 6.4),
+    ("S1423", 0, 3, 16, 55, 5, 1, 1.0, 1, 1.0, 1, 2.0),
+    ("S1488", 0, 0, 0, 6, 19, 19, 33.0, 19, 33.0, 19, 33.0),
+    ("S1494", 0, 0, 0, 6, 19, 19, 33.0, 19, 33.0, 19, 33.0),
+    ("S1512", 0, 0, 1, 56, 21, 0, 0.0, 0, 0.0, 0, 0.0),
+    ("S15850_1", 0, 99, 124, 311, 150, 115, 2.7, 115, 2.7, 115, 4.7),
+    ("S208_1", 0, 0, 0, 8, 1, 0, 0.0, 0, 0.0, 0, 0.0),
+    ("S27", 0, 1, 2, 0, 1, 1, 4.0, 1, 4.0, 1, 4.0),
+    ("S298", 0, 0, 1, 13, 6, 0, 0.0, 0, 0.0, 0, 0.0),
+    ("S3271", 0, 6, 0, 110, 14, 1, 7.0, 1, 7.0, 1, 7.0),
+    ("S3330", 0, 103, 1, 28, 73, 16, 11.9, 16, 11.9, 33, 25.3),
+    ("S3384", 0, 111, 0, 72, 26, 6, 16.5, 6, 16.5, 6, 16.5),
+    ("S344", 0, 0, 4, 11, 11, 3, 5.0, 3, 5.0, 3, 5.0),
+    ("S349", 0, 0, 4, 11, 11, 3, 5.0, 3, 5.0, 3, 5.0),
+    ("S35932", 0, 0, 0, 1728, 320, 0, 0.0, 0, 0.0, 0, 0.0),
+    ("S382", 0, 6, 0, 15, 6, 0, 0.0, 0, 0.0, 0, 0.0),
+    ("S38584_1", 0, 47, 4, 1375, 304, 56, 1.0, 133, 14.9, 110, 16.7),
+    ("S386", 0, 0, 0, 6, 7, 7, 33.0, 7, 33.0, 7, 33.0),
+    ("S400", 0, 6, 0, 15, 6, 0, 0.0, 0, 0.0, 0, 0.0),
+    ("S420_1", 0, 0, 0, 16, 1, 0, 0.0, 0, 0.0, 0, 0.0),
+    ("S444", 0, 6, 0, 15, 6, 0, 0.0, 0, 0.0, 0, 0.0),
+    ("S4863", 0, 62, 0, 42, 16, 0, 0.0, 0, 0.0, 0, 0.0),
+    ("S499", 0, 0, 0, 22, 22, 0, 0.0, 0, 0.0, 0, 0.0),
+    ("S510", 0, 0, 0, 6, 7, 7, 33.0, 7, 33.0, 7, 33.0),
+    ("S526N", 0, 0, 1, 20, 6, 0, 0.0, 0, 0.0, 0, 0.0),
+    ("S5378", 0, 115, 0, 64, 49, 4, 1.5, 4, 1.5, 7, 3.9),
+    ("S635", 0, 0, 0, 32, 1, 0, 0.0, 0, 0.0, 0, 0.0),
+    ("S641", 0, 7, 0, 12, 24, 3, 1.0, 3, 1.0, 7, 2.0),
+    ("S6669", 0, 181, 0, 58, 55, 37, 3.4, 37, 3.4, 37, 4.0),
+    ("S713", 0, 7, 0, 12, 23, 3, 1.0, 3, 1.0, 7, 2.3),
+    ("S820", 0, 0, 0, 5, 19, 19, 17.0, 19, 17.0, 19, 17.0),
+    ("S832", 0, 0, 0, 5, 19, 19, 17.0, 19, 17.0, 19, 17.0),
+    ("S838_1", 0, 0, 0, 32, 1, 0, 0.0, 0, 0.0, 0, 0.0),
+    ("S9234_1", 0, 45, 9, 157, 39, 22, 1.2, 22, 1.2, 22, 2.0),
+    ("S938", 0, 0, 0, 32, 1, 0, 0.0, 0, 0.0, 0, 0.0),
+    ("S953", 0, 23, 0, 6, 23, 3, 2.0, 3, 2.0, 23, 29.8),
+    ("S967", 0, 23, 0, 6, 23, 3, 2.0, 3, 2.0, 23, 29.8),
+    ("S991", 0, 0, 0, 19, 17, 17, 8.8, 17, 8.8, 17, 8.8),
+];
+
+/// Converts a table row into a [`DesignProfile`].
+pub fn profile(row: &Row) -> DesignProfile {
+    DesignProfile {
+        name: row.0,
+        cc: row.1,
+        ac: row.2,
+        mc: row.3,
+        gc: row.4,
+        targets: row.5,
+        useful_orig: row.6,
+        useful_com: row.8,
+        useful_ret: row.10,
+        avg: [row.7, row.9, row.11],
+    }
+}
+
+/// All Table 1 profiles.
+pub fn profiles() -> Vec<DesignProfile> {
+    TABLE1.iter().map(profile).collect()
+}
+
+/// Builds the full synthetic suite (deterministic for a given seed).
+pub fn suite(seed: u64) -> Vec<(DesignProfile, Netlist)> {
+    profiles().into_iter().map(|p| {
+        let n = build(&p, seed);
+        (p, n)
+    }).collect()
+}
+
+/// The paper's Σ row for Table 1: `(cc, ac, mc, gc, t_orig, t_com, t_ret,
+/// total_targets)`.
+pub const TABLE1_SIGMA: (usize, usize, usize, usize, usize, usize, usize, usize) =
+    (0, 1317, 313, 4622, 477, 556, 639, 1615);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_data_sums_match_paper_sigma() {
+        let (mut cc, mut ac, mut mc, mut gc) = (0, 0, 0, 0);
+        let (mut t0, mut t1, mut t2, mut tt) = (0, 0, 0, 0);
+        for r in TABLE1 {
+            cc += r.1;
+            ac += r.2;
+            mc += r.3;
+            gc += r.4;
+            tt += r.5;
+            t0 += r.6;
+            t1 += r.8;
+            t2 += r.10;
+        }
+        assert_eq!(
+            (cc, ac, mc, gc, t0, t1, t2, tt),
+            TABLE1_SIGMA,
+            "transcribed table rows disagree with the paper's Σ row"
+        );
+    }
+
+    #[test]
+    fn every_profile_builds_and_validates() {
+        for p in profiles() {
+            let n = build(&p, 7);
+            n.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            assert_eq!(n.targets().len(), p.targets, "{}", p.name);
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! # diam-gen (under construction)
+pub mod archetypes;
+pub mod gp;
+pub mod iscas;
+pub mod profile;
+pub mod random;

@@ -1,0 +1,469 @@
+//! Structural analyses: cone of influence, supports, register dependency
+//! graph, and strongly-connected-component condensation.
+//!
+//! These are the building blocks of the structural diameter approximation
+//! (the component partition of \[7\]) and of the cone-of-influence reduction,
+//! which the paper notes preserves trace equivalence of every vertex in the
+//! cone (Section 3.1).
+
+use crate::{Gate, GateKind, Init, Lit, Netlist};
+
+/// The cone of influence of a set of roots.
+#[derive(Debug, Clone)]
+pub struct Coi {
+    /// Membership flag per gate index.
+    pub in_cone: Vec<bool>,
+    /// Registers in the cone, in creation order.
+    pub regs: Vec<Gate>,
+    /// Primary inputs in the cone, in creation order.
+    pub inputs: Vec<Gate>,
+}
+
+impl Coi {
+    /// Whether gate `g` belongs to the cone.
+    #[inline]
+    pub fn contains(&self, g: Gate) -> bool {
+        self.in_cone[g.index()]
+    }
+}
+
+/// Computes the cone of influence of `roots`: every gate reachable backward
+/// through AND inputs, register next-state functions, and register
+/// initial-value cones.
+///
+/// # Examples
+///
+/// ```
+/// use diam_netlist::{analysis, Init, Netlist};
+///
+/// let mut n = Netlist::new();
+/// let a = n.input("a");
+/// let _unused = n.input("unused");
+/// let r = n.reg("r", Init::Zero);
+/// n.set_next(r, a.lit());
+/// let coi = analysis::coi(&n, [r.lit()]);
+/// assert!(coi.contains(a));
+/// assert_eq!(coi.inputs.len(), 1);
+/// ```
+pub fn coi<I: IntoIterator<Item = Lit>>(n: &Netlist, roots: I) -> Coi {
+    let mut in_cone = vec![false; n.num_gates()];
+    let mut stack: Vec<Gate> = roots.into_iter().map(Lit::gate).collect();
+    while let Some(g) = stack.pop() {
+        if in_cone[g.index()] {
+            continue;
+        }
+        in_cone[g.index()] = true;
+        match n.kind(g) {
+            GateKind::And(a, b) => {
+                stack.push(a.gate());
+                stack.push(b.gate());
+            }
+            GateKind::Reg => {
+                stack.push(n.reg_next(g).gate());
+                if let Init::Fn(l) = n.reg_init(g) {
+                    stack.push(l.gate());
+                }
+            }
+            GateKind::Const0 | GateKind::Input => {}
+        }
+    }
+    let regs = n
+        .regs()
+        .iter()
+        .copied()
+        .filter(|r| in_cone[r.index()])
+        .collect();
+    let inputs = n
+        .inputs()
+        .iter()
+        .copied()
+        .filter(|i| in_cone[i.index()])
+        .collect();
+    Coi {
+        in_cone,
+        regs,
+        inputs,
+    }
+}
+
+/// The combinational support of a literal: the registers and inputs reachable
+/// without crossing a register boundary.
+#[derive(Debug, Clone, Default)]
+pub struct Support {
+    /// Registers appearing in the combinational cone.
+    pub regs: Vec<Gate>,
+    /// Primary inputs appearing in the combinational cone.
+    pub inputs: Vec<Gate>,
+}
+
+/// Computes the combinational support of `root` (registers and inputs are
+/// cone leaves; their fanin is not traversed).
+pub fn support(n: &Netlist, root: Lit) -> Support {
+    let mut seen = vec![false; n.num_gates()];
+    let mut stack = vec![root.gate()];
+    let mut out = Support::default();
+    while let Some(g) = stack.pop() {
+        if seen[g.index()] {
+            continue;
+        }
+        seen[g.index()] = true;
+        match n.kind(g) {
+            GateKind::And(a, b) => {
+                stack.push(a.gate());
+                stack.push(b.gate());
+            }
+            GateKind::Reg => out.regs.push(g),
+            GateKind::Input => out.inputs.push(g),
+            GateKind::Const0 => {}
+        }
+    }
+    out.regs.sort();
+    out.inputs.sort();
+    out
+}
+
+/// The register dependency graph of a netlist (optionally restricted to a
+/// cone of influence).
+///
+/// Vertex `i` is the `i`-th register of the restriction; an edge `i → j`
+/// means register `j`'s next-state function combinationally depends on
+/// register `i` — i.e. data flows from `i` to `j` in one time-step.
+#[derive(Debug, Clone)]
+pub struct RegGraph {
+    /// The registers, defining the vertex numbering.
+    pub regs: Vec<Gate>,
+    /// `succs[i]` = registers fed by register `i` (deduplicated, sorted).
+    pub succs: Vec<Vec<usize>>,
+    /// `preds[j]` = registers feeding register `j` (deduplicated, sorted).
+    pub preds: Vec<Vec<usize>>,
+}
+
+impl RegGraph {
+    /// Number of registers (vertices).
+    pub fn len(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Whether the graph has no registers.
+    pub fn is_empty(&self) -> bool {
+        self.regs.is_empty()
+    }
+}
+
+/// Builds the register dependency graph over `regs` (typically
+/// [`Coi::regs`]). Dependencies through registers outside `regs` are ignored,
+/// which is correct when `regs` is closed under the cone of influence.
+pub fn reg_graph(n: &Netlist, regs: &[Gate]) -> RegGraph {
+    let mut index_of = vec![usize::MAX; n.num_gates()];
+    for (i, &r) in regs.iter().enumerate() {
+        index_of[r.index()] = i;
+    }
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); regs.len()];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); regs.len()];
+    for (j, &r) in regs.iter().enumerate() {
+        let sup = support(n, n.reg_next(r));
+        for s in sup.regs {
+            let i = index_of[s.index()];
+            if i != usize::MAX {
+                preds[j].push(i);
+            }
+        }
+        preds[j].sort_unstable();
+        preds[j].dedup();
+        for &i in &preds[j] {
+            succs[i].push(j);
+        }
+    }
+    for s in &mut succs {
+        s.sort_unstable();
+        s.dedup();
+    }
+    RegGraph {
+        regs: regs.to_vec(),
+        succs,
+        preds,
+    }
+}
+
+/// The condensation of a [`RegGraph`] into strongly connected components.
+///
+/// Components are numbered in **reverse topological order of discovery**
+/// normalized so that `comps` is emitted in *topological order*: every edge
+/// of the condensation goes from a lower-numbered component to a higher one.
+#[derive(Debug, Clone)]
+pub struct Condensation {
+    /// Component id per register-graph vertex.
+    pub comp_of: Vec<usize>,
+    /// Vertices per component, in topological order of components.
+    pub comps: Vec<Vec<usize>>,
+    /// Condensation edges `c → d` (deduplicated, sorted), `c < d` guaranteed
+    /// by the topological numbering.
+    pub succs: Vec<Vec<usize>>,
+    /// Whether the component is *cyclic*: more than one vertex, or a single
+    /// vertex with a self-loop.
+    pub cyclic: Vec<bool>,
+}
+
+/// Computes strongly connected components of `g` with an iterative Tarjan
+/// algorithm and returns the condensation in topological order.
+pub fn condense(g: &RegGraph) -> Condensation {
+    let n = g.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut comp_of = vec![usize::MAX; n];
+    let mut comps_rev: Vec<Vec<usize>> = Vec::new();
+    let mut counter = 0usize;
+
+    // Iterative Tarjan: frame = (vertex, next-successor position).
+    let mut call: Vec<(usize, usize)> = Vec::new();
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        call.push((start, 0));
+        index[start] = counter;
+        low[start] = counter;
+        counter += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        while let Some(&mut (v, ref mut pos)) = call.last_mut() {
+            if *pos < g.succs[v].len() {
+                let w = g.succs[v][*pos];
+                *pos += 1;
+                if index[w] == usize::MAX {
+                    index[w] = counter;
+                    low[w] = counter;
+                    counter += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(p, _)) = call.last() {
+                    low[p] = low[p].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp_of[w] = comps_rev.len();
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    comps_rev.push(comp);
+                }
+            }
+        }
+    }
+
+    // Tarjan emits components in reverse topological order; flip them.
+    let num = comps_rev.len();
+    comps_rev.reverse();
+    for c in comp_of.iter_mut() {
+        *c = num - 1 - *c;
+    }
+    let comps = comps_rev;
+
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); num];
+    let mut cyclic = vec![false; num];
+    for v in 0..n {
+        for &w in &g.succs[v] {
+            let (c, d) = (comp_of[v], comp_of[w]);
+            if c == d {
+                cyclic[c] = true;
+            } else {
+                succs[c].push(d);
+            }
+        }
+    }
+    for (c, comp) in comps.iter().enumerate() {
+        if comp.len() > 1 {
+            cyclic[c] = true;
+        }
+    }
+    for s in &mut succs {
+        s.sort_unstable();
+        s.dedup();
+    }
+    Condensation {
+        comp_of,
+        comps,
+        succs,
+        cyclic,
+    }
+}
+
+/// Combinational level (depth in AND gates) per gate; inputs, registers and
+/// the constant have level 0.
+pub fn levels(n: &Netlist) -> Vec<u32> {
+    let mut lv = vec![0u32; n.num_gates()];
+    for g in n.gates() {
+        if let GateKind::And(a, b) = n.kind(g) {
+            lv[g.index()] = 1 + lv[a.gate().index()].max(lv[b.gate().index()]);
+        }
+    }
+    lv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Netlist;
+
+    /// Three-stage pipeline: i -> r0 -> r1 -> r2.
+    fn pipeline() -> (Netlist, Vec<Gate>) {
+        let mut n = Netlist::new();
+        let i = n.input("i");
+        let r0 = n.reg("r0", Init::Zero);
+        let r1 = n.reg("r1", Init::Zero);
+        let r2 = n.reg("r2", Init::Zero);
+        n.set_next(r0, i.lit());
+        n.set_next(r1, r0.lit());
+        n.set_next(r2, r1.lit());
+        (n, vec![r0, r1, r2])
+    }
+
+    #[test]
+    fn coi_excludes_unreferenced_gates() {
+        let (mut n, regs) = pipeline();
+        let dead = n.input("dead");
+        let c = coi(&n, [regs[2].lit()]);
+        assert!(!c.contains(dead));
+        assert_eq!(c.regs.len(), 3);
+        assert_eq!(c.inputs.len(), 1);
+    }
+
+    #[test]
+    fn coi_follows_init_cones() {
+        let mut n = Netlist::new();
+        let i = n.input("init_src");
+        let r = n.reg("r", Init::Fn(i.lit()));
+        n.set_next(r, r.lit());
+        let c = coi(&n, [r.lit()]);
+        assert!(c.contains(i));
+    }
+
+    #[test]
+    fn support_stops_at_registers() {
+        let mut n = Netlist::new();
+        let i = n.input("i");
+        let r = n.reg("r", Init::Zero);
+        n.set_next(r, i.lit());
+        let x = n.and(r.lit(), i.lit());
+        let s = support(&n, x);
+        assert_eq!(s.regs, vec![r]);
+        assert_eq!(s.inputs, vec![i]);
+    }
+
+    #[test]
+    fn pipeline_reg_graph_is_a_chain() {
+        let (n, regs) = pipeline();
+        let g = reg_graph(&n, &regs);
+        assert_eq!(g.succs[0], vec![1]);
+        assert_eq!(g.succs[1], vec![2]);
+        assert!(g.succs[2].is_empty());
+        assert_eq!(g.preds[2], vec![1]);
+    }
+
+    #[test]
+    fn pipeline_condensation_is_acyclic_chain() {
+        let (n, regs) = pipeline();
+        let g = reg_graph(&n, &regs);
+        let c = condense(&g);
+        assert_eq!(c.comps.len(), 3);
+        assert!(c.cyclic.iter().all(|&b| !b));
+        // Topological numbering: edges go to strictly larger components.
+        for (i, succs) in c.succs.iter().enumerate() {
+            for &j in succs {
+                assert!(j > i);
+            }
+        }
+    }
+
+    #[test]
+    fn self_loop_is_cyclic_component() {
+        let mut n = Netlist::new();
+        let r = n.reg("r", Init::Zero);
+        n.set_next(r, !r.lit());
+        let g = reg_graph(&n, &[r]);
+        let c = condense(&g);
+        assert_eq!(c.comps.len(), 1);
+        assert!(c.cyclic[0]);
+    }
+
+    #[test]
+    fn two_register_loop_is_one_component() {
+        let mut n = Netlist::new();
+        let a = n.reg("a", Init::Zero);
+        let b = n.reg("b", Init::Zero);
+        n.set_next(a, b.lit());
+        n.set_next(b, !a.lit());
+        let g = reg_graph(&n, &[a, b]);
+        let c = condense(&g);
+        assert_eq!(c.comps.len(), 1);
+        assert_eq!(c.comps[0], vec![0, 1]);
+        assert!(c.cyclic[0]);
+    }
+
+    #[test]
+    fn condensation_of_diamond() {
+        // r0 feeds r1 and r2; both feed r3.
+        let mut n = Netlist::new();
+        let i = n.input("i");
+        let r0 = n.reg("r0", Init::Zero);
+        let r1 = n.reg("r1", Init::Zero);
+        let r2 = n.reg("r2", Init::Zero);
+        let r3 = n.reg("r3", Init::Zero);
+        n.set_next(r0, i.lit());
+        n.set_next(r1, r0.lit());
+        n.set_next(r2, !r0.lit());
+        let x = n.and(r1.lit(), r2.lit());
+        n.set_next(r3, x);
+        let g = reg_graph(&n, &[r0, r1, r2, r3]);
+        let c = condense(&g);
+        assert_eq!(c.comps.len(), 4);
+        assert_eq!(c.comp_of[0], 0);
+        assert_eq!(c.comp_of[3], 3);
+    }
+
+    #[test]
+    fn empty_register_graph_condenses_trivially() {
+        let n = Netlist::new();
+        let g = reg_graph(&n, &[]);
+        assert!(g.is_empty());
+        assert_eq!(g.len(), 0);
+        let c = condense(&g);
+        assert!(c.comps.is_empty());
+        assert!(c.succs.is_empty());
+    }
+
+    #[test]
+    fn support_of_constant_is_empty() {
+        let n = Netlist::new();
+        let s = support(&n, crate::Lit::TRUE);
+        assert!(s.regs.is_empty());
+        assert!(s.inputs.is_empty());
+    }
+
+    #[test]
+    fn levels_count_and_depth() {
+        let mut n = Netlist::new();
+        let a = n.input("a").lit();
+        let b = n.input("b").lit();
+        let c = n.input("c").lit();
+        let x = n.and(a, b);
+        let y = n.and(x, c);
+        let lv = levels(&n);
+        assert_eq!(lv[x.gate().index()], 1);
+        assert_eq!(lv[y.gate().index()], 2);
+    }
+}

@@ -1,0 +1,195 @@
+//! Gate handles and literals.
+//!
+//! A [`Gate`] is an index into a [`Netlist`](crate::Netlist)'s gate table. A
+//! [`Lit`] is a gate handle plus a complement bit — the standard
+//! and-inverter-graph (AIG) encoding in which inversion is free and lives on
+//! the edges of the graph rather than in dedicated NOT gates.
+//!
+//! Gate `0` is always the constant-false gate, so [`Lit::FALSE`] and
+//! [`Lit::TRUE`] are well-defined in every netlist.
+
+use std::fmt;
+
+/// A handle to a gate in a [`Netlist`](crate::Netlist).
+///
+/// Gates are created in topological order: an AND gate may only reference
+/// gates that already exist, which makes the combinational portion of every
+/// netlist a DAG by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Gate(pub(crate) u32);
+
+impl Gate {
+    /// The constant-false gate present in every netlist.
+    pub const CONST0: Gate = Gate(0);
+
+    /// Returns the raw index of this gate in the netlist's gate table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a gate handle from a raw index.
+    ///
+    /// Intended for analyses that store gate indices in side tables; the
+    /// caller is responsible for the index being in range for the netlist it
+    /// is used with.
+    #[inline]
+    pub fn from_index(index: usize) -> Gate {
+        Gate(u32::try_from(index).expect("gate index exceeds u32 range"))
+    }
+
+    /// The positive (uncomplemented) literal of this gate.
+    #[inline]
+    pub fn lit(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// A possibly-complemented reference to a gate.
+///
+/// The low bit stores the complement flag, the remaining bits the gate
+/// index — the same packing used by the AIGER format and most AIG packages.
+///
+/// # Examples
+///
+/// ```
+/// use diam_netlist::{Lit, Netlist};
+///
+/// let mut n = Netlist::new();
+/// let a = n.input("a").lit();
+/// assert_eq!(!!a, a);
+/// assert_eq!(Lit::TRUE, !Lit::FALSE);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The constant-false literal (positive literal of gate 0).
+    pub const FALSE: Lit = Lit(0);
+    /// The constant-true literal (complemented literal of gate 0).
+    pub const TRUE: Lit = Lit(1);
+
+    /// Creates a literal from a gate handle and a complement flag.
+    #[inline]
+    pub fn new(gate: Gate, complement: bool) -> Lit {
+        Lit((gate.0 << 1) | complement as u32)
+    }
+
+    /// The gate this literal refers to.
+    #[inline]
+    pub fn gate(self) -> Gate {
+        Gate(self.0 >> 1)
+    }
+
+    /// Whether this literal is complemented.
+    #[inline]
+    pub fn is_complement(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Returns the positive literal of the same gate.
+    #[inline]
+    pub fn abs(self) -> Lit {
+        Lit(self.0 & !1)
+    }
+
+    /// Applies an additional complement if `c` is true.
+    #[inline]
+    pub fn xor_complement(self, c: bool) -> Lit {
+        Lit(self.0 ^ c as u32)
+    }
+
+    /// Whether this literal is one of the two constants.
+    #[inline]
+    pub fn is_const(self) -> bool {
+        self.gate() == Gate::CONST0
+    }
+
+    /// The raw packed encoding (`gate_index * 2 + complement`), matching the
+    /// AIGER literal encoding.
+    #[inline]
+    pub fn code(self) -> u32 {
+        self.0
+    }
+
+    /// Builds a literal from its raw packed encoding.
+    #[inline]
+    pub fn from_code(code: u32) -> Lit {
+        Lit(code)
+    }
+}
+
+impl From<Gate> for Lit {
+    fn from(g: Gate) -> Lit {
+        g.lit()
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Lit::FALSE {
+            write!(f, "0")
+        } else if *self == Lit::TRUE {
+            write!(f, "1")
+        } else if self.is_complement() {
+            write!(f, "!{}", self.gate())
+        } else {
+            write!(f, "{}", self.gate())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_complements() {
+        assert_eq!(!Lit::FALSE, Lit::TRUE);
+        assert_eq!(!Lit::TRUE, Lit::FALSE);
+        assert!(Lit::FALSE.is_const());
+        assert!(Lit::TRUE.is_const());
+        assert_eq!(Lit::TRUE.gate(), Gate::CONST0);
+    }
+
+    #[test]
+    fn literal_packing_round_trips() {
+        let g = Gate::from_index(17);
+        let l = Lit::new(g, true);
+        assert_eq!(l.gate(), g);
+        assert!(l.is_complement());
+        assert_eq!(l.abs(), g.lit());
+        assert_eq!(Lit::from_code(l.code()), l);
+        assert_eq!((!l).abs(), l.abs());
+    }
+
+    #[test]
+    fn xor_complement_behaves_like_conditional_not() {
+        let l = Gate::from_index(3).lit();
+        assert_eq!(l.xor_complement(false), l);
+        assert_eq!(l.xor_complement(true), !l);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Lit::FALSE.to_string(), "0");
+        assert_eq!(Lit::TRUE.to_string(), "1");
+        let l = Gate::from_index(4).lit();
+        assert_eq!(l.to_string(), "g4");
+        assert_eq!((!l).to_string(), "!g4");
+    }
+}

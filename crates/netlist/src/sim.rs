@@ -1,0 +1,512 @@
+//! Cycle-accurate netlist simulation — the executable form of the trace
+//! semantics of Definition 2.
+//!
+//! Simulation is bit-parallel: every gate value is a 64-bit word, so one pass
+//! evaluates 64 independent traces. This is what the redundancy-removal
+//! engine uses to generate equivalence candidates, and what the test suite
+//! uses to check that transformations preserve trace equivalence.
+
+use crate::{GateKind, Init, Lit, Netlist};
+
+/// A deterministic splittable PRNG (SplitMix64), kept local so the netlist
+/// crate stays dependency-free.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// A random boolean.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 != 0
+    }
+}
+
+/// Input stimulus for a bounded simulation run.
+///
+/// `inputs[t][k]` is the 64-trace word driven onto the `k`-th primary input
+/// (in [`Netlist::inputs`] order) at time `t`. `nondet_init[j]` is the word
+/// used as the initial value of the `j`-th register (in [`Netlist::regs`]
+/// order) when that register's init is [`Init::Nondet`]; entries for other
+/// registers are ignored.
+#[derive(Debug, Clone)]
+pub struct Stimulus {
+    /// Per-time-step, per-input words.
+    pub inputs: Vec<Vec<u64>>,
+    /// Per-register nondeterministic initial-value words.
+    pub nondet_init: Vec<u64>,
+}
+
+impl Stimulus {
+    /// Uniformly random stimulus for `n` over `steps` time-steps.
+    pub fn random(n: &Netlist, steps: usize, rng: &mut SplitMix64) -> Stimulus {
+        Stimulus {
+            inputs: (0..steps)
+                .map(|_| (0..n.num_inputs()).map(|_| rng.next_u64()).collect())
+                .collect(),
+            nondet_init: (0..n.num_regs()).map(|_| rng.next_u64()).collect(),
+        }
+    }
+
+    /// All-zero stimulus (useful for deterministic replay tests).
+    pub fn zeros(n: &Netlist, steps: usize) -> Stimulus {
+        Stimulus {
+            inputs: vec![vec![0; n.num_inputs()]; steps],
+            nondet_init: vec![0; n.num_regs()],
+        }
+    }
+
+    /// Number of simulated time-steps.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Whether the stimulus covers zero time-steps.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+}
+
+/// The result of a simulation: 64 parallel traces of gate valuations.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    values: Vec<Vec<u64>>,
+}
+
+impl Trace {
+    /// The 64-trace word of literal `l` at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is beyond the simulated horizon.
+    #[inline]
+    pub fn word(&self, l: Lit, t: usize) -> u64 {
+        let v = self.values[t][l.gate().index()];
+        if l.is_complement() {
+            !v
+        } else {
+            v
+        }
+    }
+
+    /// The boolean value of literal `l` at time `t` in parallel trace `k`
+    /// (`k < 64`).
+    #[inline]
+    pub fn value(&self, l: Lit, t: usize, k: usize) -> bool {
+        debug_assert!(k < 64);
+        (self.word(l, t) >> k) & 1 != 0
+    }
+
+    /// Number of simulated time-steps.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the trace covers zero time-steps.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Simulates `n` under `stimulus`, producing 64 parallel traces.
+///
+/// At time 0, register initial values are applied; `Init::Fn` cones are
+/// evaluated over the time-0 input values (they are guaranteed combinational
+/// by [`Netlist::validate`]).
+///
+/// # Panics
+///
+/// Panics if the stimulus width does not match the netlist's input or
+/// register count.
+pub fn simulate(n: &Netlist, stimulus: &Stimulus) -> Trace {
+    assert_eq!(
+        stimulus.nondet_init.len(),
+        n.num_regs(),
+        "stimulus register width mismatch"
+    );
+    let steps = stimulus.len();
+    let mut values: Vec<Vec<u64>> = Vec::with_capacity(steps);
+    let mut reg_pos = vec![usize::MAX; n.num_gates()];
+    for (j, &r) in n.regs().iter().enumerate() {
+        reg_pos[r.index()] = j;
+    }
+    let mut input_pos = vec![usize::MAX; n.num_gates()];
+    for (k, &i) in n.inputs().iter().enumerate() {
+        input_pos[i.index()] = k;
+    }
+
+    for t in 0..steps {
+        assert_eq!(
+            stimulus.inputs[t].len(),
+            n.num_inputs(),
+            "stimulus input width mismatch at step {t}"
+        );
+        let mut row = vec![0u64; n.num_gates()];
+        // Pass 1: inputs and the input-only combinational logic. Register
+        // slots are stale here; anything depending on them is fixed by pass 3.
+        for g in n.gates() {
+            match n.kind(g) {
+                GateKind::Input => row[g.index()] = stimulus.inputs[t][input_pos[g.index()]],
+                GateKind::And(a, b) => {
+                    row[g.index()] = eval_and(&row, a, b);
+                }
+                GateKind::Const0 | GateKind::Reg => {}
+            }
+        }
+        // Pass 2: register values. Time 0 applies initial values (Fn cones
+        // are input-only, hence already correct after pass 1); later steps
+        // latch the next-state value computed at t-1.
+        for (j, &r) in n.regs().iter().enumerate() {
+            row[r.index()] = if t == 0 {
+                match n.reg_init(r) {
+                    Init::Zero => 0,
+                    Init::One => !0,
+                    Init::Nondet => stimulus.nondet_init[j],
+                    Init::Fn(l) => {
+                        let v = row[l.gate().index()];
+                        if l.is_complement() {
+                            !v
+                        } else {
+                            v
+                        }
+                    }
+                }
+            } else {
+                let prev: &Vec<u64> = &values[t - 1];
+                let nx = n.reg_next(r);
+                let v = prev[nx.gate().index()];
+                if nx.is_complement() {
+                    !v
+                } else {
+                    v
+                }
+            };
+        }
+        // Pass 3: re-evaluate AND gates now that registers are settled.
+        for g in n.gates() {
+            if let GateKind::And(a, b) = n.kind(g) {
+                row[g.index()] = eval_and(&row, a, b);
+            }
+        }
+        values.push(row);
+    }
+    Trace { values }
+}
+
+#[inline]
+fn eval_and(row: &[u64], a: Lit, b: Lit) -> u64 {
+    let va = if a.is_complement() {
+        !row[a.gate().index()]
+    } else {
+        row[a.gate().index()]
+    };
+    let vb = if b.is_complement() {
+        !row[b.gate().index()]
+    } else {
+        row[b.gate().index()]
+    };
+    va & vb
+}
+
+/// Evaluates one combinational frame: given 64-trace words for every
+/// register (by register position) and every input (by input position),
+/// returns the words of all gates.
+///
+/// Unlike [`simulate`] this does not apply initial values or next-state
+/// functions — registers take exactly the provided values — which makes it
+/// the right tool for evaluating SAT models of *free-state* queries (e.g.
+/// inductive steps in the redundancy-removal engine).
+///
+/// # Panics
+///
+/// Panics if the slices do not match the register/input counts.
+pub fn eval_frame(n: &Netlist, reg_vals: &[u64], input_vals: &[u64]) -> Vec<u64> {
+    assert_eq!(reg_vals.len(), n.num_regs(), "register width mismatch");
+    assert_eq!(input_vals.len(), n.num_inputs(), "input width mismatch");
+    let mut row = vec![0u64; n.num_gates()];
+    for (j, &r) in n.regs().iter().enumerate() {
+        row[r.index()] = reg_vals[j];
+    }
+    for (k, &i) in n.inputs().iter().enumerate() {
+        row[i.index()] = input_vals[k];
+    }
+    for g in n.gates() {
+        if let GateKind::And(a, b) = n.kind(g) {
+            row[g.index()] = eval_and(&row, a, b);
+        }
+    }
+    row
+}
+
+/// The next-state words implied by a frame valuation (see [`eval_frame`]):
+/// element `j` is the value register `j` would take in the following step.
+pub fn next_state(n: &Netlist, frame: &[u64]) -> Vec<u64> {
+    n.regs()
+        .iter()
+        .map(|&r| {
+            let nx = n.reg_next(r);
+            let v = frame[nx.gate().index()];
+            if nx.is_complement() {
+                !v
+            } else {
+                v
+            }
+        })
+        .collect()
+}
+
+/// A single concrete counterexample trace: one boolean assignment per input
+/// per time-step (plus nondeterministic register initializations), as
+/// produced by BMC and consumed by replay validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    /// `inputs[t][k]` = value of input `k` at time `t`.
+    pub inputs: Vec<Vec<bool>>,
+    /// Chosen initial values for `Init::Nondet` registers (by register
+    /// position; ignored for others).
+    pub nondet_init: Vec<bool>,
+}
+
+impl Witness {
+    /// Converts the witness into a 64-trace stimulus that replicates it in
+    /// every parallel trace.
+    pub fn to_stimulus(&self) -> Stimulus {
+        Stimulus {
+            inputs: self
+                .inputs
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .map(|&b| if b { !0u64 } else { 0u64 })
+                        .collect()
+                })
+                .collect(),
+            nondet_init: self
+                .nondet_init
+                .iter()
+                .map(|&b| if b { !0u64 } else { 0u64 })
+                .collect(),
+        }
+    }
+
+    /// Replays the witness on `n` and returns the value of `lit` at the final
+    /// simulated time-step — the standard way to validate a counterexample.
+    pub fn replays_to(&self, n: &Netlist, lit: Lit) -> bool {
+        let trace = simulate(n, &self.to_stimulus());
+        if trace.is_empty() {
+            return false;
+        }
+        trace.value(lit, trace.len() - 1, 0)
+    }
+}
+
+/// Writes a [`Witness`] as a Value Change Dump (VCD) for waveform viewers:
+/// the witness is replayed on the simulator and the inputs, registers, and
+/// targets are dumped per time-step.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_vcd<W: std::io::Write>(
+    n: &Netlist,
+    witness: &Witness,
+    mut w: W,
+) -> std::io::Result<()> {
+    let trace = simulate(n, &witness.to_stimulus());
+    writeln!(w, "$version diam-netlist $end")?;
+    writeln!(w, "$timescale 1ns $end")?;
+    writeln!(w, "$scope module netlist $end")?;
+    // VCD identifier codes: printable ASCII starting at '!'.
+    let code = |k: usize| -> String {
+        let mut k = k;
+        let mut s = String::new();
+        loop {
+            s.push((b'!' + (k % 94) as u8) as char);
+            k /= 94;
+            if k == 0 {
+                break s;
+            }
+        }
+    };
+    let mut signals: Vec<(String, crate::Lit)> = Vec::new();
+    for &g in n.inputs() {
+        signals.push((n.name(g).unwrap_or("in").to_string(), g.lit()));
+    }
+    for &g in n.regs() {
+        signals.push((n.name(g).unwrap_or("reg").to_string(), g.lit()));
+    }
+    for t in n.targets() {
+        signals.push((format!("target_{}", t.name), t.lit));
+    }
+    for (k, (name, _)) in signals.iter().enumerate() {
+        let sanitized: String = name
+            .chars()
+            .map(|c| if c.is_whitespace() { '_' } else { c })
+            .collect();
+        writeln!(w, "$var wire 1 {} {sanitized} $end", code(k))?;
+    }
+    writeln!(w, "$upscope $end")?;
+    writeln!(w, "$enddefinitions $end")?;
+    let mut last: Vec<Option<bool>> = vec![None; signals.len()];
+    for t in 0..trace.len() {
+        writeln!(w, "#{t}")?;
+        for (k, (_, lit)) in signals.iter().enumerate() {
+            let v = trace.value(*lit, t, 0);
+            if last[k] != Some(v) {
+                writeln!(w, "{}{}", u8::from(v), code(k))?;
+                last[k] = Some(v);
+            }
+        }
+    }
+    writeln!(w, "#{}", trace.len())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Init, Netlist};
+
+    #[test]
+    fn toggle_register_alternates() {
+        let mut n = Netlist::new();
+        let r = n.reg("t", Init::Zero);
+        n.set_next(r, !r.lit());
+        let trace = simulate(&n, &Stimulus::zeros(&n, 4));
+        assert!(!trace.value(r.lit(), 0, 0));
+        assert!(trace.value(r.lit(), 1, 0));
+        assert!(!trace.value(r.lit(), 2, 0));
+        assert!(trace.value(r.lit(), 3, 0));
+    }
+
+    #[test]
+    fn and_gate_combines_inputs() {
+        let mut n = Netlist::new();
+        let a = n.input("a").lit();
+        let b = n.input("b").lit();
+        let x = n.and(a, b);
+        let stim = Stimulus {
+            inputs: vec![vec![0b1100, 0b1010]],
+            nondet_init: vec![],
+        };
+        let trace = simulate(&n, &stim);
+        assert_eq!(trace.word(x, 0) & 0b1111, 0b1000);
+        assert_eq!(trace.word(!x, 0) & 0b1111, 0b0111);
+    }
+
+    #[test]
+    fn init_one_and_nondet() {
+        let mut n = Netlist::new();
+        let r1 = n.reg("one", Init::One);
+        let rn = n.reg("free", Init::Nondet);
+        n.set_next(r1, r1.lit());
+        n.set_next(rn, rn.lit());
+        let stim = Stimulus {
+            inputs: vec![vec![], vec![]],
+            nondet_init: vec![0, 0b101],
+        };
+        let trace = simulate(&n, &stim);
+        assert_eq!(trace.word(r1.lit(), 0), !0);
+        assert_eq!(trace.word(rn.lit(), 0), 0b101);
+        assert_eq!(trace.word(rn.lit(), 1), 0b101);
+    }
+
+    #[test]
+    fn fn_init_evaluates_time_zero_inputs() {
+        let mut n = Netlist::new();
+        let i = n.input("i");
+        let r = n.reg("r", Init::Fn(!i.lit()));
+        n.set_next(r, r.lit());
+        let stim = Stimulus {
+            inputs: vec![vec![0b01], vec![0b11]],
+            nondet_init: vec![0],
+        };
+        let trace = simulate(&n, &stim);
+        // Initial value is the complement of i at time 0 and then held.
+        assert_eq!(trace.word(r.lit(), 0) & 0b11, 0b10);
+        assert_eq!(trace.word(r.lit(), 1) & 0b11, 0b10);
+    }
+
+    #[test]
+    fn pipeline_delays_input() {
+        let mut n = Netlist::new();
+        let i = n.input("i");
+        let r0 = n.reg("r0", Init::Zero);
+        let r1 = n.reg("r1", Init::Zero);
+        n.set_next(r0, i.lit());
+        n.set_next(r1, r0.lit());
+        let stim = Stimulus {
+            inputs: vec![vec![1], vec![0], vec![0], vec![0]],
+            nondet_init: vec![0, 0],
+        };
+        let trace = simulate(&n, &stim);
+        assert!(trace.value(r0.lit(), 1, 0));
+        assert!(trace.value(r1.lit(), 2, 0));
+        assert!(!trace.value(r1.lit(), 3, 0));
+    }
+
+    #[test]
+    fn witness_replay() {
+        let mut n = Netlist::new();
+        let i = n.input("i");
+        let r = n.reg("r", Init::Zero);
+        n.set_next(r, i.lit());
+        let w = Witness {
+            inputs: vec![vec![true], vec![false]],
+            nondet_init: vec![false],
+        };
+        assert!(w.replays_to(&n, r.lit()));
+        assert!(!w.replays_to(&n, !r.lit()));
+    }
+
+    #[test]
+    fn vcd_export_is_well_formed() {
+        let mut n = Netlist::new();
+        let i = n.input("i");
+        let r = n.reg("r", Init::Zero);
+        n.set_next(r, i.lit());
+        n.add_target(r.lit(), "t");
+        let w = Witness {
+            inputs: vec![vec![true], vec![false], vec![true]],
+            nondet_init: vec![false],
+        };
+        let mut buf = Vec::new();
+        write_vcd(&n, &w, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("$enddefinitions $end"));
+        assert!(text.contains("$var wire 1 ! i $end"));
+        assert!(text.contains("target_t"));
+        // Time 0: i = 1, r = 0; time 1: i = 0, r = 1 — the register change
+        // must appear under #1.
+        let after_t1 = text.split("#1\n").nth(1).expect("timestep 1");
+        assert!(after_t1.contains("1\""), "register rises at time 1: {text}");
+    }
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Netlist statistics: size, depth, and fanout summaries for reports and
+//! the command-line front end.
+
+use crate::{analysis, GateKind, Init, Netlist};
+
+/// Aggregate structural statistics of a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetlistStats {
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Registers.
+    pub regs: usize,
+    /// AND gates.
+    pub ands: usize,
+    /// Safety targets.
+    pub targets: usize,
+    /// Maximum combinational depth (in AND gates).
+    pub max_level: u32,
+    /// Maximum fanout of any gate.
+    pub max_fanout: usize,
+    /// Registers with each kind of initial value: `[zero, one, nondet, fn]`.
+    pub init_kinds: [usize; 4],
+    /// Strongly connected components of the register dependency graph, and
+    /// how many of them are cyclic.
+    pub reg_sccs: usize,
+    /// Cyclic SCCs.
+    pub cyclic_sccs: usize,
+}
+
+impl std::fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "inputs {}  registers {}  ands {}  targets {}",
+            self.inputs, self.regs, self.ands, self.targets
+        )?;
+        writeln!(
+            f,
+            "max comb depth {}  max fanout {}",
+            self.max_level, self.max_fanout
+        )?;
+        writeln!(
+            f,
+            "register inits: {} zero, {} one, {} nondet, {} functional",
+            self.init_kinds[0], self.init_kinds[1], self.init_kinds[2], self.init_kinds[3]
+        )?;
+        write!(
+            f,
+            "register SCCs: {} ({} cyclic)",
+            self.reg_sccs, self.cyclic_sccs
+        )
+    }
+}
+
+/// Computes [`NetlistStats`] for `n`.
+///
+/// # Examples
+///
+/// ```
+/// use diam_netlist::{stats::stats, Init, Netlist};
+///
+/// let mut n = Netlist::new();
+/// let i = n.input("i");
+/// let r = n.reg("r", Init::Zero);
+/// n.set_next(r, i.lit());
+/// n.add_target(r.lit(), "t");
+/// let s = stats(&n);
+/// assert_eq!(s.regs, 1);
+/// assert_eq!(s.reg_sccs, 1);
+/// assert_eq!(s.cyclic_sccs, 0);
+/// ```
+pub fn stats(n: &Netlist) -> NetlistStats {
+    let mut fanout = vec![0usize; n.num_gates()];
+    let bump = |l: crate::Lit, fanout: &mut Vec<usize>| fanout[l.gate().index()] += 1;
+    for g in n.gates() {
+        match n.kind(g) {
+            GateKind::And(a, b) => {
+                bump(a, &mut fanout);
+                bump(b, &mut fanout);
+            }
+            GateKind::Reg => {
+                bump(n.reg_next(g), &mut fanout);
+                if let Init::Fn(l) = n.reg_init(g) {
+                    bump(l, &mut fanout);
+                }
+            }
+            _ => {}
+        }
+    }
+    for t in n.targets() {
+        fanout[t.lit.gate().index()] += 1;
+    }
+    let levels = analysis::levels(n);
+    let mut init_kinds = [0usize; 4];
+    for &r in n.regs() {
+        match n.reg_init(r) {
+            Init::Zero => init_kinds[0] += 1,
+            Init::One => init_kinds[1] += 1,
+            Init::Nondet => init_kinds[2] += 1,
+            Init::Fn(_) => init_kinds[3] += 1,
+        }
+    }
+    let graph = analysis::reg_graph(n, n.regs());
+    let cond = analysis::condense(&graph);
+    NetlistStats {
+        inputs: n.num_inputs(),
+        regs: n.num_regs(),
+        ands: n.num_ands(),
+        targets: n.targets().len(),
+        max_level: levels.iter().copied().max().unwrap_or(0),
+        max_fanout: fanout.iter().copied().max().unwrap_or(0),
+        init_kinds,
+        reg_sccs: cond.comps.len(),
+        cyclic_sccs: cond.cyclic.iter().filter(|&&c| c).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_are_consistent() {
+        let mut n = Netlist::new();
+        let a = n.input("a").lit();
+        let b = n.input("b").lit();
+        let x = n.and(a, b);
+        let y = n.and(x, a);
+        let r = n.reg("r", Init::One);
+        n.set_next(r, y);
+        let s = n.reg("s", Init::Nondet);
+        n.set_next(s, !s.lit());
+        n.add_target(r.lit(), "t");
+        let st = stats(&n);
+        assert_eq!(st.inputs, 2);
+        assert_eq!(st.regs, 2);
+        assert_eq!(st.ands, 2);
+        assert_eq!(st.max_level, 2);
+        assert!(st.max_fanout >= 2, "input a fans out twice");
+        assert_eq!(st.init_kinds, [0, 1, 1, 0]);
+        assert_eq!(st.reg_sccs, 2);
+        assert_eq!(st.cyclic_sccs, 1);
+        // Display renders all lines.
+        let text = st.to_string();
+        assert!(text.contains("registers 2"));
+        assert!(text.contains("1 cyclic"));
+    }
+}

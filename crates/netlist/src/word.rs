@@ -1,0 +1,432 @@
+//! Word-level construction helpers: multi-bit buses, adders, comparators,
+//! muxes, and registered counters, all lowered onto the AIG.
+//!
+//! These are conveniences for building realistic verification workloads —
+//! datapaths, counters with enables and wraps, address comparators — without
+//! hand-writing carry chains everywhere.
+
+use crate::{Gate, Init, Lit, Netlist};
+
+/// A little-endian bus of literals (`bits\[0\]` is the LSB).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Word {
+    bits: Vec<Lit>,
+}
+
+impl Word {
+    /// Wraps existing literals (LSB first).
+    pub fn from_lits<I: IntoIterator<Item = Lit>>(bits: I) -> Word {
+        Word {
+            bits: bits.into_iter().collect(),
+        }
+    }
+
+    /// A constant word of the given width.
+    pub fn constant(value: u64, width: usize) -> Word {
+        Word {
+            bits: (0..width)
+                .map(|k| {
+                    if (value >> k) & 1 == 1 {
+                        Lit::TRUE
+                    } else {
+                        Lit::FALSE
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Fresh primary inputs `name_0 … name_{width-1}`.
+    pub fn inputs(n: &mut Netlist, name: &str, width: usize) -> Word {
+        Word {
+            bits: (0..width).map(|k| n.input(format!("{name}_{k}")).lit()).collect(),
+        }
+    }
+
+    /// Bus width.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The bits, LSB first.
+    pub fn bits(&self) -> &[Lit] {
+        &self.bits
+    }
+
+    /// The `k`-th bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn bit(&self, k: usize) -> Lit {
+        self.bits[k]
+    }
+
+    /// Bitwise complement.
+    #[must_use]
+    pub fn not(&self) -> Word {
+        Word {
+            bits: self.bits.iter().map(|&b| !b).collect(),
+        }
+    }
+
+    /// Bitwise AND.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn and(&self, n: &mut Netlist, rhs: &Word) -> Word {
+        assert_eq!(self.width(), rhs.width(), "width mismatch");
+        Word {
+            bits: self
+                .bits
+                .iter()
+                .zip(&rhs.bits)
+                .map(|(&a, &b)| n.and(a, b))
+                .collect(),
+        }
+    }
+
+    /// Bitwise XOR.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn xor(&self, n: &mut Netlist, rhs: &Word) -> Word {
+        assert_eq!(self.width(), rhs.width(), "width mismatch");
+        Word {
+            bits: self
+                .bits
+                .iter()
+                .zip(&rhs.bits)
+                .map(|(&a, &b)| n.xor(a, b))
+                .collect(),
+        }
+    }
+
+    /// Ripple-carry sum `self + rhs + carry_in`; returns `(sum, carry_out)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn add(&self, n: &mut Netlist, rhs: &Word, carry_in: Lit) -> (Word, Lit) {
+        assert_eq!(self.width(), rhs.width(), "width mismatch");
+        let mut carry = carry_in;
+        let mut bits = Vec::with_capacity(self.width());
+        for (&a, &b) in self.bits.iter().zip(&rhs.bits) {
+            let ab = n.xor(a, b);
+            let sum = n.xor(ab, carry);
+            // carry' = (a ∧ b) ∨ (carry ∧ (a ⊕ b))
+            let g = n.and(a, b);
+            let p = n.and(carry, ab);
+            carry = n.or(g, p);
+            bits.push(sum);
+        }
+        (Word { bits }, carry)
+    }
+
+    /// `self + 1` when `enable`, else `self`; returns `(next, wrapped)`.
+    pub fn increment(&self, n: &mut Netlist, enable: Lit) -> (Word, Lit) {
+        let mut carry = enable;
+        let mut bits = Vec::with_capacity(self.width());
+        for &a in &self.bits {
+            bits.push(n.xor(a, carry));
+            carry = n.and(a, carry);
+        }
+        (Word { bits }, carry)
+    }
+
+    /// Equality with another word.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn eq(&self, n: &mut Netlist, rhs: &Word) -> Lit {
+        assert_eq!(self.width(), rhs.width(), "width mismatch");
+        let bits: Vec<Lit> = self
+            .bits
+            .iter()
+            .zip(&rhs.bits)
+            .map(|(&a, &b)| n.xnor(a, b))
+            .collect();
+        n.and_many(bits)
+    }
+
+    /// Equality with a constant.
+    pub fn eq_const(&self, n: &mut Netlist, value: u64) -> Lit {
+        let bits: Vec<Lit> = self
+            .bits
+            .iter()
+            .enumerate()
+            .map(|(k, &b)| b.xor_complement((value >> k) & 1 == 0))
+            .collect();
+        n.and_many(bits)
+    }
+
+    /// Unsigned `self < rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn lt(&self, n: &mut Netlist, rhs: &Word) -> Lit {
+        assert_eq!(self.width(), rhs.width(), "width mismatch");
+        // Subtract: self + ¬rhs + 1; borrow = ¬carry_out.
+        let nr = rhs.not();
+        let (_, carry) = self.add(n, &nr, Lit::TRUE);
+        !carry
+    }
+
+    /// Per-bit mux: `sel ? self : rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn mux(&self, n: &mut Netlist, sel: Lit, rhs: &Word) -> Word {
+        assert_eq!(self.width(), rhs.width(), "width mismatch");
+        Word {
+            bits: self
+                .bits
+                .iter()
+                .zip(&rhs.bits)
+                .map(|(&a, &b)| n.mux(sel, a, b))
+                .collect(),
+        }
+    }
+
+    /// OR-reduction of all bits.
+    pub fn any(&self, n: &mut Netlist) -> Lit {
+        n.or_many(self.bits.clone())
+    }
+
+    /// AND-reduction of all bits.
+    pub fn all(&self, n: &mut Netlist) -> Lit {
+        n.and_many(self.bits.clone())
+    }
+}
+
+/// A registered word: a bus of registers plus its literal view.
+#[derive(Debug, Clone)]
+pub struct RegWord {
+    /// The underlying registers, LSB first.
+    pub regs: Vec<Gate>,
+    /// The value as a word.
+    pub value: Word,
+}
+
+impl RegWord {
+    /// Creates `width` registers named `name_k`, all with the same initial
+    /// value. Connect them with [`RegWord::set_next`].
+    pub fn new(n: &mut Netlist, name: &str, width: usize, init: Init) -> RegWord {
+        let regs: Vec<Gate> = (0..width).map(|k| n.reg(format!("{name}_{k}"), init)).collect();
+        let value = Word::from_lits(regs.iter().map(|r| r.lit()));
+        RegWord { regs, value }
+    }
+
+    /// Connects the next-state functions from a word of matching width.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn set_next(&self, n: &mut Netlist, next: &Word) {
+        assert_eq!(self.regs.len(), next.width(), "width mismatch");
+        for (&r, &b) in self.regs.iter().zip(next.bits()) {
+            n.set_next(r, b);
+        }
+    }
+}
+
+/// A registered up-counter with enable and an optional modulus wrap.
+/// Returns the counter state; the wrap happens when the value reaches
+/// `modulus − 1` and `enable` holds.
+pub fn mod_counter(n: &mut Netlist, name: &str, width: usize, modulus: u64, enable: Lit) -> RegWord {
+    let rw = RegWord::new(n, name, width, Init::Zero);
+    let at_top = rw.value.eq_const(n, modulus - 1);
+    let wrap = n.and(enable, at_top);
+    let (inc, _) = rw.value.increment(n, enable);
+    let zero = Word::constant(0, width);
+    let next = zero.mux(n, wrap, &inc);
+    rw.set_next(n, &next);
+    rw
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index loops mirror the math here
+mod tests {
+    use super::*;
+    use crate::sim::{simulate, SplitMix64, Stimulus};
+
+    /// Evaluates a word's simulated value (trace 0) at time `t`.
+    fn word_value(trace: &crate::sim::Trace, w: &Word, t: usize) -> u64 {
+        w.bits()
+            .iter()
+            .enumerate()
+            .map(|(k, &b)| u64::from(trace.value(b, t, 0)) << k)
+            .sum()
+    }
+
+    #[test]
+    fn adder_matches_machine_arithmetic() {
+        let mut rng = SplitMix64::new(1);
+        let mut n = Netlist::new();
+        let a = Word::inputs(&mut n, "a", 8);
+        let b = Word::inputs(&mut n, "b", 8);
+        let (sum, carry) = a.add(&mut n, &b, Lit::FALSE);
+        n.add_target(carry, "cout");
+        let stim = Stimulus::random(&n, 1, &mut rng);
+        let tr = simulate(&n, &stim);
+        for lane in 0..8 {
+            let va: u64 = (0..8).map(|k| u64::from(tr.value(a.bit(k), 0, lane)) << k).sum();
+            let vb: u64 = (0..8).map(|k| u64::from(tr.value(b.bit(k), 0, lane)) << k).sum();
+            let vs: u64 = (0..8).map(|k| u64::from(tr.value(sum.bit(k), 0, lane)) << k).sum();
+            assert_eq!(vs, (va + vb) & 0xff, "lane {lane}");
+            assert_eq!(tr.value(carry, 0, lane), va + vb > 0xff, "carry lane {lane}");
+        }
+    }
+
+    #[test]
+    fn comparator_matches() {
+        let mut rng = SplitMix64::new(2);
+        let mut n = Netlist::new();
+        let a = Word::inputs(&mut n, "a", 6);
+        let b = Word::inputs(&mut n, "b", 6);
+        let lt = a.lt(&mut n, &b);
+        let eq = a.eq(&mut n, &b);
+        n.add_target(lt, "lt");
+        let stim = Stimulus::random(&n, 1, &mut rng);
+        let tr = simulate(&n, &stim);
+        for lane in 0..32 {
+            let va: u64 = (0..6).map(|k| u64::from(tr.value(a.bit(k), 0, lane)) << k).sum();
+            let vb: u64 = (0..6).map(|k| u64::from(tr.value(b.bit(k), 0, lane)) << k).sum();
+            assert_eq!(tr.value(lt, 0, lane), va < vb, "lt lane {lane}");
+            assert_eq!(tr.value(eq, 0, lane), va == vb, "eq lane {lane}");
+        }
+    }
+
+    #[test]
+    fn eq_const_matches() {
+        let mut n = Netlist::new();
+        let a = Word::inputs(&mut n, "a", 4);
+        let is5 = a.eq_const(&mut n, 5);
+        n.add_target(is5, "t");
+        // Drive all 16 values in parallel lanes.
+        let mut stim = Stimulus::zeros(&n, 1);
+        for k in 0..4 {
+            let mut w = 0u64;
+            for v in 0..16u64 {
+                if (v >> k) & 1 == 1 {
+                    w |= 1 << v;
+                }
+            }
+            stim.inputs[0][k] = w;
+        }
+        let tr = simulate(&n, &stim);
+        for v in 0..16 {
+            assert_eq!(tr.value(is5, 0, v), v == 5, "value {v}");
+        }
+    }
+
+    #[test]
+    fn mod_counter_wraps() {
+        let mut n = Netlist::new();
+        let c = mod_counter(&mut n, "c", 3, 6, Lit::TRUE);
+        n.add_target(c.value.bit(2), "t");
+        let tr = simulate(&n, &Stimulus::zeros(&n, 14));
+        for t in 0..14 {
+            assert_eq!(word_value(&tr, &c.value, t), (t as u64) % 6, "time {t}");
+        }
+    }
+
+    #[test]
+    fn increment_with_enable_holds() {
+        let mut n = Netlist::new();
+        let en = n.input("en");
+        let c = RegWord::new(&mut n, "c", 4, Init::Zero);
+        let (inc, _) = c.value.increment(&mut n, en.lit());
+        c.set_next(&mut n, &inc);
+        n.add_target(c.value.bit(0), "t");
+        // Enable on odd steps only.
+        let stim = Stimulus {
+            inputs: (0..8).map(|t| vec![if t % 2 == 1 { !0u64 } else { 0 }]).collect(),
+            nondet_init: vec![0; 4],
+        };
+        let tr = simulate(&n, &stim);
+        let expect = [0u64, 0, 1, 1, 2, 2, 3, 3];
+        for (t, &e) in expect.iter().enumerate() {
+            assert_eq!(word_value(&tr, &c.value, t), e, "time {t}");
+        }
+    }
+
+    #[test]
+    fn increment_reports_wrap() {
+        let mut n = Netlist::new();
+        let a = Word::inputs(&mut n, "a", 3);
+        let (_, wrapped) = a.increment(&mut n, Lit::TRUE);
+        n.add_target(wrapped, "w");
+        // Drive all 8 values in parallel lanes: wrap only at 7.
+        let mut stim = Stimulus::zeros(&n, 1);
+        for k in 0..3 {
+            let mut w = 0u64;
+            for v in 0..8u64 {
+                if (v >> k) & 1 == 1 {
+                    w |= 1 << v;
+                }
+            }
+            stim.inputs[0][k] = w;
+        }
+        let tr = simulate(&n, &stim);
+        for v in 0..8 {
+            assert_eq!(tr.value(wrapped, 0, v), v == 7, "value {v}");
+        }
+    }
+
+    #[test]
+    fn single_bit_word_ops() {
+        let mut n = Netlist::new();
+        let a = Word::inputs(&mut n, "a", 1);
+        let b = Word::inputs(&mut n, "b", 1);
+        let lt = a.lt(&mut n, &b);
+        let eq = a.eq(&mut n, &b);
+        n.add_target(lt, "lt");
+        let mut stim = Stimulus::zeros(&n, 1);
+        stim.inputs[0][0] = 0b0011; // a over 4 lanes: 1,1,0,0
+        stim.inputs[0][1] = 0b0101; // b: 1,0,1,0
+        let tr = simulate(&n, &stim);
+        let expect_lt = [false, false, true, false];
+        let expect_eq = [true, false, false, true];
+        for lane in 0..4 {
+            assert_eq!(tr.value(lt, 0, lane), expect_lt[lane], "lt lane {lane}");
+            assert_eq!(tr.value(eq, 0, lane), expect_eq[lane], "eq lane {lane}");
+        }
+    }
+
+    #[test]
+    fn constant_word_bits() {
+        let w = Word::constant(0b1010, 4);
+        assert_eq!(w.bit(0), Lit::FALSE);
+        assert_eq!(w.bit(1), Lit::TRUE);
+        assert_eq!(w.bit(2), Lit::FALSE);
+        assert_eq!(w.bit(3), Lit::TRUE);
+    }
+
+    #[test]
+    fn mux_and_reductions() {
+        let mut rng = SplitMix64::new(3);
+        let mut n = Netlist::new();
+        let s = n.input("s").lit();
+        let a = Word::inputs(&mut n, "a", 5);
+        let b = Word::inputs(&mut n, "b", 5);
+        let m = a.mux(&mut n, s, &b);
+        let any = m.any(&mut n);
+        let all = m.all(&mut n);
+        n.add_target(any, "any");
+        let stim = Stimulus::random(&n, 1, &mut rng);
+        let tr = simulate(&n, &stim);
+        for lane in 0..16 {
+            let sel = tr.value(s, 0, lane);
+            let src = if sel { &a } else { &b };
+            let v: u64 = (0..5).map(|k| u64::from(tr.value(src.bit(k), 0, lane)) << k).sum();
+            assert_eq!(tr.value(any, 0, lane), v != 0);
+            assert_eq!(tr.value(all, 0, lane), v == 0b11111);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! DIMACS CNF interchange, so the solver can be exercised against standard
+//! benchmark instances and its inputs can be exported for cross-checking
+//! with other solvers.
+
+use crate::{Lit, Solver, Var};
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Error raised by the DIMACS reader.
+#[derive(Debug)]
+pub enum DimacsError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed input.
+    Parse(String),
+}
+
+impl fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DimacsError::Io(e) => write!(f, "dimacs i/o error: {e}"),
+            DimacsError::Parse(m) => write!(f, "dimacs parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+impl From<std::io::Error> for DimacsError {
+    fn from(e: std::io::Error) -> Self {
+        DimacsError::Io(e)
+    }
+}
+
+/// A CNF formula in memory: variable count plus clauses of non-zero DIMACS
+/// literals.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cnf {
+    /// Declared variable count.
+    pub num_vars: usize,
+    /// Clauses; literal `v` is DIMACS-style (±1-based).
+    pub clauses: Vec<Vec<i64>>,
+}
+
+impl Cnf {
+    /// Loads the formula into a fresh solver; returns the solver and the
+    /// variables (index `i` = DIMACS variable `i + 1`).
+    pub fn into_solver(&self) -> (Solver, Vec<Var>) {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..self.num_vars).map(|_| s.new_var()).collect();
+        for clause in &self.clauses {
+            s.add_clause(clause.iter().map(|&l| {
+                let v = vars[(l.unsigned_abs() as usize) - 1];
+                v.lit(l > 0)
+            }));
+        }
+        (s, vars)
+    }
+}
+
+/// Parses a DIMACS CNF file.
+///
+/// # Errors
+///
+/// Fails on I/O errors, a missing/garbled `p cnf` header, out-of-range
+/// variables, or clauses not terminated by `0`.
+pub fn read<R: BufRead>(reader: R) -> Result<Cnf, DimacsError> {
+    let mut cnf = Cnf::default();
+    let mut header_seen = false;
+    let mut current: Vec<i64> = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = t.strip_prefix('p') {
+            let fields: Vec<&str> = rest.split_whitespace().collect();
+            if fields.len() != 3 || fields[0] != "cnf" {
+                return Err(DimacsError::Parse("bad p-line".into()));
+            }
+            cnf.num_vars = fields[1]
+                .parse()
+                .map_err(|_| DimacsError::Parse("bad variable count".into()))?;
+            header_seen = true;
+            continue;
+        }
+        if !header_seen {
+            return Err(DimacsError::Parse("clause before p-line".into()));
+        }
+        for tok in t.split_whitespace() {
+            let l: i64 = tok
+                .parse()
+                .map_err(|_| DimacsError::Parse(format!("bad literal {tok:?}")))?;
+            if l == 0 {
+                cnf.clauses.push(std::mem::take(&mut current));
+            } else {
+                if l.unsigned_abs() as usize > cnf.num_vars {
+                    return Err(DimacsError::Parse(format!("variable {l} out of range")));
+                }
+                current.push(l);
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(DimacsError::Parse("unterminated final clause".into()));
+    }
+    Ok(cnf)
+}
+
+/// Writes a formula in DIMACS CNF format.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write<W: Write>(cnf: &Cnf, mut w: W) -> Result<(), DimacsError> {
+    writeln!(w, "p cnf {} {}", cnf.num_vars, cnf.clauses.len())?;
+    for clause in &cnf.clauses {
+        for &l in clause {
+            write!(w, "{l} ")?;
+        }
+        writeln!(w, "0")?;
+    }
+    Ok(())
+}
+
+/// Converts DIMACS-style literals to solver literals given the variable
+/// table returned by [`Cnf::into_solver`].
+pub fn to_lit(vars: &[Var], dimacs: i64) -> Lit {
+    vars[(dimacs.unsigned_abs() as usize) - 1].lit(dimacs > 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolveResult;
+
+    #[test]
+    fn parses_and_solves() {
+        let text = "c a comment\np cnf 3 4\n1 2 0\n-1 2 0\n-2 3 0\n-2 -3 0\n";
+        let cnf = read(std::io::Cursor::new(text)).unwrap();
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 4);
+        let (mut s, _) = cnf.into_solver();
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn round_trips() {
+        let cnf = Cnf {
+            num_vars: 4,
+            clauses: vec![vec![1, -2], vec![3, 4, -1], vec![2]],
+        };
+        let mut buf = Vec::new();
+        write(&cnf, &mut buf).unwrap();
+        let back = read(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back, cnf);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read(std::io::Cursor::new("p cnf x y\n")).is_err());
+        assert!(read(std::io::Cursor::new("1 2 0\n")).is_err());
+        assert!(read(std::io::Cursor::new("p cnf 1 1\n2 0\n")).is_err());
+        assert!(read(std::io::Cursor::new("p cnf 1 1\n1\n")).is_err());
+    }
+
+    #[test]
+    fn multiline_clauses_are_accepted() {
+        let text = "p cnf 2 1\n1\n2 0\n";
+        let cnf = read(std::io::Cursor::new(text)).unwrap();
+        assert_eq!(cnf.clauses, vec![vec![1, 2]]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # diam-sat
+//!
+//! A from-scratch CDCL SAT solver — the propositional-reasoning substrate of
+//! the `diam` diameter-bounding project. It backs the SAT-sweeping
+//! redundancy-removal engine, bounded model checking, k-induction, and the
+//! recurrence-diameter baseline.
+//!
+//! The solver is incremental: clauses can be added between
+//! [`Solver::solve_with`] calls, and per-call *assumptions* make it suitable
+//! for the unrolling style of BMC.
+//!
+//! ## Example
+//!
+//! ```
+//! use diam_sat::{SolveResult, Solver};
+//!
+//! let mut s = Solver::new();
+//! let a = s.new_var().positive();
+//! let b = s.new_var().positive();
+//! // (a ∨ b) ∧ (¬a ∨ b)
+//! s.add_clause([a, b]);
+//! s.add_clause([!a, b]);
+//! assert_eq!(s.solve(), SolveResult::Sat);
+//! assert_eq!(s.value(b), Some(true));
+//! // Under the assumption ¬b the formula is unsatisfiable…
+//! assert_eq!(s.solve_with(&[!b]), SolveResult::Unsat);
+//! // …but the solver itself stays usable.
+//! assert_eq!(s.solve(), SolveResult::Sat);
+//! ```
+
+pub mod dimacs;
+mod lit;
+mod solver;
+
+pub use lit::{LBool, Lit, Var};
+pub use solver::{SolveResult, Solver, SolverStats};

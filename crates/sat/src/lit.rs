@@ -1,0 +1,154 @@
+//! Variables, literals, and ternary values for the CDCL solver.
+
+use std::fmt;
+
+/// A propositional variable, numbered from 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Raw index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a variable from a raw index.
+    #[inline]
+    pub fn from_index(index: usize) -> Var {
+        Var(u32::try_from(index).expect("variable index exceeds u32 range"))
+    }
+
+    /// The positive literal of this variable.
+    #[inline]
+    pub fn positive(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// The negative literal of this variable.
+    #[inline]
+    pub fn negative(self) -> Lit {
+        Lit((self.0 << 1) | 1)
+    }
+
+    /// The literal of this variable with the given sign (`true` = positive).
+    #[inline]
+    pub fn lit(self, positive: bool) -> Lit {
+        Lit((self.0 << 1) | !positive as u32)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A possibly-negated variable. The low bit stores the sign (1 = negated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The variable of this literal.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether this literal is negated.
+    #[inline]
+    pub fn is_negative(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Raw packed encoding (`2·var + sign`), usable as an array index.
+    #[inline]
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a literal from its raw packed encoding.
+    #[inline]
+    pub fn from_code(code: usize) -> Lit {
+        Lit(u32::try_from(code).expect("literal code exceeds u32 range"))
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "¬{}", self.var())
+        } else {
+            write!(f, "{}", self.var())
+        }
+    }
+}
+
+/// A ternary truth value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LBool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Unassigned.
+    Undef,
+}
+
+impl LBool {
+    /// Flips true/false, leaves `Undef` unchanged.
+    #[must_use]
+    pub fn negate(self) -> LBool {
+        match self {
+            LBool::True => LBool::False,
+            LBool::False => LBool::True,
+            LBool::Undef => LBool::Undef,
+        }
+    }
+
+    /// Converts a concrete boolean.
+    pub fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_signs() {
+        let v = Var::from_index(3);
+        assert!(!v.positive().is_negative());
+        assert!(v.negative().is_negative());
+        assert_eq!(!v.positive(), v.negative());
+        assert_eq!(v.lit(true), v.positive());
+        assert_eq!(v.lit(false), v.negative());
+        assert_eq!(v.positive().var(), v);
+    }
+
+    #[test]
+    fn code_round_trips() {
+        let l = Var::from_index(5).negative();
+        assert_eq!(Lit::from_code(l.code()), l);
+    }
+
+    #[test]
+    fn lbool_negate() {
+        assert_eq!(LBool::True.negate(), LBool::False);
+        assert_eq!(LBool::Undef.negate(), LBool::Undef);
+        assert_eq!(LBool::from_bool(true), LBool::True);
+    }
+}

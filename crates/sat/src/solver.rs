@@ -1,0 +1,1102 @@
+//! A CDCL SAT solver in the MiniSat lineage.
+//!
+//! Features: two-watched-literal propagation with blockers, VSIDS variable
+//! activities with an indexed heap, phase saving, first-UIP conflict
+//! analysis with local clause minimization, Luby restarts, learnt-clause
+//! database reduction, incremental solving under assumptions, and an
+//! optional conflict budget for anytime use.
+
+use crate::{LBool, Lit, Var};
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found (query it with [`Solver::value`]).
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted before an answer was reached.
+    Unknown,
+}
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    deleted: bool,
+    activity: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    clause: u32,
+    blocker: Lit,
+}
+
+/// Runtime statistics of a [`Solver`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolverStats {
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Decisions made.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses currently in the database.
+    pub learnts: usize,
+}
+
+/// An incremental CDCL SAT solver.
+///
+/// # Examples
+///
+/// ```
+/// use diam_sat::{Solver, SolveResult};
+///
+/// let mut s = Solver::new();
+/// let a = s.new_var().positive();
+/// let b = s.new_var().positive();
+/// s.add_clause([a, b]);
+/// s.add_clause([!a]);
+/// assert_eq!(s.solve(), SolveResult::Sat);
+/// assert_eq!(s.value(b), Some(true));
+/// s.add_clause([!b]);
+/// assert_eq!(s.solve(), SolveResult::Unsat);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<u32>, // u32::MAX = decision / unassigned
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    // VSIDS.
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: Vec<Var>,
+    heap_pos: Vec<usize>, // usize::MAX = not in heap
+    polarity: Vec<bool>,
+    // Conflict analysis scratch.
+    seen: Vec<bool>,
+    // Clause activities.
+    cla_inc: f64,
+    ok: bool,
+    stats: SolverStats,
+    conflict_budget: Option<u64>,
+    max_learnts: f64,
+    model: Vec<LBool>,
+    conflict_core: Vec<Lit>,
+}
+
+const NO_REASON: u32 = u32::MAX;
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            heap: Vec::new(),
+            heap_pos: Vec::new(),
+            polarity: Vec::new(),
+            seen: Vec::new(),
+            cla_inc: 1.0,
+            ok: true,
+            stats: SolverStats::default(),
+            conflict_budget: None,
+            max_learnts: 1000.0,
+            model: Vec::new(),
+            conflict_core: Vec::new(),
+        }
+    }
+
+    /// Creates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.assigns.len());
+        self.assigns.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(NO_REASON);
+        self.activity.push(0.0);
+        self.polarity.push(false);
+        self.seen.push(false);
+        self.heap_pos.push(usize::MAX);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap_insert(v);
+        v
+    }
+
+    /// Number of variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Solver statistics accumulated so far.
+    pub fn stats(&self) -> SolverStats {
+        let mut s = self.stats;
+        s.learnts = self
+            .clauses
+            .iter()
+            .filter(|c| c.learnt && !c.deleted)
+            .count();
+        s
+    }
+
+    /// Limits the number of conflicts per [`solve`](Solver::solve) call;
+    /// `None` removes the limit. When the budget is exhausted, `solve`
+    /// returns [`SolveResult::Unknown`].
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.conflict_budget = budget;
+    }
+
+    /// Adds a clause. Returns `false` if the solver is already in an
+    /// unsatisfiable state (either before the call or because of this
+    /// clause).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while the solver holds a partial assignment from an
+    /// interrupted solve (this implementation always returns to decision
+    /// level 0, so this cannot happen through the public API).
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> bool {
+        assert!(
+            self.trail_lim.is_empty(),
+            "add_clause above decision level 0"
+        );
+        if !self.ok {
+            return false;
+        }
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        lits.sort_unstable_by_key(|l| l.code());
+        lits.dedup();
+        // Remove false literals; detect tautologies and satisfied clauses.
+        let mut i = 0;
+        while i + 1 < lits.len() {
+            if lits[i].var() == lits[i + 1].var() {
+                return true; // p ∨ ¬p: tautology
+            }
+            i += 1;
+        }
+        lits.retain(|&l| self.lit_value(l) != LBool::False);
+        if lits.iter().any(|&l| self.lit_value(l) == LBool::True) {
+            return true;
+        }
+        match lits.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(lits[0], NO_REASON);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                let idx = u32::try_from(self.clauses.len()).expect("clause count overflow");
+                self.watch(lits[0], lits[1], idx);
+                self.watch(lits[1], lits[0], idx);
+                self.clauses.push(Clause {
+                    lits,
+                    learnt: false,
+                    deleted: false,
+                    activity: 0.0,
+                });
+                true
+            }
+        }
+    }
+
+    /// Solves the formula with no assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with(&[])
+    }
+
+    /// Solves under the given assumptions. On [`SolveResult::Unsat`] the
+    /// formula itself may still be satisfiable without the assumptions; the
+    /// solver remains usable either way.
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.conflict_core.clear();
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        debug_assert!(self.trail_lim.is_empty());
+        let budget_start = self.stats.conflicts;
+        let mut luby_index: u64 = 0;
+        let result = loop {
+            let restart_limit = 64 * luby(luby_index);
+            luby_index += 1;
+            match self.search(assumptions, restart_limit, budget_start) {
+                Some(r) => break r,
+                None => {
+                    self.stats.restarts += 1;
+                    self.cancel_until(0);
+                }
+            }
+        };
+        if result == SolveResult::Sat {
+            self.model = self.assigns.clone();
+        } else {
+            self.model.clear();
+        }
+        self.cancel_until(0);
+        result
+    }
+
+    /// The model value of `l` after a [`SolveResult::Sat`] answer (`None`
+    /// for variables the search never assigned — any value satisfies —
+    /// or when no model is available).
+    pub fn value(&self, l: Lit) -> Option<bool> {
+        let v = match self.model.get(l.var().index()) {
+            Some(&v) => v,
+            None => return None,
+        };
+        match if l.is_negative() { v.negate() } else { v } {
+            LBool::True => Some(true),
+            LBool::False => Some(false),
+            LBool::Undef => None,
+        }
+    }
+
+    // --- internals -------------------------------------------------------
+
+    #[inline]
+    fn lit_value(&self, l: Lit) -> LBool {
+        let v = self.assigns[l.var().index()];
+        if l.is_negative() {
+            v.negate()
+        } else {
+            v
+        }
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn watch(&mut self, lit: Lit, blocker: Lit, clause: u32) {
+        // A clause watching `lit` must be revisited when `¬lit` is enqueued.
+        self.watches[(!lit).code()].push(Watcher { clause, blocker });
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, reason: u32) {
+        debug_assert_eq!(self.lit_value(l), LBool::Undef);
+        let v = l.var().index();
+        self.assigns[v] = LBool::from_bool(!l.is_negative());
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Propagates all enqueued facts; returns the conflicting clause index.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut i = 0;
+            let mut conflict = None;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                if self.lit_value(w.blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                let ci = w.clause as usize;
+                if self.clauses[ci].deleted {
+                    ws.swap_remove(i);
+                    continue;
+                }
+                // Normalize: the false literal (¬p) goes to position 1.
+                let false_lit = !p;
+                if self.clauses[ci].lits[0] == false_lit {
+                    self.clauses[ci].lits.swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[ci].lits[1], false_lit);
+                let first = self.clauses[ci].lits[0];
+                if first != w.blocker && self.lit_value(first) == LBool::True {
+                    ws[i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Find a new watch.
+                for k in 2..self.clauses[ci].lits.len() {
+                    let cand = self.clauses[ci].lits[k];
+                    if self.lit_value(cand) != LBool::False {
+                        self.clauses[ci].lits.swap(1, k);
+                        let blocker = self.clauses[ci].lits[0];
+                        self.watch(cand, blocker, w.clause);
+                        ws.swap_remove(i);
+                        continue 'watchers;
+                    }
+                }
+                // No new watch: unit or conflicting.
+                ws[i].blocker = first;
+                i += 1;
+                if self.lit_value(first) == LBool::False {
+                    conflict = Some(w.clause);
+                    self.qhead = self.trail.len();
+                    break;
+                }
+                self.unchecked_enqueue(first, w.clause);
+            }
+            debug_assert!(self.watches[p.code()].is_empty());
+            self.watches[p.code()] = ws;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, mut conflict: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // placeholder slot
+        let mut counter = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        loop {
+            self.bump_clause(conflict as usize);
+            let start = usize::from(p.is_some());
+            // Collect literals of the reason clause (skipping the implied
+            // literal itself when this is not the conflict clause).
+            let clause_lits: Vec<Lit> = self.clauses[conflict as usize].lits[start..].to_vec();
+            for q in clause_lits {
+                let v = q.var().index();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(q.var());
+                    if self.level[v] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk the trail back to the next marked literal.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            self.seen[lit.var().index()] = false;
+            counter -= 1;
+            p = Some(lit);
+            if counter == 0 {
+                learnt[0] = !lit;
+                break;
+            }
+            conflict = self.reason[lit.var().index()];
+            debug_assert_ne!(conflict, NO_REASON);
+        }
+
+        // Local minimization: drop literals whose reason is subsumed by the
+        // rest of the learnt clause.
+        for l in &learnt[1..] {
+            self.seen[l.var().index()] = true;
+        }
+        let mut minimized = vec![learnt[0]];
+        for &l in &learnt[1..] {
+            let r = self.reason[l.var().index()];
+            let redundant = r != NO_REASON
+                && self.clauses[r as usize].lits[1..].iter().all(|&q| {
+                    self.seen[q.var().index()] || self.level[q.var().index()] == 0
+                });
+            if !redundant {
+                minimized.push(l);
+            }
+        }
+        for l in &learnt[1..] {
+            self.seen[l.var().index()] = false;
+        }
+        let learnt = minimized;
+
+        // Backtrack level = second-highest level in the clause.
+        let bt = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            self.level[learnt[max_i].var().index()]
+        };
+        (learnt, bt)
+    }
+
+    fn cancel_until(&mut self, lvl: u32) {
+        if self.decision_level() <= lvl {
+            return;
+        }
+        let bound = self.trail_lim[lvl as usize];
+        for i in (bound..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var().index();
+            self.polarity[v] = self.assigns[v] == LBool::True;
+            self.assigns[v] = LBool::Undef;
+            self.reason[v] = NO_REASON;
+            self.heap_insert(l.var());
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(lvl as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn learn(&mut self, lits: Vec<Lit>) -> u32 {
+        debug_assert!(lits.len() >= 2);
+        let idx = u32::try_from(self.clauses.len()).expect("clause count overflow");
+        self.watch(lits[0], lits[1], idx);
+        self.watch(lits[1], lits[0], idx);
+        self.clauses.push(Clause {
+            lits,
+            learnt: true,
+            deleted: false,
+            activity: self.cla_inc,
+        });
+        idx
+    }
+
+    /// One restart period of CDCL search. `None` = restart requested.
+    fn search(
+        &mut self,
+        assumptions: &[Lit],
+        restart_limit: u64,
+        budget_start: u64,
+    ) -> Option<SolveResult> {
+        let mut conflicts_here: u64 = 0;
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_here += 1;
+                if self.decision_level() <= assumptions.len() as u32 {
+                    // Conflict within (or below) the assumption prefix:
+                    // compute the subset of assumptions responsible.
+                    self.analyze_final_clause(conflict, assumptions);
+                    if self.decision_level() == 0 {
+                        self.ok = false;
+                    }
+                    return Some(SolveResult::Unsat);
+                }
+                let (learnt, bt) = self.analyze(conflict);
+                // Never backtrack into the middle of the assumption prefix
+                // without re-deciding the assumptions: cancel to max(bt, —)
+                // is handled by re-entering the decision loop below.
+                self.cancel_until(bt);
+                if learnt.len() == 1 {
+                    if self.decision_level() > 0 {
+                        // Unit learnt while above level 0 (can happen when
+                        // assumptions are re-decided); back out fully.
+                        self.cancel_until(0);
+                    }
+                    if self.lit_value(learnt[0]) == LBool::False {
+                        self.ok = false;
+                        return Some(SolveResult::Unsat);
+                    }
+                    if self.lit_value(learnt[0]) == LBool::Undef {
+                        self.unchecked_enqueue(learnt[0], NO_REASON);
+                    }
+                } else {
+                    let ci = self.learn(learnt.clone());
+                    self.unchecked_enqueue(learnt[0], ci);
+                }
+                self.decay_activities();
+                if let Some(b) = self.conflict_budget {
+                    if self.stats.conflicts - budget_start >= b {
+                        return Some(SolveResult::Unknown);
+                    }
+                }
+                if conflicts_here >= restart_limit {
+                    return None;
+                }
+                if self.learnt_count() as f64 > self.max_learnts {
+                    self.reduce_db();
+                    self.max_learnts *= 1.3;
+                }
+            } else {
+                // Decide: assumptions first, then VSIDS.
+                let dl = self.decision_level() as usize;
+                if dl < assumptions.len() {
+                    let a = assumptions[dl];
+                    match self.lit_value(a) {
+                        LBool::True => {
+                            // Already implied; open an empty level for it.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => {
+                            self.analyze_final_lit(a, assumptions);
+                            return Some(SolveResult::Unsat);
+                        }
+                        LBool::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(a, NO_REASON);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch() {
+                    None => return Some(SolveResult::Sat),
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let l = v.lit(self.polarity[v.index()]);
+                        self.unchecked_enqueue(l, NO_REASON);
+                    }
+                }
+            }
+        }
+    }
+
+    fn learnt_count(&self) -> usize {
+        self.clauses
+            .iter()
+            .filter(|c| c.learnt && !c.deleted)
+            .count()
+    }
+
+    fn reduce_db(&mut self) {
+        let mut learnt_indices: Vec<usize> = (0..self.clauses.len())
+            .filter(|&i| {
+                let c = &self.clauses[i];
+                c.learnt && !c.deleted && c.lits.len() > 2 && !self.is_reason(i)
+            })
+            .collect();
+        learnt_indices.sort_by(|&a, &b| {
+            self.clauses[a]
+                .activity
+                .partial_cmp(&self.clauses[b].activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let remove = learnt_indices.len() / 2;
+        for &i in &learnt_indices[..remove] {
+            self.clauses[i].deleted = true;
+        }
+    }
+
+    fn is_reason(&self, clause: usize) -> bool {
+        let c = &self.clauses[clause];
+        if c.lits.is_empty() {
+            return false;
+        }
+        let v = c.lits[0].var().index();
+        self.assigns[v] != LBool::Undef && self.reason[v] == clause as u32
+    }
+
+    fn pick_branch(&mut self) -> Option<Var> {
+        while let Some(v) = self.heap_pop() {
+            if self.assigns[v.index()] == LBool::Undef {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap_update(v);
+    }
+
+    fn bump_clause(&mut self, ci: usize) {
+        self.clauses[ci].activity += self.cla_inc;
+        if self.clauses[ci].activity > 1e100 {
+            for c in &mut self.clauses {
+                c.activity *= 1e-100;
+            }
+            self.cla_inc *= 1e-100;
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= 0.95;
+        self.cla_inc /= 0.999;
+    }
+
+    /// Level-0 simplification: removes clauses satisfied by root-level
+    /// facts and strips falsified literals from the rest. Cheap, and keeps
+    /// long-lived incremental solvers (BMC unrollers, sweeping loops) lean.
+    /// Returns the number of clauses removed.
+    pub fn simplify(&mut self) -> usize {
+        assert!(self.trail_lim.is_empty(), "simplify above decision level 0");
+        if !self.ok {
+            return 0;
+        }
+        let mut removed = 0;
+        for ci in 0..self.clauses.len() {
+            if self.clauses[ci].deleted {
+                continue;
+            }
+            if self.is_reason(ci) {
+                continue;
+            }
+            let satisfied = self.clauses[ci]
+                .lits
+                .iter()
+                .any(|&l| self.lit_value(l) == LBool::True && self.level[l.var().index()] == 0);
+            if satisfied {
+                self.clauses[ci].deleted = true;
+                removed += 1;
+                continue;
+            }
+            // Strip root-false literals from the tail only: positions 0/1
+            // are the watched pair and must not move (watcher lists refer
+            // to them); a root-false watch is harmless and migrates on its
+            // own during propagation.
+            let level = &self.level;
+            let assigns = &self.assigns;
+            let lits = &mut self.clauses[ci].lits;
+            if lits.len() > 2 {
+                let mut keep = lits[..2].to_vec();
+                keep.extend(lits[2..].iter().copied().filter(|&l| {
+                    let v = assigns[l.var().index()];
+                    let val = if l.is_negative() { v.negate() } else { v };
+                    !(val == LBool::False && level[l.var().index()] == 0)
+                }));
+                *lits = keep;
+            }
+        }
+        removed
+    }
+
+    /// The subset of the last call's assumptions that were proven jointly
+    /// contradictory with the formula (non-empty only after an
+    /// assumption-level [`SolveResult::Unsat`]). Analogous to MiniSat's
+    /// final conflict clause; useful for incremental BMC and sweeping.
+    pub fn unsat_core(&self) -> &[Lit] {
+        &self.conflict_core
+    }
+
+    /// Walks reasons from a conflicting clause back to the assumption
+    /// decisions, filling `conflict_core`.
+    fn analyze_final_clause(&mut self, conflict: u32, assumptions: &[Lit]) {
+        let lits: Vec<Lit> = self.clauses[conflict as usize].lits.clone();
+        self.trace_to_assumptions(&lits, assumptions);
+    }
+
+    /// Like [`Self::analyze_final_clause`] for a single already-false
+    /// assumption literal.
+    fn analyze_final_lit(&mut self, a: Lit, assumptions: &[Lit]) {
+        self.trace_to_assumptions(&[!a], assumptions);
+        if !self.conflict_core.contains(&a) {
+            self.conflict_core.push(a);
+        }
+    }
+
+    fn trace_to_assumptions(&mut self, seed: &[Lit], assumptions: &[Lit]) {
+        self.conflict_core.clear();
+        let mut seen = vec![false; self.num_vars()];
+        let mut stack: Vec<Var> = seed.iter().map(|l| l.var()).collect();
+        while let Some(v) = stack.pop() {
+            if seen[v.index()] || self.level[v.index()] == 0 {
+                continue;
+            }
+            seen[v.index()] = true;
+            let reason = self.reason[v.index()];
+            if reason == NO_REASON {
+                // A decision: within the assumption prefix every decision is
+                // an assumption.
+                if let Some(&a) = assumptions.iter().find(|a| a.var() == v) {
+                    if !self.conflict_core.contains(&a) {
+                        self.conflict_core.push(a);
+                    }
+                }
+            } else {
+                let lits = self.clauses[reason as usize].lits.clone();
+                for l in lits {
+                    stack.push(l.var());
+                }
+            }
+        }
+    }
+
+    // --- indexed max-heap on activity -------------------------------------
+
+    fn heap_less(&self, a: Var, b: Var) -> bool {
+        self.activity[a.index()] > self.activity[b.index()]
+    }
+
+    fn heap_insert(&mut self, v: Var) {
+        if self.heap_pos[v.index()] != usize::MAX {
+            return;
+        }
+        self.heap_pos[v.index()] = self.heap.len();
+        self.heap.push(v);
+        self.heap_up(self.heap.len() - 1);
+    }
+
+    fn heap_update(&mut self, v: Var) {
+        let pos = self.heap_pos[v.index()];
+        if pos != usize::MAX {
+            self.heap_up(pos);
+        }
+    }
+
+    fn heap_pop(&mut self) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.heap_pos[top.index()] = usize::MAX;
+        let last = self.heap.pop().expect("heap nonempty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.heap_pos[last.index()] = 0;
+            self.heap_down(0);
+        }
+        Some(top)
+    }
+
+    fn heap_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap_less(self.heap[i], self.heap[parent]) {
+                self.heap_swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn heap_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.heap.len() && self.heap_less(self.heap[l], self.heap[best]) {
+                best = l;
+            }
+            if r < self.heap.len() && self.heap_less(self.heap[r], self.heap[best]) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.heap_swap(i, best);
+            i = best;
+        }
+    }
+
+    fn heap_swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.heap_pos[self.heap[a].index()] = a;
+        self.heap_pos[self.heap[b].index()] = b;
+    }
+}
+
+/// The Luby restart sequence (0-indexed): 1,1,2,1,1,2,4,...
+fn luby(index: u64) -> u64 {
+    let mut i = index + 1;
+    loop {
+        // k = number of bits of i, so 2^(k-1) <= i < 2^k.
+        let k = 64 - u64::from(i.leading_zeros());
+        if i == (1 << k) - 1 {
+            return 1 << (k - 1);
+        }
+        i = i - (1 << (k - 1)) + 1;
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index loops mirror the math here
+mod tests {
+    use super::*;
+
+    fn vars(s: &mut Solver, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| s.new_var().positive()).collect()
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 4);
+        s.add_clause([v[0]]);
+        s.add_clause([!v[0], v[1]]);
+        s.add_clause([!v[1], v[2]]);
+        s.add_clause([!v[2], v[3]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for &l in &v {
+            assert_eq!(s.value(l), Some(true));
+        }
+    }
+
+    #[test]
+    fn trivially_unsat() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 1);
+        s.add_clause([v[0]]);
+        assert!(!s.add_clause([!v[0]]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        assert!(!s.add_clause([]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn tautology_is_ignored() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 1);
+        assert!(s.add_clause([v[0], !v[0]]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p[i][j] = pigeon i in hole j.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..3)
+            .map(|_| (0..2).map(|_| s.new_var().positive()).collect())
+            .collect();
+        for i in 0..3 {
+            s.add_clause([p[i][0], p[i][1]]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause([!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_are_respected_and_removable() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause([v[0], v[1]]);
+        assert_eq!(s.solve_with(&[!v[0], !v[1]]), SolveResult::Unsat);
+        // Without assumptions still satisfiable.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.solve_with(&[!v[0]]), SolveResult::Sat);
+        assert_eq!(s.value(v[1]), Some(true));
+    }
+
+    #[test]
+    fn xor_chain_parity() {
+        // Encode x0 ^ x1 ^ x2 = 1 via CNF; satisfiable, then force all-false.
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        let clauses: [[i32; 3]; 4] = [[1, 1, 1], [1, -1, -1], [-1, 1, -1], [-1, -1, 1]];
+        for signs in clauses {
+            let lits: Vec<Lit> = v
+                .iter()
+                .zip(signs)
+                .map(|(&l, s)| if s > 0 { l } else { !l })
+                .collect();
+            s.add_clause(lits);
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let parity = s.value(v[0]).unwrap() ^ s.value(v[1]).unwrap() ^ s.value(v[2]).unwrap();
+        assert!(parity);
+        assert_eq!(s.solve_with(&[!v[0], !v[1], !v[2]]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn conflict_budget_yields_unknown_or_answer() {
+        // A moderately hard pigeonhole with a 1-conflict budget should give
+        // Unknown (it needs many conflicts).
+        let mut s = Solver::new();
+        let n = 6;
+        let p: Vec<Vec<Lit>> = (0..n + 1)
+            .map(|_| (0..n).map(|_| s.new_var().positive()).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.iter().copied());
+        }
+        for j in 0..n {
+            for i1 in 0..=n {
+                for i2 in (i1 + 1)..=n {
+                    s.add_clause([!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+        s.set_conflict_budget(Some(1));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn simplify_removes_satisfied_clauses() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 4);
+        s.add_clause([v[0], v[1]]);
+        s.add_clause([v[2], v[3]]);
+        s.add_clause([!v[0], v[2], v[3]]);
+        s.add_clause([v[0]]); // root fact satisfies clause 0
+        let removed = s.simplify();
+        assert!(removed >= 1, "removed {removed}");
+        // Solver behaviour is unchanged.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.solve_with(&[!v[2], !v[3]]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn simplify_strips_root_false_literals() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 4);
+        s.add_clause([v[0], v[1], v[2], v[3]]);
+        s.add_clause([!v[0]]);
+        s.simplify();
+        // The solver must still behave as (v1 ∨ v2 ∨ v3).
+        assert_eq!(s.solve_with(&[!v[1], !v[2], !v[3]]), SolveResult::Unsat);
+        assert_eq!(s.solve_with(&[!v[1], !v[2]]), SolveResult::Sat);
+        assert_eq!(s.value(v[3]), Some(true));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        s.add_clause([v[0], v[1], v[2]]);
+        s.add_clause([!v[0], v[1]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let st = s.stats();
+        assert!(st.decisions > 0 || st.propagations > 0);
+        // The solver stays reusable and stats are monotone.
+        assert_eq!(s.solve_with(&[!v[1]]), SolveResult::Sat);
+        assert!(s.stats().decisions >= st.decisions);
+    }
+
+    #[test]
+    fn unsat_core_names_the_guilty_assumptions() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 4);
+        // v0 -> v1, v2 -> v3; assume v0, !v1 (contradictory) and v2 (innocent).
+        s.add_clause([!v[0], v[1]]);
+        s.add_clause([!v[2], v[3]]);
+        assert_eq!(s.solve_with(&[v[2], v[0], !v[1]]), SolveResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        assert!(core.contains(&v[0]) || core.contains(&!v[1]), "core {core:?}");
+        assert!(!core.contains(&v[2]), "innocent assumption in core {core:?}");
+    }
+
+    #[test]
+    fn unsat_core_for_directly_false_assumption() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause([v[0]]); // unit: v0 true at level 0
+        assert_eq!(s.solve_with(&[v[1], !v[0]]), SolveResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        assert!(core.contains(&!v[0]), "core {core:?}");
+        assert!(!core.contains(&v[1]), "core {core:?}");
+    }
+
+    #[test]
+    fn core_is_empty_on_sat() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause([v[0], v[1]]);
+        assert_eq!(s.solve_with(&[v[0]]), SolveResult::Sat);
+        assert!(s.unsat_core().is_empty());
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expect = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(luby(i as u64), e, "luby({i})");
+        }
+    }
+
+    /// Brute-force cross-check on random 3-CNF instances.
+    #[test]
+    fn random_3cnf_matches_brute_force() {
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..60 {
+            let nv = 3 + (next() % 6) as usize; // 3..8 variables
+            let nc = 2 + (next() % 24) as usize;
+            let mut clauses: Vec<Vec<(usize, bool)>> = Vec::new();
+            for _ in 0..nc {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    c.push(((next() % nv as u64) as usize, next() & 1 == 0));
+                }
+                clauses.push(c);
+            }
+            // Brute force.
+            let mut brute_sat = false;
+            'assign: for m in 0..(1u32 << nv) {
+                for c in &clauses {
+                    if !c.iter().any(|&(v, pos)| ((m >> v) & 1 == 1) == pos) {
+                        continue 'assign;
+                    }
+                }
+                brute_sat = true;
+                break;
+            }
+            // Solver.
+            let mut s = Solver::new();
+            let v = vars(&mut s, nv);
+            for c in &clauses {
+                s.add_clause(c.iter().map(|&(i, pos)| if pos { v[i] } else { !v[i] }));
+            }
+            let got = s.solve();
+            assert_eq!(
+                got,
+                if brute_sat {
+                    SolveResult::Sat
+                } else {
+                    SolveResult::Unsat
+                },
+                "round {round}"
+            );
+            if got == SolveResult::Sat {
+                // The produced model must satisfy every clause.
+                for c in &clauses {
+                    assert!(c.iter().any(|&(i, pos)| {
+                        s.value(v[i]).unwrap_or(false) == pos
+                            || (s.value(v[i]).is_none())
+                    }));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Target enlargement (Section 3.4 of the paper, Theorem 4).
+//!
+//! A `k`-step enlarged target `t'` characterizes the states that can hit the
+//! original target `t` in exactly `k` steps but not fewer: preimages are
+//! computed symbolically with BDDs (inputs existentially quantified),
+//! *inductively simplified* by subtracting the states that hit earlier, and
+//! the result is synthesized back **structurally** into the netlist — the
+//! representation the paper recommends for synergy with SAT-based analysis
+//! and cone-of-influence reduction.
+//!
+//! Theorem 4: if `d(t')` bounds the diameter of the enlarged target, the
+//! original target is hittable within `d(t') + k` steps, if at all. (The
+//! module documentation of [`crate`] discusses why the converse —
+//! deassertion behaviour — is *not* preserved, per the paper's mod-c counter
+//! example.)
+
+use crate::bridge::{bdd_to_netlist, cone_to_bdd};
+use diam_bdd::{Bdd, Manager};
+use diam_netlist::analysis::coi;
+use diam_netlist::{Gate, Lit, Netlist};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Options for [`enlarge`].
+#[derive(Debug, Clone)]
+pub struct EnlargeOptions {
+    /// Number of preimage steps `k`.
+    pub k: u32,
+    /// Abort when the BDD manager exceeds this many nodes.
+    pub max_bdd_nodes: usize,
+}
+
+impl Default for EnlargeOptions {
+    fn default() -> EnlargeOptions {
+        EnlargeOptions {
+            k: 1,
+            max_bdd_nodes: 1_000_000,
+        }
+    }
+}
+
+/// Error returned by [`enlarge`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnlargeError {
+    /// BDD size exceeded [`EnlargeOptions::max_bdd_nodes`].
+    BddBlowup { nodes: usize },
+    /// The target index does not exist.
+    NoSuchTarget { index: usize },
+}
+
+impl fmt::Display for EnlargeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnlargeError::BddBlowup { nodes } => {
+                write!(f, "bdd blow-up during preimage computation ({nodes} nodes)")
+            }
+            EnlargeError::NoSuchTarget { index } => write!(f, "no target with index {index}"),
+        }
+    }
+}
+
+impl std::error::Error for EnlargeError {}
+
+/// The result of enlarging one target.
+#[derive(Debug, Clone)]
+pub struct Enlarged {
+    /// The netlist with the enlarged target appended as target `index`
+    /// (replacing the original target literal; the original gates remain).
+    pub netlist: Netlist,
+    /// The enlargement depth `k`: bounds back-translate as `d̂ + k`.
+    pub k: u32,
+    /// Index of the (replaced) target.
+    pub index: usize,
+    /// True when the enlarged target is the constant false — every state
+    /// that can hit the target at all hits it in fewer than `k` steps, so a
+    /// plain BMC of depth `k` is already complete.
+    pub collapsed: bool,
+}
+
+/// Computes the `k`-step enlarged target for target `index` of `n`.
+///
+/// The returned netlist is `n` plus the synthesized characteristic function
+/// of the enlarged state set; target `index` is redirected onto it. Bounds
+/// computed for the new target back-translate by `+k` (Theorem 4).
+///
+/// # Errors
+///
+/// Fails if `index` is out of range or the BDDs exceed the node budget.
+///
+/// # Examples
+///
+/// ```
+/// use diam_netlist::{Init, Netlist};
+/// use diam_transform::enlarge::{enlarge, EnlargeOptions};
+///
+/// // 3-bit counter; target: value == 5.
+/// let mut n = Netlist::new();
+/// let b: Vec<_> = (0..3).map(|k| n.reg(format!("b{k}"), Init::Zero)).collect();
+/// let c0 = b[0].lit();
+/// let carry1 = c0;
+/// let n1 = n.xor(b[1].lit(), carry1);
+/// let carry2 = n.and(b[1].lit(), carry1);
+/// let n2 = n.xor(b[2].lit(), carry2);
+/// n.set_next(b[0], !c0);
+/// n.set_next(b[1], n1);
+/// n.set_next(b[2], n2);
+/// let is5 = {
+///     let t0 = n.and(b[0].lit(), !b[1].lit());
+///     n.and(t0, b[2].lit())
+/// };
+/// n.add_target(is5, "value_is_5");
+/// let e = enlarge(&n, 0, &EnlargeOptions { k: 2, ..Default::default() })?;
+/// // The enlarged target characterizes {3}: hit exactly 2 steps before 5.
+/// assert!(!e.collapsed);
+/// # Ok::<(), diam_transform::enlarge::EnlargeError>(())
+/// ```
+pub fn enlarge(n: &Netlist, index: usize, opts: &EnlargeOptions) -> Result<Enlarged, EnlargeError> {
+    let target = n
+        .targets()
+        .get(index)
+        .ok_or(EnlargeError::NoSuchTarget { index })?
+        .clone();
+
+    // Variable numbering over the target's cone: registers then inputs.
+    let cone = coi(n, [target.lit]);
+    let mut var_of_gate: HashMap<Gate, u32> = HashMap::new();
+    for (k, &r) in cone.regs.iter().enumerate() {
+        var_of_gate.insert(r, k as u32);
+    }
+    let input_base = cone.regs.len() as u32;
+    for (k, &i) in cone.inputs.iter().enumerate() {
+        var_of_gate.insert(i, input_base + k as u32);
+    }
+    let input_vars: Vec<u32> = (0..cone.inputs.len() as u32)
+        .map(|k| input_base + k)
+        .collect();
+    let var_of = |g: Gate| var_of_gate.get(&g).copied();
+
+    let mut m = Manager::new();
+    let check = |m: &Manager| -> Result<(), EnlargeError> {
+        if m.num_nodes() > opts.max_bdd_nodes {
+            Err(EnlargeError::BddBlowup {
+                nodes: m.num_nodes(),
+            })
+        } else {
+            Ok(())
+        }
+    };
+
+    // Next-state functions of the cone registers.
+    let mut delta: HashMap<u32, Bdd> = HashMap::new();
+    for (k, &r) in cone.regs.iter().enumerate() {
+        let f = cone_to_bdd(&mut m, n, n.reg_next(r), &var_of);
+        delta.insert(k as u32, f);
+        check(&m)?;
+    }
+    // B0: states (after quantifying inputs) from which the target is hit
+    // immediately.
+    let t_bdd = cone_to_bdd(&mut m, n, target.lit, &var_of);
+    let hit_now = m.exists(t_bdd, &input_vars);
+    check(&m)?;
+
+    // Inductively simplified preimages.
+    let mut frontier = hit_now;
+    let mut covered = hit_now;
+    for _ in 0..opts.k {
+        let composed = m.compose(frontier, &delta);
+        let pre = m.exists(composed, &input_vars);
+        frontier = m.diff(pre, covered);
+        covered = m.or(covered, frontier);
+        check(&m)?;
+    }
+
+    // Structural synthesis over the current-state register literals.
+    let mut out = n.clone();
+    let reg_lits: Vec<Lit> = cone.regs.iter().map(|&r| r.lit()).collect();
+    let lit_of_var = |v: u32| reg_lits[v as usize];
+    let t_new = bdd_to_netlist(&m, frontier, &mut out, &lit_of_var);
+    let collapsed = t_new == Lit::FALSE;
+    // Redirect the target.
+    let name = format!("{}_enl{}", target.name, opts.k);
+    replace_target(&mut out, index, t_new, name);
+    Ok(Enlarged {
+        netlist: out,
+        k: opts.k,
+        index,
+        collapsed,
+    })
+}
+
+fn replace_target(n: &mut Netlist, index: usize, lit: Lit, name: String) {
+    // Netlist has no in-place target mutation; rebuild the target list.
+    let targets: Vec<(Lit, String)> = n
+        .targets()
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            if i == index {
+                (lit, name.clone())
+            } else {
+                (t.lit, t.name.clone())
+            }
+        })
+        .collect();
+    n.clear_targets();
+    for (l, nm) in targets {
+        n.add_target(l, nm);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diam_netlist::sim::{simulate, Stimulus};
+    use diam_netlist::Init;
+
+    /// Mod-8 counter with a `value == target_value` target.
+    fn counter(target_value: u8) -> Netlist {
+        let mut n = Netlist::new();
+        let b: Vec<Gate> = (0..3).map(|k| n.reg(format!("b{k}"), Init::Zero)).collect();
+        let carry1 = b[0].lit();
+        let n1 = n.xor(b[1].lit(), carry1);
+        let carry2 = n.and(b[1].lit(), carry1);
+        let n2 = n.xor(b[2].lit(), carry2);
+        n.set_next(b[0], !b[0].lit());
+        n.set_next(b[1], n1);
+        n.set_next(b[2], n2);
+        let bits: Vec<Lit> = (0..3)
+            .map(|k| b[k].lit().xor_complement(target_value >> k & 1 == 0))
+            .collect();
+        let t = n.and_many(bits);
+        n.add_target(t, format!("value_is_{target_value}"));
+        n
+    }
+
+    /// Earliest time the target is asserted under zero stimulus, up to a
+    /// horizon.
+    fn earliest_hit(n: &Netlist, horizon: usize) -> Option<usize> {
+        let trace = simulate(n, &Stimulus::zeros(n, horizon));
+        let t = n.targets()[0].lit;
+        (0..horizon).find(|&time| trace.value(t, time, 0))
+    }
+
+    #[test]
+    fn enlargement_shifts_earliest_hit_by_k() {
+        for k in 1..=3u32 {
+            let n = counter(5);
+            let e = enlarge(
+                &n,
+                0,
+                &EnlargeOptions {
+                    k,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let orig = earliest_hit(&n, 16).unwrap();
+            let enl = earliest_hit(&e.netlist, 16).unwrap();
+            assert_eq!(orig, 5);
+            assert_eq!(enl + k as usize, orig, "k={k}");
+        }
+    }
+
+    #[test]
+    fn collapsed_when_everything_hits_earlier() {
+        // Target: counter value == 0 (hit at time 0 from the only initial
+        // state; the 1-step preimage is {7}, not collapsed — but enlarging a
+        // constant-true-from-anywhere target collapses).
+        let mut n = Netlist::new();
+        let r = n.reg("r", Init::Zero);
+        n.set_next(r, r.lit());
+        // Target is constant true: every state hits immediately.
+        n.add_target(Lit::TRUE, "always");
+        let e = enlarge(&n, 0, &EnlargeOptions::default()).unwrap();
+        assert!(e.collapsed);
+    }
+
+    #[test]
+    fn input_quantification_in_preimage() {
+        // Target hits when input-controlled mux selects a register. The
+        // preimage must existentially quantify the input.
+        let mut n = Netlist::new();
+        let i = n.input("i").lit();
+        let r = n.reg("r", Init::Zero);
+        let d = n.input("d").lit();
+        n.set_next(r, d);
+        let t = n.and(i, r.lit());
+        n.add_target(t, "t");
+        let e = enlarge(
+            &n,
+            0,
+            &EnlargeOptions {
+                k: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Enlarged target: states from which some input makes r true next
+        // and the target not already hittable — ¬r (r can be loaded with 1).
+        assert!(!e.collapsed);
+        let t_new = e.netlist.targets()[0].lit;
+        // In the all-zero trace r stays 0, so ¬r holds at time 0.
+        let trace = simulate(&e.netlist, &Stimulus::zeros(&e.netlist, 2));
+        assert!(trace.value(t_new, 0, 0));
+    }
+
+    #[test]
+    fn bad_index_is_rejected() {
+        let n = counter(1);
+        assert!(matches!(
+            enlarge(&n, 7, &EnlargeOptions::default()),
+            Err(EnlargeError::NoSuchTarget { index: 7 })
+        ));
+    }
+
+    #[test]
+    fn other_targets_are_preserved() {
+        let mut n = counter(5);
+        let extra = n.regs()[0].lit();
+        n.add_target(extra, "bit0");
+        let e = enlarge(&n, 0, &EnlargeOptions::default()).unwrap();
+        assert_eq!(e.netlist.targets().len(), 2);
+        assert_eq!(e.netlist.targets()[1].name, "bit0");
+        assert_eq!(e.netlist.targets()[1].lit, extra);
+    }
+}

@@ -1,0 +1,532 @@
+//! State-folding abstractions: **phase abstraction** and **c-slow
+//! abstraction** (Section 3.3 of the paper, Theorem 3).
+//!
+//! Both apply to netlists whose registers can be *c-colored* such that a
+//! register of color `i` combinationally fans out only to registers of color
+//! `(i + 1) mod c`. Folding keeps one color of registers and turns every
+//! other register into a combinational feed-through of its next-state
+//! function, temporally folding the netlist modulo `c`: one folded step
+//! corresponds to `c` original steps.
+//!
+//! Consequently a diameter bound `d̂` computed on the folded netlist
+//! back-translates as `c · d̂` for the original (Theorem 3).
+//!
+//! Phase abstraction is the same folding applied to netlists derived from
+//! two-phase level-sensitive latch designs — in this library latches are
+//! modeled as edge-triggered registers per phase color, which is precisely
+//! the intermediate form phase abstraction produces.
+
+use diam_netlist::analysis::{reg_graph, RegGraph};
+use diam_netlist::{Gate, GateKind, Init, Lit, Netlist};
+use std::fmt;
+
+/// A register c-coloring.
+#[derive(Debug, Clone)]
+pub struct Coloring {
+    /// The folding factor. `1` means no useful folding exists.
+    pub c: u32,
+    /// Color per register (parallel to [`Netlist::regs`]).
+    pub colors: Vec<u32>,
+}
+
+/// Error returned by [`fold`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FoldError {
+    /// The provided coloring violates the `(i+1) mod c` fan-out condition.
+    InvalidColoring { from: Gate, to: Gate },
+    /// `c` must be at least 2 to fold anything.
+    TrivialFactor,
+}
+
+impl fmt::Display for FoldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FoldError::InvalidColoring { from, to } => {
+                write!(f, "coloring violated on register edge {from} -> {to}")
+            }
+            FoldError::TrivialFactor => write!(f, "folding factor must be >= 2"),
+        }
+    }
+}
+
+impl std::error::Error for FoldError {}
+
+/// Detects the largest folding factor of `n` and a consistent coloring.
+///
+/// The factor is the gcd of all register-cycle length discrepancies in the
+/// register dependency graph. When the graph is acyclic every factor is
+/// consistent; `preferred_acyclic` (usually 2 for two-phase designs) is used
+/// then. Returns `c = 1` when no non-trivial folding exists (e.g. a register
+/// with a combinational self-loop).
+pub fn detect(n: &Netlist, preferred_acyclic: u32) -> Coloring {
+    let regs: Vec<Gate> = n.regs().to_vec();
+    let g = reg_graph(n, &regs);
+    let (levels, gcd) = level_assignment(&g);
+    let c = if gcd == 0 {
+        preferred_acyclic.max(1)
+    } else {
+        u32::try_from(gcd).unwrap_or(1)
+    };
+    if c < 2 {
+        return Coloring {
+            c: 1,
+            colors: vec![0; regs.len()],
+        };
+    }
+    let colors = levels
+        .iter()
+        .map(|&l| (l.rem_euclid(c as i64)) as u32)
+        .collect();
+    Coloring { c, colors }
+}
+
+/// BFS level assignment over the undirected register graph; returns per-reg
+/// levels and the gcd of all edge discrepancies (0 if none).
+fn level_assignment(g: &RegGraph) -> (Vec<i64>, i64) {
+    let n = g.len();
+    let mut level = vec![i64::MIN; n];
+    let mut gcd: i64 = 0;
+    for start in 0..n {
+        if level[start] != i64::MIN {
+            continue;
+        }
+        level[start] = 0;
+        let mut queue = std::collections::VecDeque::from([start]);
+        while let Some(v) = queue.pop_front() {
+            for &w in &g.succs[v] {
+                if level[w] == i64::MIN {
+                    level[w] = level[v] + 1;
+                    queue.push_back(w);
+                } else {
+                    gcd = gcd_i64(gcd, level[v] + 1 - level[w]);
+                }
+            }
+            for &u in &g.preds[v] {
+                if level[u] == i64::MIN {
+                    level[u] = level[v] - 1;
+                    queue.push_back(u);
+                } else {
+                    gcd = gcd_i64(gcd, level[u] + 1 - level[v]);
+                }
+            }
+        }
+    }
+    (level, gcd.abs())
+}
+
+fn gcd_i64(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// The result of folding.
+#[derive(Debug, Clone)]
+pub struct Folded {
+    /// The folded netlist.
+    pub netlist: Netlist,
+    /// Old gate → new literal (registers of dropped colors map to their
+    /// expanded next-state functions).
+    pub map: Vec<Option<Lit>>,
+    /// The folding factor; diameter bounds multiply by this (Theorem 3).
+    pub c: u32,
+    /// Registers before folding.
+    pub regs_before: usize,
+    /// Registers kept.
+    pub regs_after: usize,
+}
+
+impl Folded {
+    /// Maps an original literal into the folded netlist.
+    pub fn lit(&self, old: Lit) -> Option<Lit> {
+        self.map[old.gate().index()].map(|l| l.xor_complement(old.is_complement()))
+    }
+}
+
+/// Folds `n` modulo `coloring.c`, keeping only registers of color `keep`.
+///
+/// # Errors
+///
+/// Fails if the coloring violates the fan-out condition or `c < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use diam_netlist::{Init, Netlist};
+/// use diam_transform::fold::{detect, fold};
+///
+/// // A 2-slowed toggle: two registers in a loop.
+/// let mut n = Netlist::new();
+/// let a = n.reg("a", Init::Zero);
+/// let b = n.reg("b", Init::Zero);
+/// n.set_next(a, !b.lit());
+/// n.set_next(b, a.lit());
+/// n.add_target(a.lit(), "t");
+/// let coloring = detect(&n, 2);
+/// assert_eq!(coloring.c, 2);
+/// let folded = fold(&n, &coloring, 0)?;
+/// assert_eq!(folded.netlist.num_regs(), 1);
+/// # Ok::<(), diam_transform::fold::FoldError>(())
+/// ```
+pub fn fold(n: &Netlist, coloring: &Coloring, keep: u32) -> Result<Folded, FoldError> {
+    let c = coloring.c;
+    if c < 2 {
+        return Err(FoldError::TrivialFactor);
+    }
+    // Validate the coloring.
+    let regs: Vec<Gate> = n.regs().to_vec();
+    let g = reg_graph(n, &regs);
+    for (u, succs) in g.succs.iter().enumerate() {
+        for &v in succs {
+            if (coloring.colors[u] + 1) % c != coloring.colors[v] {
+                return Err(FoldError::InvalidColoring {
+                    from: regs[u],
+                    to: regs[v],
+                });
+            }
+        }
+    }
+    let color_of = |r: Gate| -> u32 {
+        let pos = n.regs().iter().position(|&x| x == r).expect("register");
+        coloring.colors[pos]
+    };
+
+    let mut out = Netlist::new();
+    let mut map: Vec<Option<Lit>> = vec![None; n.num_gates()];
+    map[Gate::CONST0.index()] = Some(Lit::FALSE);
+    for &i in n.inputs() {
+        let ni = out.input(n.name(i).unwrap_or("in").to_string());
+        map[i.index()] = Some(ni.lit());
+    }
+    // Kept registers exist up front (their next functions may form cycles).
+    let kept: Vec<Gate> = regs
+        .iter()
+        .copied()
+        .filter(|&r| color_of(r) == keep)
+        .collect();
+    for &r in &kept {
+        let init = n.reg_init(r); // Fn cones translated below
+        let nr = out.reg(n.name(r).unwrap_or("reg").to_string(), init);
+        map[r.index()] = Some(nr.lit());
+    }
+
+    // Memoized translation; dropped-color registers expand to their
+    // next-state functions (recursion is bounded by the color distance to
+    // `keep`, since any register cycle passes through every color).
+    fn translate(
+        n: &Netlist,
+        out: &mut Netlist,
+        map: &mut Vec<Option<Lit>>,
+        color_of: &dyn Fn(Gate) -> u32,
+        keep: u32,
+        l: Lit,
+    ) -> Lit {
+        if let Some(t) = map[l.gate().index()] {
+            return t.xor_complement(l.is_complement());
+        }
+        let g = l.gate();
+        let plain = match n.kind(g) {
+            GateKind::Const0 => Lit::FALSE,
+            GateKind::Input => unreachable!("inputs pre-mapped"),
+            GateKind::And(a, b) => {
+                let ta = translate(n, out, map, color_of, keep, a);
+                let tb = translate(n, out, map, color_of, keep, b);
+                out.and(ta, tb)
+            }
+            GateKind::Reg => {
+                debug_assert_ne!(color_of(g), keep, "kept registers pre-mapped");
+                translate(n, out, map, color_of, keep, n.reg_next(g))
+            }
+        };
+        map[g.index()] = Some(plain);
+        plain.xor_complement(l.is_complement())
+    }
+
+    // Connect kept registers.
+    for &r in &kept {
+        let next = translate(n, &mut out, &mut map, &color_of, keep, n.reg_next(r));
+        let nr = map[r.index()].expect("kept register mapped").gate();
+        out.set_next(nr, next);
+        if let Init::Fn(l) = n.reg_init(r) {
+            let tl = translate(n, &mut out, &mut map, &color_of, keep, l);
+            out.set_init(nr, Init::Fn(tl));
+        }
+    }
+    // Targets.
+    for t in n.targets() {
+        let l = translate(n, &mut out, &mut map, &color_of, keep, t.lit);
+        out.add_target(l, t.name.clone());
+    }
+
+    let regs_after = out.num_regs();
+    Ok(Folded {
+        netlist: out,
+        map,
+        c,
+        regs_before: n.num_regs(),
+        regs_after,
+    })
+}
+
+/// Phase abstraction as a one-call convenience: detects a 2-colorable
+/// register structure (the synchronous model of a two-phase level-sensitive
+/// latch design) and folds it, keeping the color observed by the first
+/// target's support. Returns `None` when the netlist is not two-phase or a
+/// target mixes colors (Theorem 3 only speaks about identically-colored
+/// vertex sets).
+pub fn phase_abstract(n: &Netlist) -> Option<Folded> {
+    let coloring = detect(n, 2);
+    if coloring.c < 2 {
+        return None;
+    }
+    // Find the color the targets observe; bail out on mixed support.
+    let mut keep: Option<u32> = None;
+    for t in n.targets() {
+        let sup = diam_netlist::analysis::support(n, t.lit);
+        for r in sup.regs {
+            let pos = n.regs().iter().position(|&x| x == r)?;
+            let c = coloring.colors[pos];
+            match keep {
+                None => keep = Some(c),
+                Some(k) if k != c => return None,
+                _ => {}
+            }
+        }
+    }
+    fold(n, &coloring, keep.unwrap_or(0)).ok()
+}
+
+/// The inverse construction used for testing and workload generation:
+/// *c-slows* a netlist by replacing every register with `c` registers in
+/// series, each initialized like the original. The result folds back to a
+/// netlist trace-equivalent to the input.
+pub fn c_slow(n: &Netlist, c: u32) -> Netlist {
+    assert!(c >= 1, "c-slow factor must be positive");
+    let mut out = Netlist::new();
+    let mut map: Vec<Option<Lit>> = vec![None; n.num_gates()];
+    map[Gate::CONST0.index()] = Some(Lit::FALSE);
+    for &i in n.inputs() {
+        let ni = out.input(n.name(i).unwrap_or("in").to_string());
+        map[i.index()] = Some(ni.lit());
+    }
+    // Each original register becomes a chain of c registers; the chain tail
+    // is the visible value.
+    let mut chains: Vec<Vec<Gate>> = Vec::new();
+    for &r in n.regs() {
+        let name = n.name(r).unwrap_or("reg");
+        let chain: Vec<Gate> = (0..c)
+            .map(|k| out.reg(format!("{name}_p{k}"), n.reg_init(r)))
+            .collect();
+        map[r.index()] = Some(chain[c as usize - 1].lit());
+        chains.push(chain);
+    }
+    // Combinational logic in index order (inputs/regs mapped already).
+    for g in n.gates() {
+        if let GateKind::And(a, b) = n.kind(g) {
+            let ta = map[a.gate().index()].expect("fanin mapped").xor_complement(a.is_complement());
+            let tb = map[b.gate().index()].expect("fanin mapped").xor_complement(b.is_complement());
+            map[g.index()] = Some(out.and(ta, tb));
+        }
+    }
+    for (chain, &r) in chains.iter().zip(n.regs()) {
+        let next = n.reg_next(r);
+        let tn = map[next.gate().index()]
+            .expect("next mapped")
+            .xor_complement(next.is_complement());
+        out.set_next(chain[0], tn);
+        for k in 1..c as usize {
+            out.set_next(chain[k], chain[k - 1].lit());
+        }
+        if let Init::Fn(l) = n.reg_init(r) {
+            let tl = map[l.gate().index()]
+                .expect("init cone mapped")
+                .xor_complement(l.is_complement());
+            for &cr in chain {
+                out.set_init(cr, Init::Fn(tl));
+            }
+        }
+    }
+    for t in n.targets() {
+        let l = map[t.lit.gate().index()]
+            .expect("target mapped")
+            .xor_complement(t.lit.is_complement());
+        out.add_target(l, t.name.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diam_netlist::sim::{simulate, SplitMix64, Stimulus};
+
+    fn small_design(seed: u64) -> Netlist {
+        let mut rng = SplitMix64::new(seed);
+        let mut n = Netlist::new();
+        let mut pool: Vec<Lit> = (0..2).map(|k| n.input(format!("i{k}")).lit()).collect();
+        let mut regs = Vec::new();
+        for k in 0..3 {
+            let r = n.reg(format!("r{k}"), if k == 1 { Init::One } else { Init::Zero });
+            regs.push(r);
+            pool.push(r.lit());
+        }
+        for _ in 0..8 {
+            let a = pool[rng.below(pool.len() as u64) as usize];
+            let b = pool[rng.below(pool.len() as u64) as usize];
+            pool.push(match rng.below(3) {
+                0 => n.and(a, b),
+                1 => n.or(a, b),
+                _ => n.xor(a, b),
+            });
+        }
+        for &r in &regs {
+            let nx = pool[rng.below(pool.len() as u64) as usize];
+            n.set_next(r, nx);
+        }
+        n.add_target(*pool.last().unwrap(), "t");
+        n
+    }
+
+    #[test]
+    fn detect_finds_two_slow_loop() {
+        let mut n = Netlist::new();
+        let a = n.reg("a", Init::Zero);
+        let b = n.reg("b", Init::Zero);
+        n.set_next(a, !b.lit());
+        n.set_next(b, a.lit());
+        n.add_target(a.lit(), "t");
+        let col = detect(&n, 2);
+        assert_eq!(col.c, 2);
+        assert_ne!(col.colors[0], col.colors[1]);
+    }
+
+    #[test]
+    fn self_loop_prevents_folding() {
+        let mut n = Netlist::new();
+        let r = n.reg("r", Init::Zero);
+        n.set_next(r, !r.lit());
+        n.add_target(r.lit(), "t");
+        let col = detect(&n, 2);
+        assert_eq!(col.c, 1);
+    }
+
+    #[test]
+    fn acyclic_uses_preferred_factor() {
+        let mut n = Netlist::new();
+        let i = n.input("i");
+        let a = n.reg("a", Init::Zero);
+        let b = n.reg("b", Init::Zero);
+        n.set_next(a, i.lit());
+        n.set_next(b, a.lit());
+        n.add_target(b.lit(), "t");
+        let col = detect(&n, 2);
+        assert_eq!(col.c, 2);
+        let folded = fold(&n, &col, col.colors[1]).unwrap();
+        assert_eq!(folded.netlist.num_regs(), 1);
+    }
+
+    #[test]
+    fn invalid_coloring_is_rejected() {
+        let mut n = Netlist::new();
+        let a = n.reg("a", Init::Zero);
+        let b = n.reg("b", Init::Zero);
+        n.set_next(a, !b.lit());
+        n.set_next(b, a.lit());
+        n.add_target(a.lit(), "t");
+        let col = Coloring {
+            c: 2,
+            colors: vec![0, 0],
+        };
+        assert!(matches!(
+            fold(&n, &col, 0),
+            Err(FoldError::InvalidColoring { .. })
+        ));
+    }
+
+    #[test]
+    fn mixed_parity_graph_cannot_fold() {
+        // Paths of length 1 and 2 between the same registers: gcd = 1.
+        let mut n = Netlist::new();
+        let a = n.reg("a", Init::Zero);
+        let b = n.reg("b", Init::Zero);
+        let c = n.reg("c", Init::Zero);
+        let x = n.or(a.lit(), b.lit());
+        n.set_next(b, a.lit());
+        n.set_next(c, x);
+        n.set_next(a, c.lit());
+        n.add_target(c.lit(), "t");
+        let col = detect(&n, 2);
+        assert_eq!(col.c, 1);
+    }
+
+    #[test]
+    fn phase_abstract_convenience() {
+        // A 2-slowed toggle observed at its tail: the one-call wrapper
+        // detects, picks the right color, and folds.
+        let base = small_design(3);
+        let slowed = c_slow(&base, 2);
+        let folded = phase_abstract(&slowed).expect("two-phase");
+        assert_eq!(folded.c, 2);
+        assert_eq!(folded.netlist.num_regs(), base.num_regs());
+        // Mixed-color observation refuses.
+        let mut mixed = slowed.clone();
+        let r0 = mixed.regs()[0].lit();
+        let r1 = mixed.regs()[1].lit();
+        let both = mixed.and(r0, r1);
+        mixed.add_target(both, "mixed");
+        assert!(phase_abstract(&mixed).is_none());
+    }
+
+    /// fold(c_slow(n)) is trace-equivalent to n: every folded step equals c
+    /// original-design steps, with identical gate values on the sampled
+    /// steps.
+    #[test]
+    fn folding_inverts_c_slowing() {
+        for seed in 0..10u64 {
+            for c in [2u32, 3] {
+                let base = small_design(seed);
+                let slowed = c_slow(&base, c);
+                assert_eq!(slowed.num_regs(), base.num_regs() * c as usize);
+                let col = detect(&slowed, c);
+                assert_eq!(col.c % c, 0, "seed {seed}: detected factor {}", col.c);
+                // Fold with the detected coloring, keeping the color of the
+                // chain tails (the visible values).
+                let tail_pos = slowed
+                    .regs()
+                    .iter()
+                    .position(|&r| slowed.name(r).unwrap().ends_with(&format!("_p{}", c - 1)))
+                    .unwrap();
+                let keep = col.colors[tail_pos];
+                let folded = fold(&slowed, &col, keep).unwrap();
+                assert_eq!(folded.netlist.num_regs(), base.num_regs());
+                folded.netlist.validate().unwrap();
+
+                // Co-simulate: base and folded should agree given the same
+                // input streams.
+                let mut rng = SplitMix64::new(900 + seed);
+                let steps = 12;
+                let stim = Stimulus::random(&base, steps, &mut rng);
+                let tb = simulate(&base, &stim);
+                let stim_f = Stimulus {
+                    inputs: stim.inputs.clone(),
+                    nondet_init: vec![0; folded.netlist.num_regs()],
+                };
+                let tf = simulate(&folded.netlist, &stim_f);
+                // Compare target values (mapped through c_slow then fold).
+                let t_base = base.targets()[0].lit;
+                let t_fold = folded.netlist.targets()[0].lit;
+                for t in 0..steps {
+                    assert_eq!(
+                        tb.word(t_base, t),
+                        tf.word(t_fold, t),
+                        "seed {seed} c {c} t {t}"
+                    );
+                }
+            }
+        }
+    }
+}

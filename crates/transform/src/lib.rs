@@ -1,0 +1,36 @@
+//! # diam-transform
+//!
+//! The structural transformation engines of the `diam` project — a
+//! from-scratch Rust reproduction of *Baumgartner & Kuehlmann, "Enhanced
+//! Diameter Bounding via Structural Transformation", DATE 2004*.
+//!
+//! Each engine corresponds to a section of the paper:
+//!
+//! | Module | Engine | Paper | Diameter back-translation |
+//! |---|---|---|---|
+//! | [`com`] | redundancy removal (SAT sweeping + induction) | §3.1 | identity (Theorem 1) |
+//! | [`parametric`] | parametric re-encoding of input-fed cuts | §3.1 | identity (Theorem 1) |
+//! | [`retime`] | normalized min-register retiming + stump | §3.2 | `d̂ + (−lag)` (Theorem 2) |
+//! | [`fold`] | phase / c-slow abstraction (state folding) | §3.3 | `c · d̂` (Theorem 3) |
+//! | [`enlarge`] | target enlargement via BDD preimages | §3.4 | `d̂ + k` (Theorem 4) |
+//! | [`approx`] | localization & case splitting | §3.5–3.6 | **none — unsound** |
+//!
+//! Shared infrastructure: [`unroll`] (Tseitin time-frame expansion into the
+//! SAT solver), [`flow`] (the min-cost-flow solver behind retiming), and
+//! [`bridge`] (netlist ↔ BDD conversion).
+//!
+//! The paper's target-enlargement caveat is worth restating here: an
+//! enlarged target may *obscure deassertions* (its mod-c counter example),
+//! so enlargement yields only the `d̂ + k` hittability bound of Theorem 4 —
+//! it cannot bound the diameter of an intermediate component of a
+//! partitioned netlist.
+
+pub mod approx;
+pub mod bridge;
+pub mod com;
+pub mod enlarge;
+pub mod flow;
+pub mod fold;
+pub mod parametric;
+pub mod retime;
+pub mod unroll;

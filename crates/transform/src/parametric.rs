@@ -1,0 +1,590 @@
+//! Parametric re-encoding of input-fed cuts (Section 3.1 of the paper,
+//! citing \[16, 17\]).
+//!
+//! A *cut* whose fanin cones contain only primary inputs computes some set
+//! of producible valuations (its *range*). Re-encoding replaces the cones by
+//! new, typically much smaller logic over fresh *parameter inputs* whose
+//! range is identical — a trace-equivalence-preserving transformation for
+//! every vertex outside the replaced cones (Theorem 1 applies: diameter
+//! bounds back-translate unchanged).
+//!
+//! When the range is complete, the cut signals simply become fresh primary
+//! inputs. Otherwise the classic parametric construction is used: signal
+//! `y_i` becomes `ite(possible_1, ite(possible_0, p_i, 1), 0)` where
+//! `possible_b` asks whether the range (restricted by the previous choices)
+//! admits `y_i = b`.
+
+use crate::bridge::{bdd_to_netlist, cone_to_bdd};
+use diam_bdd::{Bdd, Manager};
+use diam_netlist::analysis::support;
+use diam_netlist::rebuild::{identity_repr, Rebuilt};
+use diam_netlist::{Gate, Lit, Netlist};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Error returned by [`reencode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReencodeError {
+    /// A cut signal's cone contains a register — only input-fed cuts can be
+    /// re-encoded by this engine.
+    SequentialCone { lit: Lit },
+    /// An input inside the cut cones also fans out to logic outside them,
+    /// so replacing the cones would break a correlation.
+    LeakyInput { input: Gate },
+    /// The cut is empty.
+    EmptyCut,
+}
+
+impl fmt::Display for ReencodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReencodeError::SequentialCone { lit } => {
+                write!(f, "cut signal {lit} has a sequential fanin cone")
+            }
+            ReencodeError::LeakyInput { input } => {
+                write!(f, "input {input} leaks outside the re-encoded cones")
+            }
+            ReencodeError::EmptyCut => write!(f, "cut is empty"),
+        }
+    }
+}
+
+impl std::error::Error for ReencodeError {}
+
+/// The result of parametric re-encoding.
+#[derive(Debug, Clone)]
+pub struct Reencoded {
+    /// The re-encoded netlist.
+    pub netlist: Netlist,
+    /// Old gate → new literal for surviving gates.
+    pub map: Vec<Option<Lit>>,
+    /// Fresh parameter inputs.
+    pub params: Vec<Gate>,
+    /// Whether the cut's range was complete (pure cut-to-input rewrite).
+    pub complete_range: bool,
+}
+
+/// Re-encodes the given cut literals parametrically.
+///
+/// # Errors
+///
+/// Fails when a cone is sequential, the cut is empty, or an input inside the
+/// cones is observable outside them (see [`ReencodeError`]).
+///
+/// # Examples
+///
+/// ```
+/// use diam_netlist::{Init, Netlist};
+/// use diam_transform::parametric::reencode;
+///
+/// // y = a XOR b has complete range: it becomes a plain input.
+/// let mut n = Netlist::new();
+/// let a = n.input("a").lit();
+/// let b = n.input("b").lit();
+/// let y = n.xor(a, b);
+/// let r = n.reg("r", Init::Zero);
+/// n.set_next(r, y);
+/// n.add_target(r.lit(), "t");
+/// let re = reencode(&n, &[y])?;
+/// assert!(re.complete_range);
+/// assert_eq!(re.netlist.num_ands(), 0);
+/// # Ok::<(), diam_transform::parametric::ReencodeError>(())
+/// ```
+pub fn reencode(n: &Netlist, cut: &[Lit]) -> Result<Reencoded, ReencodeError> {
+    if cut.is_empty() {
+        return Err(ReencodeError::EmptyCut);
+    }
+    // Validate: cones are input-only, and cone inputs do not leak.
+    let mut cone_inputs: HashSet<Gate> = HashSet::new();
+    let mut cone_gates: HashSet<Gate> = HashSet::new();
+    for &l in cut {
+        let sup = support(n, l);
+        if let Some(&r) = sup.regs.first() {
+            return Err(ReencodeError::SequentialCone { lit: r.lit() });
+        }
+        cone_inputs.extend(sup.inputs);
+        mark_cone(n, l.gate(), &mut cone_gates);
+    }
+    // Leak check: every fanout of a cone input must stay inside the cones or
+    // be a cut signal itself.
+    let cut_gates: HashSet<Gate> = cut.iter().map(|l| l.gate()).collect();
+    for g in n.gates() {
+        if cone_gates.contains(&g) && !cut_gates.contains(&g) {
+            continue;
+        }
+        match n.kind(g) {
+            diam_netlist::GateKind::And(a, b) => {
+                for l in [a, b] {
+                    if cone_inputs.contains(&l.gate()) && !cut_gates.contains(&g) {
+                        return Err(ReencodeError::LeakyInput { input: l.gate() });
+                    }
+                }
+            }
+            diam_netlist::GateKind::Reg => {
+                let nx = n.reg_next(g);
+                if cone_inputs.contains(&nx.gate()) {
+                    return Err(ReencodeError::LeakyInput { input: nx.gate() });
+                }
+                if let diam_netlist::Init::Fn(l) = n.reg_init(g) {
+                    if cone_inputs.contains(&l.gate()) {
+                        return Err(ReencodeError::LeakyInput { input: l.gate() });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    // Targets directly on cone inputs also leak.
+    for t in n.targets() {
+        if cone_inputs.contains(&t.lit.gate()) && !cut_gates.contains(&t.lit.gate()) {
+            return Err(ReencodeError::LeakyInput {
+                input: t.lit.gate(),
+            });
+        }
+    }
+
+    // Range computation.
+    let mut m = Manager::new();
+    let inputs: Vec<Gate> = cone_inputs.iter().copied().collect();
+    let input_var: HashMap<Gate, u32> = inputs
+        .iter()
+        .enumerate()
+        .map(|(k, &g)| (g, k as u32))
+        .collect();
+    let k = cut.len() as u32;
+    let y_base = inputs.len() as u32;
+    let var_of = |g: Gate| input_var.get(&g).copied();
+    // range(y) = ∃ inputs. ∧_i (y_i ↔ f_i(inputs))
+    let mut conj = Bdd::TRUE;
+    for (i, &l) in cut.iter().enumerate() {
+        let f = cone_to_bdd(&mut m, n, l, &var_of);
+        let y = m.var(y_base + i as u32);
+        let eq = m.xnor(y, f);
+        conj = m.and(conj, eq);
+    }
+    let input_vars: Vec<u32> = (0..inputs.len() as u32).collect();
+    let range = m.exists(conj, &input_vars);
+    let complete_range = range == Bdd::TRUE;
+
+    // Parametric functions g_i over parameter variables p_i. Parameters
+    // reuse the y-variable indices (the range BDD is over y vars; we
+    // substitute as we go).
+    // S holds the range restricted by the choices made so far; it is a BDD
+    // over the remaining y_{i..} and the parameters p_{0..i}.
+    // Parameter variable for p_i: y_base + k + i.
+    let p_base = y_base + k;
+    let mut s = range;
+    let mut g_funcs: Vec<Bdd> = Vec::with_capacity(cut.len());
+    for i in 0..k {
+        let yv = y_base + i;
+        let rest: Vec<u32> = (i + 1..k).map(|j| y_base + j).collect();
+        let s0 = m.restrict(s, yv, false);
+        let s1 = m.restrict(s, yv, true);
+        let possible0 = m.exists(s0, &rest);
+        let possible1 = m.exists(s1, &rest);
+        let p = m.var(p_base + i);
+        // g = ite(possible1, ite(possible0, p, 1), 0)
+        let inner = m.ite(possible0, p, Bdd::TRUE);
+        let g = m.ite(possible1, inner, Bdd::FALSE);
+        g_funcs.push(g);
+        // Substitute y_i := g into S.
+        let mut sub = HashMap::new();
+        sub.insert(yv, g);
+        s = m.compose(s, &sub);
+    }
+
+    // Build the new netlist: drop the old cones by redirecting each cut
+    // gate onto a placeholder, then synthesize the parametric functions.
+    // Simplest robust construction: copy the netlist with cut gates replaced
+    // by fresh inputs, then rewrite those inputs' fanouts… instead we build
+    // from scratch via rebuild with a repr that maps cut gates to themselves
+    // and postprocess. To keep it simple and correct we synthesize into a
+    // copy: create parameter inputs, synthesize g_i, and remap.
+    let mut tmp = n.clone();
+    let params: Vec<Gate> = (0..k).map(|i| tmp.input(format!("p{i}"))).collect();
+    let param_lits: Vec<Lit> = params.iter().map(|&g| g.lit()).collect();
+    let lit_of_var = |v: u32| -> Lit {
+        assert!(v >= p_base, "parametric function mentions a non-parameter");
+        param_lits[(v - p_base) as usize]
+    };
+    // Synthesize all parametric functions first (growing `tmp`), then build
+    // the representative table over the final gate count. The synthesized
+    // gates are *newer* than the cut gates they replace, which the ordered
+    // `rebuild` cannot express — `rebuild_any` below resolves such chains by
+    // fixpoint instead.
+    let g_lits: Vec<Lit> = g_funcs
+        .iter()
+        .map(|&f| bdd_to_netlist(&m, f, &mut tmp, &lit_of_var))
+        .collect();
+    let mut repr = identity_repr(&tmp);
+    for (i, &l) in cut.iter().enumerate() {
+        repr[l.gate().index()] = g_lits[i].xor_complement(l.is_complement());
+    }
+    let Rebuilt { netlist, map } = rebuild_any(&tmp, &repr);
+    // Parameter inputs in the new netlist.
+    let new_params: Vec<Gate> = params
+        .iter()
+        .filter_map(|&p| map[p.index()].map(|l| l.gate()))
+        .collect();
+    Ok(Reencoded {
+        netlist,
+        map,
+        params: new_params,
+        complete_range,
+    })
+}
+
+/// Automatically selects a re-encodable cut: the AND gates with purely
+/// input-fed cones that sit on the *sequential boundary* (feeding a
+/// register, a target, or logic that also reads state). Candidates whose
+/// cone inputs leak outside the cut are dropped iteratively until
+/// [`reencode`] accepts the set.
+///
+/// Returns the re-encoding, or `None` when no usable cut exists.
+pub fn reencode_auto(n: &Netlist) -> Option<Reencoded> {
+    use diam_netlist::GateKind;
+    // Input-only-cone flag per gate.
+    let mut input_only = vec![false; n.num_gates()];
+    for g in n.gates() {
+        input_only[g.index()] = match n.kind(g) {
+            GateKind::Const0 | GateKind::Input => true,
+            GateKind::Reg => false,
+            GateKind::And(a, b) => {
+                input_only[a.gate().index()] && input_only[b.gate().index()]
+            }
+        };
+    }
+    // Boundary gates: input-only ANDs consumed by something not input-only.
+    let mut boundary: HashSet<Gate> = HashSet::new();
+    let consider = |l: diam_netlist::Lit, boundary: &mut HashSet<Gate>| {
+        let g = l.gate();
+        if input_only[g.index()] && matches!(n.kind(g), GateKind::And(..)) {
+            boundary.insert(g);
+        }
+    };
+    for g in n.gates() {
+        match n.kind(g) {
+            GateKind::And(a, b) if !input_only[g.index()] => {
+                consider(a, &mut boundary);
+                consider(b, &mut boundary);
+            }
+            GateKind::Reg => {
+                consider(n.reg_next(g), &mut boundary);
+                if let diam_netlist::Init::Fn(l) = n.reg_init(g) {
+                    consider(l, &mut boundary);
+                }
+            }
+            _ => {}
+        }
+    }
+    for t in n.targets() {
+        consider(t.lit, &mut boundary);
+    }
+    let mut cut: Vec<diam_netlist::Lit> = boundary.iter().map(|g| g.lit()).collect();
+    cut.sort_by_key(|l| l.gate().index());
+    // Iteratively drop candidates whose inputs leak.
+    loop {
+        if cut.is_empty() {
+            return None;
+        }
+        match reencode(n, &cut) {
+            Ok(r) => return Some(r),
+            Err(ReencodeError::LeakyInput { input }) => {
+                let before = cut.len();
+                cut.retain(|&l| {
+                    !diam_netlist::analysis::support(n, l).inputs.contains(&input)
+                });
+                if cut.len() == before {
+                    return None; // leak not attributable: give up
+                }
+            }
+            Err(_) => return None,
+        }
+    }
+}
+
+fn mark_cone(n: &Netlist, root: Gate, out: &mut HashSet<Gate>) {
+    let mut stack = vec![root];
+    while let Some(g) = stack.pop() {
+        if !out.insert(g) {
+            continue;
+        }
+        if let diam_netlist::GateKind::And(a, b) = n.kind(g) {
+            stack.push(a.gate());
+            stack.push(b.gate());
+        }
+    }
+}
+
+/// Like [`diam_netlist::rebuild::rebuild`] but tolerating representatives
+/// that point at *newer* gates (needed because the parametric functions are
+/// synthesized after the gates they replace). Chains are resolved by
+/// fixpoint instead of a single ordered pass.
+fn rebuild_any(n: &Netlist, repr: &[Lit]) -> Rebuilt {
+    // Resolve chains to fixpoint.
+    let mut resolved: Vec<Lit> = repr.to_vec();
+    loop {
+        let mut changed = false;
+        for g in n.gates() {
+            let r = resolved[g.index()];
+            let rr = resolved[r.gate().index()].xor_complement(r.is_complement());
+            if rr != r {
+                resolved[g.index()] = rr;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Now emit with a recursive copy (graph is still acyclic because the
+    // synthesized logic never re-enters the replaced cones).
+    let mut out = Netlist::new();
+    let mut map: Vec<Option<Lit>> = vec![None; n.num_gates()];
+    map[Gate::CONST0.index()] = Some(Lit::FALSE);
+
+    fn emit(
+        n: &Netlist,
+        resolved: &[Lit],
+        out: &mut Netlist,
+        map: &mut Vec<Option<Lit>>,
+        g: Gate,
+    ) -> Lit {
+        let r = resolved[g.index()];
+        if r.gate() != g {
+            let base = emit(n, resolved, out, map, r.gate());
+            return base.xor_complement(r.is_complement());
+        }
+        if let Some(l) = map[g.index()] {
+            return l;
+        }
+        let l = match n.kind(g) {
+            diam_netlist::GateKind::Const0 => Lit::FALSE,
+            diam_netlist::GateKind::Input => {
+                out.input(n.name(g).unwrap_or("in").to_string()).lit()
+            }
+            diam_netlist::GateKind::Reg => {
+                // Create now; connect next/init later (cycles).
+                let init = match n.reg_init(g) {
+                    diam_netlist::Init::Fn(_) => diam_netlist::Init::Zero,
+                    other => other,
+                };
+                out.reg(n.name(g).unwrap_or("reg").to_string(), init).lit()
+            }
+            diam_netlist::GateKind::And(a, b) => {
+                let la = emit(n, resolved, out, map, a.gate()).xor_complement(a.is_complement());
+                let lb = emit(n, resolved, out, map, b.gate()).xor_complement(b.is_complement());
+                out.and(la, lb)
+            }
+        };
+        map[g.index()] = Some(l);
+        l
+    }
+
+    // Seed from targets, then connect registers reachable through them.
+    for t in n.targets() {
+        emit(n, &resolved, &mut out, &mut map, t.lit.gate());
+    }
+    // Connect registers iteratively until closure (next cones may pull in
+    // more registers).
+    let mut connected: std::collections::HashSet<Gate> = std::collections::HashSet::new();
+    loop {
+        let pending: Vec<Gate> = n
+            .regs()
+            .iter()
+            .copied()
+            .filter(|&r| {
+                resolved[r.index()].gate() == r
+                    && !connected.contains(&r)
+                    && map[r.index()].map(|l| out.is_reg(l.gate())) == Some(true)
+            })
+            .collect();
+        if pending.is_empty() {
+            break;
+        }
+        for r in pending {
+            connected.insert(r);
+            let nx = n.reg_next(r);
+            let l = emit(n, &resolved, &mut out, &mut map, nx.gate())
+                .xor_complement(nx.is_complement());
+            let new_reg = map[r.index()].expect("register mapped").gate();
+            out.set_next(new_reg, l);
+            if let diam_netlist::Init::Fn(il) = n.reg_init(r) {
+                let tl = emit(n, &resolved, &mut out, &mut map, il.gate())
+                    .xor_complement(il.is_complement());
+                out.set_init(new_reg, diam_netlist::Init::Fn(tl));
+            }
+        }
+    }
+    for t in n.targets() {
+        // `emit` resolves representative chains (merged gates are not
+        // memoized under their own index); everything is already built, so
+        // this is a lookup.
+        let l = emit(n, &resolved, &mut out, &mut map, t.lit.gate())
+            .xor_complement(t.lit.is_complement());
+        out.add_target(l, t.name.clone());
+    }
+    Rebuilt { netlist: out, map }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diam_netlist::Init;
+
+    #[test]
+    fn complete_range_becomes_inputs() {
+        // Two XORs over three inputs: range is complete (2 free bits).
+        let mut n = Netlist::new();
+        let a = n.input("a").lit();
+        let b = n.input("b").lit();
+        let c = n.input("c").lit();
+        let y0 = n.xor(a, b);
+        let y1 = n.xor(b, c);
+        let r0 = n.reg("r0", Init::Zero);
+        let r1 = n.reg("r1", Init::Zero);
+        n.set_next(r0, y0);
+        n.set_next(r1, y1);
+        let t = n.and(r0.lit(), r1.lit());
+        n.add_target(t, "t");
+        let re = reencode(&n, &[y0, y1]).unwrap();
+        assert!(re.complete_range);
+        // All the XOR logic disappears.
+        assert_eq!(re.netlist.num_ands(), 1); // only the target AND remains
+        re.netlist.validate().unwrap();
+    }
+
+    #[test]
+    fn incomplete_range_is_preserved() {
+        // y0 = a AND b, y1 = a OR b: (1,0) is not producible.
+        let mut n = Netlist::new();
+        let a = n.input("a").lit();
+        let b = n.input("b").lit();
+        let y0 = n.and(a, b);
+        let y1 = n.or(a, b);
+        let r0 = n.reg("r0", Init::Zero);
+        let r1 = n.reg("r1", Init::Zero);
+        n.set_next(r0, y0);
+        n.set_next(r1, y1);
+        let bad = n.and(r0.lit(), !r1.lit()); // observes the excluded pattern
+        n.add_target(bad, "bad");
+        let re = reencode(&n, &[y0, y1]).unwrap();
+        assert!(!re.complete_range);
+        re.netlist.validate().unwrap();
+        // The re-encoded pair can still never produce (1,0): check by
+        // exhaustive 1-step simulation over the parameters.
+        use diam_netlist::sim::{simulate, Stimulus};
+        let m = &re.netlist;
+        let t = m.targets()[0].lit;
+        // Drive all 2^|inputs| parameter combinations in parallel words.
+        let ni = m.num_inputs();
+        assert!(ni <= 6);
+        let mut stim = Stimulus::zeros(m, 2);
+        for k in 0..ni {
+            let mut w: u64 = 0;
+            for bit in 0..64u64 {
+                if (bit >> k) & 1 == 1 {
+                    w |= 1 << bit;
+                }
+            }
+            stim.inputs[0][k] = w;
+            stim.inputs[1][k] = w;
+        }
+        let tr = simulate(m, &stim);
+        assert_eq!(tr.word(t, 1), 0, "excluded pattern became producible");
+    }
+
+    #[test]
+    fn sequential_cone_is_rejected() {
+        let mut n = Netlist::new();
+        let a = n.input("a").lit();
+        let r = n.reg("r", Init::Zero);
+        n.set_next(r, a);
+        let y = n.and(a, r.lit());
+        n.add_target(y, "t");
+        assert!(matches!(
+            reencode(&n, &[y]),
+            Err(ReencodeError::SequentialCone { .. })
+        ));
+    }
+
+    #[test]
+    fn leaky_input_is_rejected() {
+        let mut n = Netlist::new();
+        let a = n.input("a").lit();
+        let b = n.input("b").lit();
+        let y = n.xor(a, b);
+        let r = n.reg("r", Init::Zero);
+        n.set_next(r, y);
+        // `a` also feeds the target directly — the correlation would break.
+        let t = n.and(r.lit(), a);
+        n.add_target(t, "t");
+        assert!(matches!(
+            reencode(&n, &[y]),
+            Err(ReencodeError::LeakyInput { .. })
+        ));
+    }
+
+    #[test]
+    fn auto_cut_finds_the_boundary() {
+        // Input-fed XOR trees feeding registers: the auto cut re-encodes
+        // them into fresh inputs.
+        let mut n = Netlist::new();
+        let a = n.input("a").lit();
+        let b = n.input("b").lit();
+        let c = n.input("c").lit();
+        let y0 = n.xor(a, b);
+        let y1 = n.xor(b, c);
+        let r0 = n.reg("r0", Init::Zero);
+        let r1 = n.reg("r1", Init::Zero);
+        n.set_next(r0, y0);
+        n.set_next(r1, y1);
+        let t = n.and(r0.lit(), r1.lit());
+        n.add_target(t, "t");
+        let re = reencode_auto(&n).expect("cut exists");
+        assert!(re.complete_range);
+        // The XOR logic is gone; only the target AND remains.
+        assert_eq!(re.netlist.num_ands(), 1);
+        re.netlist.validate().unwrap();
+    }
+
+    #[test]
+    fn auto_cut_backs_off_on_leaks() {
+        // One input also observed directly by the target: its cut candidate
+        // must be dropped, leaving the other (independent) one.
+        let mut n = Netlist::new();
+        let a = n.input("a").lit();
+        let b = n.input("b").lit();
+        let c = n.input("c").lit();
+        let d = n.input("d").lit();
+        let leaky = n.xor(a, b);
+        let clean = n.xor(c, d);
+        let r0 = n.reg("r0", Init::Zero);
+        let r1 = n.reg("r1", Init::Zero);
+        n.set_next(r0, leaky);
+        n.set_next(r1, clean);
+        let x = n.and(r0.lit(), r1.lit());
+        let t = n.and(x, a); // `a` leaks
+        n.add_target(t, "t");
+        let re = reencode_auto(&n).expect("the clean cut survives");
+        // The clean XOR was replaced; the leaky one remains.
+        let param_count = re.params.len();
+        assert_eq!(param_count, 1, "one parameter for the clean cut");
+        re.netlist.validate().unwrap();
+    }
+
+    #[test]
+    fn auto_cut_on_stateful_only_design_is_none() {
+        let mut n = Netlist::new();
+        let r = n.reg("r", Init::Zero);
+        n.set_next(r, !r.lit());
+        n.add_target(r.lit(), "t");
+        assert!(reencode_auto(&n).is_none());
+    }
+
+    #[test]
+    fn empty_cut_is_rejected() {
+        let n = Netlist::new();
+        assert!(matches!(reencode(&n, &[]), Err(ReencodeError::EmptyCut)));
+    }
+}

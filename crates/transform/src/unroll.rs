@@ -1,0 +1,281 @@
+//! Time-frame expansion of a netlist into a SAT solver (Tseitin encoding).
+//!
+//! The [`Unroller`] lazily encodes the value of any netlist literal at any
+//! time-frame as a SAT literal. Frame-0 register values are either *free*
+//! (for inductive reasoning and combinational sweeping, where the state is
+//! unconstrained) or *initialized* (for BMC, where initial values apply).
+//! Frame `t+1` register values are simply the frame-`t` encoding of the
+//! register's next-state function, so consecutive frames share logic.
+
+use diam_netlist::{GateKind, Init, Lit, Netlist};
+use diam_sat::{Lit as SatLit, Solver};
+
+/// How frame-0 register values are constrained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameZero {
+    /// Registers start in an arbitrary state (each gets a fresh variable).
+    /// Used by induction and combinational equivalence reasoning.
+    Free,
+    /// Registers start in their initial values; `Init::Nondet` gets a fresh
+    /// variable and `Init::Fn` cones are encoded over frame-0 inputs.
+    Init,
+}
+
+/// Incremental Tseitin encoder of a netlist's time-frames.
+///
+/// # Examples
+///
+/// ```
+/// use diam_netlist::{Init, Netlist};
+/// use diam_sat::{SolveResult, Solver};
+/// use diam_transform::unroll::{FrameZero, Unroller};
+///
+/// // A register that toggles: can it be 1 at time 1?
+/// let mut n = Netlist::new();
+/// let r = n.reg("r", Init::Zero);
+/// n.set_next(r, !r.lit());
+/// let mut solver = Solver::new();
+/// let mut u = Unroller::new(&n, FrameZero::Init);
+/// let at1 = u.lit_at(&mut solver, r.lit(), 1);
+/// assert_eq!(solver.solve_with(&[at1]), SolveResult::Sat);
+/// let at0 = u.lit_at(&mut solver, r.lit(), 0);
+/// assert_eq!(solver.solve_with(&[at0]), SolveResult::Unsat);
+/// ```
+#[derive(Debug)]
+pub struct Unroller<'a> {
+    n: &'a Netlist,
+    mode: FrameZero,
+    /// `frames[t][g]` = SAT literal of gate `g` at time `t`.
+    frames: Vec<Vec<Option<SatLit>>>,
+    const_false: Option<SatLit>,
+}
+
+impl<'a> Unroller<'a> {
+    /// Creates an unroller for `n` with the given frame-0 policy.
+    pub fn new(n: &'a Netlist, mode: FrameZero) -> Unroller<'a> {
+        Unroller {
+            n,
+            mode,
+            frames: Vec::new(),
+            const_false: None,
+        }
+    }
+
+    /// The netlist being unrolled.
+    pub fn netlist(&self) -> &Netlist {
+        self.n
+    }
+
+    /// A SAT literal that is constant false.
+    pub fn false_lit(&mut self, solver: &mut Solver) -> SatLit {
+        if let Some(l) = self.const_false {
+            return l;
+        }
+        let l = solver.new_var().positive();
+        solver.add_clause([!l]);
+        self.const_false = Some(l);
+        l
+    }
+
+    fn ensure_frame(&mut self, t: usize) {
+        while self.frames.len() <= t {
+            self.frames.push(vec![None; self.n.num_gates()]);
+        }
+    }
+
+    /// Returns the SAT literal encoding netlist literal `l` at time `t`,
+    /// adding Tseitin clauses to `solver` as needed.
+    pub fn lit_at(&mut self, solver: &mut Solver, l: Lit, t: usize) -> SatLit {
+        let g = self.gate_at(solver, l.gate(), t);
+        if l.is_complement() {
+            !g
+        } else {
+            g
+        }
+    }
+
+    fn gate_at(&mut self, solver: &mut Solver, root: diam_netlist::Gate, t0: usize) -> SatLit {
+        self.ensure_frame(t0);
+        if let Some(l) = self.frames[t0][root.index()] {
+            return l;
+        }
+        // Iterative encoding: a work stack of (gate, frame). A node is
+        // expanded when first visited and emitted when its children are done.
+        let mut stack: Vec<(diam_netlist::Gate, usize, bool)> = vec![(root, t0, false)];
+        while let Some((g, t, expanded)) = stack.pop() {
+            self.ensure_frame(t);
+            if self.frames[t][g.index()].is_some() {
+                continue;
+            }
+            match self.n.kind(g) {
+                GateKind::Const0 => {
+                    let f = self.false_lit(solver);
+                    self.frames[t][g.index()] = Some(f);
+                }
+                GateKind::Input => {
+                    let v = solver.new_var().positive();
+                    self.frames[t][g.index()] = Some(v);
+                }
+                GateKind::And(a, b) => {
+                    if !expanded {
+                        stack.push((g, t, true));
+                        stack.push((a.gate(), t, false));
+                        stack.push((b.gate(), t, false));
+                    } else {
+                        let la = self.resolved(a, t);
+                        let lb = self.resolved(b, t);
+                        let v = solver.new_var().positive();
+                        solver.add_clause([!v, la]);
+                        solver.add_clause([!v, lb]);
+                        solver.add_clause([v, !la, !lb]);
+                        self.frames[t][g.index()] = Some(v);
+                    }
+                }
+                GateKind::Reg => {
+                    if t == 0 {
+                        match self.mode {
+                            FrameZero::Free => {
+                                let v = solver.new_var().positive();
+                                self.frames[0][g.index()] = Some(v);
+                            }
+                            FrameZero::Init => match self.n.reg_init(g) {
+                                Init::Zero => {
+                                    let f = self.false_lit(solver);
+                                    self.frames[0][g.index()] = Some(f);
+                                }
+                                Init::One => {
+                                    let f = self.false_lit(solver);
+                                    self.frames[0][g.index()] = Some(!f);
+                                }
+                                Init::Nondet => {
+                                    let v = solver.new_var().positive();
+                                    self.frames[0][g.index()] = Some(v);
+                                }
+                                Init::Fn(l) => {
+                                    if !expanded {
+                                        stack.push((g, 0, true));
+                                        stack.push((l.gate(), 0, false));
+                                    } else {
+                                        let enc = self.resolved(l, 0);
+                                        self.frames[0][g.index()] = Some(enc);
+                                    }
+                                }
+                            },
+                        }
+                    } else {
+                        let next = self.n.reg_next(g);
+                        if !expanded {
+                            stack.push((g, t, true));
+                            stack.push((next.gate(), t - 1, false));
+                        } else {
+                            let enc = self.resolved(next, t - 1);
+                            self.frames[t][g.index()] = Some(enc);
+                        }
+                    }
+                }
+            }
+        }
+        self.frames[t0][root.index()].expect("root encoded")
+    }
+
+    fn resolved(&self, l: Lit, t: usize) -> SatLit {
+        let v = self.frames[t][l.gate().index()].expect("child encoded before parent");
+        if l.is_complement() {
+            !v
+        } else {
+            v
+        }
+    }
+
+    /// The SAT literal already assigned to `l` at `t`, if encoded.
+    pub fn try_lit_at(&self, l: Lit, t: usize) -> Option<SatLit> {
+        let row = self.frames.get(t)?;
+        row[l.gate().index()].map(|v| if l.is_complement() { !v } else { v })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diam_netlist::{Init, Netlist};
+    use diam_sat::SolveResult;
+
+    #[test]
+    fn free_mode_leaves_state_unconstrained() {
+        let mut n = Netlist::new();
+        let r = n.reg("r", Init::Zero);
+        n.set_next(r, r.lit());
+        let mut solver = Solver::new();
+        let mut u = Unroller::new(&n, FrameZero::Free);
+        let at0 = u.lit_at(&mut solver, r.lit(), 0);
+        // In free mode the register may be 1 at time 0 despite Init::Zero.
+        assert_eq!(solver.solve_with(&[at0]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn init_mode_applies_initial_values() {
+        let mut n = Netlist::new();
+        let r0 = n.reg("zero", Init::Zero);
+        let r1 = n.reg("one", Init::One);
+        n.set_next(r0, r0.lit());
+        n.set_next(r1, r1.lit());
+        let mut solver = Solver::new();
+        let mut u = Unroller::new(&n, FrameZero::Init);
+        let a = u.lit_at(&mut solver, r0.lit(), 0);
+        let b = u.lit_at(&mut solver, r1.lit(), 0);
+        assert_eq!(solver.solve_with(&[a]), SolveResult::Unsat);
+        assert_eq!(solver.solve_with(&[!b]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn fn_init_encodes_cone_over_time_zero_inputs() {
+        let mut n = Netlist::new();
+        let i = n.input("i");
+        let r = n.reg("r", Init::Fn(!i.lit()));
+        n.set_next(r, r.lit());
+        let mut solver = Solver::new();
+        let mut u = Unroller::new(&n, FrameZero::Init);
+        let r0 = u.lit_at(&mut solver, r.lit(), 0);
+        let i0 = u.lit_at(&mut solver, i.lit(), 0);
+        // r at time 0 must equal ¬i at time 0.
+        assert_eq!(solver.solve_with(&[r0, i0]), SolveResult::Unsat);
+        assert_eq!(solver.solve_with(&[!r0, !i0]), SolveResult::Unsat);
+        assert_eq!(solver.solve_with(&[r0, !i0]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn counter_reaches_three_at_step_three() {
+        // 2-bit counter; target: value == 3.
+        let mut n = Netlist::new();
+        let b0 = n.reg("b0", Init::Zero);
+        let b1 = n.reg("b1", Init::Zero);
+        let n0 = !b0.lit();
+        let n1 = n.xor(b1.lit(), b0.lit());
+        n.set_next(b0, n0);
+        n.set_next(b1, n1);
+        let both = n.and(b0.lit(), b1.lit());
+        let mut solver = Solver::new();
+        let mut u = Unroller::new(&n, FrameZero::Init);
+        for t in 0..3 {
+            let l = u.lit_at(&mut solver, both, t);
+            assert_eq!(solver.solve_with(&[l]), SolveResult::Unsat, "t={t}");
+        }
+        let l3 = u.lit_at(&mut solver, both, 3);
+        assert_eq!(solver.solve_with(&[l3]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn shared_logic_is_encoded_once() {
+        let mut n = Netlist::new();
+        let a = n.input("a").lit();
+        let b = n.input("b").lit();
+        let x = n.and(a, b);
+        let mut solver = Solver::new();
+        let mut u = Unroller::new(&n, FrameZero::Free);
+        let l1 = u.lit_at(&mut solver, x, 0);
+        let vars_before = solver.num_vars();
+        let l2 = u.lit_at(&mut solver, x, 0);
+        assert_eq!(l1, l2);
+        assert_eq!(solver.num_vars(), vars_before);
+    }
+}

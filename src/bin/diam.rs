@@ -1,0 +1,318 @@
+//! `diam` — command-line front end: read an AIGER netlist, compute
+//! transformation-enhanced diameter bounds, and optionally discharge targets
+//! with a complete bounded model check.
+//!
+//! ```text
+//! USAGE:
+//!   diam bound  [OPTIONS] <FILE.aag>     per-target diameter bounds
+//!   diam prove  [OPTIONS] <FILE.aag>     bounds + complete BMC per target
+//!   diam stats  <FILE.aag>               netlist + classification statistics
+//!   diam sweep  <FILE.aag> <OUT.aag>     redundancy removal, write result
+//!   diam retime <FILE.aag>               retime and report reductions
+//!   diam solve  [OPTIONS] <FILE.aag>     full portfolio: random sim, COM,
+//!                                        diameter-complete BMC, induction
+//!
+//! OPTIONS:
+//!   --pipeline <P>   none | com | com-ret-com | a comma list of
+//!                    coi, com, ret, fold[:c], enl[:k]   (default com-ret-com)
+//!   --threshold <N>  usefulness threshold       (default 50)
+//!   --depth-cap <N>  refuse BMC beyond N        (default 10000)
+//!   --explain        for `bound`: print the dominant component chain of
+//!                    every target that stays over the threshold
+//! ```
+
+use diam::bmc::{prove, ProveOptions, ProveOutcome};
+use diam::core::classify::{classify, ClassifyOptions};
+use diam::core::{Pipeline, StructuralOptions};
+use diam::netlist::{aiger, Netlist};
+use diam::transform::com::{sweep, SweepOptions};
+use diam::transform::retime::retime;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+struct Options {
+    pipeline: Pipeline,
+    pipeline_name: String,
+    threshold: u64,
+    depth_cap: u64,
+    explain: bool,
+    files: Vec<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut pipeline_name = "com-ret-com".to_string();
+    let mut threshold = 50u64;
+    let mut depth_cap = 10_000u64;
+    let mut explain = false;
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--pipeline" => {
+                pipeline_name = it.next().ok_or("--pipeline needs a value")?.clone();
+            }
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .ok_or("--threshold needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --threshold value")?;
+            }
+            "--depth-cap" => {
+                depth_cap = it
+                    .next()
+                    .ok_or("--depth-cap needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --depth-cap value")?;
+            }
+            "--explain" => explain = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option {other}"));
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    let pipeline = match pipeline_name.as_str() {
+        "com" => Pipeline::com(),
+        spec => Pipeline::parse(spec)?,
+    };
+    Ok(Options {
+        pipeline,
+        pipeline_name,
+        threshold,
+        depth_cap,
+        explain,
+        files,
+    })
+}
+
+fn load(path: &str) -> Result<Netlist, String> {
+    let f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let n = aiger::read(BufReader::new(f)).map_err(|e| format!("{path}: {e}"))?;
+    n.validate().map_err(|e| format!("{path}: {e}"))?;
+    Ok(n)
+}
+
+fn cmd_bound(opts: &Options) -> Result<(), String> {
+    let path = opts.files.first().ok_or("missing input file")?;
+    let n = load(path)?;
+    println!(
+        "{path}: {} inputs, {} registers, {} ANDs, {} targets; pipeline {}",
+        n.num_inputs(),
+        n.num_regs(),
+        n.num_ands(),
+        n.targets().len(),
+        opts.pipeline_name
+    );
+    let bounds = opts.pipeline.bound_targets(&n, &StructuralOptions::default());
+    let mut useful = 0;
+    for b in &bounds {
+        let mark = if b.original.is_useful(opts.threshold) {
+            useful += 1;
+            "useful"
+        } else {
+            "too large"
+        };
+        println!(
+            "  {:<32} d̂(transformed) = {:<10} d̂(original) = {:<10} [{mark}]",
+            b.name,
+            b.transformed.to_string(),
+            b.original.to_string()
+        );
+    }
+    println!(
+        "{useful}/{} targets below the threshold {}",
+        bounds.len(),
+        opts.threshold
+    );
+    if opts.explain {
+        // Explain the dominant composition chain of every over-threshold
+        // target, on the transformed netlist (where the bound was computed).
+        let transformed = opts.pipeline.run(&n);
+        for (i, b) in bounds.iter().enumerate() {
+            if !b.original.is_useful(opts.threshold) {
+                let t = transformed.netlist.targets()[i].lit;
+                let e = diam::core::structural::explain(
+                    &transformed.netlist,
+                    t,
+                    &StructuralOptions::default(),
+                );
+                println!("\nwhy {} is unboundable:\n{e}", b.name);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_prove(opts: &Options) -> Result<(), String> {
+    let path = opts.files.first().ok_or("missing input file")?;
+    let n = load(path)?;
+    let prove_opts = ProveOptions {
+        depth_cap: opts.depth_cap,
+        ..Default::default()
+    };
+    let mut proved = 0;
+    let mut failed = 0;
+    let mut open = 0;
+    for i in 0..n.targets().len() {
+        let name = n.targets()[i].name.clone();
+        match prove(&n, i, &opts.pipeline, &prove_opts) {
+            ProveOutcome::Proved { bound } => {
+                proved += 1;
+                println!("  PROVED     {name} (complete BMC to depth {})", bound - 1);
+            }
+            ProveOutcome::Counterexample { depth, .. } => {
+                failed += 1;
+                println!("  FAILS      {name} at time {depth}");
+            }
+            ProveOutcome::BoundTooLarge { bound } => {
+                open += 1;
+                match bound {
+                    Some(b) => println!("  OPEN       {name} (bound {b} over the cap)"),
+                    None => println!("  OPEN       {name} (bound exponential)"),
+                }
+            }
+            ProveOutcome::Unknown => {
+                open += 1;
+                println!("  OPEN       {name} (SAT budget exhausted)");
+            }
+        }
+    }
+    println!("\n{proved} proved, {failed} failed, {open} open");
+    Ok(())
+}
+
+fn cmd_stats(opts: &Options) -> Result<(), String> {
+    let path = opts.files.first().ok_or("missing input file")?;
+    let n = load(path)?;
+    println!("{path}:");
+    println!("{}", diam::netlist::stats::stats(&n));
+    let regs: Vec<_> = n.regs().to_vec();
+    let cl = classify(&n, &regs, &ClassifyOptions::default());
+    let counts = cl.counts();
+    println!("register classes (whole netlist): CC;AC;MC+QC;GC = {counts}");
+    println!(
+        "components: {} ({} memory clusters)",
+        cl.cond.comps.len(),
+        cl.clusters.len()
+    );
+    for (k, cluster) in cl.clusters.iter().enumerate() {
+        println!(
+            "  memory {k}: {} cells in {} rows",
+            cluster.comps.len(),
+            cluster.rows
+        );
+    }
+    Ok(())
+}
+
+fn cmd_sweep(opts: &Options) -> Result<(), String> {
+    let path = opts.files.first().ok_or("missing input file")?;
+    let out_path = opts.files.get(1).ok_or("missing output file")?;
+    let n = load(path)?;
+    let result = sweep(&n, &SweepOptions::default());
+    println!(
+        "{path}: {} -> {} registers, {} -> {} ANDs ({} merges, {} refinement rounds)",
+        n.num_regs(),
+        result.netlist.num_regs(),
+        n.num_ands(),
+        result.netlist.num_ands(),
+        result.merges,
+        result.refinements
+    );
+    let f = std::fs::File::create(out_path).map_err(|e| format!("{out_path}: {e}"))?;
+    aiger::write_ascii(&result.netlist, f).map_err(|e| format!("{out_path}: {e}"))?;
+    println!("wrote {out_path}");
+    Ok(())
+}
+
+fn cmd_retime(opts: &Options) -> Result<(), String> {
+    let path = opts.files.first().ok_or("missing input file")?;
+    let mut n = load(path)?;
+    diam::netlist::rebuild::explicit_nondet_init(&mut n);
+    let ret = retime(&n).map_err(|e| e.to_string())?;
+    println!(
+        "{path}: {} -> {} registers; {} stump inputs created",
+        ret.regs_before,
+        ret.regs_after,
+        ret.stump_inputs.len()
+    );
+    for t in n.targets() {
+        println!(
+            "  target {:<28} lag {} (bounds back-translate as d̂ + {})",
+            t.name,
+            -(ret.lag[t.lit.gate().index()]),
+            ret.skew(t.lit.gate())
+        );
+    }
+    println!(
+        "(the retimed netlist uses functional initial values and therefore \
+         cannot be written to AIGER; use the library API to analyze it)"
+    );
+    Ok(())
+}
+
+fn cmd_solve(opts: &Options) -> Result<(), String> {
+    use diam::bmc::strategy::{solve_all, StrategyOptions, TargetStatus};
+    let path = opts.files.first().ok_or("missing input file")?;
+    let n = load(path)?;
+    let strategy = StrategyOptions {
+        pipeline: opts.pipeline.clone(),
+        depth_cap: opts.depth_cap,
+        ..Default::default()
+    };
+    let statuses = solve_all(&n, &strategy);
+    let (mut proved, mut failed, mut open) = (0, 0, 0);
+    for (t, status) in n.targets().iter().zip(&statuses) {
+        match status {
+            TargetStatus::Proved { by } => {
+                proved += 1;
+                println!("  PROVED {:<32} by {by}", t.name);
+            }
+            TargetStatus::Failed { depth, by, .. } => {
+                failed += 1;
+                println!("  FAILS  {:<32} at time {depth} (found by {by})", t.name);
+            }
+            TargetStatus::Open { bound } => {
+                open += 1;
+                match bound {
+                    Some(b) => println!("  OPEN   {:<32} (diameter bound {b})", t.name),
+                    None => println!("  OPEN   {:<32} (diameter bound exponential)", t.name),
+                }
+            }
+        }
+    }
+    println!("\n{proved} proved, {failed} failed, {open} open");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("usage: diam <bound|prove|solve|stats|sweep|retime> [options] <file.aag> ...");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_options(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "bound" => cmd_bound(&opts),
+        "prove" => cmd_prove(&opts),
+        "stats" => cmd_stats(&opts),
+        "sweep" => cmd_sweep(&opts),
+        "retime" => cmd_retime(&opts),
+        "solve" => cmd_solve(&opts),
+        other => Err(format!("unknown command {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Smoke tests for the `diam` command-line tool, driven through the real
+//! binary (`CARGO_BIN_EXE_diam`).
+
+use std::io::Write;
+use std::process::Command;
+
+fn fixture(dir: &std::path::Path, name: &str, text: &str) -> std::path::PathBuf {
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("fixture");
+    f.write_all(text.as_bytes()).expect("fixture");
+    path
+}
+
+/// A 2-register lockstep design: one failing target, one provable.
+const LOCKSTEP: &str = "aag 7 2 2 2 3\n2\n4\n6 14 0\n8 12 0\n6\n8\n10 2 4\n12 10 0\n14 4 4\ni0 a\ni1 b\nl0 r\nl1 s\no0 t_r\no1 t_s\n";
+
+fn run(args: &[&str]) -> (String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_diam"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned()
+            + &String::from_utf8_lossy(&out.stderr),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn stats_reports_classes() {
+    let dir = std::env::temp_dir();
+    let f = fixture(&dir, "diam_cli_stats.aag", LOCKSTEP);
+    let (out, ok) = run(&["stats", f.to_str().unwrap()]);
+    assert!(ok, "{out}");
+    assert!(out.contains("registers 2"), "{out}");
+    assert!(out.contains("CC;AC;MC+QC;GC"), "{out}");
+}
+
+#[test]
+fn bound_lists_targets() {
+    let dir = std::env::temp_dir();
+    let f = fixture(&dir, "diam_cli_bound.aag", LOCKSTEP);
+    let (out, ok) = run(&["bound", f.to_str().unwrap()]);
+    assert!(ok, "{out}");
+    assert!(out.contains("t_r"), "{out}");
+    assert!(out.contains("2/2 targets below the threshold"), "{out}");
+}
+
+#[test]
+fn prove_separates_failing_and_proved() {
+    let dir = std::env::temp_dir();
+    let f = fixture(&dir, "diam_cli_prove.aag", LOCKSTEP);
+    let (out, ok) = run(&["prove", f.to_str().unwrap()]);
+    assert!(ok, "{out}");
+    assert!(out.contains("FAILS      t_r"), "{out}");
+    assert!(out.contains("PROVED     t_s"), "{out}");
+    assert!(out.contains("1 proved, 1 failed, 0 open"), "{out}");
+}
+
+#[test]
+fn solve_credits_engines() {
+    let dir = std::env::temp_dir();
+    let f = fixture(&dir, "diam_cli_solve.aag", LOCKSTEP);
+    let (out, ok) = run(&["solve", f.to_str().unwrap()]);
+    assert!(ok, "{out}");
+    assert!(out.contains("1 proved, 1 failed, 0 open"), "{out}");
+}
+
+#[test]
+fn sweep_writes_reduced_aiger() {
+    let dir = std::env::temp_dir();
+    let f = fixture(&dir, "diam_cli_sweep.aag", LOCKSTEP);
+    let out_path = dir.join("diam_cli_sweep_out.aag");
+    let (out, ok) = run(&["sweep", f.to_str().unwrap(), out_path.to_str().unwrap()]);
+    assert!(ok, "{out}");
+    assert!(out.contains("2 -> 1 registers"), "{out}");
+    let written = std::fs::read_to_string(&out_path).expect("output written");
+    assert!(written.starts_with("aag "), "{written}");
+}
+
+#[test]
+fn custom_pipeline_spec_is_accepted() {
+    let dir = std::env::temp_dir();
+    let f = fixture(&dir, "diam_cli_pipe.aag", LOCKSTEP);
+    let (out, ok) = run(&[
+        "bound",
+        "--pipeline",
+        "coi,enl:1,com",
+        f.to_str().unwrap(),
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("_enl1"), "{out}");
+}
+
+#[test]
+fn bad_arguments_fail_cleanly() {
+    let (_, ok) = run(&["frobnicate"]);
+    assert!(!ok);
+    let (out, ok) = run(&["bound", "--pipeline", "bogus", "/nonexistent.aag"]);
+    assert!(!ok);
+    assert!(out.contains("error"), "{out}");
+    let (_, ok) = run(&["bound", "/nonexistent.aag"]);
+    assert!(!ok);
+}

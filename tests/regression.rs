@@ -1,0 +1,80 @@
+//! Regression tests for concrete bugs found during development.
+
+use diam::core::exact::{explore, ExploreLimits};
+use diam::core::{Bound, Pipeline, StructuralOptions};
+use diam::netlist::{Init, Lit, Netlist};
+
+/// Found by the soundness property tests: a functionally-toggling register
+/// (hidden behind unsimplified logic) next to an input-fed register. The
+/// original max-based parallel composition claimed d̂ = 2 after COM while
+/// the earliest hit is at time 2 — parallel components need *serialized*
+/// composition because their observable values must phase-align.
+#[test]
+fn parallel_toggle_needs_serialized_composition() {
+    let mut n = Netlist::new();
+    let i0 = n.input("i0").lit();
+    let _i1 = n.input("i1").lit();
+    let i2 = n.input("i2").lit();
+    let r0 = n.reg("r0", Init::Zero);
+    let r1 = n.reg("r1", Init::One);
+    let r2 = n.reg("r2", Init::One);
+    let lit = Lit::from_code;
+    let g7 = n.and(lit(3), lit(11)); // !i0 ∧ !r1
+    assert_eq!(g7, lit(14));
+    let _g8 = n.and(lit(10), lit(14)); // r1 ∧ g7 ≡ 0 (hidden constant)
+    let _g9 = n.and(lit(6), lit(9));
+    let _g10 = n.and(lit(2), lit(10));
+    let _g11 = n.and(lit(13), lit(17)); // ≡ !r2 once g8 ≡ 0 is known
+    let _g12 = n.and(lit(12), lit(16)); // ≡ 0
+    let _g13 = n.and(lit(23), lit(25));
+    let g14 = n.and(lit(11), lit(12)); // target: !r1 ∧ r2
+    let _g15 = n.and(lit(8), lit(27));
+    let _g16 = n.and(lit(10), lit(16));
+    let _g17 = n.and(lit(11), lit(17));
+    let _g18 = n.and(lit(33), lit(35));
+    let _g19 = n.and(lit(14), lit(28));
+    let _g20 = n.and(lit(15), lit(29));
+    let _g21 = n.and(lit(39), lit(41));
+    n.set_next(r0, lit(27)); // ≡ !r2: r0 mirrors the toggle
+    n.set_next(r1, i2);
+    n.set_next(r2, lit(27)); // ≡ !r2: a functional toggle
+    n.add_target(g14, "t");
+    n.validate().unwrap();
+    let _ = i0;
+
+    let truth = explore(&n, &ExploreLimits::default()).unwrap();
+    let hit = truth.earliest_hit[0].expect("reachable");
+    assert_eq!(hit, 2);
+    for (name, pipe) in [
+        ("plain", Pipeline::new()),
+        ("com", Pipeline::com()),
+        ("com-ret-com", Pipeline::com_ret_com()),
+    ] {
+        let b = pipe.bound_targets(&n, &StructuralOptions::default());
+        let Bound::Finite(v) = b[0].original else {
+            continue;
+        };
+        assert!(hit < v, "{name}: bound {v} misses the hit at {hit}");
+    }
+}
+
+/// Two antiphase-capable autonomous components: the joint valuation needs
+/// both phases aligned, which `max` would undercount.
+#[test]
+fn two_toggles_with_different_inits() {
+    let mut n = Netlist::new();
+    let a = n.reg("a", Init::Zero);
+    let b = n.reg("b", Init::One);
+    n.set_next(a, !a.lit());
+    n.set_next(b, !b.lit());
+    // Joint (a, b) = (1, 1) never happens (antiphase); (1, 0) at odds.
+    let t = n.and(a.lit(), !b.lit());
+    n.add_target(t, "t");
+    let truth = explore(&n, &ExploreLimits::default()).unwrap();
+    let hit = truth.earliest_hit[0].expect("odd times");
+    let bound = diam::core::diameter_bound(&n, t, &StructuralOptions::default()).bound;
+    let Bound::Finite(v) = bound else { panic!() };
+    assert!(hit < v, "bound {v} vs hit {hit}");
+    // The serialized product 2 × 2 = 4.
+    assert_eq!(v, 4);
+}

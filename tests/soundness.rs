@@ -1,0 +1,182 @@
+//! The workspace's headline soundness property, tested end to end with
+//! proptest-generated netlists:
+//!
+//! **If a target is hittable at all (exhaustive state-space exploration),
+//! then it is hittable within `d̂(t) − 1` steps — for the structural bound
+//! on the original netlist and for every bound back-translated through a
+//! transformation pipeline (Theorems 1–4).**
+
+use diam::core::exact::{explore, ExploreLimits};
+use diam::core::{Bound, Engine, Pipeline, StructuralOptions};
+use diam::netlist::{Init, Lit, Netlist};
+use diam::transform::com::SweepOptions;
+use diam::transform::enlarge::EnlargeOptions;
+use proptest::prelude::*;
+
+/// A recipe for one random gate.
+#[derive(Debug, Clone)]
+enum Op {
+    And(usize, usize, bool, bool),
+    Or(usize, usize, bool, bool),
+    Xor(usize, usize),
+    Mux(usize, usize, usize),
+}
+
+/// A generated netlist description: inputs, register inits, gate ops,
+/// next-function picks, and a target pick.
+#[derive(Debug, Clone)]
+struct Recipe {
+    num_inputs: usize,
+    inits: Vec<u8>,
+    ops: Vec<Op>,
+    nexts: Vec<usize>,
+    target: usize,
+}
+
+fn recipe() -> impl Strategy<Value = Recipe> {
+    let op = (any::<u8>(), any::<usize>(), any::<usize>(), any::<usize>(), any::<bool>(), any::<bool>())
+        .prop_map(|(kind, a, b, c, ca, cb)| match kind % 4 {
+            0 => Op::And(a, b, ca, cb),
+            1 => Op::Or(a, b, ca, cb),
+            2 => Op::Xor(a, b),
+            _ => Op::Mux(a, b, c),
+        });
+    (
+        1usize..=3,
+        proptest::collection::vec(0u8..3, 2..=4),
+        proptest::collection::vec(op, 4..=12),
+        proptest::collection::vec(any::<usize>(), 2..=4),
+        any::<usize>(),
+    )
+        .prop_map(|(num_inputs, inits, ops, nexts, target)| Recipe {
+            num_inputs,
+            inits,
+            ops,
+            nexts,
+            target,
+        })
+}
+
+fn build(r: &Recipe) -> Netlist {
+    let mut n = Netlist::new();
+    let mut pool: Vec<Lit> = (0..r.num_inputs)
+        .map(|k| n.input(format!("i{k}")).lit())
+        .collect();
+    let regs: Vec<_> = r
+        .inits
+        .iter()
+        .enumerate()
+        .map(|(k, &init)| {
+            let init = match init {
+                0 => Init::Zero,
+                1 => Init::One,
+                _ => Init::Nondet,
+            };
+            let g = n.reg(format!("r{k}"), init);
+            pool.push(g.lit());
+            g
+        })
+        .collect();
+    for op in &r.ops {
+        let pick = |i: usize| pool[i % pool.len()];
+        let l = match *op {
+            Op::And(a, b, ca, cb) => {
+                let (x, y) = (pick(a).xor_complement(ca), pick(b).xor_complement(cb));
+                n.and(x, y)
+            }
+            Op::Or(a, b, ca, cb) => {
+                let (x, y) = (pick(a).xor_complement(ca), pick(b).xor_complement(cb));
+                n.or(x, y)
+            }
+            Op::Xor(a, b) => {
+                let (x, y) = (pick(a), pick(b));
+                n.xor(x, y)
+            }
+            Op::Mux(s, a, b) => {
+                let (s, x, y) = (pick(s), pick(a), pick(b));
+                n.mux(s, x, y)
+            }
+        };
+        pool.push(l);
+    }
+    for (k, &r0) in regs.iter().enumerate() {
+        let nx = pool[r.nexts[k % r.nexts.len()].wrapping_add(k) % pool.len()];
+        n.set_next(r0, nx);
+    }
+    n.add_target(pool[r.target % pool.len()], "t");
+    n
+}
+
+/// Checks the completeness invariant for one pipeline on one netlist.
+fn assert_sound(n: &Netlist, pipe: &Pipeline, tag: &str) {
+    let truth = explore(n, &ExploreLimits::default()).expect("small netlist");
+    let bounds = pipe.bound_targets(n, &StructuralOptions::default());
+    if let (Some(hit), Bound::Finite(b)) = (truth.earliest_hit[0], bounds[0].original) {
+        assert!(
+            hit < b,
+            "{tag}: target hit at {hit} but back-translated bound is {b}\n{n:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn structural_bound_covers_earliest_hit(r in recipe()) {
+        let n = build(&r);
+        assert_sound(&n, &Pipeline::new(), "plain");
+    }
+
+    #[test]
+    fn com_pipeline_bound_covers_earliest_hit(r in recipe()) {
+        let n = build(&r);
+        assert_sound(&n, &Pipeline::com(), "COM");
+    }
+
+    #[test]
+    fn com_ret_com_pipeline_bound_covers_earliest_hit(r in recipe()) {
+        let n = build(&r);
+        assert_sound(&n, &Pipeline::com_ret_com(), "COM,RET,COM");
+    }
+
+    #[test]
+    fn enlargement_pipeline_bound_covers_earliest_hit(r in recipe()) {
+        let n = build(&r);
+        let pipe = Pipeline::new()
+            .then(Engine::Coi)
+            .then(Engine::Enlarge(EnlargeOptions { k: 2, ..Default::default() }));
+        assert_sound(&n, &pipe, "COI+ENL(2)");
+    }
+
+    #[test]
+    fn fold_pipeline_bound_covers_earliest_hit(r in recipe()) {
+        let n = build(&r);
+        let pipe = Pipeline::new()
+            .then(Engine::Fold { preferred: 2 })
+            .then(Engine::Com(SweepOptions::default()));
+        assert_sound(&n, &pipe, "FOLD+COM");
+    }
+
+    #[test]
+    fn parametric_pipeline_bound_covers_earliest_hit(r in recipe()) {
+        let n = build(&r);
+        let pipe = Pipeline::new()
+            .then(Engine::Coi)
+            .then(Engine::Parametric)
+            .then(Engine::Com(SweepOptions::default()));
+        assert_sound(&n, &pipe, "COI+PARAM+COM");
+    }
+
+    #[test]
+    fn everything_pipeline_bound_covers_earliest_hit(r in recipe()) {
+        let n = build(&r);
+        let pipe = Pipeline::new()
+            .then(Engine::Coi)
+            .then(Engine::Com(SweepOptions::default()))
+            .then(Engine::Retime)
+            .then(Engine::Com(SweepOptions::default()))
+            .then(Engine::Enlarge(EnlargeOptions { k: 1, ..Default::default() }));
+        assert_sound(&n, &pipe, "COI+COM+RET+COM+ENL(1)");
+    }
+}

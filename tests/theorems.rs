@@ -1,0 +1,275 @@
+//! Direct demonstrations of the paper's theorems and — just as importantly —
+//! its *negative* results: concrete netlists on which over- and under-
+//! approximate abstractions shift the diameter in both directions, which is
+//! why the pipeline's type structure refuses to back-translate through them
+//! (Sections 3.5–3.6).
+
+use diam::core::exact::{explore, ExploreLimits};
+use diam::core::{diameter_bound, Bound, Pipeline, StructuralOptions};
+use diam::netlist::{Gate, Init, Lit, Netlist};
+use diam::transform::approx::{case_split, localize};
+use diam::transform::com::{sweep, SweepOptions};
+use diam::transform::enlarge::{enlarge, EnlargeOptions};
+use diam::transform::fold::{c_slow, detect, fold};
+use diam::transform::retime::retime;
+
+fn bound_of(n: &Netlist, t: Lit) -> Bound {
+    diameter_bound(n, t, &StructuralOptions::default()).bound
+}
+
+/// The "initial-state eccentricity + 1" of a small netlist — the quantity
+/// every diameter bound must dominate for BMC completeness.
+fn eccentricity_plus_one(n: &Netlist) -> u64 {
+    explore(n, &ExploreLimits::default()).expect("small").eccentricity + 1
+}
+
+// --- Theorem 1: trace-equivalence-preserving transformations -------------
+
+#[test]
+fn theorem1_redundancy_removal_preserves_diameter_semantics() {
+    // A design with a redundant register; the swept netlist's bound is valid
+    // for the original as-is.
+    let mut n = Netlist::new();
+    let i = n.input("i");
+    let r1 = n.reg("r1", Init::Zero);
+    let r2 = n.reg("r2", Init::Zero);
+    n.set_next(r1, i.lit());
+    n.set_next(r2, i.lit());
+    let r3 = n.reg("r3", Init::Zero);
+    let x = n.and(r1.lit(), r2.lit());
+    n.set_next(r3, x);
+    n.add_target(r3.lit(), "t");
+
+    let swept = sweep(&n, &SweepOptions::default());
+    assert!(swept.netlist.num_regs() < n.num_regs());
+    let b = bound_of(&swept.netlist, swept.netlist.targets()[0].lit);
+    // Identity back-translation: the same bound covers the original.
+    let ecc = eccentricity_plus_one(&n);
+    let Bound::Finite(b) = b else { panic!("finite") };
+    assert!(ecc <= b, "swept bound {b} must cover original eccentricity {ecc}");
+}
+
+// --- Theorem 2: retiming ---------------------------------------------------
+
+#[test]
+fn theorem2_lag_compensates_retimed_bound() {
+    // Pipeline into a toggling register.
+    let mut n = Netlist::new();
+    let i = n.input("i");
+    let mut prev = i.lit();
+    for k in 0..4 {
+        let r = n.reg(format!("p{k}"), Init::Zero);
+        n.set_next(r, prev);
+        prev = r.lit();
+    }
+    let tog = n.reg("tog", Init::Zero);
+    let nx = n.xor(tog.lit(), prev);
+    n.set_next(tog, nx);
+    n.add_target(tog.lit(), "t");
+
+    let ret = retime(&n).expect("retimable");
+    let t_new = ret.netlist.targets()[0].lit;
+    let b_new = bound_of(&ret.netlist, t_new);
+    let lag = ret.skew(n.targets()[0].lit.gate());
+    let back = b_new.add_const(lag);
+    // The compensated bound covers the original behaviour.
+    let ecc = eccentricity_plus_one(&n);
+    let Bound::Finite(b) = back else { panic!("finite") };
+    assert!(ecc <= b, "retimed+lag bound {b} vs eccentricity {ecc}");
+    // And retiming genuinely reduced registers.
+    assert!(ret.regs_after < n.num_regs());
+}
+
+#[test]
+fn theorem2_slack_can_increase_bounds() {
+    // The paper's S1196/S15850_1 observation: the +lag term can make a
+    // retimed bound slightly *larger* than the original one.
+    let mut n = Netlist::new();
+    let i = n.input("i");
+    let r = n.reg("r", Init::Zero);
+    n.set_next(r, i.lit());
+    n.add_target(r.lit(), "t");
+    let plain = Pipeline::new().bound_targets(&n, &StructuralOptions::default());
+    let ret = Pipeline::com_ret_com().bound_targets(&n, &StructuralOptions::default());
+    // Both useful; the retimed one may be equal or slightly larger, never
+    // smaller here (the pipeline is already depth 1).
+    assert!(ret[0].original >= plain[0].original);
+    assert!(ret[0].original.is_useful(50));
+}
+
+// --- Theorem 3: state folding ----------------------------------------------
+
+#[test]
+fn theorem3_folding_factor_bounds_original() {
+    // A base counter, 2-slowed; folding recovers it and ×2 covers the
+    // original.
+    let mut base = Netlist::new();
+    let b: Vec<Gate> = (0..2).map(|k| base.reg(format!("b{k}"), Init::Zero)).collect();
+    let n1 = base.xor(b[1].lit(), b[0].lit());
+    base.set_next(b[0], !b[0].lit());
+    base.set_next(b[1], n1);
+    let t = base.and(b[0].lit(), b[1].lit());
+    base.add_target(t, "t");
+
+    let slowed = c_slow(&base, 2);
+    let coloring = detect(&slowed, 2);
+    assert_eq!(coloring.c, 2);
+    // Keep the color of the visible (tail) registers.
+    let tail_pos = slowed
+        .regs()
+        .iter()
+        .position(|&r| slowed.name(r).unwrap().ends_with("_p1"))
+        .unwrap();
+    let folded = fold(&slowed, &coloring, coloring.colors[tail_pos]).unwrap();
+    let b_folded = bound_of(&folded.netlist, folded.netlist.targets()[0].lit);
+    let back = b_folded.mul_const(2);
+    let ecc = eccentricity_plus_one(&slowed);
+    let Bound::Finite(v) = back else { panic!("finite") };
+    assert!(ecc <= v, "folded ×2 bound {v} vs slowed eccentricity {ecc}");
+}
+
+// --- Theorem 4: target enlargement ------------------------------------------
+
+#[test]
+fn theorem4_enlarged_bound_plus_k_is_complete() {
+    // Mod-8 counter, target value 6, enlarged by k: earliest hit of t' is
+    // earliest(t) − k, and d̂(t') + k covers the original's earliest hit.
+    let mut n = Netlist::new();
+    let b: Vec<Gate> = (0..3).map(|k| n.reg(format!("b{k}"), Init::Zero)).collect();
+    let mut carry = Lit::TRUE;
+    for r in &b {
+        let nk = n.xor(r.lit(), carry);
+        carry = n.and(r.lit(), carry);
+        n.set_next(*r, nk);
+    }
+    let t = {
+        let x = n.and(!b[0].lit(), b[1].lit());
+        n.and(x, b[2].lit())
+    };
+    n.add_target(t, "six");
+    let truth = explore(&n, &ExploreLimits::default()).unwrap();
+    let hit = truth.earliest_hit[0].expect("reachable");
+    assert_eq!(hit, 6);
+
+    for k in 1..=4u32 {
+        let e = enlarge(&n, 0, &EnlargeOptions { k, ..Default::default() }).unwrap();
+        let te = e.netlist.targets()[0].lit;
+        let be = bound_of(&e.netlist, te);
+        let Bound::Finite(be) = be else { panic!("finite") };
+        assert!(
+            hit < be + u64::from(k),
+            "k={k}: d̂(t')+k = {} must cover hit {hit}",
+            be + u64::from(k)
+        );
+    }
+}
+
+// --- §3.5: localization is not diameter-sound -------------------------------
+
+#[test]
+fn localization_can_decrease_the_apparent_diameter() {
+    // An 8-step counter chain: localizing the carry path makes every bit a
+    // free input, so the abstraction reaches everything immediately — its
+    // diameter collapses while the original needs 7 steps.
+    let mut n = Netlist::new();
+    let b: Vec<Gate> = (0..3).map(|k| n.reg(format!("b{k}"), Init::Zero)).collect();
+    let mut carry = Lit::TRUE;
+    for r in &b {
+        let nk = n.xor(r.lit(), carry);
+        carry = n.and(r.lit(), carry);
+        n.set_next(*r, nk);
+    }
+    let t = n.and_many(b.iter().map(|r| r.lit()).collect::<Vec<_>>());
+    n.add_target(t, "all_ones");
+
+    // Localize the next-state cones: each register's driver becomes a free
+    // input.
+    let cut: Vec<Gate> = b.iter().map(|&r| n.reg_next(r).gate()).collect();
+    let loc = localize(&n, &cut);
+    let orig_ecc = eccentricity_plus_one(&n);
+    let abs_ecc = eccentricity_plus_one(&loc.netlist);
+    assert!(
+        abs_ecc < orig_ecc,
+        "localization shrank the diameter ({abs_ecc} < {orig_ecc}): \
+         a bound from the abstraction would be unsound for the original"
+    );
+}
+
+#[test]
+fn localization_can_increase_the_apparent_diameter() {
+    // A register chain whose source is stuck at zero: the original visits
+    // only the all-zero state (eccentricity 0); localizing the stuck driver
+    // lets values crawl down the chain (eccentricity = chain length).
+    let mut n = Netlist::new();
+    let stuck = n.reg("stuck", Init::Zero);
+    n.set_next(stuck, stuck.lit());
+    let mut prev = stuck.lit();
+    let mut chain = Vec::new();
+    for k in 0..3 {
+        let r = n.reg(format!("c{k}"), Init::Zero);
+        n.set_next(r, prev);
+        prev = r.lit();
+        chain.push(r);
+    }
+    n.add_target(prev, "tail");
+    let loc = localize(&n, &[stuck]);
+    let orig_ecc = eccentricity_plus_one(&n);
+    let abs_ecc = eccentricity_plus_one(&loc.netlist);
+    assert!(
+        abs_ecc > orig_ecc,
+        "localization grew the diameter ({abs_ecc} > {orig_ecc}): \
+         unreachable states became reachable"
+    );
+}
+
+// --- §3.6: case splitting is not diameter-sound ------------------------------
+
+#[test]
+fn case_splitting_can_decrease_the_apparent_diameter() {
+    // An input-enabled counter: with the enable case-split to 0 the design
+    // freezes — its diameter collapses to 1 while the original walks the
+    // full cycle.
+    let mut n = Netlist::new();
+    let en = n.input("en");
+    let b: Vec<Gate> = (0..3).map(|k| n.reg(format!("b{k}"), Init::Zero)).collect();
+    let mut carry = en.lit();
+    for r in &b {
+        let nk = n.xor(r.lit(), carry);
+        carry = n.and(r.lit(), carry);
+        n.set_next(*r, nk);
+    }
+    let t = n.and_many(b.iter().map(|r| r.lit()).collect::<Vec<_>>());
+    n.add_target(t, "all_ones");
+    let cs = case_split(&n, &[(en, false)]);
+    let orig_ecc = eccentricity_plus_one(&n);
+    let abs_ecc = eccentricity_plus_one(&cs.netlist);
+    assert!(abs_ecc < orig_ecc, "case splitting shrank the diameter");
+}
+
+#[test]
+fn case_splitting_can_increase_the_apparent_diameter() {
+    // A loadable counter: with `load` free the design can jump to any value
+    // in one step (small diameter); case-splitting load := 0 forces the slow
+    // increment walk.
+    let mut n = Netlist::new();
+    let load = n.input("load");
+    let d: Vec<Gate> = (0..3).map(|k| n.input(format!("d{k}"))).collect();
+    let b: Vec<Gate> = (0..3).map(|k| n.reg(format!("b{k}"), Init::Zero)).collect();
+    let mut carry = Lit::TRUE;
+    for (k, r) in b.iter().enumerate() {
+        let inc = n.xor(r.lit(), carry);
+        carry = n.and(r.lit(), carry);
+        let nx = n.mux(load.lit(), d[k].lit(), inc);
+        n.set_next(*r, nx);
+    }
+    let t = n.and_many(b.iter().map(|r| r.lit()).collect::<Vec<_>>());
+    n.add_target(t, "all_ones");
+    let cs = case_split(&n, &[(load, false)]);
+    let orig_ecc = eccentricity_plus_one(&n);
+    let abs_ecc = eccentricity_plus_one(&cs.netlist);
+    assert!(
+        abs_ecc > orig_ecc,
+        "case splitting grew the diameter ({abs_ecc} > {orig_ecc}): \
+         reachable shortcuts disappeared"
+    );
+}
