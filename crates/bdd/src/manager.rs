@@ -130,10 +130,7 @@ impl Manager {
         if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
             return r;
         }
-        let top = self
-            .var_of(f)
-            .min(self.var_of(g))
-            .min(self.var_of(h));
+        let top = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
         let (f0, f1) = self.cofactors(f, top);
         let (g0, g1) = self.cofactors(g, top);
         let (h0, h1) = self.cofactors(h, top);
@@ -488,12 +485,7 @@ impl Manager {
         let mut map: HashMap<Bdd, Bdd> = HashMap::new();
         map.insert(Bdd::FALSE, Bdd::FALSE);
         map.insert(Bdd::TRUE, Bdd::TRUE);
-        fn copy(
-            src: &Manager,
-            dst: &mut Manager,
-            f: Bdd,
-            map: &mut HashMap<Bdd, Bdd>,
-        ) -> Bdd {
+        fn copy(src: &Manager, dst: &mut Manager, f: Bdd, map: &mut HashMap<Bdd, Bdd>) -> Bdd {
             if let Some(&g) = map.get(&f) {
                 return g;
             }
@@ -751,8 +743,7 @@ mod tests {
         };
         for _ in 0..30 {
             let mut m = Manager::new();
-            let mut funcs: Vec<(Bdd, u16)> =
-                (0..nv).map(|v| (m.var(v), var_table(v))).collect();
+            let mut funcs: Vec<(Bdd, u16)> = (0..nv).map(|v| (m.var(v), var_table(v))).collect();
             for _ in 0..10 {
                 let i = (next() % funcs.len() as u64) as usize;
                 let j = (next() % funcs.len() as u64) as usize;

@@ -23,7 +23,7 @@ fn bench_bmc_depth(c: &mut Criterion) {
                     0,
                     &BmcOptions {
                         max_depth: depth,
-                        conflict_budget: None,
+                        ..BmcOptions::default()
                     },
                 );
                 assert!(matches!(r, BmcOutcome::Counterexample { .. }));

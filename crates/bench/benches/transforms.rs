@@ -30,11 +30,9 @@ fn bench_com(c: &mut Criterion) {
         }
         let t = n.or_many(obs);
         n.add_target(t, "any_mismatch");
-        group.bench_with_input(
-            BenchmarkId::new("duplicate_counters", pairs),
-            &n,
-            |b, n| b.iter(|| sweep(n, &SweepOptions::default())),
-        );
+        group.bench_with_input(BenchmarkId::new("duplicate_counters", pairs), &n, |b, n| {
+            b.iter(|| sweep(n, &SweepOptions::default()))
+        });
     }
     group.finish();
 }
@@ -82,14 +80,18 @@ fn bench_fold(c: &mut Criterion) {
         }
         base.add_target(*pool.last().unwrap(), "t");
         let slowed = c_slow(&base, 2);
-        group.bench_with_input(BenchmarkId::new("detect_and_fold", regs), &slowed, |b, s| {
-            b.iter(|| {
-                let col = detect(s, 2);
-                if col.c >= 2 {
-                    let _ = fold(s, &col, 0);
-                }
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("detect_and_fold", regs),
+            &slowed,
+            |b, s| {
+                b.iter(|| {
+                    let col = detect(s, 2);
+                    if col.c >= 2 {
+                        let _ = fold(s, &col, 0);
+                    }
+                })
+            },
+        );
     }
     group.finish();
 }

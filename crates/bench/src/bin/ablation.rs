@@ -13,18 +13,20 @@
 //! 4. **Per-engine register reductions** — COM/RET reductions per suite,
 //!    mirroring the paper's §4 reduction statistics.
 //!
-//! Usage: `cargo run -p diam-bench --release --bin ablation`
+//! Usage: `cargo run -p diam-bench --release --bin ablation [--jobs <N|seq|auto>]`
 
+use diam_bench::parse_cli;
 use diam_core::recurrence::{recurrence_diameter, RecurrenceOptions, RecurrenceResult};
-use diam_core::{diameter_bound, Pipeline, StructuralOptions};
+use diam_core::{diameter_bound, Parallelism, Pipeline, StructuralOptions};
 use diam_gen::archetypes::{counter, pipeline, register_file};
 use diam_gen::iscas;
 use diam_netlist::{Lit, Netlist};
 use diam_transform::fold::{c_slow, detect, fold};
 
 fn main() {
+    let (_seed, jobs) = parse_cli("ablation [--jobs <N|seq|auto>]");
     ablation_recurrence();
-    ablation_theorem2_slack();
+    ablation_theorem2_slack(jobs);
     ablation_folding();
     ablation_register_reduction();
     ablation_tightness();
@@ -87,7 +89,7 @@ fn ablation_recurrence() {
     println!();
 }
 
-fn ablation_theorem2_slack() {
+fn ablation_theorem2_slack(jobs: Parallelism) {
     println!("== Ablation 2: Theorem 2 slack (bounds may grow after RET) ==\n");
     // The suite designs show the paper's S1196 / S15850_1 effect directly:
     // the average useful bound *rises* after retiming even though the same
@@ -99,7 +101,11 @@ fn ablation_theorem2_slack() {
             .find(|(p, _)| p.name == name)
             .expect("design");
         let avg = |pipe: &Pipeline| -> f64 {
-            let bounds = pipe.bound_targets(&n, &StructuralOptions::default());
+            let opts = StructuralOptions {
+                parallelism: jobs,
+                ..StructuralOptions::default()
+            };
+            let bounds = pipe.bound_targets(&n, &opts);
             let useful: Vec<u64> = bounds
                 .iter()
                 .filter_map(|b| b.original.finite().filter(|&v| v < 50))

@@ -3,21 +3,46 @@
 //!
 //! Usage: `cargo run -p diam-bench --release --bin probe <DESIGN> [column 0|1|2] [table 1|2]`
 use diam_core::{Pipeline, StructuralOptions};
-use diam_gen::iscas;
 use diam_gen::gp;
+use diam_gen::iscas;
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "S4863".into());
-    let col: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0);
-    let table: usize = std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(1);
-    let suite = if table == 2 { gp::suite(1) } else { iscas::suite(1) };
+    let col: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let table: usize = std::env::args()
+        .nth(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let suite = if table == 2 {
+        gp::suite(1)
+    } else {
+        iscas::suite(1)
+    };
     let (p, n) = suite.iter().find(|(p, _)| p.name == name).expect("design");
-    println!("{}: {} gates, {} regs, {} targets", p.name, n.num_gates(), n.num_regs(), n.targets().len());
-    let pipe = match col { 0 => Pipeline::new(), 1 => Pipeline::com(), _ => Pipeline::com_ret_com() };
+    println!(
+        "{}: {} gates, {} regs, {} targets",
+        p.name,
+        n.num_gates(),
+        n.num_regs(),
+        n.targets().len()
+    );
+    let pipe = match col {
+        0 => Pipeline::new(),
+        1 => Pipeline::com(),
+        _ => Pipeline::com_ret_com(),
+    };
     let t0 = std::time::Instant::now();
     let bounds = pipe.bound_targets(n, &StructuralOptions::default());
     println!("column {col} took {:?}", t0.elapsed());
     for b in &bounds {
-        println!("  {:<28} transformed={:<8} original={}", b.name, b.transformed.to_string(), b.original);
+        println!(
+            "  {:<28} transformed={:<8} original={}",
+            b.name,
+            b.transformed.to_string(),
+            b.original
+        );
     }
 }

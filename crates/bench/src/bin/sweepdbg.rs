@@ -8,8 +8,15 @@ use diam_transform::com::{sweep, SweepOptions};
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "V_SNPM".into());
-    let table: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(2);
-    let suite = if table == 2 { gp::suite(1) } else { iscas::suite(1) };
+    let table: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let suite = if table == 2 {
+        gp::suite(1)
+    } else {
+        iscas::suite(1)
+    };
     let (_, n) = suite.iter().find(|(p, _)| p.name == name).expect("design");
     let pre = diam_netlist::rebuild::reduce_coi(n);
     let t0 = std::time::Instant::now();

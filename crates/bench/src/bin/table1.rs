@@ -2,18 +2,17 @@
 //! classification and useful-diameter-bound counts under Original, COM, and
 //! COM,RET,COM.
 //!
-//! Usage: `cargo run -p diam-bench --release --bin table1 [seed]`
+//! Usage: `cargo run -p diam-bench --release --bin table1 [seed] [--jobs <N|seq|auto>]`
 
-use diam_bench::{format_sigma, run_suite};
+use diam_bench::{format_sigma, parse_cli, run_suite_with};
 use diam_gen::iscas;
 
 fn main() {
-    let seed = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1u64);
-    println!("Table 1: diameter bounding experiments, ISCAS89-profile suite (seed {seed})\n");
+    let (seed, jobs) = parse_cli("table1 [seed] [--jobs <N|seq|auto>]");
+    println!(
+        "Table 1: diameter bounding experiments, ISCAS89-profile suite (seed {seed}, jobs {jobs})\n"
+    );
     let suite = iscas::suite(seed);
-    let sigma = run_suite(&suite, true);
+    let sigma = run_suite_with(&suite, true, jobs);
     println!("\n{}", format_sigma(&sigma, iscas::TABLE1_SIGMA));
 }

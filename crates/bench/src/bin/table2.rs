@@ -1,17 +1,16 @@
 //! Regenerates Table 2 of the paper (phase-abstracted GP-profile suite).
 //!
-//! Usage: `cargo run -p diam-bench --release --bin table2 [seed]`
+//! Usage: `cargo run -p diam-bench --release --bin table2 [seed] [--jobs <N|seq|auto>]`
 
-use diam_bench::{format_sigma, run_suite};
+use diam_bench::{format_sigma, parse_cli, run_suite_with};
 use diam_gen::gp;
 
 fn main() {
-    let seed = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1u64);
-    println!("Table 2: diameter bounding experiments, GP-profile suite (seed {seed})\n");
+    let (seed, jobs) = parse_cli("table2 [seed] [--jobs <N|seq|auto>]");
+    println!(
+        "Table 2: diameter bounding experiments, GP-profile suite (seed {seed}, jobs {jobs})\n"
+    );
     let suite = gp::suite(seed);
-    let sigma = run_suite(&suite, true);
+    let sigma = run_suite_with(&suite, true, jobs);
     println!("\n{}", format_sigma(&sigma, gp::TABLE2_SIGMA));
 }

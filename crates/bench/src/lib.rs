@@ -19,7 +19,43 @@ use diam_core::classify::{classify, ClassCounts, ClassifyOptions};
 use diam_core::{Bound, Pipeline, StructuralOptions};
 use diam_gen::profile::DesignProfile;
 use diam_netlist::Netlist;
+use diam_par::Parallelism;
 use std::time::Instant;
+
+/// Shared CLI parsing for the table/ablation binaries: a positional seed
+/// (default 1) plus an optional `--jobs <N|seq|auto>` flag controlling the
+/// per-target fan-out. Unrecognized arguments abort with a usage message.
+pub fn parse_cli(usage: &str) -> (u64, Parallelism) {
+    let mut seed = 1u64;
+    let mut par = Parallelism::Sequential;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" || arg == "-j" {
+            let v = args.next().and_then(|s| Parallelism::parse(&s).ok());
+            match v {
+                Some(p) => par = p,
+                None => {
+                    eprintln!("--jobs expects <N|seq|auto>\nusage: {usage}");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(rest) = arg.strip_prefix("--jobs=") {
+            match Parallelism::parse(rest).ok() {
+                Some(p) => par = p,
+                None => {
+                    eprintln!("--jobs expects <N|seq|auto>\nusage: {usage}");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Ok(s) = arg.parse() {
+            seed = s;
+        } else {
+            eprintln!("unrecognized argument `{arg}`\nusage: {usage}");
+            std::process::exit(2);
+        }
+    }
+    (seed, par)
+}
 
 /// One table column for one design.
 #[derive(Debug, Clone)]
@@ -48,8 +84,21 @@ pub const THRESHOLD: u64 = 50;
 
 /// Runs the three columns on one design.
 pub fn run_design(profile: &DesignProfile, netlist: &Netlist) -> DesignResult {
+    run_design_with(profile, netlist, diam_par::Parallelism::Sequential)
+}
+
+/// [`run_design`] with an explicit parallelism setting for the per-target
+/// bounding fan-out. Results are bit-identical across settings.
+pub fn run_design_with(
+    profile: &DesignProfile,
+    netlist: &Netlist,
+    par: diam_par::Parallelism,
+) -> DesignResult {
     let pipelines = [Pipeline::new(), Pipeline::com(), Pipeline::com_ret_com()];
-    let opts = StructuralOptions::default();
+    let opts = StructuralOptions {
+        parallelism: par,
+        ..StructuralOptions::default()
+    };
     let columns = pipelines.map(|pipe| {
         let start = Instant::now();
         let result = pipe.run(netlist);
@@ -156,12 +205,22 @@ pub fn header() -> String {
 
 /// Runs a whole suite, printing rows as they complete; returns the Σ.
 pub fn run_suite(suite: &[(DesignProfile, Netlist)], print: bool) -> Sigma {
+    run_suite_with(suite, print, diam_par::Parallelism::Sequential)
+}
+
+/// [`run_suite`] with an explicit parallelism setting (see `--jobs` on the
+/// `table1` / `table2` binaries).
+pub fn run_suite_with(
+    suite: &[(DesignProfile, Netlist)],
+    print: bool,
+    par: diam_par::Parallelism,
+) -> Sigma {
     if print {
         println!("{}", header());
     }
     let mut sigma = Sigma::default();
     for (profile, netlist) in suite {
-        let r = run_design(profile, netlist);
+        let r = run_design_with(profile, netlist, par);
         if print {
             println!("{}", format_row(&r));
         }

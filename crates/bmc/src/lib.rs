@@ -38,10 +38,14 @@
 pub mod strategy;
 
 use diam_core::{Bound, Pipeline, StructuralOptions};
+use diam_netlist::rebuild::{slice_target, Rebuilt};
 use diam_netlist::sim::Witness;
 use diam_netlist::{GateKind, Init, Lit, Netlist};
+use diam_par::{CancelToken, Frontier, Parallelism};
 use diam_sat::{Lit as SatLit, SolveResult, Solver};
 use diam_transform::unroll::{FrameZero, Unroller};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Options for [`check`].
 #[derive(Debug, Clone)]
@@ -50,6 +54,24 @@ pub struct BmcOptions {
     pub max_depth: u64,
     /// SAT conflict budget per depth (`None` = unlimited).
     pub conflict_budget: Option<u64>,
+    /// Worker threads for [`check_all`]'s per-target-cone fan-out.
+    ///
+    /// With [`Parallelism::Sequential`] (the default) and `depth_chunk == 0`
+    /// the classic shared-unroller sweep runs (one time-frame encoding for
+    /// all targets); any other setting switches to independent cone-sliced
+    /// jobs, each owning a fresh solver. Outcomes are merged in original
+    /// target order either way.
+    pub parallelism: Parallelism,
+    /// Splits each target's depth range `0..=max_depth` into work units of
+    /// this many depths (0 = one unit per target). Only meaningful for the
+    /// cone-sliced [`check_all`] path; a unit that learns — via a shared
+    /// per-target frontier — that a strictly shallower unit already hit (or
+    /// gave up) stops early without changing the merged outcome.
+    pub depth_chunk: u64,
+    /// Diagnostic: counts individual SAT `solve` calls made by the
+    /// cone-sliced path (used by tests to observe early cancellation).
+    /// Setting this forces the cone-sliced path.
+    pub solve_probe: Option<Arc<AtomicUsize>>,
 }
 
 impl Default for BmcOptions {
@@ -57,6 +79,9 @@ impl Default for BmcOptions {
         BmcOptions {
             max_depth: 100,
             conflict_budget: None,
+            parallelism: Parallelism::Sequential,
+            depth_chunk: 0,
+            solve_probe: None,
         }
     }
 }
@@ -108,17 +133,43 @@ pub fn check(n: &Netlist, index: usize, opts: &BmcOptions) -> BmcOutcome {
     BmcOutcome::NoHitUpTo(opts.max_depth)
 }
 
-/// Runs BMC on *every* target with one shared unroller and solver: the
-/// time-frame encoding is reused across targets, so checking all outputs of
-/// a design (the paper's experimental setup) costs one unrolling instead of
-/// `|T|`.
+/// Runs BMC on *every* target.
+///
+/// With the default options ([`Parallelism::Sequential`], `depth_chunk == 0`)
+/// this is the classic shared-unroller sweep: the time-frame encoding is
+/// reused across targets, so checking all outputs of a design (the paper's
+/// experimental setup) costs one unrolling instead of `|T|`.
+///
+/// Any other setting slices each target's cone of influence into an
+/// independent job (fresh solver, no shared state), optionally splits each
+/// target's depth range into [`BmcOptions::depth_chunk`]-sized work units,
+/// and fans the units out across [`BmcOptions::parallelism`] workers,
+/// largest cone first. Witnesses found on a slice are lifted back to the
+/// original netlist's inputs. Per-target outcomes (hit depth / no-hit /
+/// unknown) are merged in original target order and agree with the
+/// sequential sweep; the two encodings may produce different — always
+/// replay-valid — witness traces for the same hit, while the cone-sliced
+/// path itself is bit-identical across all parallelism settings.
 pub fn check_all(n: &Netlist, opts: &BmcOptions) -> Vec<BmcOutcome> {
+    if matches!(opts.parallelism, Parallelism::Sequential)
+        && opts.depth_chunk == 0
+        && opts.solve_probe.is_none()
+    {
+        return check_all_shared(n, opts);
+    }
+    check_all_sliced(n, opts)
+}
+
+/// The classic path: one incremental solver and one unrolling, shared by
+/// every target.
+fn check_all_shared(n: &Netlist, opts: &BmcOptions) -> Vec<BmcOutcome> {
     let mut solver = Solver::new();
     solver.set_conflict_budget(opts.conflict_budget);
     let mut unroller = Unroller::new(n, FrameZero::Init);
-    let mut outcomes: Vec<Option<BmcOutcome>> = vec![None; n.targets().len()];
+    let targets = n.targets().to_vec();
+    let mut outcomes: Vec<Option<BmcOutcome>> = vec![None; targets.len()];
     'depth: for depth in 0..=opts.max_depth {
-        for (i, t) in n.targets().to_vec().iter().enumerate() {
+        for (i, t) in targets.iter().enumerate() {
             if outcomes[i].is_some() {
                 continue;
             }
@@ -143,6 +194,206 @@ pub fn check_all(n: &Netlist, opts: &BmcOptions) -> Vec<BmcOutcome> {
         .into_iter()
         .map(|o| o.unwrap_or(BmcOutcome::NoHitUpTo(opts.max_depth)))
         .collect()
+}
+
+/// Outcome of one depth-range work unit of a cone-sliced target.
+#[derive(Debug)]
+enum ChunkOutcome {
+    /// Hit at `depth`; the witness is already lifted to the original netlist.
+    Cex { depth: u64, witness: Witness },
+    /// Budget expired at `depth`.
+    Unknown { depth: u64 },
+    /// Every depth in the unit's range is unreachable.
+    Clean,
+    /// The unit stopped early: a strictly shallower unit of the same target
+    /// already recorded an event in the shared frontier (or the run was
+    /// cancelled). Never reached by the ascending merge scan unless the
+    /// whole run was cancelled.
+    Stopped { at: u64 },
+}
+
+/// One work unit: depths `lo..=hi` of target `target`.
+#[derive(Debug, Clone, Copy)]
+struct ChunkUnit {
+    target: usize,
+    lo: u64,
+    hi: u64,
+}
+
+/// The per-target-cone path: slice each target, split its depth range into
+/// units, fan the units out, and merge in deterministic target order.
+fn check_all_sliced(n: &Netlist, opts: &BmcOptions) -> Vec<BmcOutcome> {
+    let ntargets = n.targets().len();
+    // Slices are immutable inputs shared by all units of a target.
+    let slices: Vec<Rebuilt> = (0..ntargets).map(|i| slice_target(n, i)).collect();
+    let frontiers: Vec<Frontier> = (0..ntargets).map(|_| Frontier::new()).collect();
+
+    let chunk = if opts.depth_chunk == 0 {
+        opts.max_depth.saturating_add(1).max(1)
+    } else {
+        opts.depth_chunk
+    };
+    let mut units: Vec<ChunkUnit> = Vec::new();
+    for target in 0..ntargets {
+        let mut lo = 0u64;
+        loop {
+            let hi = lo.saturating_add(chunk - 1).min(opts.max_depth);
+            units.push(ChunkUnit { target, lo, hi });
+            if hi >= opts.max_depth {
+                break;
+            }
+            lo = hi + 1;
+        }
+    }
+    let meta = units.clone();
+
+    let results = diam_par::run(
+        opts.parallelism,
+        units,
+        // Largest cone × longest range first: the presumptive long pole.
+        |u| (slices[u.target].netlist.num_gates() as u64 + 1).saturating_mul(u.hi - u.lo + 1),
+        |_, u, token| run_chunk(n, &slices[u.target], &frontiers[u.target], u, token, opts),
+    );
+
+    // Merge: scan each target's units in ascending depth order; the first
+    // event wins. Early stopping cannot change this — a unit only stops when
+    // a *strictly shallower* unit has recorded an event, and that unit is
+    // scanned first.
+    let mut outcomes: Vec<BmcOutcome> = vec![BmcOutcome::NoHitUpTo(opts.max_depth); ntargets];
+    let mut decided = vec![false; ntargets];
+    for (u, outcome) in meta.into_iter().zip(results) {
+        if decided[u.target] {
+            continue;
+        }
+        match outcome {
+            ChunkOutcome::Clean => {}
+            ChunkOutcome::Cex { depth, witness } => {
+                outcomes[u.target] = BmcOutcome::Counterexample { depth, witness };
+                decided[u.target] = true;
+            }
+            ChunkOutcome::Unknown { depth } => {
+                outcomes[u.target] = BmcOutcome::Unknown { depth };
+                decided[u.target] = true;
+            }
+            ChunkOutcome::Stopped { at } => {
+                // Only reachable when the caller's token was cancelled
+                // before the shallowest pending unit finished; report the
+                // inconclusive depth honestly.
+                outcomes[u.target] = BmcOutcome::Unknown { depth: at };
+                decided[u.target] = true;
+            }
+        }
+    }
+    outcomes
+}
+
+/// Solves depths `lo..=hi` of one cone slice with a fresh solver.
+fn run_chunk(
+    orig: &Netlist,
+    slice: &Rebuilt,
+    frontier: &Frontier,
+    u: ChunkUnit,
+    token: &CancelToken,
+    opts: &BmcOptions,
+) -> ChunkOutcome {
+    let orig_target = orig.targets()[u.target].lit;
+    let target = slice.netlist.targets()[0].lit;
+    let mut solver = Solver::new();
+    solver.set_conflict_budget(opts.conflict_budget);
+    let mut unroller = Unroller::new(&slice.netlist, FrameZero::Init);
+    // Frames below `lo` belong to earlier units; they are unrolled (the
+    // encoding needs them) but not solved here.
+    for depth in 0..u.lo {
+        unroller.lit_at(&mut solver, target, depth as usize);
+    }
+    for depth in u.lo..=u.hi {
+        if token.is_cancelled() || frontier.superseded(depth) {
+            return ChunkOutcome::Stopped { at: depth };
+        }
+        let lit = unroller.lit_at(&mut solver, target, depth as usize);
+        if let Some(probe) = &opts.solve_probe {
+            probe.fetch_add(1, Ordering::AcqRel);
+        }
+        match solver.solve_with(&[lit]) {
+            SolveResult::Sat => {
+                frontier.record(depth);
+                let sliced = extract_witness(&slice.netlist, &unroller, &solver, depth as usize);
+                let witness = lift_witness(orig, slice, &sliced);
+                debug_assert!(
+                    witness.replays_to(orig, orig_target),
+                    "lifted witness fails to replay at depth {depth}"
+                );
+                return ChunkOutcome::Cex { depth, witness };
+            }
+            SolveResult::Unsat => {}
+            SolveResult::Unknown => {
+                frontier.record(depth);
+                return ChunkOutcome::Unknown { depth };
+            }
+        }
+    }
+    ChunkOutcome::Clean
+}
+
+/// Lifts a witness for a cone slice back to the original netlist: every
+/// original input / nondet register reads its value through the slice's
+/// rebuild map; signals outside the cone (which cannot influence the target)
+/// default to 0.
+fn lift_witness(orig: &Netlist, slice: &Rebuilt, w: &Witness) -> Witness {
+    let input_pos: std::collections::HashMap<diam_netlist::Gate, usize> = slice
+        .netlist
+        .inputs()
+        .iter()
+        .enumerate()
+        .map(|(k, &g)| (g, k))
+        .collect();
+    let reg_pos: std::collections::HashMap<diam_netlist::Gate, usize> = slice
+        .netlist
+        .regs()
+        .iter()
+        .enumerate()
+        .map(|(k, &g)| (g, k))
+        .collect();
+    let inputs = w
+        .inputs
+        .iter()
+        .map(|row| {
+            orig.inputs()
+                .iter()
+                .map(|&i| {
+                    slice
+                        .lit(i.lit())
+                        .and_then(|l| {
+                            input_pos
+                                .get(&l.gate())
+                                .map(|&k| row[k] ^ l.is_complement())
+                        })
+                        .unwrap_or(false)
+                })
+                .collect()
+        })
+        .collect();
+    let nondet_init = orig
+        .regs()
+        .iter()
+        .map(|&r| {
+            if orig.reg_init(r) != Init::Nondet {
+                return false;
+            }
+            slice
+                .lit(r.lit())
+                .and_then(|l| {
+                    reg_pos
+                        .get(&l.gate())
+                        .map(|&k| w.nondet_init[k] ^ l.is_complement())
+                })
+                .unwrap_or(false)
+        })
+        .collect();
+    Witness {
+        inputs,
+        nondet_init,
+    }
 }
 
 /// Builds a replayable witness from the model of a satisfiable depth-`d`
@@ -215,7 +466,7 @@ pub fn k_induction(n: &Netlist, index: usize, max_k: u64) -> InductionOutcome {
             index,
             &BmcOptions {
                 max_depth: k,
-                conflict_budget: None,
+                ..BmcOptions::default()
             },
         );
         if let BmcOutcome::Counterexample { depth, witness } = base {
@@ -288,7 +539,7 @@ pub fn k_induction_with_invariants(
             index,
             &BmcOptions {
                 max_depth: k,
-                conflict_budget: None,
+                ..BmcOptions::default()
             },
         );
         if let BmcOutcome::Counterexample { depth, witness } = base {
@@ -351,6 +602,12 @@ pub struct ProveOptions {
     pub depth_cap: u64,
     /// SAT conflict budget per BMC depth.
     pub conflict_budget: Option<u64>,
+    /// Worker threads for [`prove_all`]'s per-target fan-out (also forwarded
+    /// to the structural bounding pass). Every target is proved on its own
+    /// cone slice with a fresh solver regardless of this setting, so
+    /// [`Parallelism::Threads`]`(n)` output is bit-identical to
+    /// [`Parallelism::Sequential`] output.
+    pub parallelism: Parallelism,
 }
 
 /// Outcome of a complete, diameter-bounded check.
@@ -398,6 +655,7 @@ pub fn prove(n: &Netlist, index: usize, pipeline: &Pipeline, opts: &ProveOptions
         &BmcOptions {
             max_depth: bound.saturating_sub(1),
             conflict_budget: opts.conflict_budget,
+            ..BmcOptions::default()
         },
     ) {
         BmcOutcome::Counterexample { depth, witness } => {
@@ -411,35 +669,87 @@ pub fn prove(n: &Netlist, index: usize, pipeline: &Pipeline, opts: &ProveOptions
 /// Runs [`prove`] on every target, sharing the pipeline run and bounding
 /// pass across targets (the transformation is netlist-wide, so computing it
 /// once is both faster and what the paper's tables do).
+///
+/// Per-target BMC jobs are independent — each slices its own cone of
+/// influence out of the original netlist ([`slice_target`]) and owns a
+/// fresh solver — and fan out across [`ProveOptions::parallelism`] workers,
+/// largest cone first. Results merge in original target order, and because
+/// the *same* job code runs in every mode, the output (witnesses included)
+/// is bit-identical across all parallelism settings.
 pub fn prove_all(n: &Netlist, pipeline: &Pipeline, opts: &ProveOptions) -> Vec<ProveOutcome> {
-    let bounds = pipeline.bound_targets(n, &opts.structural);
-    bounds
+    let mut structural = opts.structural.clone();
+    structural.parallelism = opts.parallelism;
+    let bounds = pipeline.bound_targets(n, &structural);
+
+    /// A per-target job: either decided by bounding alone, or a BMC
+    /// obligation with a precomputed scheduling weight.
+    enum ProveJob {
+        Done(ProveOutcome),
+        Bmc {
+            index: usize,
+            bound: u64,
+            weight: u64,
+        },
+    }
+
+    let jobs: Vec<ProveJob> = bounds
         .iter()
         .enumerate()
         .map(|(i, pb)| {
             let bound = match pb.original {
                 Bound::Finite(b) => b,
-                Bound::Exponential => return ProveOutcome::BoundTooLarge { bound: None },
+                Bound::Exponential => {
+                    return ProveJob::Done(ProveOutcome::BoundTooLarge { bound: None })
+                }
             };
             if opts.depth_cap != 0 && bound > opts.depth_cap {
-                return ProveOutcome::BoundTooLarge { bound: Some(bound) };
+                return ProveJob::Done(ProveOutcome::BoundTooLarge { bound: Some(bound) });
             }
-            match check(
-                n,
-                i,
-                &BmcOptions {
-                    max_depth: bound.saturating_sub(1),
-                    conflict_budget: opts.conflict_budget,
-                },
-            ) {
-                BmcOutcome::Counterexample { depth, witness } => {
-                    ProveOutcome::Counterexample { depth, witness }
-                }
-                BmcOutcome::NoHitUpTo(_) => ProveOutcome::Proved { bound },
-                BmcOutcome::Unknown { .. } => ProveOutcome::Unknown,
+            let cone = diam_netlist::analysis::coi(n, [n.targets()[i].lit]);
+            let weight = (cone.regs.len() as u64 + cone.inputs.len() as u64 + 1)
+                .saturating_mul(bound.max(1));
+            ProveJob::Bmc {
+                index: i,
+                bound,
+                weight,
             }
         })
-        .collect()
+        .collect();
+
+    diam_par::run(
+        opts.parallelism,
+        jobs,
+        |job| match job {
+            ProveJob::Done(_) => 0,
+            ProveJob::Bmc { weight, .. } => *weight,
+        },
+        |_, job, token| match job {
+            ProveJob::Done(outcome) => outcome,
+            ProveJob::Bmc { index, bound, .. } => {
+                let slice = slice_target(n, index);
+                let frontier = Frontier::new();
+                let unit = ChunkUnit {
+                    target: index,
+                    lo: 0,
+                    hi: bound.saturating_sub(1),
+                };
+                let bmc = BmcOptions {
+                    max_depth: bound.saturating_sub(1),
+                    conflict_budget: opts.conflict_budget,
+                    ..BmcOptions::default()
+                };
+                match run_chunk(n, &slice, &frontier, unit, token, &bmc) {
+                    ChunkOutcome::Cex { depth, witness } => {
+                        ProveOutcome::Counterexample { depth, witness }
+                    }
+                    ChunkOutcome::Clean => ProveOutcome::Proved { bound },
+                    ChunkOutcome::Unknown { .. } | ChunkOutcome::Stopped { .. } => {
+                        ProveOutcome::Unknown
+                    }
+                }
+            }
+        },
+    )
 }
 
 /// Options for [`random_search`].
@@ -594,7 +904,9 @@ mod tests {
 
     fn counter(bits: usize, value: u64) -> Netlist {
         let mut n = Netlist::new();
-        let b: Vec<Gate> = (0..bits).map(|k| n.reg(format!("b{k}"), Init::Zero)).collect();
+        let b: Vec<Gate> = (0..bits)
+            .map(|k| n.reg(format!("b{k}"), Init::Zero))
+            .collect();
         let mut carry = Lit::TRUE;
         for k in 0..bits {
             let nk = n.xor(b[k].lit(), carry);
@@ -630,7 +942,7 @@ mod tests {
                 0,
                 &BmcOptions {
                     max_depth: 10,
-                    conflict_budget: None
+                    ..BmcOptions::default()
                 }
             ),
             BmcOutcome::NoHitUpTo(10)
@@ -662,7 +974,7 @@ mod tests {
         n.add_target(never, "never");
         let opts = BmcOptions {
             max_depth: 10,
-            conflict_budget: None,
+            ..BmcOptions::default()
         };
         let all = check_all(&n, &opts);
         for (i, outcome) in all.iter().enumerate() {
@@ -676,7 +988,10 @@ mod tests {
                 other => panic!("target {i}: mismatch {other:?}"),
             }
         }
-        assert!(matches!(all[0], BmcOutcome::Counterexample { depth: 2, .. }));
+        assert!(matches!(
+            all[0],
+            BmcOutcome::Counterexample { depth: 2, .. }
+        ));
         assert!(matches!(all[3], BmcOutcome::NoHitUpTo(10)));
     }
 
@@ -840,7 +1155,9 @@ mod tests {
         let mut n = Netlist::new();
         let en = n.input("en").lit();
         let mk = |n: &mut Netlist, tag: &str, en: Lit| -> Vec<Gate> {
-            let bits: Vec<Gate> = (0..3).map(|k| n.reg(format!("{tag}{k}"), Init::Zero)).collect();
+            let bits: Vec<Gate> = (0..3)
+                .map(|k| n.reg(format!("{tag}{k}"), Init::Zero))
+                .collect();
             let mut carry = en;
             for b in &bits {
                 let nk = n.xor(b.lit(), carry);
@@ -856,10 +1173,7 @@ mod tests {
 
         // Plain induction needs a large k (the lower bits are unconstrained
         // in the step case); cap it low to show failure.
-        assert!(matches!(
-            k_induction(&n, 0, 1),
-            InductionOutcome::Unknown
-        ));
+        assert!(matches!(k_induction(&n, 0, 1), InductionOutcome::Unknown));
         // Sweep proves the bit-wise equalities; as invariants they make the
         // property inductive immediately.
         let swept = sweep(&n, &SweepOptions::default());
@@ -923,13 +1237,7 @@ mod tests {
         let r = n.reg("r", Init::Zero);
         n.set_next(r, guard.lit());
         n.add_target(r.lit(), "t");
-        let outcome = prove_localized(
-            &n,
-            0,
-            &[guard],
-            &Pipeline::new(),
-            &ProveOptions::default(),
-        );
+        let outcome = prove_localized(&n, 0, &[guard], &Pipeline::new(), &ProveOptions::default());
         assert!(matches!(outcome, LocalizedOutcome::AbstractHit { .. }));
         // The concrete target is in fact unreachable.
         assert!(matches!(

@@ -145,7 +145,7 @@ pub fn solve_all(n: &Netlist, opts: &StrategyOptions) -> Vec<TargetStatus> {
                         i,
                         &BmcOptions {
                             max_depth: b.saturating_sub(1),
-                            conflict_budget: None,
+                            ..BmcOptions::default()
                         },
                     ) {
                         BmcOutcome::Counterexample { depth, witness } => {
@@ -186,7 +186,7 @@ pub fn solve_all(n: &Netlist, opts: &StrategyOptions) -> Vec<TargetStatus> {
                                 i,
                                 &BmcOptions {
                                     max_depth: depth,
-                                    conflict_budget: None,
+                                    ..BmcOptions::default()
                                 },
                             ) {
                                 return TargetStatus::Failed {
@@ -324,7 +324,9 @@ mod tests {
         // A large stirred ring with an unreachable target: over every
         // engine's head (bounded by our caps).
         let stir = n.input("stir");
-        let regs: Vec<Gate> = (0..24).map(|k| n.reg(format!("r{k}"), Init::Zero)).collect();
+        let regs: Vec<Gate> = (0..24)
+            .map(|k| n.reg(format!("r{k}"), Init::Zero))
+            .collect();
         for k in 0..24 {
             let prev = regs[(k + 23) % 24].lit();
             let nx = if k == 0 {
@@ -357,10 +359,13 @@ mod tests {
         // The default portfolio includes symbolic reachability, whose exact
         // fixpoint resolves the target (all-ones is reachable at depth 24 by
         // stirring ones around the ring) — with a replayable witness.
-        let statuses = solve_all(&n, &StrategyOptions {
-            max_induction: 1,
-            ..Default::default()
-        });
+        let statuses = solve_all(
+            &n,
+            &StrategyOptions {
+                max_induction: 1,
+                ..Default::default()
+            },
+        );
         match &statuses[0] {
             TargetStatus::Failed { by, witness, depth } => {
                 assert_eq!(*by, Engine::Symbolic);

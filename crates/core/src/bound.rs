@@ -123,10 +123,7 @@ mod tests {
         assert_eq!(Bound::Finite(3).add(Bound::Finite(4)), Bound::Finite(7));
         assert_eq!(Bound::Finite(u64::MAX).add_const(1), Bound::Exponential);
         assert_eq!(Bound::Finite(10).mul_const(5), Bound::Finite(50));
-        assert_eq!(
-            Bound::Finite(u64::MAX / 2).mul_const(3),
-            Bound::Exponential
-        );
+        assert_eq!(Bound::Finite(u64::MAX / 2).mul_const(3), Bound::Exponential);
         assert_eq!(Bound::Exponential.add_const(0), Bound::Exponential);
     }
 
@@ -149,10 +146,7 @@ mod tests {
     #[test]
     fn ordering_puts_exponential_last() {
         assert!(Bound::Finite(u64::MAX) < Bound::Exponential);
-        assert_eq!(
-            Bound::Finite(3).max(Bound::Exponential),
-            Bound::Exponential
-        );
+        assert_eq!(Bound::Finite(3).max(Bound::Exponential), Bound::Exponential);
         assert_eq!(Bound::Finite(3).max(Bound::Finite(9)), Bound::Finite(9));
     }
 

@@ -233,6 +233,30 @@ pub fn constant_registers(n: &Netlist) -> Vec<(Gate, bool)> {
         .collect()
 }
 
+/// Classifies every target's cone of influence independently, fanning the
+/// per-target jobs out across `par` workers (largest cone first).
+///
+/// Returns one [`Classification`] per target, in target order. The output is
+/// identical for every [`Parallelism`] setting: each job is a pure function
+/// of the immutable netlist, and results are merged back in original order.
+pub fn classify_targets(
+    n: &Netlist,
+    opts: &ClassifyOptions,
+    par: diam_par::Parallelism,
+) -> Vec<Classification> {
+    use diam_netlist::analysis::coi;
+    let jobs: Vec<usize> = (0..n.targets().len()).collect();
+    diam_par::run(
+        par,
+        jobs,
+        |&i| coi(n, [n.targets()[i].lit]).regs.len() as u64 + 1,
+        |_, i, _| {
+            let cone = coi(n, [n.targets()[i].lit]);
+            classify(n, &cone.regs, opts)
+        },
+    )
+}
+
 /// Classifies the registers `regs` of `n` (typically a target's cone of
 /// influence).
 pub fn classify(n: &Netlist, regs: &[Gate], opts: &ClassifyOptions) -> Classification {
@@ -287,7 +311,11 @@ pub fn classify(n: &Netlist, regs: &[Gate], opts: &ClassifyOptions) -> Classific
                     .collect();
                 let inputs_only: Vec<Gate> =
                     full.iter().copied().filter(|&g| !n.is_reg(g)).collect();
-                let key = if inputs_only.is_empty() { full } else { inputs_only };
+                let key = if inputs_only.is_empty() {
+                    full
+                } else {
+                    inputs_only
+                };
                 let idx = *cluster_index.entry(key).or_insert_with(|| {
                     cluster_members.push(Vec::new());
                     cluster_members.len() - 1
@@ -341,12 +369,7 @@ pub fn classify(n: &Netlist, regs: &[Gate], opts: &ClassifyOptions) -> Classific
 /// `ite(h, r, d)` with `h`, `d` independent of `r`, returns the hold
 /// condition `h` as a BDD over gate-indexed variables. The shape test is
 /// monotonicity in `r`: `f|r=0 ⇒ f|r=1`.
-fn table_cell_hold(
-    m: &mut Manager,
-    n: &Netlist,
-    r: Gate,
-    max_support: usize,
-) -> Option<Bdd> {
+fn table_cell_hold(m: &mut Manager, n: &Netlist, r: Gate, max_support: usize) -> Option<Bdd> {
     let f_lit = n.reg_next(r);
     let sup = support(n, f_lit);
     if sup.regs.len() + sup.inputs.len() > max_support {
@@ -529,7 +552,12 @@ mod tests {
         let c = classify(&n, &[c0, p, m0, t], &ClassifyOptions::default());
         let counts = c.counts();
         assert_eq!(
-            (counts.constant, counts.acyclic, counts.table, counts.general),
+            (
+                counts.constant,
+                counts.acyclic,
+                counts.table,
+                counts.general
+            ),
             (1, 1, 1, 1)
         );
     }

@@ -550,7 +550,11 @@ mod tests {
             t,
             &crate::structural::StructuralOptions::default(),
         );
-        assert_eq!(tb.bound, crate::Bound::Finite(3), "structural bound is tight");
+        assert_eq!(
+            tb.bound,
+            crate::Bound::Finite(3),
+            "structural bound is tight"
+        );
     }
 
     #[test]

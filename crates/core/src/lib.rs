@@ -57,6 +57,7 @@ pub mod structural;
 pub mod symbolic;
 
 pub use bound::Bound;
-pub use classify::{ClassCounts, Classification, ClassifyOptions, RegClass};
+pub use classify::{classify_targets, ClassCounts, Classification, ClassifyOptions, RegClass};
+pub use diam_par::Parallelism;
 pub use pipeline::{BackStep, Engine, Pipeline, PipelineResult, PipelinedBound};
 pub use structural::{diameter_bound, StructuralOptions, TargetBound};

@@ -352,9 +352,25 @@ impl PipelineResult {
     }
 
     /// Structural bounds for all targets, back-translated to the original.
+    ///
+    /// Each target is an independent bounding job, fanned out across
+    /// [`StructuralOptions::parallelism`] workers (largest cone first) and
+    /// merged back in original target order — the output is identical for
+    /// every parallelism setting, because [`diameter_bound`] is a pure
+    /// function of the (immutable) transformed netlist.
     pub fn bound_targets(&self, opts: &StructuralOptions) -> Vec<PipelinedBound> {
-        (0..self.original_targets)
-            .map(|i| {
+        let jobs: Vec<usize> = (0..self.original_targets).collect();
+        diam_par::run(
+            opts.parallelism,
+            jobs,
+            |&i| {
+                let t = &self.netlist.targets()[i];
+                diam_netlist::analysis::coi(&self.netlist, [t.lit])
+                    .regs
+                    .len() as u64
+                    + 1
+            },
+            |_, i, _| {
                 let t = &self.netlist.targets()[i];
                 let tb: TargetBound = diameter_bound(&self.netlist, t.lit, opts);
                 PipelinedBound {
@@ -363,8 +379,8 @@ impl PipelineResult {
                     original: self.back_translate(i, tb.bound),
                     counts: tb.classification.counts(),
                 }
-            })
-            .collect()
+            },
+        )
     }
 
     /// The transformed literal of original target `index`.
@@ -402,11 +418,7 @@ mod tests {
             if let Some(hit) = ex.earliest_hit[i] {
                 match pb.original {
                     Bound::Finite(b) => {
-                        assert!(
-                            hit < b,
-                            "target {}: hit at {hit} but bound {b}",
-                            pb.name
-                        );
+                        assert!(hit < b, "target {}: hit at {hit} but bound {b}", pb.name);
                     }
                     Bound::Exponential => {}
                 }
@@ -533,7 +545,10 @@ mod tests {
         // Applied order: fold(×3) then enlarge(+2). A bound b on the final
         // netlist is first undone through the enlargement (b + 2), then
         // through the folding (×3): (b + 2) · 3.
-        assert_eq!(result.back_translate(0, Bound::Finite(4)), Bound::Finite(18));
+        assert_eq!(
+            result.back_translate(0, Bound::Finite(4)),
+            Bound::Finite(18)
+        );
     }
 
     #[test]

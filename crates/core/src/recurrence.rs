@@ -81,11 +81,7 @@ impl RecurrenceResult {
 /// loop-free path of `k` transitions" becomes unsatisfiable; the result is
 /// then `k` in the paper's +1 convention (`k − 1` transitions is the longest
 /// loop-free path, plus one for Definition 3).
-pub fn recurrence_diameter(
-    n: &Netlist,
-    target: Lit,
-    opts: &RecurrenceOptions,
-) -> RecurrenceResult {
+pub fn recurrence_diameter(n: &Netlist, target: Lit, opts: &RecurrenceOptions) -> RecurrenceResult {
     let cone = coi(n, [target]);
     let regs: Vec<Gate> = cone.regs.clone();
     if regs.is_empty() {
@@ -106,9 +102,9 @@ pub fn recurrence_diameter(
     // State literals per frame, built on demand.
     let mut state_lits: Vec<Vec<SatLit>> = Vec::new();
     let ensure_frame = |solver: &mut Solver,
-                            unroller: &mut Unroller<'_>,
-                            state_lits: &mut Vec<Vec<SatLit>>,
-                            t: usize| {
+                        unroller: &mut Unroller<'_>,
+                        state_lits: &mut Vec<Vec<SatLit>>,
+                        t: usize| {
         while state_lits.len() <= t {
             let frame = state_lits.len();
             let lits = regs
@@ -265,7 +261,9 @@ mod tests {
     /// k-bit binary counter netlist.
     fn counter(bits: usize) -> (Netlist, Lit) {
         let mut n = Netlist::new();
-        let b: Vec<Gate> = (0..bits).map(|k| n.reg(format!("b{k}"), Init::Zero)).collect();
+        let b: Vec<Gate> = (0..bits)
+            .map(|k| n.reg(format!("b{k}"), Init::Zero))
+            .collect();
         let mut carry = Lit::TRUE;
         for k in 0..bits {
             let nk = n.xor(b[k].lit(), carry);
@@ -407,7 +405,10 @@ mod tests {
             let mut pool: Vec<Lit> = (0..2).map(|k| n.input(format!("i{k}")).lit()).collect();
             let mut regs = Vec::new();
             for k in 0..3 {
-                let r = n.reg(format!("r{k}"), if rng.bool() { Init::Zero } else { Init::One });
+                let r = n.reg(
+                    format!("r{k}"),
+                    if rng.bool() { Init::Zero } else { Init::One },
+                );
                 regs.push(r);
                 pool.push(r.lit());
             }

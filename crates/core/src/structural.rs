@@ -37,12 +37,17 @@ use crate::bound::Bound;
 use crate::classify::{classify, Classification, ClassifyOptions, ComponentKind};
 use diam_netlist::analysis::coi;
 use diam_netlist::{Lit, Netlist};
+use diam_par::Parallelism;
 
 /// Options for the structural diameter engine.
 #[derive(Debug, Clone, Default)]
 pub struct StructuralOptions {
     /// Classification options.
     pub classify: ClassifyOptions,
+    /// Worker threads for per-target fan-out (bounding each target's cone
+    /// is an independent job; results are merged in original target order,
+    /// so every setting produces identical output).
+    pub parallelism: Parallelism,
 }
 
 /// The result of bounding one target.
@@ -102,8 +107,7 @@ pub fn serialized_bound(cl: &Classification) -> Bound {
     let mut ac_depth = vec![0u64; num];
     for c in 0..num {
         let up = preds[c].iter().map(|&p| ac_depth[p]).max().unwrap_or(0);
-        ac_depth[c] = up
-            + u64::from(matches!(cl.kinds[c], ComponentKind::Acyclic));
+        ac_depth[c] = up + u64::from(matches!(cl.kinds[c], ComponentKind::Acyclic));
     }
     let levels = ac_depth.iter().copied().max().unwrap_or(0);
 
@@ -141,9 +145,7 @@ pub fn component_bounds(cl: &Classification) -> Vec<Bound> {
         bound[c] = match &cl.kinds[c] {
             ComponentKind::Acyclic => up.add_const(1),
             ComponentKind::General => up.mul(Bound::pow2(cl.cond.comps[c].len() as u64)),
-            ComponentKind::Table { cluster } => {
-                up.mul_const(cl.clusters[*cluster].rows as u64 + 1)
-            }
+            ComponentKind::Table { cluster } => up.mul_const(cl.clusters[*cluster].rows as u64 + 1),
         };
     }
     bound
@@ -383,7 +385,9 @@ mod tests {
     fn large_general_component_saturates() {
         // A 70-register rotating ring with an inverter is one big SCC.
         let mut n = Netlist::new();
-        let regs: Vec<Gate> = (0..70).map(|k| n.reg(format!("r{k}"), Init::Zero)).collect();
+        let regs: Vec<Gate> = (0..70)
+            .map(|k| n.reg(format!("r{k}"), Init::Zero))
+            .collect();
         for k in 0..70 {
             let prev = regs[(k + 69) % 70].lit();
             n.set_next(regs[k], if k == 0 { !prev } else { prev });
@@ -448,7 +452,9 @@ mod tests {
         let p = n.reg("p", Init::Zero);
         let i = n.input("i");
         n.set_next(p, i.lit());
-        let regs: Vec<Gate> = (0..10).map(|k| n.reg(format!("ring{k}"), Init::Zero)).collect();
+        let regs: Vec<Gate> = (0..10)
+            .map(|k| n.reg(format!("ring{k}"), Init::Zero))
+            .collect();
         for k in 0..10 {
             let prev = regs[(k + 9) % 10].lit();
             n.set_next(regs[k], if k == 0 { !prev } else { prev });

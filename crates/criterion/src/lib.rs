@@ -1,0 +1,289 @@
+//! A vendored, std-only stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this shim implements
+//! the subset of the Criterion API the workspace benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark takes `sample_size` samples (default
+//! 10). A sample times a batch of iterations; the batch size is calibrated
+//! once so a sample lasts at least ~5 ms (fast closures are looped). The
+//! report prints `min / median / max` per-iteration times to stdout:
+//!
+//! ```text
+//! group/id                time:   [1.2041 ms 1.2103 ms 1.3377 ms]
+//! ```
+//!
+//! No statistical outlier analysis, plotting, or baselines — this exists so
+//! `cargo bench` runs offline and produces honest wall-clock numbers.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported from `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Reads a substring filter from the command line (the first
+    /// non-flag argument), mirroring `cargo bench -- <filter>`.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Criterion {
+        self.filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = id.to_string();
+        run_benchmark(self, &full, 10, f);
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_name.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples taken per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` under `self.name/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(self.criterion, &full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `self.name/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(self.criterion, &full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (report lines are printed eagerly; this is a no-op
+    /// kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, rendered as `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id for `function_name` parameterized by `parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> BenchmarkId {
+        BenchmarkId { id }
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under measurement.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    /// Per-iteration durations, one per sample.
+    samples: Vec<Duration>,
+}
+
+/// A sample should last at least this long; faster closures are batched.
+const MIN_SAMPLE_TIME: Duration = Duration::from_millis(5);
+
+impl Bencher {
+    /// Measures `f`, recording `sample_size` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + batch calibration.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let batch: u32 = if once >= MIN_SAMPLE_TIME {
+            1
+        } else {
+            (MIN_SAMPLE_TIME.as_nanos() / once.as_nanos().max(1)).clamp(1, 1_000_000) as u32
+        };
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed() / batch);
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    full_name: &str,
+    sample_size: usize,
+    mut f: F,
+) {
+    if !criterion.matches(full_name) {
+        return;
+    }
+    let mut b = Bencher {
+        sample_size,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{full_name:<40} (no samples: closure never called iter)");
+        return;
+    }
+    b.samples.sort();
+    let min = b.samples[0];
+    let max = *b.samples.last().unwrap();
+    let median = b.samples[b.samples.len() / 2];
+    println!(
+        "{full_name:<40} time:   [{} {} {}]",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(max)
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.4} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.4} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.4} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a function running a sequence of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench-harness `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("bits", 8).to_string(), "bits/8");
+        assert_eq!(BenchmarkId::from_parameter(3).to_string(), "3");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut ran = 0usize;
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3).bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        group.finish();
+        assert!(ran >= 3);
+    }
+
+    #[test]
+    fn duration_formatting_scales_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(10)), "10 ns");
+        assert!(fmt_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with('s'));
+    }
+}

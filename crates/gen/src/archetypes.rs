@@ -90,7 +90,12 @@ pub struct CounterHandle {
 /// `bits`-register SCC → **GC**.
 pub fn lfsr(n: &mut Netlist, name: &str, bits: usize, stir: Lit) -> Vec<Gate> {
     let regs: Vec<Gate> = (0..bits)
-        .map(|k| n.reg(format!("{name}_x{k}"), if k == 0 { Init::One } else { Init::Zero }))
+        .map(|k| {
+            n.reg(
+                format!("{name}_x{k}"),
+                if k == 0 { Init::One } else { Init::Zero },
+            )
+        })
         .collect();
     // Feedback: taps at the last two stages (plus the stir bit).
     let fb0 = regs[bits - 1].lit();
@@ -174,7 +179,12 @@ pub fn fifo(n: &mut Netlist, name: &str, depth: usize) -> FifoHandle {
     let data = n.input(format!("{name}_data"));
     // One-hot write-pointer ring that advances on push.
     let token: Vec<Gate> = (0..depth)
-        .map(|k| n.reg(format!("{name}_t{k}"), if k == 0 { Init::One } else { Init::Zero }))
+        .map(|k| {
+            n.reg(
+                format!("{name}_t{k}"),
+                if k == 0 { Init::One } else { Init::Zero },
+            )
+        })
         .collect();
     for k in 0..depth {
         let prev = token[(k + depth - 1) % depth].lit();
@@ -285,7 +295,12 @@ pub fn gray_counter(n: &mut Netlist, name: &str, bits: usize, enable: Lit) -> Ve
 pub fn token_ring(n: &mut Netlist, name: &str, len: usize, step: Lit) -> Vec<Gate> {
     assert!(len >= 2, "ring needs at least two positions");
     let regs: Vec<Gate> = (0..len)
-        .map(|k| n.reg(format!("{name}_t{k}"), if k == 0 { Init::One } else { Init::Zero }))
+        .map(|k| {
+            n.reg(
+                format!("{name}_t{k}"),
+                if k == 0 { Init::One } else { Init::Zero },
+            )
+        })
         .collect();
     for k in 0..len {
         let prev = regs[(k + len - 1) % len].lit();
@@ -320,11 +335,7 @@ pub fn johnson_counter(n: &mut Netlist, name: &str, bits: usize, step: Lit) -> V
 /// the priority position; grants are combinational. Returns
 /// `(ring, grants)` — the grants are mutually exclusive by construction,
 /// which makes `grant_i ∧ grant_j` natural unreachable targets.
-pub fn round_robin_arbiter(
-    n: &mut Netlist,
-    name: &str,
-    clients: usize,
-) -> (Vec<Gate>, Vec<Lit>) {
+pub fn round_robin_arbiter(n: &mut Netlist, name: &str, clients: usize) -> (Vec<Gate>, Vec<Lit>) {
     let reqs: Vec<Lit> = (0..clients)
         .map(|k| n.input(format!("{name}_req{k}")).lit())
         .collect();
@@ -530,7 +541,11 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for t in 0..16 {
             let (a, b) = (value(t), value(t + 1));
-            assert_eq!((a ^ b).count_ones(), 1, "gray step at {t}: {a:04b}->{b:04b}");
+            assert_eq!(
+                (a ^ b).count_ones(),
+                1,
+                "gray step at {t}: {a:04b}->{b:04b}"
+            );
             seen.insert(a);
         }
         assert_eq!(seen.len(), 16, "full gray cycle");

@@ -128,8 +128,7 @@ mod tests {
     fn every_profile_builds_and_validates() {
         for p in profiles() {
             let n = build(&p, 7);
-            n.validate()
-                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            n.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
             assert_eq!(n.targets().len(), p.targets, "{}", p.name);
         }
     }

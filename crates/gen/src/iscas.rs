@@ -39,7 +39,9 @@ pub const TABLE1: &[Row] = &[
     ("S1488", 0, 0, 0, 6, 19, 19, 33.0, 19, 33.0, 19, 33.0),
     ("S1494", 0, 0, 0, 6, 19, 19, 33.0, 19, 33.0, 19, 33.0),
     ("S1512", 0, 0, 1, 56, 21, 0, 0.0, 0, 0.0, 0, 0.0),
-    ("S15850_1", 0, 99, 124, 311, 150, 115, 2.7, 115, 2.7, 115, 4.7),
+    (
+        "S15850_1", 0, 99, 124, 311, 150, 115, 2.7, 115, 2.7, 115, 4.7,
+    ),
     ("S208_1", 0, 0, 0, 8, 1, 0, 0.0, 0, 0.0, 0, 0.0),
     ("S27", 0, 1, 2, 0, 1, 1, 4.0, 1, 4.0, 1, 4.0),
     ("S298", 0, 0, 1, 13, 6, 0, 0.0, 0, 0.0, 0, 0.0),
@@ -50,7 +52,9 @@ pub const TABLE1: &[Row] = &[
     ("S349", 0, 0, 4, 11, 11, 3, 5.0, 3, 5.0, 3, 5.0),
     ("S35932", 0, 0, 0, 1728, 320, 0, 0.0, 0, 0.0, 0, 0.0),
     ("S382", 0, 6, 0, 15, 6, 0, 0.0, 0, 0.0, 0, 0.0),
-    ("S38584_1", 0, 47, 4, 1375, 304, 56, 1.0, 133, 14.9, 110, 16.7),
+    (
+        "S38584_1", 0, 47, 4, 1375, 304, 56, 1.0, 133, 14.9, 110, 16.7,
+    ),
     ("S386", 0, 0, 0, 6, 7, 7, 33.0, 7, 33.0, 7, 33.0),
     ("S400", 0, 6, 0, 15, 6, 0, 0.0, 0, 0.0, 0, 0.0),
     ("S420_1", 0, 0, 0, 16, 1, 0, 0.0, 0, 0.0, 0, 0.0),
@@ -97,10 +101,13 @@ pub fn profiles() -> Vec<DesignProfile> {
 
 /// Builds the full synthetic suite (deterministic for a given seed).
 pub fn suite(seed: u64) -> Vec<(DesignProfile, Netlist)> {
-    profiles().into_iter().map(|p| {
-        let n = build(&p, seed);
-        (p, n)
-    }).collect()
+    profiles()
+        .into_iter()
+        .map(|p| {
+            let n = build(&p, seed);
+            (p, n)
+        })
+        .collect()
 }
 
 /// The paper's Σ row for Table 1: `(cc, ac, mc, gc, t_orig, t_com, t_ret,
@@ -137,8 +144,7 @@ mod tests {
     fn every_profile_builds_and_validates() {
         for p in profiles() {
             let n = build(&p, 7);
-            n.validate()
-                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            n.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
             assert_eq!(n.targets().len(), p.targets, "{}", p.name);
         }
     }

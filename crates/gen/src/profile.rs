@@ -25,9 +25,7 @@
 //! Register budgets are drawn from the profile's class counts so the
 //! reported classification columns track the paper's.
 
-use crate::archetypes::{
-    big_ring, constants, counter, duplicate_counter, pipeline, register_file,
-};
+use crate::archetypes::{big_ring, constants, counter, duplicate_counter, pipeline, register_file};
 use diam_netlist::sim::SplitMix64;
 use diam_netlist::{Lit, Netlist};
 
@@ -111,7 +109,11 @@ pub fn build(profile: &DesignProfile, seed: u64) -> Netlist {
     // redundancy removal can merge the copies; until then the pair's
     // 2^k · 2^k factor keeps its observers unboundable.
     let com_struct = if u1 > 0 {
-        let k = if gc_left >= 14 { 7 } else { 6.min(gc_left / 2).max(3) };
+        let k = if gc_left >= 14 {
+            7
+        } else {
+            6.min(gc_left / 2).max(3)
+        };
         gc_left = gc_left.saturating_sub(2 * k);
         let en = n.input("dup_en");
         let (a, b) = duplicate_counter(&mut n, "dup", k, en.lit());
@@ -326,7 +328,9 @@ pub fn build(profile: &DesignProfile, seed: u64) -> Netlist {
                 n.or_many(bits)
             }
             Variant::Counter => {
-                let c = u0_counter.as_ref().expect("counter variant implies counter");
+                let c = u0_counter
+                    .as_ref()
+                    .expect("counter variant implies counter");
                 c.bits[i % c.bits.len()]
             }
         };
@@ -339,7 +343,11 @@ pub fn build(profile: &DesignProfile, seed: u64) -> Netlist {
     // COM-gain targets: shallow tap ∨ duplicate-pair difference (∨ an aux
     // memory row when this design has nowhere else to put its MC budget).
     for i in 0..u1 {
-        let base = u0_pipe.regs.first().map(|r| r.lit()).unwrap_or(u0_pipe.tail);
+        let base = u0_pipe
+            .regs
+            .first()
+            .map(|r| r.lit())
+            .unwrap_or(u0_pipe.tail);
         let (diff, _) = com_struct.expect("u1 > 0 implies the structure exists");
         let varied = base.xor_complement(i % 2 == 1);
         let mut lit = n.or(varied, diff);
@@ -485,10 +493,7 @@ mod tests {
         let n = build(&p, 1);
         let opts = StructuralOptions::default();
         let bounds = Pipeline::com_ret_com().bound_targets(&n, &opts);
-        let dead: Vec<_> = bounds
-            .iter()
-            .filter(|b| b.name.contains("dead"))
-            .collect();
+        let dead: Vec<_> = bounds.iter().filter(|b| b.name.contains("dead")).collect();
         assert!(!dead.is_empty());
         assert!(
             dead.iter().all(|b| !b.original.is_useful(50)),
@@ -506,7 +511,11 @@ mod tests {
         for (c, r) in com.iter().zip(&ret) {
             if c.name.contains("u2_") {
                 assert!(!c.original.is_useful(50), "{}: useful before RET", c.name);
-                assert!(r.original.is_useful(50), "{}: still useless after RET", r.name);
+                assert!(
+                    r.original.is_useful(50),
+                    "{}: still useless after RET",
+                    r.name
+                );
                 assert!(matches!(r.original, Bound::Finite(_)));
             }
         }

@@ -113,9 +113,6 @@ mod tests {
         assert_eq!(n.num_inputs(), 5);
         assert_eq!(n.num_regs(), 7);
         assert_eq!(n.targets().len(), 3);
-        assert!(n
-            .regs()
-            .iter()
-            .all(|&r| n.reg_init(r) != Init::Nondet));
+        assert!(n.regs().iter().all(|&r| n.reg_init(r) != Init::Nondet));
     }
 }

@@ -13,14 +13,15 @@ pub fn write_dot<W: Write>(n: &Netlist, mut w: W) -> std::io::Result<()> {
     writeln!(w, "digraph netlist {{")?;
     writeln!(w, "  rankdir=LR;")?;
     for g in n.gates() {
-        let label = n.name(g).map(str::to_string).unwrap_or_else(|| g.to_string());
+        let label = n
+            .name(g)
+            .map(str::to_string)
+            .unwrap_or_else(|| g.to_string());
         match n.kind(g) {
             GateKind::Const0 => writeln!(w, "  g0 [label=\"0\", shape=plaintext];")?,
-            GateKind::Input => writeln!(
-                w,
-                "  g{} [label=\"{label}\", shape=triangle];",
-                g.index()
-            )?,
+            GateKind::Input => {
+                writeln!(w, "  g{} [label=\"{label}\", shape=triangle];", g.index())?
+            }
             GateKind::Reg => {
                 let init = match n.reg_init(g) {
                     Init::Zero => "0",
@@ -34,9 +35,7 @@ pub fn write_dot<W: Write>(n: &Netlist, mut w: W) -> std::io::Result<()> {
                     g.index()
                 )?;
             }
-            GateKind::And(..) => {
-                writeln!(w, "  g{} [label=\"∧\", shape=ellipse];", g.index())?
-            }
+            GateKind::And(..) => writeln!(w, "  g{} [label=\"∧\", shape=ellipse];", g.index())?,
         }
     }
     let edge = |w: &mut W, from: crate::Lit, to: usize, tag: &str| -> std::io::Result<()> {
@@ -45,12 +44,7 @@ pub fn write_dot<W: Write>(n: &Netlist, mut w: W) -> std::io::Result<()> {
         } else {
             ""
         };
-        writeln!(
-            w,
-            "  g{} -> g{to} [{}{style}];",
-            from.gate().index(),
-            tag
-        )
+        writeln!(w, "  g{} -> g{to} [{}{style}];", from.gate().index(), tag)
     };
     for g in n.gates() {
         match n.kind(g) {
@@ -68,11 +62,7 @@ pub fn write_dot<W: Write>(n: &Netlist, mut w: W) -> std::io::Result<()> {
         }
     }
     for (k, t) in n.targets().iter().enumerate() {
-        writeln!(
-            w,
-            "  t{k} [label=\"{}\", shape=doublecircle];",
-            t.name
-        )?;
+        writeln!(w, "  t{k} [label=\"{}\", shape=doublecircle];", t.name)?;
         let style = if t.lit.is_complement() {
             " [style=dashed]"
         } else {

@@ -310,11 +310,7 @@ impl Netlist {
     /// Panics if the slices have different lengths.
     pub fn eq_word(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
         assert_eq!(a.len(), b.len(), "eq_word on mismatched widths");
-        let bits: Vec<Lit> = a
-            .iter()
-            .zip(b)
-            .map(|(&x, &y)| self.xnor(x, y))
-            .collect();
+        let bits: Vec<Lit> = a.iter().zip(b).map(|(&x, &y)| self.xnor(x, y)).collect();
         self.and_many(bits)
     }
 

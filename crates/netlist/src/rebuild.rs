@@ -202,6 +202,50 @@ pub fn reduce_coi(n: &Netlist) -> Rebuilt {
     rebuild(n, &identity_repr(n))
 }
 
+/// Slices out the cone of influence of target `index` alone.
+///
+/// The result is a netlist with exactly one target — target `index` of `n` —
+/// and only the logic in its cone; the [`Rebuilt::map`] translates old
+/// literals into the slice. This is the unit of work for per-target parallel
+/// proof orchestration: each slice is an independent, self-contained proof
+/// obligation that can own a fresh solver on its own thread.
+///
+/// Because the slice is produced by the same deterministic [`rebuild`] used
+/// by cone-of-influence reduction, slicing the same `(netlist, index)` pair
+/// always yields a structurally identical result regardless of what other
+/// targets exist or which thread performs the slicing.
+///
+/// # Panics
+///
+/// Panics if `index` is out of range for `n.targets()`.
+///
+/// # Examples
+///
+/// ```
+/// use diam_netlist::{rebuild, Init, Netlist};
+///
+/// let mut n = Netlist::new();
+/// let a = n.input("a");
+/// let b = n.input("b");
+/// let r = n.reg("r", Init::Zero);
+/// n.set_next(r, a.lit());
+/// n.add_target(r.lit(), "t0");
+/// n.add_target(b.lit(), "t1");
+/// let slice = rebuild::slice_target(&n, 1);
+/// assert_eq!(slice.netlist.targets().len(), 1);
+/// assert_eq!(slice.netlist.targets()[0].name, "t1");
+/// assert_eq!(slice.netlist.num_regs(), 0); // r is not in t1's cone
+/// ```
+pub fn slice_target(n: &Netlist, index: usize) -> Rebuilt {
+    let t = &n.targets()[index];
+    // Clone keeps gate indices identical to `n`, so the rebuild map is
+    // directly old-literal -> slice-literal.
+    let mut m = n.clone();
+    m.clear_targets();
+    m.add_target(t.lit, t.name.clone());
+    rebuild(&m, &identity_repr(&m))
+}
+
 /// Replaces every [`Init::Nondet`] initial value by an explicit fresh primary
 /// input (`Init::Fn(new_input)`).
 ///
@@ -312,6 +356,54 @@ mod tests {
         let new_y = rb.lit(y).unwrap();
         for t in 0..16 {
             assert_eq!(t_old.word(y, t), t_new.word(new_y, t));
+        }
+    }
+
+    #[test]
+    fn slice_target_isolates_cones() {
+        let mut n = Netlist::new();
+        let a = n.input("a").lit();
+        let b = n.input("b").lit();
+        let r0 = n.reg("r0", Init::Zero);
+        let r1 = n.reg("r1", Init::One);
+        n.set_next(r0, a);
+        n.set_next(r1, b);
+        n.add_target(r0.lit(), "t0");
+        n.add_target(r1.lit(), "t1");
+        let s0 = slice_target(&n, 0);
+        let s1 = slice_target(&n, 1);
+        assert_eq!(s0.netlist.targets().len(), 1);
+        assert_eq!(s0.netlist.targets()[0].name, "t0");
+        assert_eq!(s0.netlist.num_regs(), 1);
+        assert_eq!(s0.netlist.num_inputs(), 1);
+        // r1/b fall outside t0's cone, and vice versa.
+        assert!(s0.lit(r1.lit()).is_none());
+        assert!(s0.lit(b).is_none());
+        assert!(s1.lit(r0.lit()).is_none());
+        assert!(s1.lit(r1.lit()).is_some());
+        s0.netlist.validate().unwrap();
+        s1.netlist.validate().unwrap();
+    }
+
+    #[test]
+    fn slice_target_is_deterministic() {
+        let mut n = Netlist::new();
+        let a = n.input("a").lit();
+        let b = n.input("b").lit();
+        let x = n.xor(a, b);
+        let r = n.reg("r", Init::Zero);
+        n.set_next(r, x);
+        n.add_target(r.lit(), "t0");
+        n.add_target(x, "t1");
+        for idx in 0..2 {
+            let s1 = slice_target(&n, idx);
+            let s2 = slice_target(&n, idx);
+            assert_eq!(s1.map, s2.map);
+            assert_eq!(s1.netlist.num_gates(), s2.netlist.num_gates());
+            assert_eq!(s1.netlist.targets(), s2.netlist.targets());
+            for (g1, g2) in s1.netlist.gates().zip(s2.netlist.gates()) {
+                assert_eq!(s1.netlist.kind(g1), s2.netlist.kind(g2));
+            }
         }
     }
 

@@ -294,11 +294,7 @@ impl Witness {
             inputs: self
                 .inputs
                 .iter()
-                .map(|row| {
-                    row.iter()
-                        .map(|&b| if b { !0u64 } else { 0u64 })
-                        .collect()
-                })
+                .map(|row| row.iter().map(|&b| if b { !0u64 } else { 0u64 }).collect())
                 .collect(),
             nondet_init: self
                 .nondet_init

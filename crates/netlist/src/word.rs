@@ -39,7 +39,9 @@ impl Word {
     /// Fresh primary inputs `name_0 … name_{width-1}`.
     pub fn inputs(n: &mut Netlist, name: &str, width: usize) -> Word {
         Word {
-            bits: (0..width).map(|k| n.input(format!("{name}_{k}")).lit()).collect(),
+            bits: (0..width)
+                .map(|k| n.input(format!("{name}_{k}")).lit())
+                .collect(),
         }
     }
 
@@ -217,7 +219,9 @@ impl RegWord {
     /// Creates `width` registers named `name_k`, all with the same initial
     /// value. Connect them with [`RegWord::set_next`].
     pub fn new(n: &mut Netlist, name: &str, width: usize, init: Init) -> RegWord {
-        let regs: Vec<Gate> = (0..width).map(|k| n.reg(format!("{name}_{k}"), init)).collect();
+        let regs: Vec<Gate> = (0..width)
+            .map(|k| n.reg(format!("{name}_{k}"), init))
+            .collect();
         let value = Word::from_lits(regs.iter().map(|r| r.lit()));
         RegWord { regs, value }
     }
@@ -238,7 +242,13 @@ impl RegWord {
 /// A registered up-counter with enable and an optional modulus wrap.
 /// Returns the counter state; the wrap happens when the value reaches
 /// `modulus − 1` and `enable` holds.
-pub fn mod_counter(n: &mut Netlist, name: &str, width: usize, modulus: u64, enable: Lit) -> RegWord {
+pub fn mod_counter(
+    n: &mut Netlist,
+    name: &str,
+    width: usize,
+    modulus: u64,
+    enable: Lit,
+) -> RegWord {
     let rw = RegWord::new(n, name, width, Init::Zero);
     let at_top = rw.value.eq_const(n, modulus - 1);
     let wrap = n.and(enable, at_top);
@@ -275,11 +285,21 @@ mod tests {
         let stim = Stimulus::random(&n, 1, &mut rng);
         let tr = simulate(&n, &stim);
         for lane in 0..8 {
-            let va: u64 = (0..8).map(|k| u64::from(tr.value(a.bit(k), 0, lane)) << k).sum();
-            let vb: u64 = (0..8).map(|k| u64::from(tr.value(b.bit(k), 0, lane)) << k).sum();
-            let vs: u64 = (0..8).map(|k| u64::from(tr.value(sum.bit(k), 0, lane)) << k).sum();
+            let va: u64 = (0..8)
+                .map(|k| u64::from(tr.value(a.bit(k), 0, lane)) << k)
+                .sum();
+            let vb: u64 = (0..8)
+                .map(|k| u64::from(tr.value(b.bit(k), 0, lane)) << k)
+                .sum();
+            let vs: u64 = (0..8)
+                .map(|k| u64::from(tr.value(sum.bit(k), 0, lane)) << k)
+                .sum();
             assert_eq!(vs, (va + vb) & 0xff, "lane {lane}");
-            assert_eq!(tr.value(carry, 0, lane), va + vb > 0xff, "carry lane {lane}");
+            assert_eq!(
+                tr.value(carry, 0, lane),
+                va + vb > 0xff,
+                "carry lane {lane}"
+            );
         }
     }
 
@@ -295,8 +315,12 @@ mod tests {
         let stim = Stimulus::random(&n, 1, &mut rng);
         let tr = simulate(&n, &stim);
         for lane in 0..32 {
-            let va: u64 = (0..6).map(|k| u64::from(tr.value(a.bit(k), 0, lane)) << k).sum();
-            let vb: u64 = (0..6).map(|k| u64::from(tr.value(b.bit(k), 0, lane)) << k).sum();
+            let va: u64 = (0..6)
+                .map(|k| u64::from(tr.value(a.bit(k), 0, lane)) << k)
+                .sum();
+            let vb: u64 = (0..6)
+                .map(|k| u64::from(tr.value(b.bit(k), 0, lane)) << k)
+                .sum();
             assert_eq!(tr.value(lt, 0, lane), va < vb, "lt lane {lane}");
             assert_eq!(tr.value(eq, 0, lane), va == vb, "eq lane {lane}");
         }
@@ -346,7 +370,9 @@ mod tests {
         n.add_target(c.value.bit(0), "t");
         // Enable on odd steps only.
         let stim = Stimulus {
-            inputs: (0..8).map(|t| vec![if t % 2 == 1 { !0u64 } else { 0 }]).collect(),
+            inputs: (0..8)
+                .map(|t| vec![if t % 2 == 1 { !0u64 } else { 0 }])
+                .collect(),
             nondet_init: vec![0; 4],
         };
         let tr = simulate(&n, &stim);
@@ -424,7 +450,9 @@ mod tests {
         for lane in 0..16 {
             let sel = tr.value(s, 0, lane);
             let src = if sel { &a } else { &b };
-            let v: u64 = (0..5).map(|k| u64::from(tr.value(src.bit(k), 0, lane)) << k).sum();
+            let v: u64 = (0..5)
+                .map(|k| u64::from(tr.value(src.bit(k), 0, lane)) << k)
+                .sum();
             assert_eq!(tr.value(any, 0, lane), v != 0);
             assert_eq!(tr.value(all, 0, lane), v == 0b11111);
         }

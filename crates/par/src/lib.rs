@@ -1,0 +1,475 @@
+//! # diam-par
+//!
+//! A **std-only** work-stealing executor for the embarrassingly parallel
+//! layers of the diameter-bounding pipeline: per-target cone jobs (bounding,
+//! classification, BMC) are independent — netlists are immutable and every
+//! SAT/BDD engine instance is task-local — so the orchestration layers fan
+//! them out across scoped worker threads.
+//!
+//! Design (no external dependencies):
+//!
+//! * **scoped workers** (`std::thread::scope`) — borrows of the netlist and
+//!   job closures need no `'static` bound and no `Arc` plumbing;
+//! * **global injector + per-worker deques** — jobs are sorted
+//!   largest-weight-first; each worker is seeded with one job and pulls the
+//!   next-largest from the injector when its own deque runs dry, falling
+//!   back to stealing from a sibling's deque (oldest-first) — a classic
+//!   greedy-makespan schedule;
+//! * **deterministic merge** — every job returns a value tagged with its
+//!   original index; [`run`] reassembles results in original order, so the
+//!   output is **independent of thread count and interleaving**. With
+//!   [`Parallelism::Sequential`] the *same job closures* execute inline in
+//!   index order, which is what makes `Threads(n)` output bit-identical to
+//!   sequential output in the consumers (`diam_bmc::prove_all`,
+//!   `diam_core::Pipeline::bound_targets`);
+//! * **cooperative cancellation** — jobs receive a shared [`CancelToken`];
+//!   long-running jobs poll it at loop boundaries. The companion
+//!   [`Frontier`] is a monotone atomic minimum used by depth-sliced BMC to
+//!   let a counterexample found at depth `d` stop all deeper work units for
+//!   the same target.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// How many worker threads an orchestration layer may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Run jobs inline on the calling thread, in original order.
+    #[default]
+    Sequential,
+    /// Spawn exactly `n` workers (clamped to at least 1; `Threads(1)` runs
+    /// inline but through the same job path as larger counts).
+    Threads(usize),
+    /// Use `std::thread::available_parallelism()`.
+    Auto,
+}
+
+impl Parallelism {
+    /// The number of workers this setting resolves to on this machine.
+    pub fn workers(self) -> usize {
+        match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// Parses a `--jobs` flag value: `seq`/`sequential`/`0` → sequential,
+    /// `auto` → all cores, otherwise a thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unparsable value.
+    pub fn parse(s: &str) -> Result<Parallelism, String> {
+        match s {
+            "seq" | "sequential" | "0" => Ok(Parallelism::Sequential),
+            "auto" => Ok(Parallelism::Auto),
+            _ => s
+                .parse::<usize>()
+                .map(Parallelism::Threads)
+                .map_err(|_| format!("bad --jobs value {s:?} (expected N, `seq`, or `auto`)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Parallelism::Sequential => write!(f, "seq"),
+            Parallelism::Threads(n) => write!(f, "{n}"),
+            Parallelism::Auto => write!(f, "auto"),
+        }
+    }
+}
+
+/// A shared, clonable cancellation flag. Cancellation is cooperative: jobs
+/// poll [`CancelToken::is_cancelled`] at convenient boundaries (e.g. between
+/// BMC depths) and wind down early.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation; every clone observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// A monotonically *decreasing* shared minimum (initially `u64::MAX`).
+///
+/// Depth-sliced BMC uses one per target: the work unit that finds a hit (or
+/// exhausts its budget) at depth `d` calls [`Frontier::record`]`(d)`, and
+/// every unit polls [`Frontier::superseded`] before processing a depth —
+/// work at depths strictly above the recorded minimum can never influence
+/// the merged (earliest-depth) outcome, so it stops early. Because merging
+/// consults unit results in ascending depth order and discards everything
+/// past the first recorded event, early stopping never changes the merged
+/// result — it only saves work.
+#[derive(Debug, Clone)]
+pub struct Frontier {
+    best: Arc<AtomicU64>,
+}
+
+impl Default for Frontier {
+    fn default() -> Frontier {
+        Frontier {
+            best: Arc::new(AtomicU64::new(u64::MAX)),
+        }
+    }
+}
+
+impl Frontier {
+    /// A fresh frontier with no recorded event.
+    pub fn new() -> Frontier {
+        Frontier::default()
+    }
+
+    /// Records an event at `depth`, lowering the shared minimum.
+    pub fn record(&self, depth: u64) {
+        self.best.fetch_min(depth, Ordering::AcqRel);
+    }
+
+    /// The lowest recorded depth, or `u64::MAX` if none.
+    pub fn best(&self) -> u64 {
+        self.best.load(Ordering::Acquire)
+    }
+
+    /// Whether work at `depth` is already pointless (an event strictly
+    /// below it has been recorded).
+    pub fn superseded(&self, depth: u64) -> bool {
+        self.best() < depth
+    }
+}
+
+/// One indexed job waiting to run.
+type Job<T> = (usize, T);
+
+struct WorkQueues<T> {
+    /// Global backlog, largest-weight-first.
+    injector: Mutex<VecDeque<Job<T>>>,
+    /// Per-worker deques (seeded round-robin; owner pops the front, thieves
+    /// steal from the back).
+    deques: Vec<Mutex<VecDeque<Job<T>>>>,
+    /// Jobs not yet finished (guard-decremented, so panics still drain it).
+    pending: AtomicUsize,
+}
+
+impl<T> WorkQueues<T> {
+    fn pop(&self, me: usize) -> Option<Job<T>> {
+        // 1. Own deque, front (largest seeded job first).
+        if let Some(job) = lock(&self.deques[me]).pop_front() {
+            return Some(job);
+        }
+        // 2. Global injector, front (next-largest unclaimed job).
+        if let Some(job) = lock(&self.injector).pop_front() {
+            return Some(job);
+        }
+        // 3. Steal from a sibling, back (its smallest job — cheap to move).
+        for k in 1..self.deques.len() {
+            let victim = (me + k) % self.deques.len();
+            if let Some(job) = lock(&self.deques[victim]).pop_back() {
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // A worker panic unwinds through `scope` anyway; poisoning is not an
+    // additional error condition worth propagating here.
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Decrements `pending` even if the job panics, so sibling workers can
+/// still terminate and `std::thread::scope` can propagate the panic.
+struct PendingGuard<'a>(&'a AtomicUsize);
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Runs `f` over `jobs` with a fresh [`CancelToken`]; see [`run_with_token`].
+pub fn run<T, R, W, F>(par: Parallelism, jobs: Vec<T>, weight: W, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    W: Fn(&T) -> u64,
+    F: Fn(usize, T, &CancelToken) -> R + Sync,
+{
+    run_with_token(par, &CancelToken::new(), jobs, weight, f)
+}
+
+/// Runs `f(index, job, token)` for every job and returns the results **in
+/// original job order**.
+///
+/// * `weight` prioritizes scheduling (largest first — for per-target proof
+///   jobs this is "largest cone first", so the long pole starts
+///   immediately); it never affects *results*, only makespan.
+/// * With [`Parallelism::Sequential`] (or one worker, or ≤ 1 job) the jobs
+///   run inline in index order — the exact same closures, so results are
+///   bit-identical to any `Threads(n)` run as long as each job is
+///   deterministic in isolation.
+/// * A panicking job is re-raised after all workers drain (via
+///   `std::thread::scope`); remaining queued jobs still run.
+pub fn run_with_token<T, R, W, F>(
+    par: Parallelism,
+    token: &CancelToken,
+    jobs: Vec<T>,
+    weight: W,
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    W: Fn(&T) -> u64,
+    F: Fn(usize, T, &CancelToken) -> R + Sync,
+{
+    let total = jobs.len();
+    let workers = par.workers().min(total.max(1));
+    if matches!(par, Parallelism::Sequential) || workers <= 1 || total <= 1 {
+        return jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, job)| f(i, job, token))
+            .collect();
+    }
+
+    // Largest-weight-first, index as the deterministic tie-break.
+    let mut order: Vec<(u64, usize, T)> = jobs
+        .into_iter()
+        .enumerate()
+        .map(|(i, job)| (weight(&job), i, job))
+        .collect();
+    order.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+
+    // Seed each worker with one job; the rest form the global backlog.
+    let mut seeds: Vec<VecDeque<Job<T>>> = (0..workers).map(|_| VecDeque::new()).collect();
+    let mut backlog: VecDeque<Job<T>> = VecDeque::new();
+    for (pos, (_, i, job)) in order.into_iter().enumerate() {
+        if pos < workers {
+            seeds[pos].push_back((i, job));
+        } else {
+            backlog.push_back((i, job));
+        }
+    }
+    let queues = WorkQueues {
+        injector: Mutex::new(backlog),
+        deques: seeds.into_iter().map(Mutex::new).collect(),
+        pending: AtomicUsize::new(total),
+    };
+
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(total));
+    std::thread::scope(|s| {
+        for me in 0..workers {
+            let queues = &queues;
+            let results = &results;
+            let f = &f;
+            s.spawn(move || {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    match queues.pop(me) {
+                        Some((i, job)) => {
+                            let _guard = PendingGuard(&queues.pending);
+                            local.push((i, f(i, job, token)));
+                        }
+                        None => {
+                            if queues.pending.load(Ordering::Acquire) == 0 {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                lock(results).extend(local);
+            });
+        }
+    });
+
+    let mut tagged = results
+        .into_inner()
+        .unwrap_or_else(PoisonedResults::recover);
+    tagged.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(tagged.len(), total, "every job must produce a result");
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Helper alias so the poisoned-mutex recovery above stays readable.
+struct PoisonedResults;
+
+impl PoisonedResults {
+    fn recover<T>(e: std::sync::PoisonError<T>) -> T {
+        e.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_all(par: Parallelism, n: usize) -> Vec<usize> {
+        run(par, (0..n).collect(), |&v| v as u64, |_, v, _| v * v)
+    }
+
+    #[test]
+    fn results_preserve_original_order() {
+        let expect: Vec<usize> = (0..257).map(|v| v * v).collect();
+        for par in [
+            Parallelism::Sequential,
+            Parallelism::Threads(1),
+            Parallelism::Threads(2),
+            Parallelism::Threads(4),
+            Parallelism::Threads(9),
+            Parallelism::Auto,
+        ] {
+            assert_eq!(square_all(par, 257), expect, "{par}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_job_sets_work() {
+        assert_eq!(square_all(Parallelism::Threads(4), 0), Vec::<usize>::new());
+        assert_eq!(square_all(Parallelism::Threads(4), 1), vec![0]);
+    }
+
+    #[test]
+    fn weights_only_affect_scheduling_not_results() {
+        let jobs: Vec<u64> = (0..64).collect();
+        let a = run(
+            Parallelism::Threads(3),
+            jobs.clone(),
+            |_| 0,
+            |i, v, _| (i, v),
+        );
+        let b = run(Parallelism::Threads(3), jobs, |&v| v, |i, v, _| (i, v));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn skewed_weights_exercise_injector_and_stealing() {
+        // One huge job plus many small ones: the huge job pins a worker, so
+        // the others must drain the injector and steal to finish.
+        let done = AtomicUsize::new(0);
+        let jobs: Vec<u64> = (0..100).collect();
+        let out = run(
+            Parallelism::Threads(4),
+            jobs,
+            |&v| if v == 0 { 1 << 40 } else { v },
+            |_, v, _| {
+                if v == 0 {
+                    // Busy-wait until everyone else has finished: succeeds
+                    // only if other workers keep draining the queues.
+                    while done.load(Ordering::Acquire) < 99 {
+                        std::thread::yield_now();
+                    }
+                } else {
+                    done.fetch_add(1, Ordering::AcqRel);
+                }
+                v + 1
+            },
+        );
+        assert_eq!(out, (1..=100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn cancellation_is_observed_by_later_jobs() {
+        // Sequential: job 3 cancels; jobs 4.. observe the token.
+        let out = run(
+            Parallelism::Sequential,
+            (0..10).collect::<Vec<u64>>(),
+            |_| 0,
+            |i, v, token| {
+                if i == 3 {
+                    token.cancel();
+                }
+                if token.is_cancelled() {
+                    None
+                } else {
+                    Some(v)
+                }
+            },
+        );
+        assert_eq!(out[..3], [Some(0), Some(1), Some(2)]);
+        assert!(out[3..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn pre_cancelled_token_short_circuits_everything() {
+        let token = CancelToken::new();
+        token.cancel();
+        let ran = AtomicUsize::new(0);
+        let out = run_with_token(
+            Parallelism::Threads(4),
+            &token,
+            (0..50).collect::<Vec<u64>>(),
+            |_| 0,
+            |_, _, t| {
+                if !t.is_cancelled() {
+                    ran.fetch_add(1, Ordering::AcqRel);
+                }
+            },
+        );
+        assert_eq!(out.len(), 50);
+        assert_eq!(ran.load(Ordering::Acquire), 0);
+    }
+
+    #[test]
+    fn frontier_records_the_minimum() {
+        let f = Frontier::new();
+        assert_eq!(f.best(), u64::MAX);
+        assert!(!f.superseded(1_000_000));
+        f.record(17);
+        f.record(42);
+        f.record(23);
+        assert_eq!(f.best(), 17);
+        assert!(f.superseded(18));
+        assert!(!f.superseded(17));
+        assert!(!f.superseded(3));
+    }
+
+    #[test]
+    fn parallelism_parses_jobs_flags() {
+        assert_eq!(Parallelism::parse("seq"), Ok(Parallelism::Sequential));
+        assert_eq!(Parallelism::parse("0"), Ok(Parallelism::Sequential));
+        assert_eq!(Parallelism::parse("auto"), Ok(Parallelism::Auto));
+        assert_eq!(Parallelism::parse("4"), Ok(Parallelism::Threads(4)));
+        assert!(Parallelism::parse("four").is_err());
+        assert!(Parallelism::Threads(0).workers() >= 1);
+        assert!(Parallelism::Auto.workers() >= 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates_after_drain() {
+        let result = std::panic::catch_unwind(|| {
+            run(
+                Parallelism::Threads(2),
+                (0..8).collect::<Vec<u64>>(),
+                |_| 0,
+                |_, v, _| {
+                    if v == 5 {
+                        panic!("job 5 exploded");
+                    }
+                    v
+                },
+            )
+        });
+        assert!(result.is_err());
+    }
+}

@@ -424,9 +424,9 @@ impl Solver {
         for &l in &learnt[1..] {
             let r = self.reason[l.var().index()];
             let redundant = r != NO_REASON
-                && self.clauses[r as usize].lits[1..].iter().all(|&q| {
-                    self.seen[q.var().index()] || self.level[q.var().index()] == 0
-                });
+                && self.clauses[r as usize].lits[1..]
+                    .iter()
+                    .all(|&q| self.seen[q.var().index()] || self.level[q.var().index()] == 0);
             if !redundant {
                 minimized.push(l);
             }
@@ -1008,8 +1008,14 @@ mod tests {
         s.add_clause([!v[2], v[3]]);
         assert_eq!(s.solve_with(&[v[2], v[0], !v[1]]), SolveResult::Unsat);
         let core = s.unsat_core().to_vec();
-        assert!(core.contains(&v[0]) || core.contains(&!v[1]), "core {core:?}");
-        assert!(!core.contains(&v[2]), "innocent assumption in core {core:?}");
+        assert!(
+            core.contains(&v[0]) || core.contains(&!v[1]),
+            "core {core:?}"
+        );
+        assert!(
+            !core.contains(&v[2]),
+            "innocent assumption in core {core:?}"
+        );
     }
 
     #[test]
@@ -1092,8 +1098,7 @@ mod tests {
                 // The produced model must satisfy every clause.
                 for c in &clauses {
                     assert!(c.iter().any(|&(i, pos)| {
-                        s.value(v[i]).unwrap_or(false) == pos
-                            || (s.value(v[i]).is_none())
+                        s.value(v[i]).unwrap_or(false) == pos || (s.value(v[i]).is_none())
                     }));
                 }
             }

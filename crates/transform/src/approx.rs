@@ -100,7 +100,9 @@ fn append_netlist(dst: &mut Netlist, src: &Netlist) -> Vec<Lit> {
                     Init::Fn(_) => Init::Zero, // connected below
                     other => other,
                 };
-                map[g.index()] = dst.reg(src.name(g).unwrap_or("reg").to_string(), init).lit();
+                map[g.index()] = dst
+                    .reg(src.name(g).unwrap_or("reg").to_string(), init)
+                    .lit();
             }
             GateKind::And(a, b) => {
                 let la = map[a.gate().index()].xor_complement(a.is_complement());
@@ -112,7 +114,10 @@ fn append_netlist(dst: &mut Netlist, src: &Netlist) -> Vec<Lit> {
     for &r in src.regs() {
         let new_reg = map[r.index()].gate();
         let nx = src.reg_next(r);
-        dst.set_next(new_reg, map[nx.gate().index()].xor_complement(nx.is_complement()));
+        dst.set_next(
+            new_reg,
+            map[nx.gate().index()].xor_complement(nx.is_complement()),
+        );
         if let Init::Fn(l) = src.reg_init(r) {
             dst.set_init(
                 new_reg,
@@ -192,10 +197,8 @@ mod tests {
         for (pos, &g) in m.inputs().iter().enumerate() {
             let name = m.name(g).unwrap();
             for t in 0..8 {
-                inputs[t][pos] = if let Some(orig_pos) = n
-                    .inputs()
-                    .iter()
-                    .position(|&og| n.name(og) == Some(name))
+                inputs[t][pos] = if let Some(orig_pos) =
+                    n.inputs().iter().position(|&og| n.name(og) == Some(name))
                 {
                     stim.inputs[t][orig_pos]
                 } else {

@@ -118,11 +118,7 @@ mod tests {
 
         let mut m = Manager::new();
         // Vars: a=0, b=1, r=2.
-        let leaves = [
-            (n.inputs()[0], 0u32),
-            (n.inputs()[1], 1),
-            (n.regs()[0], 2),
-        ];
+        let leaves = [(n.inputs()[0], 0u32), (n.inputs()[1], 1), (n.regs()[0], 2)];
         let var_of = |g: Gate| leaves.iter().find(|&&(l, _)| l == g).map(|&(_, v)| v);
         let f = cone_to_bdd(&mut m, &n, y, &var_of);
 

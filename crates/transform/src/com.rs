@@ -247,7 +247,8 @@ pub fn sweep(n: &Netlist, opts: &SweepOptions) -> SweepResult {
             let pairs = classes.pairs();
             let sample: Vec<String> = pairs
                 .iter()
-                .rev().take(8)
+                .rev()
+                .take(8)
                 .map(|(g, rep)| {
                     format!(
                         "{}~{}{}",
@@ -267,7 +268,11 @@ pub fn sweep(n: &Netlist, opts: &SweepOptions) -> SweepResult {
             CheckOutcome::Proven => break,
             CheckOutcome::Counterexamples(cexs) => {
                 refinements += 1;
-                for Cex { reg_vals, input_frames } in cexs {
+                for Cex {
+                    reg_vals,
+                    input_frames,
+                } in cexs
+                {
                     // Extend signatures with the distinguishing valuation
                     // (the model's frames), then *amplify* by simulating a
                     // few more steps under random inputs — one

@@ -80,7 +80,10 @@ impl MinCostFlow {
     /// Panics if the cost is negative or a node index is out of range.
     pub fn add_edge(&mut self, u: usize, v: usize, cap: i64, cost: i64) -> EdgeId {
         assert!(cost >= 0, "negative edge cost");
-        assert!(u < self.num_nodes && v < self.num_nodes, "node out of range");
+        assert!(
+            u < self.num_nodes && v < self.num_nodes,
+            "node out of range"
+        );
         let id = self.arcs.len();
         self.adj[u].push(id);
         self.arcs.push(Arc { to: v, cap, cost });

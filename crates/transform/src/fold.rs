@@ -327,8 +327,12 @@ pub fn c_slow(n: &Netlist, c: u32) -> Netlist {
     // Combinational logic in index order (inputs/regs mapped already).
     for g in n.gates() {
         if let GateKind::And(a, b) = n.kind(g) {
-            let ta = map[a.gate().index()].expect("fanin mapped").xor_complement(a.is_complement());
-            let tb = map[b.gate().index()].expect("fanin mapped").xor_complement(b.is_complement());
+            let ta = map[a.gate().index()]
+                .expect("fanin mapped")
+                .xor_complement(a.is_complement());
+            let tb = map[b.gate().index()]
+                .expect("fanin mapped")
+                .xor_complement(b.is_complement());
             map[g.index()] = Some(out.and(ta, tb));
         }
     }

@@ -249,9 +249,7 @@ pub fn reencode_auto(n: &Netlist) -> Option<Reencoded> {
         input_only[g.index()] = match n.kind(g) {
             GateKind::Const0 | GateKind::Input => true,
             GateKind::Reg => false,
-            GateKind::And(a, b) => {
-                input_only[a.gate().index()] && input_only[b.gate().index()]
-            }
+            GateKind::And(a, b) => input_only[a.gate().index()] && input_only[b.gate().index()],
         };
     }
     // Boundary gates: input-only ANDs consumed by something not input-only.
@@ -292,7 +290,9 @@ pub fn reencode_auto(n: &Netlist) -> Option<Reencoded> {
             Err(ReencodeError::LeakyInput { input }) => {
                 let before = cut.len();
                 cut.retain(|&l| {
-                    !diam_netlist::analysis::support(n, l).inputs.contains(&input)
+                    !diam_netlist::analysis::support(n, l)
+                        .inputs
+                        .contains(&input)
                 });
                 if cut.len() == before {
                     return None; // leak not attributable: give up
@@ -360,9 +360,7 @@ fn rebuild_any(n: &Netlist, repr: &[Lit]) -> Rebuilt {
         }
         let l = match n.kind(g) {
             diam_netlist::GateKind::Const0 => Lit::FALSE,
-            diam_netlist::GateKind::Input => {
-                out.input(n.name(g).unwrap_or("in").to_string()).lit()
-            }
+            diam_netlist::GateKind::Input => out.input(n.name(g).unwrap_or("in").to_string()).lit(),
             diam_netlist::GateKind::Reg => {
                 // Create now; connect next/init later (cycles).
                 let init = match n.reg_init(g) {

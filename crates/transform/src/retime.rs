@@ -229,8 +229,7 @@ pub fn retime(n: &Netlist) -> Result<RetimedNetlist, RetimeError> {
     }
 
     // Topological order over edges whose *new* weight is zero.
-    let new_weight =
-        |(u, v, w): (usize, usize, i64)| -> i64 { w + lag[v] - lag[u] };
+    let new_weight = |(u, v, w): (usize, usize, i64)| -> i64 { w + lag[v] - lag[u] };
     let mut indeg0 = vec![0usize; num];
     let mut succs0: Vec<Vec<usize>> = vec![Vec::new(); num];
     for &e in &edges {
@@ -287,10 +286,7 @@ pub fn retime(n: &Netlist) -> Result<RetimedNetlist, RetimeError> {
         debug_assert!(k <= j_src, "shared chains only cover the stump range");
         while (chains[src].len() as u64) < k {
             let m = chains[src].len() as u64 + 1;
-            let name = format!(
-                "{}_d{m}",
-                n.name(Gate::from_index(src)).unwrap_or("v")
-            );
+            let name = format!("{}_d{m}", n.name(Gate::from_index(src)).unwrap_or("v"));
             let init_lit = stump.value(out, Gate::from_index(src), j_src - m);
             let reg = out.reg(name, Init::Fn(init_lit));
             chains[src].push(reg);
@@ -306,10 +302,26 @@ pub fn retime(n: &Netlist) -> Result<RetimedNetlist, RetimeError> {
                 let ja = skew(a.gate());
                 let jb = skew(b.gate());
                 let jv = skew(g);
-                let la = delayed(&mut out, n, &mut stump, &mut chains, &map, a.gate().index(), ja - jv)
-                    .xor_complement(a.is_complement());
-                let lb = delayed(&mut out, n, &mut stump, &mut chains, &map, b.gate().index(), jb - jv)
-                    .xor_complement(b.is_complement());
+                let la = delayed(
+                    &mut out,
+                    n,
+                    &mut stump,
+                    &mut chains,
+                    &map,
+                    a.gate().index(),
+                    ja - jv,
+                )
+                .xor_complement(a.is_complement());
+                let lb = delayed(
+                    &mut out,
+                    n,
+                    &mut stump,
+                    &mut chains,
+                    &map,
+                    b.gate().index(),
+                    jb - jv,
+                )
+                .xor_complement(b.is_complement());
                 map[v] = Some(out.and(la, lb));
             }
             GateKind::Reg => {
@@ -334,7 +346,15 @@ pub fn retime(n: &Netlist) -> Result<RetimedNetlist, RetimeError> {
                     let feeder = if skew(u) == 0 {
                         None // connected to map[u] at the end
                     } else {
-                        Some(delayed(&mut out, n, &mut stump, &mut chains, &map, u.index(), skew(u)))
+                        Some(delayed(
+                            &mut out,
+                            n,
+                            &mut stump,
+                            &mut chains,
+                            &map,
+                            u.index(),
+                            skew(u),
+                        ))
                     };
                     let init = adjust_init(&mut stump, &mut out, g, next.is_complement());
                     let reg = out.reg(n.name(g).unwrap_or("reg").to_string(), init);
@@ -394,12 +414,7 @@ pub fn retime(n: &Netlist) -> Result<RetimedNetlist, RetimeError> {
 /// next-state literal was inverted. Nondeterministic and functional initial
 /// values are routed through the stump so they bind to the same fresh
 /// inputs everywhere.
-fn adjust_init(
-    stump: &mut Stump<'_>,
-    out: &mut Netlist,
-    orig_reg: Gate,
-    complement: bool,
-) -> Init {
+fn adjust_init(stump: &mut Stump<'_>, out: &mut Netlist, orig_reg: Gate, complement: bool) -> Init {
     let translated = match stump.n.reg_init(orig_reg) {
         Init::Zero => Init::Zero,
         Init::One => Init::One,
@@ -471,8 +486,12 @@ impl<'a> Stump<'a> {
                 }
             }
             GateKind::And(a, b) => {
-                let la = self.value(out, a.gate(), tau).xor_complement(a.is_complement());
-                let lb = self.value(out, b.gate(), tau).xor_complement(b.is_complement());
+                let la = self
+                    .value(out, a.gate(), tau)
+                    .xor_complement(a.is_complement());
+                let lb = self
+                    .value(out, b.gate(), tau)
+                    .xor_complement(b.is_complement());
                 out.and(la, lb)
             }
             GateKind::Reg => {
@@ -485,8 +504,7 @@ impl<'a> Stump<'a> {
                         Init::Zero => Lit::FALSE,
                         Init::One => Lit::TRUE,
                         Init::Nondet => {
-                            let name =
-                                format!("{}@init", self.n.name(g).unwrap_or("reg"));
+                            let name = format!("{}@init", self.n.name(g).unwrap_or("reg"));
                             let ni = out.input(name);
                             self.stump_inputs.push((g, 0, ni));
                             ni.lit()
@@ -522,11 +540,7 @@ mod tests {
 
         // Build the retimed stimulus.
         let m = &ret.netlist;
-        let max_skew = n
-            .gates()
-            .map(|g| ret.skew(g))
-            .max()
-            .unwrap_or(0) as usize;
+        let max_skew = n.gates().map(|g| ret.skew(g)).max().unwrap_or(0) as usize;
         assert!(steps > max_skew, "simulate longer than the max skew");
         let horizon = steps - max_skew;
         let mut inputs = vec![vec![0u64; m.num_inputs()]; horizon];

@@ -35,7 +35,9 @@ fn build(depth: usize) -> Netlist {
 
     // Mod-6 wrap-around counter, in two structural flavours.
     let wrap_counter = |n: &mut Netlist, tag: &str, en: Lit, mux_form: bool| -> Vec<Gate> {
-        let bits: Vec<_> = (0..3).map(|k| n.reg(format!("{tag}{k}"), Init::Zero)).collect();
+        let bits: Vec<_> = (0..3)
+            .map(|k| n.reg(format!("{tag}{k}"), Init::Zero))
+            .collect();
         let at_five = {
             let hi = n.and(bits[2].lit(), !bits[1].lit());
             n.and(hi, bits[0].lit())
@@ -86,7 +88,10 @@ fn main() {
     let opts = StructuralOptions::default();
 
     println!("issue pipeline depth {depth}, mod-6 counter + structural shadow\n");
-    println!("{:<14} {:>22} {:>22}", "", "shadow_mismatch", "count_hits_5");
+    println!(
+        "{:<14} {:>22} {:>22}",
+        "", "shadow_mismatch", "count_hits_5"
+    );
     for (name, pipe) in [
         ("original", Pipeline::new()),
         ("COM", Pipeline::com()),
@@ -97,7 +102,11 @@ fn main() {
             format!(
                 "{} [{}]",
                 b[i].original,
-                if b[i].original.is_useful(50) { "ok" } else { "too big" }
+                if b[i].original.is_useful(50) {
+                    "ok"
+                } else {
+                    "too big"
+                }
             )
         };
         println!("{name:<14} {:>22} {:>22}", fmt(0), fmt(1));

@@ -60,7 +60,10 @@ fn main() {
     //    paper): `prove` computes the bound and runs BMC to that depth.
     match prove(&n, 0, &Pipeline::com_ret_com(), &ProveOptions::default()) {
         ProveOutcome::Proved { bound } => {
-            println!("PROVED: no double grant ever (complete BMC to depth {})", bound - 1);
+            println!(
+                "PROVED: no double grant ever (complete BMC to depth {})",
+                bound - 1
+            );
         }
         ProveOutcome::Counterexample { depth, .. } => {
             println!("FAILS at time {depth}");

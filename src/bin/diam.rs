@@ -104,7 +104,9 @@ fn cmd_bound(opts: &Options) -> Result<(), String> {
         n.targets().len(),
         opts.pipeline_name
     );
-    let bounds = opts.pipeline.bound_targets(&n, &StructuralOptions::default());
+    let bounds = opts
+        .pipeline
+        .bound_targets(&n, &StructuralOptions::default());
     let mut useful = 0;
     for b in &bounds {
         let mark = if b.original.is_useful(opts.threshold) {

@@ -20,8 +20,7 @@ fn run(args: &[&str]) -> (String, bool) {
         .output()
         .expect("binary runs");
     (
-        String::from_utf8_lossy(&out.stdout).into_owned()
-            + &String::from_utf8_lossy(&out.stderr),
+        String::from_utf8_lossy(&out.stdout).into_owned() + &String::from_utf8_lossy(&out.stderr),
         out.status.success(),
     )
 }
@@ -82,12 +81,7 @@ fn sweep_writes_reduced_aiger() {
 fn custom_pipeline_spec_is_accepted() {
     let dir = std::env::temp_dir();
     let f = fixture(&dir, "diam_cli_pipe.aag", LOCKSTEP);
-    let (out, ok) = run(&[
-        "bound",
-        "--pipeline",
-        "coi,enl:1,com",
-        f.to_str().unwrap(),
-    ]);
+    let (out, ok) = run(&["bound", "--pipeline", "coi,enl:1,com", f.to_str().unwrap()]);
     assert!(ok, "{out}");
     assert!(out.contains("_enl1"), "{out}");
 }

@@ -44,7 +44,10 @@ fn s953_ret_gain_reproduces() {
 #[test]
 fn l_lru_com_gain_reproduces() {
     // L_LRU from Table 2: 0/12 → 12/12 → 12/12, a pure COM win.
-    let p = gp::profiles().into_iter().find(|p| p.name == "L_LRU").unwrap();
+    let p = gp::profiles()
+        .into_iter()
+        .find(|p| p.name == "L_LRU")
+        .unwrap();
     let n = diam::gen::profile::build(&p, 1);
     assert_eq!(useful(&n, &Pipeline::new()), 0);
     assert_eq!(useful(&n, &Pipeline::com()), 12);
@@ -101,7 +104,7 @@ fn dead_targets_are_hittable_but_unboundable() {
         0,
         &BmcOptions {
             max_depth: 10,
-            conflict_budget: None,
+            ..BmcOptions::default()
         },
     ) {
         BmcOutcome::Counterexample { witness, .. } => {
@@ -135,7 +138,7 @@ fn com_gain_target_completes_within_its_bound() {
         idx,
         &BmcOptions {
             max_depth: b - 1,
-            conflict_budget: None,
+            ..BmcOptions::default()
         },
     ) {
         BmcOutcome::Counterexample { depth, witness } => {
@@ -177,7 +180,9 @@ fn phase_abstraction_pipeline_on_two_phase_design() {
     use diam::transform::fold::c_slow;
 
     let mut base = Netlist::new();
-    let b: Vec<_> = (0..3).map(|k| base.reg(format!("b{k}"), Init::Zero)).collect();
+    let b: Vec<_> = (0..3)
+        .map(|k| base.reg(format!("b{k}"), Init::Zero))
+        .collect();
     let mut carry = diam::netlist::Lit::TRUE;
     for r in &b {
         let nk = base.xor(r.lit(), carry);

@@ -26,14 +26,16 @@ fn recipe() -> impl Strategy<Value = Recipe> {
         proptest::collection::vec(any::<usize>(), 1..=3),
         any::<u64>(),
     )
-        .prop_map(|(num_inputs, inits, gates, nexts, targets, stim_seed)| Recipe {
-            num_inputs,
-            inits,
-            gates,
-            nexts,
-            targets,
-            stim_seed,
-        })
+        .prop_map(
+            |(num_inputs, inits, gates, nexts, targets, stim_seed)| Recipe {
+                num_inputs,
+                inits,
+                gates,
+                nexts,
+                targets,
+                stim_seed,
+            },
+        )
 }
 
 fn build(r: &Recipe) -> Netlist {
@@ -66,7 +68,10 @@ fn build(r: &Recipe) -> Netlist {
         });
     }
     for (k, &reg) in regs.iter().enumerate() {
-        n.set_next(reg, pool[r.nexts[k % r.nexts.len()].wrapping_add(k) % pool.len()]);
+        n.set_next(
+            reg,
+            pool[r.nexts[k % r.nexts.len()].wrapping_add(k) % pool.len()],
+        );
     }
     for (k, &t) in r.targets.iter().enumerate() {
         n.add_target(pool[t % pool.len()], format!("t{k}"));

@@ -1,0 +1,247 @@
+//! Determinism and cancellation tests for the parallel orchestration layers.
+//!
+//! The contract under test (see `DESIGN.md`, "Threading model"): every
+//! per-target fan-out — `prove_all`, `Pipeline::bound_targets`,
+//! `classify_targets`, and the cone-sliced `check_all` — produces output
+//! that is **bit-identical across all `Parallelism` settings**, because jobs
+//! are pure functions of the immutable netlist merged in original target
+//! order; and depth-sliced work units stop early (without changing results)
+//! once a strictly shallower unit has recorded a hit.
+
+use diam::bmc::{check_all, prove_all, BmcOptions, BmcOutcome, ProveOptions};
+use diam::core::{classify_targets, ClassifyOptions, Pipeline, StructuralOptions};
+use diam::gen::random::{random_netlist, RandomDesignOptions};
+use diam::netlist::{Gate, Init, Lit, Netlist};
+use diam::par::Parallelism;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// 24 seeded multi-target designs (deterministic per seed).
+fn designs() -> Vec<Netlist> {
+    let opts = RandomDesignOptions {
+        inputs: 3,
+        regs: 5,
+        gates: 14,
+        targets: 4,
+        allow_nondet: true,
+    };
+    (0..24u64)
+        .map(|seed| random_netlist(&opts, 0xD1A0 + seed))
+        .collect()
+}
+
+#[test]
+fn prove_all_is_bit_identical_across_thread_counts() {
+    let pipeline = Pipeline::com_ret_com();
+    for (k, n) in designs().iter().enumerate() {
+        let base = ProveOptions {
+            depth_cap: 64,
+            ..Default::default()
+        };
+        let seq = prove_all(n, &pipeline, &base);
+        for par in [
+            Parallelism::Threads(2),
+            Parallelism::Threads(4),
+            Parallelism::Auto,
+        ] {
+            let opts = ProveOptions {
+                parallelism: par,
+                ..base.clone()
+            };
+            let got = prove_all(n, &pipeline, &opts);
+            // ProveOutcome derives PartialEq including the witness trace:
+            // this compares counterexamples bit-for-bit.
+            assert_eq!(seq, got, "design {k}, parallelism {par}");
+        }
+    }
+}
+
+#[test]
+fn bound_targets_is_identical_across_thread_counts() {
+    let pipeline = Pipeline::com();
+    for (k, n) in designs().iter().enumerate() {
+        let seq = pipeline.bound_targets(n, &StructuralOptions::default());
+        for workers in [2usize, 4] {
+            let opts = StructuralOptions {
+                parallelism: Parallelism::Threads(workers),
+                ..Default::default()
+            };
+            let got = pipeline.bound_targets(n, &opts);
+            assert_eq!(seq.len(), got.len());
+            for (a, b) in seq.iter().zip(&got) {
+                assert_eq!(a.name, b.name, "design {k}");
+                assert_eq!(a.transformed, b.transformed, "design {k}");
+                assert_eq!(a.original, b.original, "design {k}");
+                assert_eq!(a.counts, b.counts, "design {k}");
+            }
+        }
+    }
+}
+
+#[test]
+fn classify_targets_matches_across_thread_counts() {
+    for n in designs().into_iter().take(8) {
+        let seq = classify_targets(&n, &ClassifyOptions::default(), Parallelism::Sequential);
+        let par = classify_targets(&n, &ClassifyOptions::default(), Parallelism::Threads(3));
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.regs, b.regs);
+            assert_eq!(a.kinds, b.kinds);
+            assert_eq!(a.counts(), b.counts());
+        }
+    }
+}
+
+#[test]
+fn sliced_check_all_agrees_with_the_shared_sweep() {
+    for (k, n) in designs().iter().enumerate() {
+        let shared = check_all(
+            n,
+            &BmcOptions {
+                max_depth: 12,
+                ..Default::default()
+            },
+        );
+        for (par, chunk) in [
+            (Parallelism::Sequential, 3u64),
+            (Parallelism::Threads(2), 0),
+            (Parallelism::Threads(4), 2),
+        ] {
+            let sliced = check_all(
+                n,
+                &BmcOptions {
+                    max_depth: 12,
+                    parallelism: par,
+                    depth_chunk: chunk,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(shared.len(), sliced.len());
+            for (i, (a, b)) in shared.iter().zip(&sliced).enumerate() {
+                match (a, b) {
+                    (
+                        BmcOutcome::Counterexample { depth: x, .. },
+                        BmcOutcome::Counterexample { depth: y, witness },
+                    ) => {
+                        assert_eq!(x, y, "design {k} target {i} ({par}, chunk {chunk})");
+                        // The sliced path lifts witnesses back to the
+                        // original netlist; they must replay there.
+                        assert!(
+                            witness.replays_to(n, n.targets()[i].lit),
+                            "design {k} target {i}: lifted witness does not replay"
+                        );
+                    }
+                    (BmcOutcome::NoHitUpTo(x), BmcOutcome::NoHitUpTo(y)) => {
+                        assert_eq!(x, y, "design {k} target {i}")
+                    }
+                    other => panic!("design {k} target {i}: outcome mismatch {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+/// A `bits`-wide counter with a target hit exactly when it reaches `value`.
+fn counter(bits: usize, value: u64) -> Netlist {
+    let mut n = Netlist::new();
+    let b: Vec<Gate> = (0..bits)
+        .map(|k| n.reg(format!("b{k}"), Init::Zero))
+        .collect();
+    let mut carry = Lit::TRUE;
+    for &bk in &b {
+        let nk = n.xor(bk.lit(), carry);
+        carry = n.and(bk.lit(), carry);
+        n.set_next(bk, nk);
+    }
+    let lits: Vec<Lit> = (0..bits)
+        .map(|k| b[k].lit().xor_complement(value >> k & 1 == 0))
+        .collect();
+    let t = n.and_many(lits);
+    n.add_target(t, format!("value_is_{value}"));
+    n
+}
+
+#[test]
+fn deeper_units_observe_the_frontier_and_stop_early() {
+    // The counter hits 5 at depth 5. With one-depth work units and
+    // max_depth 120, units 6..=120 must observe the per-target frontier
+    // and never reach the solver.
+    let n = counter(4, 5);
+    let probe = Arc::new(AtomicUsize::new(0));
+    let opts = BmcOptions {
+        max_depth: 120,
+        depth_chunk: 1,
+        solve_probe: Some(probe.clone()),
+        ..Default::default()
+    };
+    let seq = check_all(&n, &opts);
+    assert!(matches!(
+        seq[0],
+        BmcOutcome::Counterexample { depth: 5, .. }
+    ));
+    assert_eq!(
+        probe.load(Ordering::Acquire),
+        6,
+        "exactly depths 0..=5 are solved; the 115 deeper units stop early"
+    );
+
+    // Multi-threaded: outcomes (witness included) stay bit-identical, and
+    // cancellation still prunes the deep tail — a handful of in-flight
+    // units may race past the frontier, but nowhere near all 121.
+    let probe_mt = Arc::new(AtomicUsize::new(0));
+    let opts_mt = BmcOptions {
+        parallelism: Parallelism::Threads(4),
+        solve_probe: Some(probe_mt.clone()),
+        ..opts.clone()
+    };
+    let mt = check_all(&n, &opts_mt);
+    assert_eq!(seq, mt, "thread count must not change merged outcomes");
+    let solves = probe_mt.load(Ordering::Acquire);
+    assert!(
+        (6..60).contains(&solves),
+        "solve count {solves} out of range"
+    );
+}
+
+#[test]
+fn cancellation_never_changes_merged_results() {
+    // Several targets hitting at different depths, chunked finely: the
+    // per-target frontiers fire constantly, yet every mode merges to the
+    // same outcome vector.
+    let mut n = Netlist::new();
+    let b: Vec<Gate> = (0..4).map(|k| n.reg(format!("b{k}"), Init::Zero)).collect();
+    let mut carry = Lit::TRUE;
+    for &bk in &b {
+        let nk = n.xor(bk.lit(), carry);
+        carry = n.and(bk.lit(), carry);
+        n.set_next(bk, nk);
+    }
+    for v in [3u64, 9, 14] {
+        let lits: Vec<Lit> = (0..4)
+            .map(|k| b[k].lit().xor_complement(v >> k & 1 == 0))
+            .collect();
+        let t = n.and_many(lits);
+        n.add_target(t, format!("is_{v}"));
+    }
+    let reference = check_all(
+        &n,
+        &BmcOptions {
+            max_depth: 20,
+            depth_chunk: 1,
+            parallelism: Parallelism::Sequential,
+            ..Default::default()
+        },
+    );
+    for trial in 0..4 {
+        let got = check_all(
+            &n,
+            &BmcOptions {
+                max_depth: 20,
+                depth_chunk: 1,
+                parallelism: Parallelism::Threads(2 + trial % 3),
+                ..Default::default()
+            },
+        );
+        assert_eq!(reference, got, "trial {trial}");
+    }
+}

@@ -34,7 +34,14 @@ struct Recipe {
 }
 
 fn recipe() -> impl Strategy<Value = Recipe> {
-    let op = (any::<u8>(), any::<usize>(), any::<usize>(), any::<usize>(), any::<bool>(), any::<bool>())
+    let op = (
+        any::<u8>(),
+        any::<usize>(),
+        any::<usize>(),
+        any::<usize>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
         .prop_map(|(kind, a, b, c, ca, cb)| match kind % 4 {
             0 => Op::And(a, b, ca, cb),
             1 => Op::Or(a, b, ca, cb),

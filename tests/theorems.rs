@@ -20,7 +20,10 @@ fn bound_of(n: &Netlist, t: Lit) -> Bound {
 /// The "initial-state eccentricity + 1" of a small netlist — the quantity
 /// every diameter bound must dominate for BMC completeness.
 fn eccentricity_plus_one(n: &Netlist) -> u64 {
-    explore(n, &ExploreLimits::default()).expect("small").eccentricity + 1
+    explore(n, &ExploreLimits::default())
+        .expect("small")
+        .eccentricity
+        + 1
 }
 
 // --- Theorem 1: trace-equivalence-preserving transformations -------------
@@ -45,8 +48,13 @@ fn theorem1_redundancy_removal_preserves_diameter_semantics() {
     let b = bound_of(&swept.netlist, swept.netlist.targets()[0].lit);
     // Identity back-translation: the same bound covers the original.
     let ecc = eccentricity_plus_one(&n);
-    let Bound::Finite(b) = b else { panic!("finite") };
-    assert!(ecc <= b, "swept bound {b} must cover original eccentricity {ecc}");
+    let Bound::Finite(b) = b else {
+        panic!("finite")
+    };
+    assert!(
+        ecc <= b,
+        "swept bound {b} must cover original eccentricity {ecc}"
+    );
 }
 
 // --- Theorem 2: retiming ---------------------------------------------------
@@ -74,7 +82,9 @@ fn theorem2_lag_compensates_retimed_bound() {
     let back = b_new.add_const(lag);
     // The compensated bound covers the original behaviour.
     let ecc = eccentricity_plus_one(&n);
-    let Bound::Finite(b) = back else { panic!("finite") };
+    let Bound::Finite(b) = back else {
+        panic!("finite")
+    };
     assert!(ecc <= b, "retimed+lag bound {b} vs eccentricity {ecc}");
     // And retiming genuinely reduced registers.
     assert!(ret.regs_after < n.num_regs());
@@ -104,7 +114,9 @@ fn theorem3_folding_factor_bounds_original() {
     // A base counter, 2-slowed; folding recovers it and ×2 covers the
     // original.
     let mut base = Netlist::new();
-    let b: Vec<Gate> = (0..2).map(|k| base.reg(format!("b{k}"), Init::Zero)).collect();
+    let b: Vec<Gate> = (0..2)
+        .map(|k| base.reg(format!("b{k}"), Init::Zero))
+        .collect();
     let n1 = base.xor(b[1].lit(), b[0].lit());
     base.set_next(b[0], !b[0].lit());
     base.set_next(b[1], n1);
@@ -124,7 +136,9 @@ fn theorem3_folding_factor_bounds_original() {
     let b_folded = bound_of(&folded.netlist, folded.netlist.targets()[0].lit);
     let back = b_folded.mul_const(2);
     let ecc = eccentricity_plus_one(&slowed);
-    let Bound::Finite(v) = back else { panic!("finite") };
+    let Bound::Finite(v) = back else {
+        panic!("finite")
+    };
     assert!(ecc <= v, "folded ×2 bound {v} vs slowed eccentricity {ecc}");
 }
 
@@ -152,10 +166,20 @@ fn theorem4_enlarged_bound_plus_k_is_complete() {
     assert_eq!(hit, 6);
 
     for k in 1..=4u32 {
-        let e = enlarge(&n, 0, &EnlargeOptions { k, ..Default::default() }).unwrap();
+        let e = enlarge(
+            &n,
+            0,
+            &EnlargeOptions {
+                k,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let te = e.netlist.targets()[0].lit;
         let be = bound_of(&e.netlist, te);
-        let Bound::Finite(be) = be else { panic!("finite") };
+        let Bound::Finite(be) = be else {
+            panic!("finite")
+        };
         assert!(
             hit < be + u64::from(k),
             "k={k}: d̂(t')+k = {} must cover hit {hit}",

@@ -29,15 +29,15 @@ fn cosim_targets(a: &Netlist, b: &Netlist, steps: usize, seed: u64, fresh_ok: bo
             .map(|row| {
                 b.inputs()
                     .iter()
-                    .map(|&g| {
-                        match a.inputs().iter().position(|&ag| a.name(ag) == b.name(g)) {
+                    .map(
+                        |&g| match a.inputs().iter().position(|&ag| a.name(ag) == b.name(g)) {
                             Some(p) => row[p],
                             None => {
                                 assert!(fresh_ok, "unexpected fresh input in transformed netlist");
                                 0
                             }
-                        }
-                    })
+                        },
+                    )
                     .collect()
             })
             .collect(),
