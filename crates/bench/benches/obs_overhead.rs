@@ -1,0 +1,80 @@
+//! Overhead of the observability layer on a real workload: `prove_all`
+//! over a seeded multi-target design, measured with no session installed
+//! (the shipping default), with a `summary` session, and with a `json`
+//! session writing a JSONL trace.
+//!
+//! The no-op path is a single relaxed atomic load per instrumentation
+//! point; the `noop_span` benchmark measures that hot path directly.
+//! `tests/obs_overhead_guard.rs` turns the same methodology into a CI
+//! assertion (disabled-hook cost × event count < 2% of the workload).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diam_bmc::{prove_all, ProveOptions};
+use diam_core::Pipeline;
+use diam_gen::random::{random_netlist, RandomDesignOptions};
+use diam_netlist::Netlist;
+use diam_obs::{ObsConfig, ObsMode, RunManifest, Session};
+
+fn workload() -> Netlist {
+    // Large enough that the per-run session bookkeeping (manifest capture,
+    // buffer drain) is amortized and the measurement reflects the per-event
+    // recording cost on a realistic multi-target run.
+    random_netlist(
+        &RandomDesignOptions {
+            inputs: 8,
+            regs: 24,
+            gates: 300,
+            targets: 12,
+            allow_nondet: true,
+        },
+        0xD1A0 + 5,
+    )
+}
+
+fn session(mode: ObsMode, trace_out: Option<std::path::PathBuf>) -> Session {
+    Session::install(
+        ObsConfig { mode, trace_out },
+        RunManifest::capture("obs_overhead"),
+    )
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let n = workload();
+    let pipe = Pipeline::com();
+    let opts = ProveOptions::default();
+    let mut group = c.benchmark_group("obs/overhead");
+    group.sample_size(10);
+
+    group.bench_function("prove_all_off", |b| b.iter(|| prove_all(&n, &pipe, &opts)));
+    group.bench_function("prove_all_summary", |b| {
+        b.iter(|| {
+            let s = session(ObsMode::Summary, None);
+            let r = prove_all(&n, &pipe, &opts);
+            let _ = s.finish();
+            r
+        })
+    });
+    let trace = std::env::temp_dir().join("diam_obs_overhead.jsonl");
+    group.bench_function("prove_all_json_trace", |b| {
+        b.iter(|| {
+            let s = session(ObsMode::Json, Some(trace.clone()));
+            let r = prove_all(&n, &pipe, &opts);
+            let _ = s.finish();
+            r
+        })
+    });
+    let _ = std::fs::remove_file(&trace);
+
+    // The disabled hot path: construct + drop a span with a field while no
+    // session is installed (one relaxed load; field expressions skipped).
+    group.bench_function("noop_span", |b| {
+        b.iter(|| {
+            let sp = diam_obs::span!("bench.noop", x = 1u64);
+            drop(sp);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -13,7 +13,8 @@
 //! 4. **Per-engine register reductions** — COM/RET reductions per suite,
 //!    mirroring the paper's §4 reduction statistics.
 //!
-//! Usage: `cargo run -p diam-bench --release --bin ablation [--jobs <N|seq|auto>]`
+//! Usage: `cargo run -p diam-bench --release --bin ablation [--jobs <N|seq|auto>]
+//! [--obs off|summary|json] [--trace-out <path.jsonl>]`
 
 use diam_bench::parse_cli;
 use diam_core::recurrence::{recurrence_diameter, RecurrenceOptions, RecurrenceResult};
@@ -24,12 +25,16 @@ use diam_netlist::{Lit, Netlist};
 use diam_transform::fold::{c_slow, detect, fold};
 
 fn main() {
-    let (_seed, jobs) = parse_cli("ablation [--jobs <N|seq|auto>]");
+    let cli = parse_cli(
+        "ablation [--jobs <N|seq|auto>] [--obs off|summary|json] [--trace-out <path.jsonl>]",
+    );
+    let session = cli.session("ablation");
     ablation_recurrence();
-    ablation_theorem2_slack(jobs);
+    ablation_theorem2_slack(cli.jobs);
     ablation_folding();
     ablation_register_reduction();
     ablation_tightness();
+    cli.finish(session);
 }
 
 fn ablation_recurrence() {

@@ -1,21 +1,54 @@
 //! Per-target bound probe for a single suite design — handy when tuning
 //! the generator or investigating a table row.
 //!
-//! Usage: `cargo run -p diam-bench --release --bin probe <DESIGN> [column 0|1|2] [table 1|2]`
+//! Usage: `cargo run -p diam-bench --release --bin probe <DESIGN> [column 0|1|2]
+//! [table 1|2] [--obs off|summary|json] [--trace-out <path.jsonl>]`
 use diam_core::{Pipeline, StructuralOptions};
 use diam_gen::gp;
 use diam_gen::iscas;
+use diam_obs::{ObsConfig, ObsMode, RunManifest, Session};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "S4863".into());
-    let col: usize = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0);
-    let table: usize = std::env::args()
-        .nth(3)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
+    // Positional args first; `--obs` / `--trace-out` can appear anywhere.
+    let mut obs = ObsConfig::default();
+    let mut positional: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--obs" {
+            let v = args.next().unwrap_or_default();
+            obs.mode = ObsMode::parse(&v).unwrap_or_else(|_| {
+                eprintln!("--obs expects off|summary|json");
+                std::process::exit(2);
+            });
+        } else if let Some(v) = arg.strip_prefix("--obs=") {
+            obs.mode = ObsMode::parse(v).unwrap_or_else(|_| {
+                eprintln!("--obs expects off|summary|json");
+                std::process::exit(2);
+            });
+        } else if arg == "--trace-out" {
+            obs.trace_out = args.next().map(Into::into);
+        } else if let Some(v) = arg.strip_prefix("--trace-out=") {
+            obs.trace_out = Some(v.into());
+        } else {
+            positional.push(arg);
+        }
+    }
+    if obs.trace_out.is_some() && obs.mode.is_off() {
+        obs.mode = ObsMode::Json;
+    }
+    let name = positional
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "S4863".into());
+    let col: usize = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let table: usize = positional.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    let manifest = RunManifest::capture("probe")
+        .input(&name)
+        .option("column", col.to_string())
+        .option("table", table.to_string());
+    let session = Session::install(obs.clone(), manifest);
+
     let suite = if table == 2 {
         gp::suite(1)
     } else {
@@ -44,5 +77,10 @@ fn main() {
             b.transformed.to_string(),
             b.original
         );
+    }
+
+    let report = session.finish();
+    if !obs.mode.is_off() {
+        println!("\n{}", report.render_summary());
     }
 }

@@ -1,6 +1,8 @@
 //! Redundancy-removal statistics for a single suite design (merge counts,
-//! refinement rounds, register reduction). Set `DIAM_SWEEP_TRACE=1` for
-//! per-round candidate-pair traces.
+//! refinement rounds, register reduction). Per-round candidate-pair traces
+//! are emitted as structured `com.round` events — run under
+//! `table1 --obs json --trace-out <path>` (or install a `diam_obs::Session`)
+//! to capture them.
 //!
 //! Usage: `cargo run -p diam-bench --release --bin sweepdbg <DESIGN> [table 1|2]`
 use diam_gen::{gp, iscas};

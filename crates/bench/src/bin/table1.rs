@@ -2,17 +2,24 @@
 //! classification and useful-diameter-bound counts under Original, COM, and
 //! COM,RET,COM.
 //!
-//! Usage: `cargo run -p diam-bench --release --bin table1 [seed] [--jobs <N|seq|auto>]`
+//! Usage: `cargo run -p diam-bench --release --bin table1 [seed] [--jobs <N|seq|auto>]
+//! [--obs off|summary|json] [--trace-out <path.jsonl>] [--limit <N>]`
 
 use diam_bench::{format_sigma, parse_cli, run_suite_with};
 use diam_gen::iscas;
 
 fn main() {
-    let (seed, jobs) = parse_cli("table1 [seed] [--jobs <N|seq|auto>]");
-    println!(
-        "Table 1: diameter bounding experiments, ISCAS89-profile suite (seed {seed}, jobs {jobs})\n"
+    let cli = parse_cli(
+        "table1 [seed] [--jobs <N|seq|auto>] [--obs off|summary|json] \
+         [--trace-out <path.jsonl>] [--limit <N>]",
     );
-    let suite = iscas::suite(seed);
-    let sigma = run_suite_with(&suite, true, jobs);
+    let session = cli.session("table1");
+    println!(
+        "Table 1: diameter bounding experiments, ISCAS89-profile suite (seed {}, jobs {})\n",
+        cli.seed, cli.jobs
+    );
+    let suite = cli.clamp(iscas::suite(cli.seed));
+    let sigma = run_suite_with(&suite, true, cli.jobs);
     println!("\n{}", format_sigma(&sigma, iscas::TABLE1_SIGMA));
+    cli.finish(session);
 }

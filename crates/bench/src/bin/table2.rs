@@ -1,16 +1,23 @@
 //! Regenerates Table 2 of the paper (phase-abstracted GP-profile suite).
 //!
-//! Usage: `cargo run -p diam-bench --release --bin table2 [seed] [--jobs <N|seq|auto>]`
+//! Usage: `cargo run -p diam-bench --release --bin table2 [seed] [--jobs <N|seq|auto>]
+//! [--obs off|summary|json] [--trace-out <path.jsonl>] [--limit <N>]`
 
 use diam_bench::{format_sigma, parse_cli, run_suite_with};
 use diam_gen::gp;
 
 fn main() {
-    let (seed, jobs) = parse_cli("table2 [seed] [--jobs <N|seq|auto>]");
-    println!(
-        "Table 2: diameter bounding experiments, GP-profile suite (seed {seed}, jobs {jobs})\n"
+    let cli = parse_cli(
+        "table2 [seed] [--jobs <N|seq|auto>] [--obs off|summary|json] \
+         [--trace-out <path.jsonl>] [--limit <N>]",
     );
-    let suite = gp::suite(seed);
-    let sigma = run_suite_with(&suite, true, jobs);
+    let session = cli.session("table2");
+    println!(
+        "Table 2: diameter bounding experiments, GP-profile suite (seed {}, jobs {})\n",
+        cli.seed, cli.jobs
+    );
+    let suite = cli.clamp(gp::suite(cli.seed));
+    let sigma = run_suite_with(&suite, true, cli.jobs);
     println!("\n{}", format_sigma(&sigma, gp::TABLE2_SIGMA));
+    cli.finish(session);
 }

@@ -19,42 +19,112 @@ use diam_core::classify::{classify, ClassCounts, ClassifyOptions};
 use diam_core::{Bound, Pipeline, StructuralOptions};
 use diam_gen::profile::DesignProfile;
 use diam_netlist::Netlist;
+use diam_obs::{ObsConfig, ObsMode, RunManifest, Session};
 use diam_par::Parallelism;
 use std::time::Instant;
 
-/// Shared CLI parsing for the table/ablation binaries: a positional seed
-/// (default 1) plus an optional `--jobs <N|seq|auto>` flag controlling the
-/// per-target fan-out. Unrecognized arguments abort with a usage message.
-pub fn parse_cli(usage: &str) -> (u64, Parallelism) {
-    let mut seed = 1u64;
-    let mut par = Parallelism::Sequential;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        if arg == "--jobs" || arg == "-j" {
-            let v = args.next().and_then(|s| Parallelism::parse(&s).ok());
-            match v {
-                Some(p) => par = p,
-                None => {
-                    eprintln!("--jobs expects <N|seq|auto>\nusage: {usage}");
-                    std::process::exit(2);
-                }
-            }
-        } else if let Some(rest) = arg.strip_prefix("--jobs=") {
-            match Parallelism::parse(rest).ok() {
-                Some(p) => par = p,
-                None => {
-                    eprintln!("--jobs expects <N|seq|auto>\nusage: {usage}");
-                    std::process::exit(2);
-                }
-            }
-        } else if let Ok(s) = arg.parse() {
-            seed = s;
-        } else {
-            eprintln!("unrecognized argument `{arg}`\nusage: {usage}");
-            std::process::exit(2);
+/// Parsed command line shared by the table/ablation binaries.
+#[derive(Debug, Clone)]
+pub struct BenchCli {
+    /// Suite generator seed (positional, default 1).
+    pub seed: u64,
+    /// `--jobs <N|seq|auto>` — per-target fan-out.
+    pub jobs: Parallelism,
+    /// `--obs <off|summary|json>` + `--trace-out <path.jsonl>`.
+    pub obs: ObsConfig,
+    /// `--limit <N>` — truncate the suite to its first `N` designs (CI and
+    /// smoke runs).
+    pub limit: Option<usize>,
+}
+
+impl BenchCli {
+    /// Installs the observability session for this run: captures a
+    /// [`RunManifest`] (argv, build info, options) and hands it to
+    /// [`Session::install`]. With `--obs off` (the default) the session
+    /// records nothing and prints nothing — output stays byte-identical to
+    /// an uninstrumented binary.
+    pub fn session(&self, tool: &str) -> Session {
+        let mut manifest = RunManifest::capture(tool)
+            .option("seed", self.seed.to_string())
+            .option("jobs", self.jobs.to_string())
+            .option("obs", self.obs.mode.to_string());
+        if let Some(limit) = self.limit {
+            manifest = manifest.option("limit", limit.to_string());
+        }
+        Session::install(self.obs.clone(), manifest)
+    }
+
+    /// Finishes `session`; in `summary` / `json` modes prints the per-phase
+    /// breakdown tree (and the trace file has already been written when
+    /// `--trace-out` was given).
+    pub fn finish(&self, session: Session) {
+        let report = session.finish();
+        if !self.obs.mode.is_off() {
+            println!("\n{}", report.render_summary());
         }
     }
-    (seed, par)
+
+    /// Applies `--limit` to a generated suite.
+    pub fn clamp<T>(&self, mut suite: Vec<T>) -> Vec<T> {
+        if let Some(limit) = self.limit {
+            suite.truncate(limit);
+        }
+        suite
+    }
+}
+
+/// Shared CLI parsing for the table/ablation binaries: a positional seed
+/// (default 1) plus `--jobs <N|seq|auto>` (per-target fan-out),
+/// `--obs <off|summary|json>`, `--trace-out <path.jsonl>`, and
+/// `--limit <N>`. Unrecognized arguments abort with a usage message.
+pub fn parse_cli(usage: &str) -> BenchCli {
+    let mut cli = BenchCli {
+        seed: 1,
+        jobs: Parallelism::Sequential,
+        obs: ObsConfig::default(),
+        limit: None,
+    };
+    let fail = |what: &str| -> ! {
+        eprintln!("{what}\nusage: {usage}");
+        std::process::exit(2);
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        // `--flag value` and `--flag=value` both work.
+        let mut flag_value = |name: &str, short: Option<&str>| -> Option<String> {
+            if arg == name || short.is_some_and(|s| arg == s) {
+                return Some(
+                    args.next()
+                        .unwrap_or_else(|| fail(&format!("{name} expects a value"))),
+                );
+            }
+            arg.strip_prefix(&format!("{name}=")).map(str::to_string)
+        };
+        if let Some(v) = flag_value("--jobs", Some("-j")) {
+            cli.jobs =
+                Parallelism::parse(&v).unwrap_or_else(|_| fail("--jobs expects <N|seq|auto>"));
+        } else if let Some(v) = flag_value("--obs", None) {
+            cli.obs.mode =
+                ObsMode::parse(&v).unwrap_or_else(|_| fail("--obs expects off|summary|json"));
+        } else if let Some(v) = flag_value("--trace-out", None) {
+            cli.obs.trace_out = Some(v.into());
+        } else if let Some(v) = flag_value("--limit", None) {
+            cli.limit = Some(
+                v.parse()
+                    .unwrap_or_else(|_| fail("--limit expects a design count")),
+            );
+        } else if let Ok(s) = arg.parse() {
+            cli.seed = s;
+        } else {
+            fail(&format!("unrecognized argument `{arg}`"));
+        }
+    }
+    // `--trace-out` without a recording mode means the user wants the trace:
+    // promote to `json` rather than silently writing nothing.
+    if cli.obs.trace_out.is_some() && cli.obs.mode.is_off() {
+        cli.obs.mode = ObsMode::Json;
+    }
+    cli
 }
 
 /// One table column for one design.
@@ -94,12 +164,21 @@ pub fn run_design_with(
     netlist: &Netlist,
     par: diam_par::Parallelism,
 ) -> DesignResult {
+    let mut design_sp = diam_obs::span!(
+        "suite.design",
+        design = profile.name,
+        targets = profile.targets
+    );
     let pipelines = [Pipeline::new(), Pipeline::com(), Pipeline::com_ret_com()];
+    let names = ["original", "com", "com_ret_com"];
     let opts = StructuralOptions {
         parallelism: par,
         ..StructuralOptions::default()
     };
+    let mut k = 0usize;
     let columns = pipelines.map(|pipe| {
+        let mut col_sp = diam_obs::span!("suite.column", column = names[k]);
+        k += 1;
         let start = Instant::now();
         let result = pipe.run(netlist);
         let regs: Vec<_> = result.netlist.regs().to_vec();
@@ -117,6 +196,11 @@ pub fn run_design_with(
         } else {
             useful.iter().sum::<u64>() as f64 / useful.len() as f64
         };
+        if diam_obs::enabled() {
+            col_sp.record("useful", useful.len() as u64);
+            col_sp.record("regs", regs.len() as u64);
+        }
+        drop(col_sp);
         ColumnResult {
             counts,
             useful: useful.len(),
@@ -124,6 +208,10 @@ pub fn run_design_with(
             seconds: start.elapsed().as_secs_f64(),
         }
     });
+    if diam_obs::enabled() {
+        let useful: usize = columns.iter().map(|c| c.useful).sum();
+        design_sp.record("useful_total", useful as u64);
+    }
     DesignResult {
         profile: profile.clone(),
         columns,

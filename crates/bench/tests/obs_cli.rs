@@ -1,0 +1,115 @@
+//! End-to-end tests for the bench binaries' observability flags, driven
+//! through the real executables.
+//!
+//! The contract: `--obs off` (the default) is byte-clean — stdout is
+//! bit-identical run to run and to an explicit `--obs off` run, and stderr
+//! is empty; `--obs json --trace-out` writes a JSONL trace that the
+//! `tracecheck` validator accepts.
+
+use std::process::{Command, Output};
+
+fn table1(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_table1"))
+        .args(args)
+        .output()
+        .expect("table1 runs")
+}
+
+/// With observability off the tables are deterministic at the byte level:
+/// two runs produce identical stdout, nothing on stderr, and an explicit
+/// `--obs off` changes nothing — instrumentation leaves no trace in the
+/// output of an uninstrumented run.
+#[test]
+fn obs_off_is_byte_identical() {
+    let a = table1(&["1", "--limit", "2"]);
+    let b = table1(&["1", "--limit", "2"]);
+    let c = table1(&["1", "--limit", "2", "--obs", "off"]);
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+    assert!(b.status.success());
+    assert!(c.status.success());
+    assert!(a.stderr.is_empty(), "stderr must stay clean with --obs off");
+    assert!(c.stderr.is_empty());
+    assert_eq!(a.stdout, b.stdout, "repeat runs are bit-identical");
+    assert_eq!(a.stdout, c.stdout, "--obs off output matches the default");
+    assert!(!a.stdout.is_empty());
+}
+
+/// `--obs summary` appends the per-phase breakdown after the unchanged
+/// table; the table portion stays identical to an off run.
+#[test]
+fn obs_summary_appends_breakdown() {
+    let off = table1(&["1", "--limit", "1"]);
+    let sum = table1(&["1", "--limit", "1", "--obs", "summary"]);
+    assert!(off.status.success() && sum.status.success());
+    let off_s = String::from_utf8_lossy(&off.stdout);
+    let sum_s = String::from_utf8_lossy(&sum.stdout);
+    assert!(
+        sum_s.starts_with(off_s.as_ref()),
+        "summary output must begin with the unchanged table"
+    );
+    assert!(sum_s.contains("observability summary"), "{sum_s}");
+    assert!(sum_s.contains("per-phase breakdown"), "{sum_s}");
+    assert!(sum_s.contains("com.sweep"), "{sum_s}");
+}
+
+/// `--obs json --trace-out` writes a trace the validator accepts, both
+/// sequentially and under a threaded fan-out.
+#[test]
+fn trace_out_passes_tracecheck() {
+    for (jobs, tag) in [("seq", "seq"), ("3", "thr")] {
+        let path = std::env::temp_dir().join(format!("diam_obs_cli_{tag}.jsonl"));
+        let path_s = path.to_str().unwrap().to_string();
+        let out = table1(&[
+            "1",
+            "--limit",
+            "1",
+            "--jobs",
+            jobs,
+            "--obs",
+            "json",
+            "--trace-out",
+            &path_s,
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let check = Command::new(env!("CARGO_BIN_EXE_tracecheck"))
+            .arg(&path_s)
+            .output()
+            .expect("tracecheck runs");
+        assert!(
+            check.status.success(),
+            "tracecheck rejected the trace: {}{}",
+            String::from_utf8_lossy(&check.stdout),
+            String::from_utf8_lossy(&check.stderr)
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// `--trace-out` alone implies `--obs json` — the trace is written even
+/// without an explicit mode flag.
+#[test]
+fn trace_out_implies_json_mode() {
+    let path = std::env::temp_dir().join("diam_obs_cli_implied.jsonl");
+    let path_s = path.to_str().unwrap().to_string();
+    let out = table1(&["1", "--limit", "1", "--trace-out", &path_s]);
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&path).expect("trace written");
+    assert!(text.lines().count() >= 3, "manifest + events + metrics");
+    assert!(text.lines().next().unwrap().contains("\"ev\":\"manifest\""));
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Unknown flags abort with a usage message and exit code 2.
+#[test]
+fn bad_flags_abort_with_usage() {
+    let out = table1(&["--nonsense"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "{err}");
+    let out = table1(&["--obs", "loud"]);
+    assert_eq!(out.status.code(), Some(2));
+}

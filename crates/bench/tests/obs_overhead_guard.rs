@@ -1,0 +1,84 @@
+//! Guards the observability no-op contract: with no session installed,
+//! every instrumentation point is a single relaxed atomic load, so the
+//! total disabled-hook cost across a run must be a vanishing fraction of
+//! the work it instruments.
+//!
+//! Methodology (mirrors `benches/obs_overhead.rs`): measure the per-hook
+//! cost of the disabled `span!` path directly, count the events an
+//! instrumented run of the same workload actually records, and require
+//! `hook_cost × event_count < 2%` of the uninstrumented wall time.
+//!
+//! This file must stay a single-test process: the measurement relies on no
+//! `diam_obs::Session` ever being installed before the disabled-path timing
+//! runs (sessions are process-global).
+
+use diam_bmc::{prove_all, ProveOptions};
+use diam_core::Pipeline;
+use diam_gen::random::{random_netlist, RandomDesignOptions};
+use diam_obs::{ObsConfig, ObsMode, RunManifest, Session};
+use std::time::Instant;
+
+#[test]
+fn disabled_hooks_cost_under_two_percent() {
+    // Same workload as `benches/obs_overhead.rs`.
+    let n = random_netlist(
+        &RandomDesignOptions {
+            inputs: 8,
+            regs: 24,
+            gates: 300,
+            targets: 12,
+            allow_nondet: true,
+        },
+        0xD1A0 + 5,
+    );
+    let pipe = Pipeline::com();
+    let opts = ProveOptions::default();
+
+    // 1. Per-hook cost of the disabled path (no session installed yet —
+    //    `enabled()` is false for this entire block).
+    assert!(!diam_obs::enabled(), "no session may be active here");
+    const HOOKS: u32 = 100_000;
+    let t0 = Instant::now();
+    for i in 0..HOOKS {
+        let sp = diam_obs::span!("guard.noop", i = i);
+        drop(sp);
+    }
+    let hook_ns = t0.elapsed().as_nanos() as f64 / f64::from(HOOKS);
+
+    // 2. Uninstrumented workload wall time (median of three runs).
+    let mut runs: Vec<f64> = (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            let r = prove_all(&n, &pipe, &opts);
+            let dt = t0.elapsed().as_nanos() as f64;
+            assert!(!r.is_empty());
+            dt
+        })
+        .collect();
+    runs.sort_by(f64::total_cmp);
+    let work_ns = runs[1];
+
+    // 3. Events the same workload records when instrumentation is on. Each
+    //    span is one open + one close hook; points and metric bumps are one.
+    let session = Session::install(
+        ObsConfig {
+            mode: ObsMode::Json,
+            trace_out: None,
+        },
+        RunManifest::capture("overhead-guard"),
+    );
+    let _ = prove_all(&n, &pipe, &opts);
+    let report = session.finish();
+    let events = report.events.len() as f64;
+    assert!(events > 0.0, "instrumented run records events");
+
+    let disabled_total = hook_ns * events;
+    let ratio = disabled_total / work_ns;
+    assert!(
+        ratio < 0.02,
+        "disabled hooks cost {disabled_total:.0}ns over {events} events \
+         ({hook_ns:.1}ns/hook) = {:.3}% of the {work_ns:.0}ns workload — \
+         no-op path exceeds the 2% budget",
+        100.0 * ratio
+    );
+}

@@ -47,6 +47,33 @@ use diam_transform::unroll::{FrameZero, Unroller};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+/// `solve_with` plus observability: when a session records, the per-call
+/// [`SolverStats`](diam_sat::SolverStats) delta is charged to the current
+/// thread (so the enclosing span carries its SAT counters on close) and a
+/// `sat.solve` point event attributes the work to `depth`.
+fn solve_traced(solver: &mut Solver, assumptions: &[SatLit], depth: u64) -> SolveResult {
+    if !diam_obs::enabled() {
+        return solver.solve_with(assumptions);
+    }
+    let before = *solver.stats_ref();
+    let r = solver.solve_with(assumptions);
+    let d = solver.stats_ref().delta_since(&before);
+    diam_obs::charge_sat(d.conflicts, d.decisions, d.propagations);
+    diam_obs::event!(
+        "sat.solve",
+        depth = depth,
+        result = match r {
+            SolveResult::Sat => "sat",
+            SolveResult::Unsat => "unsat",
+            SolveResult::Unknown => "unknown",
+        },
+        conflicts = d.conflicts,
+        decisions = d.decisions,
+        propagations = d.propagations
+    );
+    r
+}
+
 /// Options for [`check`].
 #[derive(Debug, Clone)]
 pub struct BmcOptions {
@@ -111,25 +138,33 @@ pub enum BmcOutcome {
 ///
 /// Panics if `index` is out of range.
 pub fn check(n: &Netlist, index: usize, opts: &BmcOptions) -> BmcOutcome {
+    let mut sp = diam_obs::span!("bmc.check", index = index, max_depth = opts.max_depth);
     let target = n.targets()[index].lit;
     let mut solver = Solver::new();
     solver.set_conflict_budget(opts.conflict_budget);
     let mut unroller = Unroller::new(n, FrameZero::Init);
     for depth in 0..=opts.max_depth {
         let lit = unroller.lit_at(&mut solver, target, depth as usize);
-        match solver.solve_with(&[lit]) {
+        match solve_traced(&mut solver, &[lit], depth) {
             SolveResult::Sat => {
                 let witness = extract_witness(n, &unroller, &solver, depth as usize);
                 debug_assert!(
                     witness.replays_to(n, target),
                     "witness fails to replay at depth {depth}"
                 );
+                sp.record("outcome", "cex");
+                sp.record("depth", depth);
                 return BmcOutcome::Counterexample { depth, witness };
             }
             SolveResult::Unsat => continue,
-            SolveResult::Unknown => return BmcOutcome::Unknown { depth },
+            SolveResult::Unknown => {
+                sp.record("outcome", "unknown");
+                sp.record("depth", depth);
+                return BmcOutcome::Unknown { depth };
+            }
         }
     }
+    sp.record("outcome", "clean");
     BmcOutcome::NoHitUpTo(opts.max_depth)
 }
 
@@ -174,7 +209,7 @@ fn check_all_shared(n: &Netlist, opts: &BmcOptions) -> Vec<BmcOutcome> {
                 continue;
             }
             let lit = unroller.lit_at(&mut solver, t.lit, depth as usize);
-            match solver.solve_with(&[lit]) {
+            match solve_traced(&mut solver, &[lit], depth) {
                 SolveResult::Sat => {
                     let witness = extract_witness(n, &unroller, &solver, depth as usize);
                     debug_assert!(witness.replays_to(n, t.lit));
@@ -296,6 +331,7 @@ fn run_chunk(
     token: &CancelToken,
     opts: &BmcOptions,
 ) -> ChunkOutcome {
+    let mut sp = diam_obs::span!("bmc.chunk", target = u.target, lo = u.lo, hi = u.hi);
     let orig_target = orig.targets()[u.target].lit;
     let target = slice.netlist.targets()[0].lit;
     let mut solver = Solver::new();
@@ -308,13 +344,14 @@ fn run_chunk(
     }
     for depth in u.lo..=u.hi {
         if token.is_cancelled() || frontier.superseded(depth) {
+            sp.record("outcome", "stopped");
             return ChunkOutcome::Stopped { at: depth };
         }
         let lit = unroller.lit_at(&mut solver, target, depth as usize);
         if let Some(probe) = &opts.solve_probe {
             probe.fetch_add(1, Ordering::AcqRel);
         }
-        match solver.solve_with(&[lit]) {
+        match solve_traced(&mut solver, &[lit], depth) {
             SolveResult::Sat => {
                 frontier.record(depth);
                 let sliced = extract_witness(&slice.netlist, &unroller, &solver, depth as usize);
@@ -323,15 +360,20 @@ fn run_chunk(
                     witness.replays_to(orig, orig_target),
                     "lifted witness fails to replay at depth {depth}"
                 );
+                sp.record("outcome", "cex");
+                sp.record("depth", depth);
                 return ChunkOutcome::Cex { depth, witness };
             }
             SolveResult::Unsat => {}
             SolveResult::Unknown => {
                 frontier.record(depth);
+                sp.record("outcome", "unknown");
+                sp.record("depth", depth);
                 return ChunkOutcome::Unknown { depth };
             }
         }
     }
+    sp.record("outcome", "clean");
     ChunkOutcome::Clean
 }
 
@@ -508,7 +550,7 @@ pub fn k_induction(n: &Netlist, index: usize, max_k: u64) -> InductionOutcome {
                 solver.add_clause(diffs);
             }
         }
-        if solver.solve_with(&assumptions) == SolveResult::Unsat {
+        if solve_traced(&mut solver, &assumptions, k) == SolveResult::Unsat {
             return InductionOutcome::Proved { k };
         }
     }
@@ -585,7 +627,7 @@ pub fn k_induction_with_invariants(
                 solver.add_clause(diffs);
             }
         }
-        if solver.solve_with(&assumptions) == SolveResult::Unsat {
+        if solve_traced(&mut solver, &assumptions, k) == SolveResult::Unsat {
             return InductionOutcome::Proved { k };
         }
     }
@@ -726,6 +768,12 @@ pub fn prove_all(n: &Netlist, pipeline: &Pipeline, opts: &ProveOptions) -> Vec<P
         |_, job, token| match job {
             ProveJob::Done(outcome) => outcome,
             ProveJob::Bmc { index, bound, .. } => {
+                let mut sp = diam_obs::span!(
+                    "prove.target",
+                    index = index,
+                    target = n.targets()[index].name.as_str(),
+                    bound = bound
+                );
                 let slice = slice_target(n, index);
                 let frontier = Frontier::new();
                 let unit = ChunkUnit {
@@ -740,10 +788,15 @@ pub fn prove_all(n: &Netlist, pipeline: &Pipeline, opts: &ProveOptions) -> Vec<P
                 };
                 match run_chunk(n, &slice, &frontier, unit, token, &bmc) {
                     ChunkOutcome::Cex { depth, witness } => {
+                        sp.record("outcome", "cex");
                         ProveOutcome::Counterexample { depth, witness }
                     }
-                    ChunkOutcome::Clean => ProveOutcome::Proved { bound },
+                    ChunkOutcome::Clean => {
+                        sp.record("outcome", "proved");
+                        ProveOutcome::Proved { bound }
+                    }
                     ChunkOutcome::Unknown { .. } | ChunkOutcome::Stopped { .. } => {
+                        sp.record("outcome", "unknown");
                         ProveOutcome::Unknown
                     }
                 }

@@ -251,7 +251,13 @@ pub fn classify_targets(
         jobs,
         |&i| coi(n, [n.targets()[i].lit]).regs.len() as u64 + 1,
         |_, i, _| {
+            let mut sp = diam_obs::span!(
+                "classify.target",
+                index = i,
+                target = n.targets()[i].name.as_str()
+            );
             let cone = coi(n, [n.targets()[i].lit]);
+            sp.record("cone_regs", cone.regs.len());
             classify(n, &cone.regs, opts)
         },
     )

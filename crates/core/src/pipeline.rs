@@ -183,10 +183,16 @@ impl Pipeline {
 
     /// Runs the pipeline on `n`.
     pub fn run(&self, n: &Netlist) -> PipelineResult {
+        let _sp = diam_obs::span!(
+            "pipeline.run",
+            engines = self.engines.len(),
+            targets = n.targets().len()
+        );
         let mut current = n.clone();
         let mut steps: Vec<Vec<BackStep>> = vec![Vec::new(); n.targets().len()];
         let mut log = Vec::new();
         for e in &self.engines {
+            let mut step_sp = diam_obs::span!("pipeline.step", engine = e.to_string());
             let regs_before = current.num_regs();
             match e {
                 Engine::Coi => {
@@ -284,6 +290,8 @@ impl Pipeline {
                     }
                 }
             }
+            step_sp.record("regs_before", regs_before);
+            step_sp.record("regs_after", current.num_regs());
             log.push(StepLog {
                 engine: e.clone(),
                 regs_before,
@@ -372,13 +380,30 @@ impl PipelineResult {
             },
             |_, i, _| {
                 let t = &self.netlist.targets()[i];
+                let mut sp = diam_obs::span!("bound.target", index = i, target = t.name.as_str());
                 let tb: TargetBound = diameter_bound(&self.netlist, t.lit, opts);
-                PipelinedBound {
+                let pb = PipelinedBound {
                     name: t.name.clone(),
                     transformed: tb.bound,
                     original: self.back_translate(i, tb.bound),
                     counts: tb.classification.counts(),
+                };
+                if diam_obs::enabled() {
+                    // Back-translation totals = the per-target transform
+                    // delta (Theorems 2–4 contributions for this target).
+                    let (mut bt_add, mut bt_mul) = (0u64, 1u64);
+                    for step in &self.steps[i] {
+                        match *step {
+                            BackStep::Add(k) => bt_add += k,
+                            BackStep::Mul(c) => bt_mul *= c,
+                        }
+                    }
+                    sp.record("bt_add", bt_add);
+                    sp.record("bt_mul", bt_mul);
+                    sp.record("transformed", pb.transformed.to_string());
+                    sp.record("original", pb.original.to_string());
                 }
+                pb
             },
         )
     }

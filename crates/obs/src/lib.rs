@@ -1,0 +1,1391 @@
+//! # diam-obs
+//!
+//! A **std-only, thread-safe** structured tracing + metrics layer for the
+//! `diam` workspace: hierarchical spans with monotonic timings, typed
+//! counters / gauges / histograms, per-thread event buffers that drain to
+//! pluggable outputs (a JSONL trace file, a human-readable summary tree, or
+//! nothing at all), and a [`RunManifest`] capturing what was run, with which
+//! options, by which build, for how long, and at what peak RSS.
+//!
+//! ## Model
+//!
+//! * **Recording is process-global but session-scoped.** A binary (or test)
+//!   calls [`Session::install`]; until the session is finished, every
+//!   [`span!`] / [`event!`] / [`counter_add`] anywhere in the process records
+//!   into the session. Exactly one session exists at a time (installation
+//!   serializes), and the default state — no session — makes every hook a
+//!   single relaxed atomic load, so instrumented library code pays nothing
+//!   when observability is off.
+//! * **Spans are hierarchical per thread.** [`span!`] pushes onto a
+//!   thread-local stack; the returned [`SpanGuard`] pops and emits the close
+//!   event (with duration) on drop. Worker threads started by `diam-par`
+//!   tag themselves with [`set_worker`] and inherit the submitting thread's
+//!   open span via [`set_ambient_parent`], so per-target work nests under
+//!   the orchestrating span in the final tree while staying attributed to
+//!   its worker in every event.
+//! * **Events buffer per thread.** Each recording thread owns a buffer
+//!   registered with the session; an event append only touches that buffer's
+//!   (uncontended) lock. [`Session::finish`] drains all buffers, orders
+//!   events by a global sequence number, renders the summary tree, and
+//!   writes the JSONL trace if configured.
+//! * **SAT attribution.** Callers of `diam-sat` report per-solve statistic
+//!   deltas through [`charge_sat`]; every span automatically records the
+//!   SAT work (solves / conflicts / decisions / propagations) performed on
+//!   its thread between open and close, so per-target spans carry their SAT
+//!   counters without plumbing.
+//!
+//! ## Example
+//!
+//! ```
+//! use diam_obs::{ObsConfig, ObsMode, RunManifest, Session};
+//!
+//! let session = Session::install(
+//!     ObsConfig { mode: ObsMode::Summary, ..ObsConfig::default() },
+//!     RunManifest::capture("example"),
+//! );
+//! {
+//!     let mut sp = diam_obs::span!("work.outer", items = 3u64);
+//!     for i in 0..3u64 {
+//!         let _inner = diam_obs::span!("work.inner", index = i);
+//!         diam_obs::counter_add("work.items", 1);
+//!     }
+//!     sp.record("done", true);
+//! }
+//! let report = session.finish();
+//! assert_eq!(report.events.len(), 8); // 4 opens/closes
+//! assert!(report.render_summary().contains("work.outer"));
+//! ```
+
+pub mod json;
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// What the observability layer does with recorded data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ObsMode {
+    /// Record nothing; every hook is a no-op (a single atomic load).
+    #[default]
+    Off,
+    /// Record events; render the human-readable summary tree at the end.
+    Summary,
+    /// Record events; render the summary **and** expect a JSONL trace file
+    /// (see [`ObsConfig::trace_out`]).
+    Json,
+}
+
+impl ObsMode {
+    /// Parses a `--obs` flag value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unparsable value.
+    pub fn parse(s: &str) -> Result<ObsMode, String> {
+        match s {
+            "off" => Ok(ObsMode::Off),
+            "summary" => Ok(ObsMode::Summary),
+            "json" => Ok(ObsMode::Json),
+            _ => Err(format!("bad --obs value {s:?} (expected off|summary|json)")),
+        }
+    }
+
+    /// Whether this mode records nothing.
+    pub fn is_off(self) -> bool {
+        matches!(self, ObsMode::Off)
+    }
+}
+
+impl std::fmt::Display for ObsMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObsMode::Off => write!(f, "off"),
+            ObsMode::Summary => write!(f, "summary"),
+            ObsMode::Json => write!(f, "json"),
+        }
+    }
+}
+
+/// Session configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ObsConfig {
+    /// Recording mode.
+    pub mode: ObsMode,
+    /// Where to write the JSONL trace (written on finish when set and the
+    /// mode records).
+    pub trace_out: Option<PathBuf>,
+}
+
+// ---------------------------------------------------------------------------
+// Values, fields, events
+// ---------------------------------------------------------------------------
+
+/// A typed field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+macro_rules! value_from {
+    ($($ty:ty => $variant:ident as $conv:ty),* $(,)?) => {
+        $(impl From<$ty> for Value {
+            fn from(v: $ty) -> Value { Value::$variant(v as $conv) }
+        })*
+    };
+}
+value_from!(u64 => U64 as u64, u32 => U64 as u64, usize => U64 as u64,
+            i64 => I64 as i64, i32 => I64 as i64,
+            f64 => F64 as f64, f32 => F64 as f64);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+impl Value {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::U64(v) => out.push_str(&v.to_string()),
+            Value::I64(v) => out.push_str(&v.to_string()),
+            Value::F64(v) if v.is_finite() => out.push_str(&format!("{v}")),
+            Value::F64(_) => out.push_str("null"),
+            Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            Value::Str(s) => json::write_escaped(out, s),
+        }
+    }
+}
+
+/// A named field on an event.
+pub type Field = (&'static str, Value);
+
+/// One recorded event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Global sequence number (allocation order; the drain sort key).
+    pub seq: u64,
+    /// Nanoseconds since session start (monotonic clock).
+    pub ts_ns: u64,
+    /// Worker tag of the recording thread (0 = untagged / main).
+    pub worker: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The payload of an [`Event`].
+#[derive(Debug, Clone)]
+pub enum EventKind {
+    /// A span opened.
+    Open {
+        /// Span id (unique within the session, never 0).
+        span: u64,
+        /// Enclosing span id (0 = root).
+        parent: u64,
+        /// Span name (dotted path convention, e.g. `com.sweep`).
+        name: &'static str,
+        /// Fields recorded at open.
+        fields: Vec<Field>,
+    },
+    /// A span closed.
+    Close {
+        /// Span id.
+        span: u64,
+        /// Span name (repeated for stream consumers).
+        name: &'static str,
+        /// Open→close duration in nanoseconds.
+        dur_ns: u64,
+        /// Fields recorded during the span (includes automatic `sat_*`
+        /// attribution counters).
+        fields: Vec<Field>,
+    },
+    /// A point event inside the current span.
+    Point {
+        /// Enclosing span id (0 = none open).
+        span: u64,
+        /// Event name.
+        name: &'static str,
+        /// Fields.
+        fields: Vec<Field>,
+    },
+}
+
+impl EventKind {
+    /// The event's name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Open { name, .. }
+            | EventKind::Close { name, .. }
+            | EventKind::Point { name, .. } => name,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+/// Number of power-of-two histogram buckets (`bucket b` counts values `v`
+/// with `b` significant bits; bucket 0 counts zeros).
+pub const HIST_BUCKETS: usize = 65;
+
+/// A typed metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotonically increasing counter.
+    Counter(u64),
+    /// Last-write-wins gauge.
+    Gauge(i64),
+    /// Power-of-two-bucketed histogram.
+    Histogram {
+        /// Number of recorded values.
+        count: u64,
+        /// Sum of recorded values (saturating).
+        sum: u64,
+        /// `buckets[b]` counts values with `b` significant bits.
+        buckets: Box<[u64; HIST_BUCKETS]>,
+    },
+}
+
+impl Metric {
+    fn new_histogram() -> Metric {
+        Metric::Histogram {
+            count: 0,
+            sum: 0,
+            buckets: Box::new([0; HIST_BUCKETS]),
+        }
+    }
+}
+
+/// Per-thread SAT attribution totals (see [`charge_sat`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SatTotals {
+    /// SAT `solve` calls.
+    pub solves: u64,
+    /// Conflicts.
+    pub conflicts: u64,
+    /// Decisions.
+    pub decisions: u64,
+    /// Propagations.
+    pub propagations: u64,
+}
+
+impl SatTotals {
+    fn delta_since(&self, earlier: &SatTotals) -> SatTotals {
+        SatTotals {
+            solves: self.solves - earlier.solves,
+            conflicts: self.conflicts - earlier.conflicts,
+            decisions: self.decisions - earlier.decisions,
+            propagations: self.propagations - earlier.propagations,
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        *self == SatTotals::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recorder internals
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct ThreadBuffer {
+    events: Mutex<Vec<Event>>,
+}
+
+struct Recorder {
+    epoch: u64,
+    start: Instant,
+    seq: AtomicU64,
+    next_span: AtomicU64,
+    buffers: Mutex<Vec<Arc<ThreadBuffer>>>,
+    metrics: Mutex<BTreeMap<&'static str, Metric>>,
+}
+
+impl Recorder {
+    fn new(epoch: u64) -> Recorder {
+        Recorder {
+            epoch,
+            start: Instant::now(),
+            seq: AtomicU64::new(0),
+            next_span: AtomicU64::new(1),
+            buffers: Mutex::new(Vec::new()),
+            metrics: Mutex::new(BTreeMap::new()),
+        }
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+static RECORDER: Mutex<Option<Arc<Recorder>>> = Mutex::new(None);
+static INSTALL: Mutex<()> = Mutex::new(());
+
+fn unpoison<T>(r: Result<T, PoisonError<T>>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+#[derive(Default)]
+struct Tls {
+    epoch: u64,
+    recorder: Option<Arc<Recorder>>,
+    buffer: Option<Arc<ThreadBuffer>>,
+    stack: Vec<u64>,
+    ambient_parent: u64,
+    worker: u32,
+    sat: SatTotals,
+}
+
+thread_local! {
+    static TLS: RefCell<Tls> = RefCell::new(Tls::default());
+}
+
+/// Whether a recording session is active. A single relaxed atomic load —
+/// this is the no-op path's entire cost.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Runs `f` with the thread's recording state, (re)binding the thread to the
+/// current session if needed. Returns `None` when recording is off or no
+/// session exists.
+fn with_tls<R>(f: impl FnOnce(&mut Tls) -> R) -> Option<R> {
+    if !enabled() {
+        return None;
+    }
+    TLS.with(|cell| {
+        let mut t = cell.borrow_mut();
+        let epoch = EPOCH.load(Ordering::Acquire);
+        if t.epoch != epoch || t.recorder.is_none() {
+            let rec = unpoison(RECORDER.lock()).clone()?;
+            let buf = Arc::new(ThreadBuffer::default());
+            unpoison(rec.buffers.lock()).push(buf.clone());
+            t.epoch = rec.epoch;
+            t.recorder = Some(rec);
+            t.buffer = Some(buf);
+            t.stack.clear();
+            t.ambient_parent = 0;
+            t.sat = SatTotals::default();
+        }
+        Some(f(&mut t))
+    })
+}
+
+fn push_event(t: &mut Tls, kind: EventKind) {
+    let rec = t.recorder.as_ref().expect("recorder bound");
+    let ev = Event {
+        seq: rec.seq.fetch_add(1, Ordering::Relaxed),
+        ts_ns: rec.start.elapsed().as_nanos() as u64,
+        worker: t.worker,
+        kind,
+    };
+    unpoison(t.buffer.as_ref().expect("buffer bound").events.lock()).push(ev);
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+/// An open span; closes (and emits the close event) on drop. Obtain one with
+/// the [`span!`] macro. Guards are cheap no-ops when recording is off.
+#[derive(Debug)]
+#[must_use = "a span closes when its guard drops; bind it to a variable"]
+pub struct SpanGuard {
+    id: u64,
+    name: &'static str,
+    opened: Option<Instant>,
+    close_fields: Vec<Field>,
+    sat_at_open: SatTotals,
+}
+
+impl SpanGuard {
+    /// A guard that records nothing (used when recording is off).
+    pub fn noop() -> SpanGuard {
+        SpanGuard {
+            id: 0,
+            name: "",
+            opened: None,
+            close_fields: Vec::new(),
+            sat_at_open: SatTotals::default(),
+        }
+    }
+
+    /// This span's id (0 for a no-op guard).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Adds a field to the close event (no-op when recording is off).
+    pub fn record(&mut self, key: &'static str, value: impl Into<Value>) {
+        if self.id != 0 {
+            self.close_fields.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.id == 0 {
+            return;
+        }
+        let dur_ns = self
+            .opened
+            .map(|t0| t0.elapsed().as_nanos() as u64)
+            .unwrap_or(0);
+        let id = self.id;
+        let name = self.name;
+        let mut fields = std::mem::take(&mut self.close_fields);
+        let sat_at_open = self.sat_at_open;
+        with_tls(|t| {
+            // Pop this span (defensively tolerate out-of-order drops).
+            if t.stack.last() == Some(&id) {
+                t.stack.pop();
+            } else {
+                t.stack.retain(|&s| s != id);
+            }
+            let sat = t.sat.delta_since(&sat_at_open);
+            if !sat.is_zero() {
+                fields.push(("sat_solves", Value::U64(sat.solves)));
+                fields.push(("sat_conflicts", Value::U64(sat.conflicts)));
+                fields.push(("sat_decisions", Value::U64(sat.decisions)));
+                fields.push(("sat_propagations", Value::U64(sat.propagations)));
+            }
+            push_event(
+                t,
+                EventKind::Close {
+                    span: id,
+                    name,
+                    dur_ns,
+                    fields,
+                },
+            );
+        });
+    }
+}
+
+/// Opens a span (prefer the [`span!`] macro, which skips field construction
+/// when recording is off).
+pub fn span_start(name: &'static str, fields: Vec<Field>) -> SpanGuard {
+    with_tls(|t| {
+        let rec = t.recorder.as_ref().expect("recorder bound");
+        let id = rec.next_span.fetch_add(1, Ordering::Relaxed);
+        let parent = t.stack.last().copied().unwrap_or(t.ambient_parent);
+        push_event(
+            t,
+            EventKind::Open {
+                span: id,
+                parent,
+                name,
+                fields,
+            },
+        );
+        t.stack.push(id);
+        SpanGuard {
+            id,
+            name,
+            opened: Some(Instant::now()),
+            close_fields: Vec::new(),
+            sat_at_open: t.sat,
+        }
+    })
+    .unwrap_or_else(SpanGuard::noop)
+}
+
+/// Emits a point event inside the current span (prefer [`event!`]).
+pub fn emit(name: &'static str, fields: Vec<Field>) {
+    with_tls(|t| {
+        let span = t.stack.last().copied().unwrap_or(t.ambient_parent);
+        push_event(t, EventKind::Point { span, name, fields });
+    });
+}
+
+/// Opens a hierarchical span: `span!("com.sweep", target = 3u64)`. Returns a
+/// [`SpanGuard`]; the span closes when the guard drops. Field expressions
+/// are **not evaluated** when recording is off.
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::span_start(
+                $name,
+                vec![$((stringify!($key), $crate::Value::from($value))),*],
+            )
+        } else {
+            $crate::SpanGuard::noop()
+        }
+    };
+}
+
+/// Emits a point event: `event!("sat.solve", depth = d, result = "unsat")`.
+/// Field expressions are **not evaluated** when recording is off.
+#[macro_export]
+macro_rules! event {
+    ($name:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::emit(
+                $name,
+                vec![$((stringify!($key), $crate::Value::from($value))),*],
+            );
+        }
+    };
+}
+
+/// The id of the innermost open span on this thread (0 if none). Used by
+/// executors to forward span context to worker threads.
+pub fn current_span() -> u64 {
+    with_tls(|t| t.stack.last().copied().unwrap_or(t.ambient_parent)).unwrap_or(0)
+}
+
+/// Sets the parent span used by this thread's *root* spans (worker threads
+/// inherit the submitting thread's open span so the summary tree stays
+/// connected across `diam-par` fan-outs).
+pub fn set_ambient_parent(span: u64) {
+    with_tls(|t| t.ambient_parent = span);
+}
+
+/// Tags this thread's events with a worker id (0 = main; `diam-par` workers
+/// use `index + 1`).
+pub fn set_worker(worker: u32) {
+    with_tls(|t| t.worker = worker);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics API
+// ---------------------------------------------------------------------------
+
+fn with_metric(name: &'static str, init: impl FnOnce() -> Metric, f: impl FnOnce(&mut Metric)) {
+    with_tls(|t| {
+        let rec = t.recorder.as_ref().expect("recorder bound");
+        let mut metrics = unpoison(rec.metrics.lock());
+        f(metrics.entry(name).or_insert_with(init))
+    });
+}
+
+/// Adds to a named counter (created on first use).
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    with_metric(
+        name,
+        || Metric::Counter(0),
+        |m| {
+            if let Metric::Counter(v) = m {
+                *v = v.saturating_add(delta);
+            }
+        },
+    );
+}
+
+/// Sets a named gauge (last write wins).
+pub fn gauge_set(name: &'static str, value: i64) {
+    if !enabled() {
+        return;
+    }
+    with_metric(
+        name,
+        || Metric::Gauge(0),
+        |m| {
+            if let Metric::Gauge(v) = m {
+                *v = value;
+            }
+        },
+    );
+}
+
+/// Records a value into a named power-of-two-bucketed histogram.
+pub fn histogram_record(name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    with_metric(name, Metric::new_histogram, |m| {
+        if let Metric::Histogram {
+            count,
+            sum,
+            buckets,
+        } = m
+        {
+            *count += 1;
+            *sum = sum.saturating_add(value);
+            let b = (64 - value.leading_zeros()) as usize;
+            buckets[b] += 1;
+        }
+    });
+}
+
+/// Reports one SAT solve's statistic deltas. Updates this thread's span
+/// attribution totals (every open span's close event will include the SAT
+/// work performed under it) and the global `sat.*` metrics.
+pub fn charge_sat(conflicts: u64, decisions: u64, propagations: u64) {
+    if !enabled() {
+        return;
+    }
+    with_tls(|t| {
+        t.sat.solves += 1;
+        t.sat.conflicts += conflicts;
+        t.sat.decisions += decisions;
+        t.sat.propagations += propagations;
+    });
+    counter_add("sat.solves", 1);
+    counter_add("sat.conflicts", conflicts);
+    counter_add("sat.decisions", decisions);
+    counter_add("sat.propagations", propagations);
+    histogram_record("sat.conflicts_per_solve", conflicts);
+}
+
+// ---------------------------------------------------------------------------
+// Run manifest
+// ---------------------------------------------------------------------------
+
+/// What was run: inputs, options, build info, and end-of-run resource usage.
+/// Emitted as the first JSONL record and in the summary header.
+#[derive(Debug, Clone, Default)]
+pub struct RunManifest {
+    /// Tool name (e.g. `table1`).
+    pub tool: String,
+    /// Raw command-line arguments.
+    pub args: Vec<String>,
+    /// Primary input (file or generated-suite description), if any.
+    pub input: Option<String>,
+    /// Key/value options (seed, jobs, …).
+    pub options: Vec<(String, String)>,
+    /// Build info: crate version plus the git commit when discoverable.
+    pub build: String,
+    /// Wall-clock start, milliseconds since the Unix epoch.
+    pub started_unix_ms: u64,
+    /// Total wall time in nanoseconds (filled at finish).
+    pub wall_ns: u64,
+    /// Peak resident set size in KiB (`/proc/self/status` `VmHWM`), when
+    /// readable (filled at finish).
+    pub peak_rss_kb: Option<u64>,
+}
+
+impl RunManifest {
+    /// Captures the current process context for `tool`.
+    pub fn capture(tool: &str) -> RunManifest {
+        RunManifest {
+            tool: tool.to_string(),
+            args: std::env::args().skip(1).collect(),
+            input: None,
+            options: Vec::new(),
+            build: build_info(),
+            started_unix_ms: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0),
+            wall_ns: 0,
+            peak_rss_kb: None,
+        }
+    }
+
+    /// Sets the primary input description.
+    #[must_use]
+    pub fn input(mut self, input: impl Into<String>) -> RunManifest {
+        self.input = Some(input.into());
+        self
+    }
+
+    /// Appends an option key/value pair.
+    #[must_use]
+    pub fn option(mut self, key: impl Into<String>, value: impl Into<String>) -> RunManifest {
+        self.options.push((key.into(), value.into()));
+        self
+    }
+}
+
+/// Version + git-describe-ish build string, e.g. `diam 0.1.0 (1a2b3c4d5e6f)`.
+fn build_info() -> String {
+    match git_head() {
+        Some(head) => format!("diam {} ({head})", env!("CARGO_PKG_VERSION")),
+        None => format!("diam {} (no-git)", env!("CARGO_PKG_VERSION")),
+    }
+}
+
+/// Best-effort short commit hash: follows `.git/HEAD` upward from the
+/// current directory.
+fn git_head() -> Option<String> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let head = dir.join(".git/HEAD");
+        if let Ok(text) = std::fs::read_to_string(&head) {
+            let text = text.trim();
+            let hash = if let Some(r) = text.strip_prefix("ref: ") {
+                std::fs::read_to_string(dir.join(".git").join(r.trim()))
+                    .ok()?
+                    .trim()
+                    .to_string()
+            } else {
+                text.to_string()
+            };
+            let short: String = hash.chars().take(12).collect();
+            return if short.chars().all(|c| c.is_ascii_hexdigit()) && !short.is_empty() {
+                Some(short)
+            } else {
+                None
+            };
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Peak RSS in KiB from `/proc/self/status` (`VmHWM`), when readable.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse::<u64>()
+                .ok();
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Session + report
+// ---------------------------------------------------------------------------
+
+/// An installed recording session. Exactly one exists at a time; creating a
+/// second blocks until the first finishes (this serializes tests that
+/// install sessions in the same process).
+pub struct Session {
+    config: ObsConfig,
+    manifest: RunManifest,
+    recorder: Arc<Recorder>,
+    finished: bool,
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Session {
+    /// Installs a session. With [`ObsMode::Off`] the session exists but
+    /// records nothing (hooks stay no-ops).
+    pub fn install(config: ObsConfig, manifest: RunManifest) -> Session {
+        let lock = unpoison(INSTALL.lock());
+        let epoch = EPOCH.fetch_add(1, Ordering::AcqRel) + 1;
+        let recorder = Arc::new(Recorder::new(epoch));
+        *unpoison(RECORDER.lock()) = Some(recorder.clone());
+        ENABLED.store(!config.mode.is_off(), Ordering::Release);
+        Session {
+            config,
+            manifest,
+            recorder,
+            finished: false,
+            _lock: lock,
+        }
+    }
+
+    /// Stops recording, drains every thread's buffer, writes the JSONL trace
+    /// (if configured), and returns the full [`Report`]. Rendering/printing
+    /// is left to the caller so `--obs off` runs stay byte-clean.
+    pub fn finish(mut self) -> Report {
+        self.finish_inner()
+    }
+
+    fn finish_inner(&mut self) -> Report {
+        self.finished = true;
+        ENABLED.store(false, Ordering::Release);
+        *unpoison(RECORDER.lock()) = None;
+        EPOCH.fetch_add(1, Ordering::AcqRel);
+
+        let mut events = Vec::new();
+        for buf in unpoison(self.recorder.buffers.lock()).iter() {
+            events.append(&mut *unpoison(buf.events.lock()));
+        }
+        events.sort_by_key(|e| e.seq);
+        self.manifest.wall_ns = self.recorder.start.elapsed().as_nanos() as u64;
+        self.manifest.peak_rss_kb = peak_rss_kb();
+        let metrics = unpoison(self.recorder.metrics.lock()).clone();
+        let report = Report {
+            mode: self.config.mode,
+            manifest: self.manifest.clone(),
+            events,
+            metrics,
+        };
+        if !self.config.mode.is_off() {
+            if let Some(path) = &self.config.trace_out {
+                if let Err(e) = std::fs::write(path, report.to_jsonl()) {
+                    eprintln!("diam-obs: cannot write trace {}: {e}", path.display());
+                }
+            }
+        }
+        report
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        if !self.finished {
+            let _ = self.finish_inner();
+        }
+    }
+}
+
+/// Everything a finished session recorded.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// The mode the session ran under.
+    pub mode: ObsMode,
+    /// The manifest, with wall time and peak RSS filled in.
+    pub manifest: RunManifest,
+    /// All events, in global sequence order.
+    pub events: Vec<Event>,
+    /// Final metric values.
+    pub metrics: BTreeMap<&'static str, Metric>,
+}
+
+fn write_fields_json(out: &mut String, fields: &[Field]) {
+    out.push('{');
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::write_escaped(out, k);
+        out.push(':');
+        v.write_json(out);
+    }
+    out.push('}');
+}
+
+impl Report {
+    /// Renders the full JSONL trace: one manifest line, one line per event,
+    /// one final metrics line. Every line is an object carrying `ts`, `span`,
+    /// `ev`, and `fields`.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        // Manifest line.
+        out.push_str("{\"ts\":0,\"span\":0,\"ev\":\"manifest\",\"fields\":{");
+        out.push_str("\"tool\":");
+        json::write_escaped(&mut out, &self.manifest.tool);
+        out.push_str(",\"args\":[");
+        for (i, a) in self.manifest.args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_escaped(&mut out, a);
+        }
+        out.push_str("],\"input\":");
+        match &self.manifest.input {
+            Some(s) => json::write_escaped(&mut out, s),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"options\":{");
+        for (i, (k, v)) in self.manifest.options.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_escaped(&mut out, k);
+            out.push(':');
+            json::write_escaped(&mut out, v);
+        }
+        out.push_str("},\"build\":");
+        json::write_escaped(&mut out, &self.manifest.build);
+        out.push_str(&format!(
+            ",\"started_unix_ms\":{},\"wall_ns\":{},\"peak_rss_kb\":",
+            self.manifest.started_unix_ms, self.manifest.wall_ns
+        ));
+        match self.manifest.peak_rss_kb {
+            Some(kb) => out.push_str(&kb.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str("}}\n");
+
+        // Event lines.
+        for e in &self.events {
+            match &e.kind {
+                EventKind::Open {
+                    span,
+                    parent,
+                    name,
+                    fields,
+                } => {
+                    out.push_str(&format!(
+                        "{{\"ts\":{},\"seq\":{},\"worker\":{},\"ev\":\"open\",\"span\":{span},\"parent\":{parent},\"name\":",
+                        e.ts_ns, e.seq, e.worker
+                    ));
+                    json::write_escaped(&mut out, name);
+                    out.push_str(",\"fields\":");
+                    write_fields_json(&mut out, fields);
+                    out.push_str("}\n");
+                }
+                EventKind::Close {
+                    span,
+                    name,
+                    dur_ns,
+                    fields,
+                } => {
+                    out.push_str(&format!(
+                        "{{\"ts\":{},\"seq\":{},\"worker\":{},\"ev\":\"close\",\"span\":{span},\"dur_ns\":{dur_ns},\"name\":",
+                        e.ts_ns, e.seq, e.worker
+                    ));
+                    json::write_escaped(&mut out, name);
+                    out.push_str(",\"fields\":");
+                    write_fields_json(&mut out, fields);
+                    out.push_str("}\n");
+                }
+                EventKind::Point { span, name, fields } => {
+                    out.push_str(&format!(
+                        "{{\"ts\":{},\"seq\":{},\"worker\":{},\"ev\":\"point\",\"span\":{span},\"name\":",
+                        e.ts_ns, e.seq, e.worker
+                    ));
+                    json::write_escaped(&mut out, name);
+                    out.push_str(",\"fields\":");
+                    write_fields_json(&mut out, fields);
+                    out.push_str("}\n");
+                }
+            }
+        }
+
+        // Metrics line.
+        out.push_str(&format!(
+            "{{\"ts\":{},\"span\":0,\"ev\":\"metrics\",\"fields\":{{",
+            self.manifest.wall_ns
+        ));
+        for (i, (name, m)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_escaped(&mut out, name);
+            out.push(':');
+            match m {
+                Metric::Counter(v) => out.push_str(&v.to_string()),
+                Metric::Gauge(v) => out.push_str(&v.to_string()),
+                Metric::Histogram { count, sum, .. } => {
+                    out.push_str(&format!("{{\"count\":{count},\"sum\":{sum}}}"));
+                }
+            }
+        }
+        out.push_str("}}\n");
+        out
+    }
+
+    /// Renders the human-readable summary: manifest header, per-phase span
+    /// tree (count, total time, share of wall time), per-worker busy time,
+    /// and the metrics table.
+    pub fn render_summary(&self) -> String {
+        let mut out = String::new();
+        let wall_s = self.manifest.wall_ns as f64 / 1e9;
+        out.push_str("── observability summary ──────────────────────────────\n");
+        out.push_str(&format!(
+            "run      {} [{}]\n",
+            self.manifest.tool, self.manifest.build
+        ));
+        if let Some(input) = &self.manifest.input {
+            out.push_str(&format!("input    {input}\n"));
+        }
+        if !self.manifest.options.is_empty() {
+            let opts: Vec<String> = self
+                .manifest
+                .options
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            out.push_str(&format!("options  {}\n", opts.join("  ")));
+        }
+        out.push_str(&format!("wall     {wall_s:.3}s"));
+        if let Some(kb) = self.manifest.peak_rss_kb {
+            out.push_str(&format!("   peak rss {:.1} MiB", kb as f64 / 1024.0));
+        }
+        out.push_str(&format!("   events {}\n", self.events.len()));
+
+        // --- span tree ---------------------------------------------------
+        let tree = SpanTree::build(&self.events);
+        out.push_str("\nper-phase breakdown (count × total, % of wall):\n");
+        tree.render(&mut out, self.manifest.wall_ns);
+
+        // --- per-worker busy time ----------------------------------------
+        let busy = tree.worker_busy();
+        if busy.len() > 1 {
+            out.push_str("\nworker busy time (span self-time per worker):\n");
+            for (w, ns) in &busy {
+                let label = if *w == 0 {
+                    "main".to_string()
+                } else {
+                    format!("w{w}")
+                };
+                out.push_str(&format!(
+                    "  {label:<6} {:>9.3}s  ({:.0}% of wall)\n",
+                    *ns as f64 / 1e9,
+                    100.0 * *ns as f64 / self.manifest.wall_ns.max(1) as f64
+                ));
+            }
+        }
+
+        // --- metrics ------------------------------------------------------
+        if !self.metrics.is_empty() {
+            out.push_str("\ncounters / gauges / histograms:\n");
+            for (name, m) in &self.metrics {
+                match m {
+                    Metric::Counter(v) => out.push_str(&format!("  {name:<28} {v}\n")),
+                    Metric::Gauge(v) => out.push_str(&format!("  {name:<28} {v} (gauge)\n")),
+                    Metric::Histogram { count, sum, .. } => {
+                        let avg = if *count == 0 {
+                            0.0
+                        } else {
+                            *sum as f64 / *count as f64
+                        };
+                        out.push_str(&format!("  {name:<28} n={count} sum={sum} avg={avg:.1}\n"));
+                    }
+                }
+            }
+        }
+        out.push_str("───────────────────────────────────────────────────────");
+        out
+    }
+
+    /// The total duration of all *root* spans (direct children of span 0) in
+    /// nanoseconds — the quantity that should reconcile with
+    /// `manifest.wall_ns` for a sequentially orchestrated top level.
+    pub fn root_span_total_ns(&self) -> u64 {
+        let mut total = 0u64;
+        let mut roots = std::collections::HashSet::new();
+        for e in &self.events {
+            if let EventKind::Open {
+                span, parent: 0, ..
+            } = e.kind
+            {
+                roots.insert(span);
+            }
+        }
+        for e in &self.events {
+            if let EventKind::Close { span, dur_ns, .. } = e.kind {
+                if roots.contains(&span) {
+                    total += dur_ns;
+                }
+            }
+        }
+        total
+    }
+}
+
+// --- summary tree aggregation ----------------------------------------------
+
+struct SpanInfo {
+    name: &'static str,
+    parent: u64,
+    worker: u32,
+    dur_ns: u64,
+    child_ns: u64,
+}
+
+struct SpanTree {
+    spans: BTreeMap<u64, SpanInfo>,
+}
+
+#[derive(Default)]
+struct AggNode {
+    count: u64,
+    total_ns: u64,
+    children: BTreeMap<&'static str, AggNode>,
+}
+
+impl SpanTree {
+    fn build(events: &[Event]) -> SpanTree {
+        let mut spans: BTreeMap<u64, SpanInfo> = BTreeMap::new();
+        for e in events {
+            match &e.kind {
+                EventKind::Open {
+                    span, parent, name, ..
+                } => {
+                    spans.insert(
+                        *span,
+                        SpanInfo {
+                            name,
+                            parent: *parent,
+                            worker: e.worker,
+                            dur_ns: 0,
+                            child_ns: 0,
+                        },
+                    );
+                }
+                EventKind::Close { span, dur_ns, .. } => {
+                    if let Some(info) = spans.get_mut(span) {
+                        info.dur_ns = *dur_ns;
+                    }
+                }
+                EventKind::Point { .. } => {}
+            }
+        }
+        // Accumulate child time for self-time computation.
+        let parent_durs: Vec<(u64, u64)> = spans
+            .iter()
+            .filter(|(_, i)| i.parent != 0)
+            .map(|(_, i)| (i.parent, i.dur_ns))
+            .collect();
+        for (parent, dur) in parent_durs {
+            if let Some(p) = spans.get_mut(&parent) {
+                p.child_ns = p.child_ns.saturating_add(dur);
+            }
+        }
+        SpanTree { spans }
+    }
+
+    /// Aggregates spans into a name tree (children keyed by name under their
+    /// parent's aggregate node).
+    fn aggregate(&self) -> AggNode {
+        let mut root = AggNode::default();
+        // Path from each span to the root, memoized shallowly: spans are
+        // few (thousands), recompute is fine.
+        for info in self.spans.values() {
+            let mut path: Vec<&'static str> = vec![info.name];
+            let mut p = info.parent;
+            let mut hops = 0;
+            while p != 0 && hops < 64 {
+                match self.spans.get(&p) {
+                    Some(pi) => {
+                        path.push(pi.name);
+                        p = pi.parent;
+                    }
+                    None => break,
+                }
+                hops += 1;
+            }
+            path.reverse();
+            let mut node = &mut root;
+            for name in path {
+                node = node.children.entry(name).or_default();
+            }
+            node.count += 1;
+            node.total_ns += info.dur_ns;
+        }
+        root
+    }
+
+    fn render(&self, out: &mut String, wall_ns: u64) {
+        fn rec(out: &mut String, node: &AggNode, depth: usize, wall_ns: u64) {
+            let mut kids: Vec<(&&'static str, &AggNode)> = node.children.iter().collect();
+            kids.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
+            for (name, child) in kids {
+                let indent = "  ".repeat(depth);
+                out.push_str(&format!(
+                    "  {indent}{:<width$} {:>6}× {:>10.3}s  {:>5.1}%\n",
+                    name,
+                    child.count,
+                    child.total_ns as f64 / 1e9,
+                    100.0 * child.total_ns as f64 / wall_ns.max(1) as f64,
+                    width = 30usize.saturating_sub(2 * depth),
+                ));
+                rec(out, child, depth + 1, wall_ns);
+            }
+        }
+        rec(out, &self.aggregate(), 0, wall_ns);
+    }
+
+    /// Self-time (duration minus child duration) summed per worker.
+    fn worker_busy(&self) -> BTreeMap<u32, u64> {
+        let mut busy: BTreeMap<u32, u64> = BTreeMap::new();
+        for info in self.spans.values() {
+            let self_ns = info.dur_ns.saturating_sub(info.child_ns);
+            *busy.entry(info.worker).or_default() += self_ns;
+        }
+        busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_session() -> Session {
+        Session::install(
+            ObsConfig {
+                mode: ObsMode::Summary,
+                trace_out: None,
+            },
+            RunManifest::capture("test"),
+        )
+    }
+
+    #[test]
+    fn disabled_hooks_are_noops() {
+        // No session: nothing records, guards are inert.
+        assert!(!enabled());
+        let mut g = span!("nope", x = 1u64);
+        g.record("y", 2u64);
+        event!("nope.event", z = 3u64);
+        counter_add("nope.counter", 1);
+        charge_sat(1, 2, 3);
+        drop(g);
+        // Installing afterwards sees a clean slate.
+        let session = quiet_session();
+        let report = session.finish();
+        assert!(report.events.is_empty());
+        assert!(report.metrics.is_empty());
+    }
+
+    #[test]
+    fn span_nesting_and_fields_round_trip() {
+        let session = quiet_session();
+        {
+            let mut outer = span!("outer", a = 1u64);
+            assert_ne!(outer.id(), 0);
+            {
+                let inner = span!("inner", b = "two");
+                assert_ne!(inner.id(), outer.id());
+            }
+            outer.record("done", true);
+        }
+        let report = session.finish();
+        assert_eq!(report.events.len(), 4);
+        // open(outer), open(inner), close(inner), close(outer)
+        let names: Vec<&str> = report.events.iter().map(|e| e.kind.name()).collect();
+        assert_eq!(names, ["outer", "inner", "inner", "outer"]);
+        match &report.events[1].kind {
+            EventKind::Open { parent, .. } => {
+                let outer_id = match &report.events[0].kind {
+                    EventKind::Open { span, .. } => *span,
+                    _ => panic!("expected open"),
+                };
+                assert_eq!(*parent, outer_id);
+            }
+            _ => panic!("expected open"),
+        }
+        match &report.events[3].kind {
+            EventKind::Close { fields, .. } => {
+                assert!(fields.contains(&("done", Value::Bool(true))));
+            }
+            _ => panic!("expected close"),
+        }
+    }
+
+    #[test]
+    fn metrics_accumulate_and_render() {
+        let session = quiet_session();
+        counter_add("c", 2);
+        counter_add("c", 3);
+        gauge_set("g", -7);
+        histogram_record("h", 0);
+        histogram_record("h", 5);
+        histogram_record("h", 1000);
+        let report = session.finish();
+        assert_eq!(report.metrics["c"], Metric::Counter(5));
+        assert_eq!(report.metrics["g"], Metric::Gauge(-7));
+        match &report.metrics["h"] {
+            Metric::Histogram {
+                count,
+                sum,
+                buckets,
+            } => {
+                assert_eq!(*count, 3);
+                assert_eq!(*sum, 1005);
+                assert_eq!(buckets[0], 1); // zero
+                assert_eq!(buckets[3], 1); // 5 = 3 bits
+                assert_eq!(buckets[10], 1); // 1000 = 10 bits
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        let text = report.render_summary();
+        assert!(text.contains("n=3 sum=1005"));
+    }
+
+    #[test]
+    fn sat_charges_attach_to_spans() {
+        let session = quiet_session();
+        {
+            let _outer = span!("job");
+            charge_sat(10, 20, 30);
+            charge_sat(1, 2, 3);
+        }
+        let report = session.finish();
+        match &report.events[1].kind {
+            EventKind::Close { fields, .. } => {
+                assert!(fields.contains(&("sat_solves", Value::U64(2))));
+                assert!(fields.contains(&("sat_conflicts", Value::U64(11))));
+                assert!(fields.contains(&("sat_decisions", Value::U64(22))));
+                assert!(fields.contains(&("sat_propagations", Value::U64(33))));
+            }
+            other => panic!("expected close, got {other:?}"),
+        }
+        assert_eq!(report.metrics["sat.solves"], Metric::Counter(2));
+    }
+
+    #[test]
+    fn jsonl_lines_all_parse_with_required_keys() {
+        let session = Session::install(
+            ObsConfig {
+                mode: ObsMode::Json,
+                trace_out: None,
+            },
+            RunManifest::capture("jsonl-test").option("seed", "1"),
+        );
+        {
+            let _sp = span!("phase.one", k = "v\"with\nnasties\\");
+            event!("tick", n = 1u64);
+            counter_add("ticks", 1);
+        }
+        let report = session.finish();
+        let jsonl = report.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2 + report.events.len()); // manifest + events + metrics
+        for line in &lines {
+            let v = json::parse(line).expect("line parses");
+            assert!(v.get("ts").is_some(), "ts missing: {line}");
+            assert!(v.get("span").is_some(), "span missing: {line}");
+            assert!(v.get("fields").is_some_and(json::JsonValue::is_object));
+        }
+        assert_eq!(
+            json::parse(lines[0]).unwrap().get("ev").unwrap().as_str(),
+            Some("manifest")
+        );
+    }
+
+    #[test]
+    fn root_span_total_reconciles_with_wall_time() {
+        let session = quiet_session();
+        {
+            let _root = span!("root");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        let report = session.finish();
+        let root = report.root_span_total_ns() as f64;
+        let wall = report.manifest.wall_ns as f64;
+        assert!(root > 0.0 && wall > 0.0);
+        assert!(root <= wall * 1.05, "root {root} wall {wall}");
+        assert!(root >= wall * 0.5, "root {root} wall {wall}");
+    }
+
+    #[test]
+    fn mode_and_manifest_helpers() {
+        assert_eq!(ObsMode::parse("off"), Ok(ObsMode::Off));
+        assert_eq!(ObsMode::parse("summary"), Ok(ObsMode::Summary));
+        assert_eq!(ObsMode::parse("json"), Ok(ObsMode::Json));
+        assert!(ObsMode::parse("verbose").is_err());
+        assert_eq!(ObsMode::Json.to_string(), "json");
+        let m = RunManifest::capture("t").input("file.aag").option("k", "v");
+        assert_eq!(m.input.as_deref(), Some("file.aag"));
+        assert_eq!(m.options, vec![("k".to_string(), "v".to_string())]);
+        assert!(m.build.starts_with("diam "));
+    }
+}

@@ -277,12 +277,19 @@ where
     };
 
     let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(total));
+    // Observability: spans opened inside worker threads attach to the span
+    // that was open on the *submitting* thread, and every event a worker
+    // records carries its 1-based worker id — the schedule becomes visible
+    // in the trace without affecting it.
+    let obs_parent = diam_obs::current_span();
     std::thread::scope(|s| {
         for me in 0..workers {
             let queues = &queues;
             let results = &results;
             let f = &f;
             s.spawn(move || {
+                diam_obs::set_worker(me as u32 + 1);
+                diam_obs::set_ambient_parent(obs_parent);
                 let mut local: Vec<(usize, R)> = Vec::new();
                 loop {
                     match queues.pop(me) {

@@ -45,7 +45,36 @@ pub struct SolverStats {
     /// Restarts performed.
     pub restarts: u64,
     /// Learnt clauses currently in the database.
-    pub learnts: usize,
+    pub learnts: u64,
+}
+
+impl SolverStats {
+    /// The work performed since `earlier` was snapshotted: the monotone
+    /// counters subtract (saturating, so misuse never panics); `learnts` is
+    /// a level, not a counter, and carries the *current* value.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use diam_sat::Solver;
+    ///
+    /// let mut s = Solver::new();
+    /// let before = *s.stats_ref();
+    /// let a = s.new_var().positive();
+    /// s.add_clause([a]);
+    /// s.solve();
+    /// let delta = s.stats_ref().delta_since(&before);
+    /// assert_eq!(delta.conflicts, 0);
+    /// ```
+    pub fn delta_since(&self, earlier: &SolverStats) -> SolverStats {
+        SolverStats {
+            conflicts: self.conflicts.saturating_sub(earlier.conflicts),
+            decisions: self.decisions.saturating_sub(earlier.decisions),
+            propagations: self.propagations.saturating_sub(earlier.propagations),
+            restarts: self.restarts.saturating_sub(earlier.restarts),
+            learnts: self.learnts,
+        }
+    }
 }
 
 /// An incremental CDCL SAT solver.
@@ -151,14 +180,39 @@ impl Solver {
     }
 
     /// Solver statistics accumulated so far.
+    ///
+    /// All fields — including `learnts` — are maintained incrementally, so
+    /// this is a cheap copy; use [`stats_ref`](Solver::stats_ref) to avoid
+    /// even that, or [`SolverStats::delta_since`] to attribute work to a
+    /// single solve call.
     pub fn stats(&self) -> SolverStats {
-        let mut s = self.stats;
-        s.learnts = self
-            .clauses
-            .iter()
-            .filter(|c| c.learnt && !c.deleted)
-            .count();
-        s
+        debug_assert_eq!(
+            self.stats.learnts,
+            self.clauses
+                .iter()
+                .filter(|c| c.learnt && !c.deleted)
+                .count() as u64,
+            "incremental learnt-clause counter out of sync"
+        );
+        self.stats
+    }
+
+    /// Borrows the statistics without copying — the snapshot half of the
+    /// per-call delta pattern:
+    ///
+    /// ```
+    /// use diam_sat::{SolveResult, Solver};
+    ///
+    /// let mut s = Solver::new();
+    /// let (a, b) = (s.new_var().positive(), s.new_var().positive());
+    /// s.add_clause([a, b]);
+    /// let before = *s.stats_ref();
+    /// assert_eq!(s.solve(), SolveResult::Sat);
+    /// let spent = s.stats_ref().delta_since(&before);
+    /// assert!(spent.propagations <= s.stats_ref().propagations);
+    /// ```
+    pub fn stats_ref(&self) -> &SolverStats {
+        &self.stats
     }
 
     /// Limits the number of conflicts per [`solve`](Solver::solve) call;
@@ -480,6 +534,7 @@ impl Solver {
             deleted: false,
             activity: self.cla_inc,
         });
+        self.stats.learnts += 1;
         idx
     }
 
@@ -535,7 +590,7 @@ impl Solver {
                 if conflicts_here >= restart_limit {
                     return None;
                 }
-                if self.learnt_count() as f64 > self.max_learnts {
+                if self.stats.learnts as f64 > self.max_learnts {
                     self.reduce_db();
                     self.max_learnts *= 1.3;
                 }
@@ -573,13 +628,6 @@ impl Solver {
         }
     }
 
-    fn learnt_count(&self) -> usize {
-        self.clauses
-            .iter()
-            .filter(|c| c.learnt && !c.deleted)
-            .count()
-    }
-
     fn reduce_db(&mut self) {
         let mut learnt_indices: Vec<usize> = (0..self.clauses.len())
             .filter(|&i| {
@@ -597,6 +645,7 @@ impl Solver {
         for &i in &learnt_indices[..remove] {
             self.clauses[i].deleted = true;
         }
+        self.stats.learnts -= remove as u64;
     }
 
     fn is_reason(&self, clause: usize) -> bool {
@@ -665,6 +714,9 @@ impl Solver {
                 .iter()
                 .any(|&l| self.lit_value(l) == LBool::True && self.level[l.var().index()] == 0);
             if satisfied {
+                if self.clauses[ci].learnt {
+                    self.stats.learnts -= 1;
+                }
                 self.clauses[ci].deleted = true;
                 removed += 1;
                 continue;

@@ -223,6 +223,12 @@ impl Classes {
 /// assert_eq!(result.netlist.num_regs(), 1);
 /// ```
 pub fn sweep(n: &Netlist, opts: &SweepOptions) -> SweepResult {
+    let mut sp = diam_obs::span!(
+        "com.sweep",
+        induction_depth = opts.induction_depth,
+        sim_rounds = opts.sim_rounds
+    );
+    crate::span_stats_before(&mut sp, n);
     let mut rng = SplitMix64::new(opts.seed);
 
     // --- 1. Candidate classes from sequential simulation -----------------
@@ -240,30 +246,33 @@ pub fn sweep(n: &Netlist, opts: &SweepOptions) -> SweepResult {
     let mut classes = Classes::from_signatures(n, &sigs, Some(&coi.in_cone));
 
     // --- 2/3. Counterexample-guided induction -----------------------------
-    let trace = std::env::var_os("DIAM_SWEEP_TRACE").is_some();
     let mut refinements = 0;
     while !classes.is_empty() && refinements < opts.max_refinements {
-        if trace {
-            let pairs = classes.pairs();
-            let sample: Vec<String> = pairs
-                .iter()
-                .rev()
-                .take(8)
-                .map(|(g, rep)| {
-                    format!(
-                        "{}~{}{}",
-                        n.name(*g).unwrap_or("?"),
-                        if rep.is_complement() { "!" } else { "" },
-                        n.name(rep.gate()).unwrap_or("?")
-                    )
-                })
-                .collect();
-            eprintln!(
-                "sweep round {refinements}: {} candidate pairs [{}]",
-                pairs.len(),
+        // Per-round debug visibility is a structured event now (was a raw
+        // `DIAM_SWEEP_TRACE` eprintln): the field expressions — including
+        // the sample string — are only evaluated when a session records.
+        diam_obs::event!(
+            "com.round",
+            round = refinements,
+            pairs = classes.pairs().len(),
+            sample = {
+                let pairs = classes.pairs();
+                let sample: Vec<String> = pairs
+                    .iter()
+                    .rev()
+                    .take(8)
+                    .map(|(g, rep)| {
+                        format!(
+                            "{}~{}{}",
+                            n.name(*g).unwrap_or("?"),
+                            if rep.is_complement() { "!" } else { "" },
+                            n.name(rep.gate()).unwrap_or("?")
+                        )
+                    })
+                    .collect();
                 sample.join(", ")
-            );
-        }
+            }
+        );
         match check_classes(n, &classes, opts) {
             CheckOutcome::Proven => break,
             CheckOutcome::Counterexamples(cexs) => {
@@ -325,6 +334,9 @@ pub fn sweep(n: &Netlist, opts: &SweepOptions) -> SweepResult {
         merges += 1;
     }
     let Rebuilt { netlist, map } = rebuild(n, &repr);
+    sp.record("merges", merges);
+    sp.record("refinements", refinements);
+    crate::span_stats_after(&mut sp, &netlist);
     SweepResult {
         netlist,
         map,
@@ -332,6 +344,20 @@ pub fn sweep(n: &Netlist, opts: &SweepOptions) -> SweepResult {
         refinements,
         proven,
     }
+}
+
+/// `solve_with` plus observability: when a session records, the per-call
+/// [`SolverStats`](diam_sat::SolverStats) delta is charged to the current
+/// thread so the enclosing span carries its SAT counters.
+fn solve_traced(solver: &mut Solver, assumptions: &[SatLit]) -> SolveResult {
+    if !diam_obs::enabled() {
+        return solver.solve_with(assumptions);
+    }
+    let before = *solver.stats_ref();
+    let r = solver.solve_with(assumptions);
+    let d = solver.stats_ref().delta_since(&before);
+    diam_obs::charge_sat(d.conflicts, d.decisions, d.propagations);
+    r
 }
 
 struct Cex {
@@ -376,7 +402,7 @@ fn check_classes(n: &Netlist, classes: &Classes, opts: &SweepOptions) -> CheckOu
             })
             .collect();
         for &d in &diffs {
-            match solver.solve_with(&[d]) {
+            match solve_traced(&mut solver, &[d]) {
                 SolveResult::Unsat => {}
                 SolveResult::Unknown => return CheckOutcome::Budget,
                 SolveResult::Sat => {
@@ -422,7 +448,7 @@ fn check_classes(n: &Netlist, classes: &Classes, opts: &SweepOptions) -> CheckOu
             })
             .collect();
         for &d in &diffs {
-            match solver.solve_with(&[d]) {
+            match solve_traced(&mut solver, &[d]) {
                 SolveResult::Unsat => {}
                 SolveResult::Unknown => return CheckOutcome::Budget,
                 SolveResult::Sat => {

@@ -173,6 +173,24 @@ impl Folded {
 /// # Ok::<(), diam_transform::fold::FoldError>(())
 /// ```
 pub fn fold(n: &Netlist, coloring: &Coloring, keep: u32) -> Result<Folded, FoldError> {
+    let mut sp = diam_obs::span!("fold", c = coloring.c, keep = keep);
+    crate::span_stats_before(&mut sp, n);
+    let result = fold_impl(n, coloring, keep);
+    match &result {
+        Ok(folded) => {
+            sp.record("ok", true);
+            sp.record(
+                "regs_removed",
+                folded.regs_before.saturating_sub(folded.regs_after),
+            );
+            crate::span_stats_after(&mut sp, &folded.netlist);
+        }
+        Err(_) => sp.record("ok", false),
+    }
+    result
+}
+
+fn fold_impl(n: &Netlist, coloring: &Coloring, keep: u32) -> Result<Folded, FoldError> {
     let c = coloring.c;
     if c < 2 {
         return Err(FoldError::TrivialFactor);

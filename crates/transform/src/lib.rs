@@ -34,3 +34,29 @@ pub mod fold;
 pub mod parametric;
 pub mod retime;
 pub mod unroll;
+
+/// Records before-transform structural statistics on `sp` (no-op — not even
+/// the stats walk — when observability is off).
+pub(crate) fn span_stats_before(sp: &mut diam_obs::SpanGuard, n: &diam_netlist::Netlist) {
+    if !diam_obs::enabled() {
+        return;
+    }
+    let s = diam_netlist::stats::stats(n);
+    sp.record("ands_before", s.ands);
+    sp.record("regs_before", s.regs);
+    sp.record("inputs_before", s.inputs);
+    sp.record("level_before", s.max_level);
+}
+
+/// Records after-transform structural statistics on `sp`; paired with
+/// [`span_stats_before`], the close event carries the full delta.
+pub(crate) fn span_stats_after(sp: &mut diam_obs::SpanGuard, n: &diam_netlist::Netlist) {
+    if !diam_obs::enabled() {
+        return;
+    }
+    let s = diam_netlist::stats::stats(n);
+    sp.record("ands_after", s.ands);
+    sp.record("regs_after", s.regs);
+    sp.record("inputs_after", s.inputs);
+    sp.record("level_after", s.max_level);
+}

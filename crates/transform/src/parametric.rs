@@ -91,6 +91,22 @@ pub struct Reencoded {
 /// # Ok::<(), diam_transform::parametric::ReencodeError>(())
 /// ```
 pub fn reencode(n: &Netlist, cut: &[Lit]) -> Result<Reencoded, ReencodeError> {
+    let mut sp = diam_obs::span!("parametric.reencode", cut = cut.len());
+    crate::span_stats_before(&mut sp, n);
+    let result = reencode_impl(n, cut);
+    match &result {
+        Ok(re) => {
+            sp.record("ok", true);
+            sp.record("params", re.params.len());
+            sp.record("complete_range", re.complete_range);
+            crate::span_stats_after(&mut sp, &re.netlist);
+        }
+        Err(_) => sp.record("ok", false),
+    }
+    result
+}
+
+fn reencode_impl(n: &Netlist, cut: &[Lit]) -> Result<Reencoded, ReencodeError> {
     if cut.is_empty() {
         return Err(ReencodeError::EmptyCut);
     }

@@ -80,6 +80,7 @@ impl<'a> Unroller<'a> {
     fn ensure_frame(&mut self, t: usize) {
         while self.frames.len() <= t {
             self.frames.push(vec![None; self.n.num_gates()]);
+            diam_obs::counter_add("unroll.frames", 1);
         }
     }
 

@@ -62,6 +62,7 @@ pub use diam_bmc as bmc;
 pub use diam_core as core;
 pub use diam_gen as gen;
 pub use diam_netlist as netlist;
+pub use diam_obs as obs;
 pub use diam_par as par;
 pub use diam_sat as sat;
 pub use diam_transform as transform;
