@@ -33,7 +33,11 @@ fn workload() -> Netlist {
 
 fn session(mode: ObsMode, trace_out: Option<std::path::PathBuf>) -> Session {
     Session::install(
-        ObsConfig { mode, trace_out },
+        ObsConfig {
+            mode,
+            trace_out,
+            ..ObsConfig::default()
+        },
         RunManifest::capture("obs_overhead"),
     )
 }

@@ -14,7 +14,7 @@
 //!    mirroring the paper's §4 reduction statistics.
 //!
 //! Usage: `cargo run -p diam-bench --release --bin ablation [--jobs <N|seq|auto>]
-//! [--obs off|summary|json] [--trace-out <path.jsonl>]`
+//! [--obs off|summary|json|live] [--trace-out <path.jsonl>]`
 
 use diam_bench::parse_cli;
 use diam_core::recurrence::{recurrence_diameter, RecurrenceOptions, RecurrenceResult};
@@ -26,7 +26,7 @@ use diam_transform::fold::{c_slow, detect, fold};
 
 fn main() {
     let cli = parse_cli(
-        "ablation [--jobs <N|seq|auto>] [--obs off|summary|json] [--trace-out <path.jsonl>]",
+        "ablation [--jobs <N|seq|auto>] [--obs off|summary|json|live] [--trace-out <path.jsonl>]",
     );
     let session = cli.session("ablation");
     ablation_recurrence();

@@ -1,0 +1,184 @@
+//! `benchreport` — the perf-baseline harness.
+//!
+//! Runs a table suite N times **in-process** under a `--obs json` session,
+//! parses each run's trace with [`diam_trace::Trace::parse`], and folds the
+//! runs into one schema-versioned `BENCH_<label>.json` baseline (per-phase
+//! medians, SAT totals, peak RSS, workload fingerprint; see
+//! `diam_trace::baseline`). Optionally diffs the fresh baseline against a
+//! committed one with the noise-aware gate.
+//!
+//! ```text
+//! benchreport [--suite table1|table2] [--runs N] [--seed S] [--limit N]
+//!             [--label L] [--out PATH] [--baseline PATH] [--quick]
+//! ```
+//!
+//! `--quick` is the CI profile: 3 runs over the first 2 designs. Exit
+//! codes: `0` success / no regressions, `1` regressions vs `--baseline`,
+//! `2` usage or aggregation error.
+//!
+//! Progress goes to **stderr**; the only stdout output is the baseline
+//! path line (and the diff table when `--baseline` is given), so the tool
+//! is pipeline-friendly.
+
+use diam_bench::run_suite_with;
+use diam_gen::{gp, iscas};
+use diam_obs::{ObsConfig, ObsMode, RunManifest, Session};
+use diam_par::Parallelism;
+use diam_trace::{diff, Baseline, DiffOptions, Trace};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: benchreport [--suite table1|table2] [--runs N] [--seed S] [--limit N] \
+[--label L] [--out PATH] [--baseline PATH] [--quick]";
+
+struct Cli {
+    suite: String,
+    runs: usize,
+    seed: u64,
+    limit: Option<usize>,
+    label: String,
+    out: Option<String>,
+    baseline: Option<String>,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        suite: "table1".into(),
+        runs: 5,
+        seed: 1,
+        limit: None,
+        label: "local".into(),
+        out: None,
+        baseline: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
+        match arg.as_str() {
+            "--suite" => {
+                cli.suite = value("--suite")?;
+                if cli.suite != "table1" && cli.suite != "table2" {
+                    return Err(format!(
+                        "--suite expects table1|table2, got `{}`",
+                        cli.suite
+                    ));
+                }
+            }
+            "--runs" => {
+                cli.runs = value("--runs")?
+                    .parse()
+                    .map_err(|_| "--runs expects a count".to_string())?;
+                if cli.runs == 0 {
+                    return Err("--runs must be at least 1".into());
+                }
+            }
+            "--seed" => {
+                cli.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?;
+            }
+            "--limit" => {
+                cli.limit = Some(
+                    value("--limit")?
+                        .parse()
+                        .map_err(|_| "--limit expects a design count".to_string())?,
+                );
+            }
+            "--label" => cli.label = value("--label")?,
+            "--out" => cli.out = Some(value("--out")?),
+            "--baseline" => cli.baseline = Some(value("--baseline")?),
+            "--quick" => {
+                cli.runs = 3;
+                cli.limit = Some(2);
+            }
+            other => return Err(format!("unrecognized argument `{other}`")),
+        }
+    }
+    Ok(cli)
+}
+
+/// One instrumented in-process suite run → a parsed trace.
+fn one_run(cli: &Cli) -> Result<Trace, String> {
+    let mut manifest = RunManifest::capture(&cli.suite)
+        .option("seed", cli.seed.to_string())
+        .option("jobs", Parallelism::Sequential.to_string())
+        .option("obs", ObsMode::Json.to_string());
+    if let Some(limit) = cli.limit {
+        manifest = manifest.option("limit", limit.to_string());
+    }
+    let config = ObsConfig {
+        mode: ObsMode::Json,
+        ..ObsConfig::default()
+    };
+    let session = Session::install(config, manifest);
+    let mut suite = match cli.suite.as_str() {
+        "table2" => gp::suite(cli.seed),
+        _ => iscas::suite(cli.seed),
+    };
+    if let Some(limit) = cli.limit {
+        suite.truncate(limit);
+    }
+    run_suite_with(&suite, false, Parallelism::Sequential);
+    let report = session.finish();
+    let jsonl = report.to_jsonl();
+    Trace::parse(&jsonl).map_err(|e| format!("in-process trace failed validation: {e}"))
+}
+
+fn run() -> Result<ExitCode, String> {
+    let cli = parse_cli()?;
+    let mut traces = Vec::with_capacity(cli.runs);
+    for i in 0..cli.runs {
+        let trace = one_run(&cli)?;
+        eprintln!(
+            "benchreport: run {}/{}: {} wall {:.3}s, {} spans, {} sat solves",
+            i + 1,
+            cli.runs,
+            cli.suite,
+            trace.manifest.wall_ns as f64 / 1e9,
+            trace.span_count(),
+            trace
+                .roots()
+                .iter()
+                .map(|id| trace.spans[id].sat.solves)
+                .sum::<u64>(),
+        );
+        traces.push(trace);
+    }
+
+    let baseline = Baseline::from_traces(&cli.label, &traces)?;
+    let out_path = cli
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("BENCH_{}.json", cli.label));
+    std::fs::write(&out_path, baseline.to_json())
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    println!(
+        "benchreport: wrote {out_path} ({} runs of {}, median wall {:.3}s, fingerprint {})",
+        baseline.runs,
+        baseline.tool,
+        baseline.wall_ns as f64 / 1e9,
+        baseline.fingerprint
+    );
+
+    if let Some(base_path) = &cli.baseline {
+        let text = std::fs::read_to_string(base_path)
+            .map_err(|e| format!("cannot read {base_path}: {e}"))?;
+        let committed = Baseline::parse(&text).map_err(|e| format!("{base_path}: {e}"))?;
+        let opts = DiffOptions::default();
+        let rows = diff::diff_baselines(&committed, &baseline, &opts)?;
+        print!("{}", diff::render_diff(&rows, &opts));
+        if diff::has_regressions(&rows) {
+            return Ok(ExitCode::from(1));
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("benchreport: {e}\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

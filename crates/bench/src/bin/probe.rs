@@ -2,7 +2,7 @@
 //! the generator or investigating a table row.
 //!
 //! Usage: `cargo run -p diam-bench --release --bin probe <DESIGN> [column 0|1|2]
-//! [table 1|2] [--obs off|summary|json] [--trace-out <path.jsonl>]`
+//! [table 1|2] [--obs off|summary|json|live] [--trace-out <path.jsonl>]`
 use diam_core::{Pipeline, StructuralOptions};
 use diam_gen::gp;
 use diam_gen::iscas;
@@ -17,12 +17,12 @@ fn main() {
         if arg == "--obs" {
             let v = args.next().unwrap_or_default();
             obs.mode = ObsMode::parse(&v).unwrap_or_else(|_| {
-                eprintln!("--obs expects off|summary|json");
+                eprintln!("--obs expects off|summary|json|live");
                 std::process::exit(2);
             });
         } else if let Some(v) = arg.strip_prefix("--obs=") {
             obs.mode = ObsMode::parse(v).unwrap_or_else(|_| {
-                eprintln!("--obs expects off|summary|json");
+                eprintln!("--obs expects off|summary|json|live");
                 std::process::exit(2);
             });
         } else if arg == "--trace-out" {

@@ -3,14 +3,14 @@
 //! COM,RET,COM.
 //!
 //! Usage: `cargo run -p diam-bench --release --bin table1 [seed] [--jobs <N|seq|auto>]
-//! [--obs off|summary|json] [--trace-out <path.jsonl>] [--limit <N>]`
+//! [--obs off|summary|json|live] [--trace-out <path.jsonl>] [--limit <N>]`
 
 use diam_bench::{format_sigma, parse_cli, run_suite_with};
 use diam_gen::iscas;
 
 fn main() {
     let cli = parse_cli(
-        "table1 [seed] [--jobs <N|seq|auto>] [--obs off|summary|json] \
+        "table1 [seed] [--jobs <N|seq|auto>] [--obs off|summary|json|live] \
          [--trace-out <path.jsonl>] [--limit <N>]",
     );
     let session = cli.session("table1");

@@ -1,14 +1,14 @@
 //! Regenerates Table 2 of the paper (phase-abstracted GP-profile suite).
 //!
 //! Usage: `cargo run -p diam-bench --release --bin table2 [seed] [--jobs <N|seq|auto>]
-//! [--obs off|summary|json] [--trace-out <path.jsonl>] [--limit <N>]`
+//! [--obs off|summary|json|live] [--trace-out <path.jsonl>] [--limit <N>]`
 
 use diam_bench::{format_sigma, parse_cli, run_suite_with};
 use diam_gen::gp;
 
 fn main() {
     let cli = parse_cli(
-        "table2 [seed] [--jobs <N|seq|auto>] [--obs off|summary|json] \
+        "table2 [seed] [--jobs <N|seq|auto>] [--obs off|summary|json|live] \
          [--trace-out <path.jsonl>] [--limit <N>]",
     );
     let session = cli.session("table2");

@@ -6,15 +6,13 @@
 //! Used by CI to keep the trace schema honest. Exits 0 on a valid trace,
 //! 1 (with a diagnostic) otherwise.
 //!
+//! The validation itself lives in [`diam_trace::Trace::parse`] — this
+//! binary is a thin formatter over it. The parser's diagnostics are the
+//! strings this tool has always printed, so output stays byte-identical.
+//!
 //! Usage: `cargo run -p diam-bench --bin tracecheck <trace.jsonl>`
 
-use diam_obs::json::{self, JsonValue};
-use std::collections::{HashMap, HashSet};
-
-fn fail(line_no: usize, why: &str) -> ! {
-    eprintln!("tracecheck: line {line_no}: {why}");
-    std::process::exit(1);
-}
+use diam_trace::Trace;
 
 fn main() {
     let path = std::env::args().nth(1).unwrap_or_else(|| {
@@ -26,126 +24,16 @@ fn main() {
         std::process::exit(1);
     });
 
-    let mut open: HashMap<u64, String> = HashMap::new();
-    let mut ever_opened: HashSet<u64> = HashSet::new();
-    let mut span_names: HashSet<String> = HashSet::new();
-    let mut counts = (0usize, 0usize, 0usize); // open, close, point
-    let mut saw_manifest = false;
-    let mut saw_metrics = false;
-    let mut lines = 0usize;
+    let trace = Trace::parse(&text).unwrap_or_else(|e| {
+        eprintln!("tracecheck: line {}: {}", e.line, e.message);
+        std::process::exit(1);
+    });
 
-    for (i, line) in text.lines().enumerate() {
-        let line_no = i + 1;
-        lines += 1;
-        let v = match json::parse(line) {
-            Ok(v) => v,
-            Err(e) => fail(line_no, &format!("not valid JSON ({e}): {line}")),
-        };
-        if !v.is_object() {
-            fail(line_no, "not a JSON object");
-        }
-        for key in ["ts", "span", "ev", "fields"] {
-            if v.get(key).is_none() {
-                fail(line_no, &format!("missing required key `{key}`"));
-            }
-        }
-        let ev = v.get("ev").and_then(JsonValue::as_str).unwrap_or_default();
-        match ev {
-            "manifest" => {
-                if line_no != 1 {
-                    fail(line_no, "manifest must be the first line");
-                }
-                let f = v.get("fields").unwrap();
-                for key in ["tool", "args", "build", "wall_ns"] {
-                    if f.get(key).is_none() {
-                        fail(line_no, &format!("manifest missing `{key}`"));
-                    }
-                }
-                saw_manifest = true;
-            }
-            "open" => {
-                counts.0 += 1;
-                let span = v.get("span").and_then(JsonValue::as_u64).unwrap_or(0);
-                let parent = v.get("parent").and_then(JsonValue::as_u64);
-                let name = v.get("name").and_then(JsonValue::as_str);
-                if span == 0 {
-                    fail(line_no, "open with span id 0");
-                }
-                let Some(parent) = parent else {
-                    fail(line_no, "open without parent");
-                };
-                let Some(name) = name else {
-                    fail(line_no, "open without name");
-                };
-                if v.get("worker").is_none() {
-                    fail(line_no, "open without worker");
-                }
-                if parent != 0 && !ever_opened.contains(&parent) {
-                    fail(line_no, &format!("parent span {parent} never opened"));
-                }
-                if !ever_opened.insert(span) {
-                    fail(line_no, &format!("span {span} opened twice"));
-                }
-                open.insert(span, name.to_string());
-                span_names.insert(name.to_string());
-            }
-            "close" => {
-                counts.1 += 1;
-                let span = v.get("span").and_then(JsonValue::as_u64).unwrap_or(0);
-                let name = v.get("name").and_then(JsonValue::as_str).unwrap_or("");
-                if v.get("dur_ns").and_then(JsonValue::as_u64).is_none() {
-                    fail(line_no, "close without dur_ns");
-                }
-                match open.remove(&span) {
-                    None => fail(line_no, &format!("close of span {span} never opened")),
-                    Some(opened_as) if opened_as != name => fail(
-                        line_no,
-                        &format!("span {span} opened as `{opened_as}` closed as `{name}`"),
-                    ),
-                    Some(_) => {}
-                }
-            }
-            "point" => {
-                counts.2 += 1;
-                if v.get("name").and_then(JsonValue::as_str).is_none() {
-                    fail(line_no, "point without name");
-                }
-            }
-            "metrics" => {
-                saw_metrics = true;
-            }
-            other => fail(line_no, &format!("unknown ev kind `{other}`")),
-        }
-        if saw_metrics && ev != "metrics" {
-            fail(line_no, "event after the metrics line");
-        }
-    }
-
-    if !saw_manifest {
-        fail(lines.max(1), "no manifest line");
-    }
-    if !saw_metrics {
-        fail(lines.max(1), "no metrics line");
-    }
-    if !open.is_empty() {
-        let mut dangling: Vec<String> = open
-            .iter()
-            .map(|(id, name)| format!("{name}#{id}"))
-            .collect();
-        dangling.sort();
-        fail(lines, &format!("unclosed spans: {}", dangling.join(", ")));
-    }
-
-    let mut names: Vec<&String> = span_names.iter().collect();
-    names.sort();
     println!(
-        "tracecheck: {path}: OK — {lines} lines, {} spans, {} points, kinds: {}",
-        counts.0,
-        counts.2,
-        names
-            .iter()
-            .map(|s| s.as_str())
-            .collect::<Vec<_>>()
-            .join(" ")
+        "tracecheck: {path}: OK — {} lines, {} spans, {} points, kinds: {}",
+        trace.lines,
+        trace.span_count(),
+        trace.points.len(),
+        trace.span_names().join(" ")
     );
 }

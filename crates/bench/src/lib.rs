@@ -30,7 +30,7 @@ pub struct BenchCli {
     pub seed: u64,
     /// `--jobs <N|seq|auto>` — per-target fan-out.
     pub jobs: Parallelism,
-    /// `--obs <off|summary|json>` + `--trace-out <path.jsonl>`.
+    /// `--obs <off|summary|json|live>` + `--trace-out <path.jsonl>`.
     pub obs: ObsConfig,
     /// `--limit <N>` — truncate the suite to its first `N` designs (CI and
     /// smoke runs).
@@ -75,7 +75,7 @@ impl BenchCli {
 
 /// Shared CLI parsing for the table/ablation binaries: a positional seed
 /// (default 1) plus `--jobs <N|seq|auto>` (per-target fan-out),
-/// `--obs <off|summary|json>`, `--trace-out <path.jsonl>`, and
+/// `--obs <off|summary|json|live>`, `--trace-out <path.jsonl>`, and
 /// `--limit <N>`. Unrecognized arguments abort with a usage message.
 pub fn parse_cli(usage: &str) -> BenchCli {
     let mut cli = BenchCli {
@@ -105,7 +105,7 @@ pub fn parse_cli(usage: &str) -> BenchCli {
                 Parallelism::parse(&v).unwrap_or_else(|_| fail("--jobs expects <N|seq|auto>"));
         } else if let Some(v) = flag_value("--obs", None) {
             cli.obs.mode =
-                ObsMode::parse(&v).unwrap_or_else(|_| fail("--obs expects off|summary|json"));
+                ObsMode::parse(&v).unwrap_or_else(|_| fail("--obs expects off|summary|json|live"));
         } else if let Some(v) = flag_value("--trace-out", None) {
             cli.obs.trace_out = Some(v.into());
         } else if let Some(v) = flag_value("--limit", None) {

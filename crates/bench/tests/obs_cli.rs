@@ -103,6 +103,29 @@ fn trace_out_implies_json_mode() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// `--obs live` arms the watchdog (an arming line on stderr) while the
+/// table on stdout stays identical to an off run up to the appended
+/// summary — the heartbeat channel never contaminates stdout.
+#[test]
+fn obs_live_heartbeats_on_stderr_only() {
+    let off = table1(&["1", "--limit", "1"]);
+    let live = table1(&["1", "--limit", "1", "--obs", "live"]);
+    assert!(off.status.success());
+    assert!(
+        live.status.success(),
+        "{}",
+        String::from_utf8_lossy(&live.stderr)
+    );
+    let err = String::from_utf8_lossy(&live.stderr);
+    assert!(err.contains("diam-obs live: armed"), "{err}");
+    let off_s = String::from_utf8_lossy(&off.stdout);
+    let live_s = String::from_utf8_lossy(&live.stdout);
+    assert!(
+        live_s.starts_with(off_s.as_ref()),
+        "live output must begin with the unchanged table"
+    );
+}
+
 /// Unknown flags abort with a usage message and exit code 2.
 #[test]
 fn bad_flags_abort_with_usage() {

@@ -63,7 +63,7 @@ fn disabled_hooks_cost_under_two_percent() {
     let session = Session::install(
         ObsConfig {
             mode: ObsMode::Json,
-            trace_out: None,
+            ..ObsConfig::default()
         },
         RunManifest::capture("overhead-guard"),
     );

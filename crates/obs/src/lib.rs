@@ -57,13 +57,14 @@
 //! ```
 
 pub mod json;
+mod live;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
 // Configuration
@@ -80,6 +81,11 @@ pub enum ObsMode {
     /// Record events; render the summary **and** expect a JSONL trace file
     /// (see [`ObsConfig::trace_out`]).
     Json,
+    /// Record events like [`ObsMode::Summary`] **and** run the live
+    /// watchdog: per-target heartbeat lines on stderr while the run is in
+    /// flight, plus a span-stack dump when no event arrives for the stall
+    /// threshold (see [`LiveOptions`]).
+    Live,
 }
 
 impl ObsMode {
@@ -93,7 +99,10 @@ impl ObsMode {
             "off" => Ok(ObsMode::Off),
             "summary" => Ok(ObsMode::Summary),
             "json" => Ok(ObsMode::Json),
-            _ => Err(format!("bad --obs value {s:?} (expected off|summary|json)")),
+            "live" => Ok(ObsMode::Live),
+            _ => Err(format!(
+                "bad --obs value {s:?} (expected off|summary|json|live)"
+            )),
         }
     }
 
@@ -109,6 +118,26 @@ impl std::fmt::Display for ObsMode {
             ObsMode::Off => write!(f, "off"),
             ObsMode::Summary => write!(f, "summary"),
             ObsMode::Json => write!(f, "json"),
+            ObsMode::Live => write!(f, "live"),
+        }
+    }
+}
+
+/// Tuning for the [`ObsMode::Live`] watchdog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveOptions {
+    /// How often the heartbeat lines are printed to stderr.
+    pub heartbeat: Duration,
+    /// No event for this long → the watchdog flags a stall and dumps the
+    /// current per-worker span stacks.
+    pub stall: Duration,
+}
+
+impl Default for LiveOptions {
+    fn default() -> LiveOptions {
+        LiveOptions {
+            heartbeat: Duration::from_secs(1),
+            stall: Duration::from_secs(10),
         }
     }
 }
@@ -121,6 +150,8 @@ pub struct ObsConfig {
     /// Where to write the JSONL trace (written on finish when set and the
     /// mode records).
     pub trace_out: Option<PathBuf>,
+    /// Watchdog tuning, used by [`ObsMode::Live`] only.
+    pub live: LiveOptions,
 }
 
 // ---------------------------------------------------------------------------
@@ -282,6 +313,39 @@ impl Metric {
             buckets: Box::new([0; HIST_BUCKETS]),
         }
     }
+
+    /// The inclusive upper bound of histogram bucket `b` (bucket 0 holds
+    /// zeros; bucket `b ≥ 1` holds values with `b` significant bits).
+    pub fn bucket_upper_bound(b: usize) -> u64 {
+        match b {
+            0 => 0,
+            64.. => u64::MAX,
+            _ => (1u64 << b) - 1,
+        }
+    }
+
+    /// Estimated `q`-quantile (`0 < q ≤ 1`) of a histogram: the upper bound
+    /// of the power-of-two bucket containing the ⌈q·count⌉-th value. A
+    /// deterministic over-estimate by at most 2×, which is what the
+    /// regression gates want (never under-reports the tail). Returns `None`
+    /// for non-histograms or empty histograms.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let Metric::Histogram { count, buckets, .. } = self else {
+            return None;
+        };
+        if *count == 0 {
+            return None;
+        }
+        let rank = ((q * *count as f64).ceil() as u64).clamp(1, *count);
+        let mut seen = 0u64;
+        for (b, n) in buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(Metric::bucket_upper_bound(b));
+            }
+        }
+        Some(u64::MAX)
+    }
 }
 
 /// Per-thread SAT attribution totals (see [`charge_sat`]).
@@ -328,10 +392,12 @@ struct Recorder {
     next_span: AtomicU64,
     buffers: Mutex<Vec<Arc<ThreadBuffer>>>,
     metrics: Mutex<BTreeMap<&'static str, Metric>>,
+    /// Live sink state; present only under [`ObsMode::Live`].
+    live: Option<Arc<live::LiveState>>,
 }
 
 impl Recorder {
-    fn new(epoch: u64) -> Recorder {
+    fn new(epoch: u64, live: Option<Arc<live::LiveState>>) -> Recorder {
         Recorder {
             epoch,
             start: Instant::now(),
@@ -339,6 +405,7 @@ impl Recorder {
             next_span: AtomicU64::new(1),
             buffers: Mutex::new(Vec::new()),
             metrics: Mutex::new(BTreeMap::new()),
+            live,
         }
     }
 }
@@ -407,6 +474,9 @@ fn push_event(t: &mut Tls, kind: EventKind) {
         worker: t.worker,
         kind,
     };
+    if let Some(live) = &rec.live {
+        live.on_event(&ev);
+    }
     unpoison(t.buffer.as_ref().expect("buffer bound").events.lock()).push(ev);
 }
 
@@ -760,15 +830,25 @@ fn git_head() -> Option<String> {
 
 /// Peak RSS in KiB from `/proc/self/status` (`VmHWM`), when readable.
 pub fn peak_rss_kb() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_peak_rss_kb(&std::fs::read_to_string("/proc/self/status").ok()?)
+}
+
+/// Extracts `VmHWM` (KiB) from the text of a `/proc/self/status` file.
+///
+/// Total-function contract: *any* input — truncated lines, missing units,
+/// non-numeric garbage, duplicated keys — yields `Some(kb)` only for a
+/// well-formed `VmHWM:\t<n> kB` line and `None` otherwise; it never panics
+/// and never mistakes a malformed line for a zero reading. Malformed `VmHWM`
+/// lines do not stop the scan (a later well-formed line still counts).
+pub fn parse_peak_rss_kb(status: &str) -> Option<u64> {
     for line in status.lines() {
         if let Some(rest) = line.strip_prefix("VmHWM:") {
-            return rest
-                .trim()
-                .trim_end_matches("kB")
-                .trim()
-                .parse::<u64>()
-                .ok();
+            let number = rest.trim().trim_end_matches("kB").trim();
+            if let Ok(kb) = number.parse::<u64>() {
+                return Some(kb);
+            }
+            // Malformed (e.g. truncated mid-write): keep scanning rather
+            // than giving up on the whole file.
         }
     }
     None
@@ -786,23 +866,32 @@ pub struct Session {
     manifest: RunManifest,
     recorder: Arc<Recorder>,
     finished: bool,
+    watchdog: Option<std::thread::JoinHandle<()>>,
     _lock: MutexGuard<'static, ()>,
 }
 
 impl Session {
     /// Installs a session. With [`ObsMode::Off`] the session exists but
-    /// records nothing (hooks stay no-ops).
+    /// records nothing (hooks stay no-ops). With [`ObsMode::Live`] a
+    /// watchdog thread prints heartbeat/stall lines to stderr until finish.
     pub fn install(config: ObsConfig, manifest: RunManifest) -> Session {
         let lock = unpoison(INSTALL.lock());
         let epoch = EPOCH.fetch_add(1, Ordering::AcqRel) + 1;
-        let recorder = Arc::new(Recorder::new(epoch));
+        let live_state = if config.mode == ObsMode::Live {
+            Some(Arc::new(live::LiveState::new(config.live)))
+        } else {
+            None
+        };
+        let recorder = Arc::new(Recorder::new(epoch, live_state.clone()));
         *unpoison(RECORDER.lock()) = Some(recorder.clone());
         ENABLED.store(!config.mode.is_off(), Ordering::Release);
+        let watchdog = live_state.map(live::spawn_watchdog);
         Session {
             config,
             manifest,
             recorder,
             finished: false,
+            watchdog,
             _lock: lock,
         }
     }
@@ -819,6 +908,12 @@ impl Session {
         ENABLED.store(false, Ordering::Release);
         *unpoison(RECORDER.lock()) = None;
         EPOCH.fetch_add(1, Ordering::AcqRel);
+        if let Some(live) = &self.recorder.live {
+            live.request_stop();
+        }
+        if let Some(handle) = self.watchdog.take() {
+            let _ = handle.join();
+        }
 
         let mut events = Vec::new();
         for buf in unpoison(self.recorder.buffers.lock()).iter() {
@@ -913,12 +1008,13 @@ impl Report {
         out.push_str("},\"build\":");
         json::write_escaped(&mut out, &self.manifest.build);
         out.push_str(&format!(
-            ",\"started_unix_ms\":{},\"wall_ns\":{},\"peak_rss_kb\":",
+            ",\"started_unix_ms\":{},\"wall_ns\":{}",
             self.manifest.started_unix_ms, self.manifest.wall_ns
         ));
-        match self.manifest.peak_rss_kb {
-            Some(kb) => out.push_str(&kb.to_string()),
-            None => out.push_str("null"),
+        // `peak_rss_kb` is simply absent when `/proc/self/status` was
+        // unreadable or malformed — consumers treat a missing key as `None`.
+        if let Some(kb) = self.manifest.peak_rss_kb {
+            out.push_str(&format!(",\"peak_rss_kb\":{kb}"));
         }
         out.push_str("}}\n");
 
@@ -983,7 +1079,13 @@ impl Report {
                 Metric::Counter(v) => out.push_str(&v.to_string()),
                 Metric::Gauge(v) => out.push_str(&v.to_string()),
                 Metric::Histogram { count, sum, .. } => {
-                    out.push_str(&format!("{{\"count\":{count},\"sum\":{sum}}}"));
+                    out.push_str(&format!("{{\"count\":{count},\"sum\":{sum}"));
+                    if let (Some(p50), Some(p90), Some(p99)) =
+                        (m.quantile(0.50), m.quantile(0.90), m.quantile(0.99))
+                    {
+                        out.push_str(&format!(",\"p50\":{p50},\"p90\":{p90},\"p99\":{p99}"));
+                    }
+                    out.push('}');
                 }
             }
         }
@@ -1056,7 +1158,13 @@ impl Report {
                         } else {
                             *sum as f64 / *count as f64
                         };
-                        out.push_str(&format!("  {name:<28} n={count} sum={sum} avg={avg:.1}\n"));
+                        out.push_str(&format!("  {name:<28} n={count} sum={sum} avg={avg:.1}"));
+                        if let (Some(p50), Some(p90), Some(p99)) =
+                            (m.quantile(0.50), m.quantile(0.90), m.quantile(0.99))
+                        {
+                            out.push_str(&format!(" p50≤{p50} p90≤{p90} p99≤{p99}"));
+                        }
+                        out.push('\n');
                     }
                 }
             }
@@ -1222,7 +1330,7 @@ mod tests {
         Session::install(
             ObsConfig {
                 mode: ObsMode::Summary,
-                trace_out: None,
+                ..ObsConfig::default()
             },
             RunManifest::capture("test"),
         )
@@ -1336,7 +1444,7 @@ mod tests {
         let session = Session::install(
             ObsConfig {
                 mode: ObsMode::Json,
-                trace_out: None,
+                ..ObsConfig::default()
             },
             RunManifest::capture("jsonl-test").option("seed", "1"),
         );
@@ -1376,11 +1484,94 @@ mod tests {
         assert!(root >= wall * 0.5, "root {root} wall {wall}");
     }
 
+    /// Quantile estimation over the power-of-two buckets: the estimate is
+    /// the inclusive upper bound of the bucket holding the ⌈q·n⌉-th value.
+    #[test]
+    fn histogram_quantiles_estimate_from_buckets() {
+        let session = quiet_session();
+        for _ in 0..90 {
+            histogram_record("q", 3); // bucket 2 (upper bound 3)
+        }
+        for _ in 0..9 {
+            histogram_record("q", 200); // bucket 8 (upper bound 255)
+        }
+        histogram_record("q", 100_000); // bucket 17 (upper bound 131071)
+        let report = session.finish();
+        let h = &report.metrics["q"];
+        assert_eq!(h.quantile(0.50), Some(3));
+        assert_eq!(h.quantile(0.90), Some(3)); // rank 90 is still in bucket 2
+        assert_eq!(h.quantile(0.95), Some(255));
+        assert_eq!(h.quantile(0.99), Some(255));
+        assert_eq!(h.quantile(1.0), Some(131_071));
+        assert_eq!(Metric::Counter(3).quantile(0.5), None);
+        assert_eq!(Metric::new_histogram().quantile(0.5), None);
+        // Rendered everywhere a histogram shows up.
+        let summary = report.render_summary();
+        assert!(summary.contains("p50≤3"), "{summary}");
+        assert!(summary.contains("p99≤255"), "{summary}");
+        let jsonl = report.to_jsonl();
+        let metrics_line = jsonl.lines().last().unwrap();
+        let v = json::parse(metrics_line).unwrap();
+        let q = v.get("fields").unwrap().get("q").unwrap();
+        assert_eq!(q.get("p50").and_then(json::JsonValue::as_u64), Some(3));
+        assert_eq!(q.get("p90").and_then(json::JsonValue::as_u64), Some(3));
+        assert_eq!(q.get("p99").and_then(json::JsonValue::as_u64), Some(255));
+    }
+
+    /// `parse_peak_rss_kb` is total: malformed `/proc/self/status` content
+    /// yields `None` (or skips to a later well-formed line), never a panic.
+    #[test]
+    fn peak_rss_parsing_is_total() {
+        let good = "VmPeak:\t  123 kB\nVmHWM:\t   5544 kB\nVmRSS:\t  99 kB\n";
+        assert_eq!(parse_peak_rss_kb(good), Some(5544));
+        assert_eq!(parse_peak_rss_kb(""), None);
+        assert_eq!(parse_peak_rss_kb("VmHWM:"), None);
+        assert_eq!(parse_peak_rss_kb("VmHWM:\t kB"), None);
+        assert_eq!(parse_peak_rss_kb("VmHWM:\tgarbage kB"), None);
+        assert_eq!(parse_peak_rss_kb("VmHWM:\t-12 kB"), None);
+        assert_eq!(
+            parse_peak_rss_kb("VmHWM:\t99999999999999999999999 kB"),
+            None
+        );
+        // A malformed line does not mask a later well-formed one.
+        let twice = "VmHWM:\t<truncated\nVmHWM:\t 42 kB\n";
+        assert_eq!(parse_peak_rss_kb(twice), Some(42));
+        // No unit suffix still parses (the kernel always writes one, but
+        // the parser does not insist).
+        assert_eq!(parse_peak_rss_kb("VmHWM: 7"), Some(7));
+    }
+
+    /// A `None` peak RSS is an *absent* manifest key, not `null`.
+    #[test]
+    fn manifest_peak_rss_absent_when_unknown() {
+        let render = |peak: Option<u64>| {
+            let report = Report {
+                mode: ObsMode::Json,
+                manifest: RunManifest {
+                    tool: "t".into(),
+                    peak_rss_kb: peak,
+                    ..RunManifest::default()
+                },
+                events: Vec::new(),
+                metrics: BTreeMap::new(),
+            };
+            report.to_jsonl().lines().next().unwrap().to_string()
+        };
+        let absent = render(None);
+        assert!(!absent.contains("peak_rss_kb"), "{absent}");
+        assert!(json::parse(&absent).is_ok());
+        let present = render(Some(77));
+        assert!(present.contains("\"peak_rss_kb\":77"), "{present}");
+    }
+
     #[test]
     fn mode_and_manifest_helpers() {
         assert_eq!(ObsMode::parse("off"), Ok(ObsMode::Off));
         assert_eq!(ObsMode::parse("summary"), Ok(ObsMode::Summary));
         assert_eq!(ObsMode::parse("json"), Ok(ObsMode::Json));
+        assert_eq!(ObsMode::parse("live"), Ok(ObsMode::Live));
+        assert_eq!(ObsMode::Live.to_string(), "live");
+        assert!(!ObsMode::Live.is_off());
         assert!(ObsMode::parse("verbose").is_err());
         assert_eq!(ObsMode::Json.to_string(), "json");
         let m = RunManifest::capture("t").input("file.aag").option("k", "v");

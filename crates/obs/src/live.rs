@@ -1,0 +1,351 @@
+//! The `--obs live` sink: a watchdog that makes long runs observable while
+//! they run, without touching stdout.
+//!
+//! When a session is installed with [`ObsMode::Live`](crate::ObsMode::Live),
+//! every recorded event also streams through a [`LiveState`]: per-worker
+//! open-span stacks are mirrored as events arrive, and a background thread
+//! prints two kinds of stderr lines:
+//!
+//! * **heartbeats** — every [`LiveOptions::heartbeat`], one line per busy
+//!   worker showing its innermost spans, the current BMC depth (from
+//!   `sat.solve` point events), and a naive linear ETA when the span
+//!   advertises its depth range (`max_depth` / `hi` open fields);
+//! * **stall dumps** — when no event has arrived for
+//!   [`LiveOptions::stall`], a one-shot dump of every worker's open span
+//!   stack, so a wedged solve is attributable without attaching a debugger.
+//!
+//! The sink costs one mutex-protected stack update per event and only
+//! exists in live mode; all other modes never allocate a [`LiveState`].
+
+use crate::{Event, EventKind, LiveOptions, Value};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One mirrored open span on a worker's live stack.
+struct OpenSpan {
+    name: &'static str,
+    /// A short human label extracted from the open fields (target name,
+    /// engine, column, …), empty when none applies.
+    detail: String,
+    opened_ns: u64,
+    /// Last depth reported by a `sat.solve` point event under this span.
+    depth: Option<u64>,
+    /// Final depth, when the open fields advertise one (`max_depth`/`hi`).
+    max_depth: Option<u64>,
+}
+
+#[derive(Default)]
+struct WorkerLive {
+    stack: Vec<OpenSpan>,
+}
+
+/// Shared state between the recording threads and the watchdog thread.
+pub(crate) struct LiveState {
+    opts: LiveOptions,
+    start: Instant,
+    /// `ts_ns` of the most recent event (nanoseconds since session start).
+    last_event_ns: AtomicU64,
+    /// Total events seen (heartbeats stay quiet until the first one).
+    events: AtomicU64,
+    stop: AtomicBool,
+    workers: Mutex<BTreeMap<u32, WorkerLive>>,
+}
+
+fn unpoison<T>(r: Result<T, std::sync::PoisonError<T>>) -> T {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Fields worth showing next to a span name on a heartbeat line, in
+/// preference order.
+const DETAIL_KEYS: [&str; 5] = ["target", "design", "engine", "column", "index"];
+
+fn detail_from(fields: &[(&'static str, Value)]) -> String {
+    for key in DETAIL_KEYS {
+        for (k, v) in fields {
+            if *k == key {
+                return match v {
+                    Value::Str(s) => s.clone(),
+                    Value::U64(n) => n.to_string(),
+                    Value::I64(n) => n.to_string(),
+                    Value::F64(n) => format!("{n}"),
+                    Value::Bool(b) => b.to_string(),
+                };
+            }
+        }
+    }
+    String::new()
+}
+
+fn field_u64(fields: &[(&'static str, Value)], key: &str) -> Option<u64> {
+    fields.iter().find_map(|(k, v)| match v {
+        Value::U64(n) if *k == key => Some(*n),
+        _ => None,
+    })
+}
+
+impl LiveState {
+    pub(crate) fn new(opts: LiveOptions) -> LiveState {
+        LiveState {
+            opts,
+            start: Instant::now(),
+            last_event_ns: AtomicU64::new(0),
+            events: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            workers: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    pub(crate) fn request_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Mirrors one event into the per-worker stacks (called from
+    /// `push_event` on the recording threads).
+    pub(crate) fn on_event(&self, ev: &Event) {
+        self.last_event_ns.store(ev.ts_ns, Ordering::Relaxed);
+        self.events.fetch_add(1, Ordering::Relaxed);
+        let mut workers = unpoison(self.workers.lock());
+        let w = workers.entry(ev.worker).or_default();
+        match &ev.kind {
+            EventKind::Open { name, fields, .. } => {
+                w.stack.push(OpenSpan {
+                    name,
+                    detail: detail_from(fields),
+                    opened_ns: ev.ts_ns,
+                    depth: None,
+                    max_depth: field_u64(fields, "max_depth").or(field_u64(fields, "hi")),
+                });
+            }
+            EventKind::Close { name, .. } => {
+                // Pop the innermost span with this name (defensive against
+                // out-of-order guard drops, mirroring the recorder).
+                if let Some(pos) = w.stack.iter().rposition(|s| s.name == *name) {
+                    w.stack.remove(pos);
+                }
+            }
+            EventKind::Point { name, fields, .. } => {
+                if *name == "sat.solve" {
+                    if let (Some(depth), Some(top)) =
+                        (field_u64(fields, "depth"), w.stack.last_mut())
+                    {
+                        top.depth = Some(depth);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Renders the heartbeat lines for every worker with open spans.
+    fn heartbeat_lines(&self, now_ns: u64) -> Vec<String> {
+        let workers = unpoison(self.workers.lock());
+        let mut lines = Vec::new();
+        for (id, w) in workers.iter() {
+            if w.stack.is_empty() {
+                continue;
+            }
+            let label = if *id == 0 {
+                "main".to_string()
+            } else {
+                format!("w{id}")
+            };
+            let path: Vec<String> = w
+                .stack
+                .iter()
+                .map(|s| {
+                    if s.detail.is_empty() {
+                        s.name.to_string()
+                    } else {
+                        format!("{}({})", s.name, s.detail)
+                    }
+                })
+                .collect();
+            let mut line = format!(
+                "diam-obs live: {:>7.1}s {label:<5} {}",
+                now_ns as f64 / 1e9,
+                path.join(" > ")
+            );
+            // Depth + ETA from the innermost span that reports progress.
+            if let Some(sp) = w.stack.iter().rev().find(|s| s.depth.is_some()) {
+                let depth = sp.depth.unwrap_or(0);
+                match sp.max_depth {
+                    Some(max) if max > 0 && depth <= max => {
+                        let frac = (depth + 1) as f64 / (max + 1) as f64;
+                        let elapsed_s = now_ns.saturating_sub(sp.opened_ns) as f64 / 1e9;
+                        let eta_s = elapsed_s * (1.0 - frac) / frac.max(1e-9);
+                        line.push_str(&format!(" depth {depth}/{max} eta {eta_s:.1}s"));
+                    }
+                    _ => line.push_str(&format!(" depth {depth}")),
+                }
+            }
+            lines.push(line);
+            if lines.len() >= 16 {
+                lines.push("diam-obs live: … (more workers elided)".to_string());
+                break;
+            }
+        }
+        lines
+    }
+
+    /// Renders the one-shot stall dump.
+    fn stall_lines(&self, quiet_s: f64) -> Vec<String> {
+        let workers = unpoison(self.workers.lock());
+        let mut lines = vec![format!(
+            "diam-obs live: STALL — no event for {quiet_s:.1}s; open span stacks:"
+        )];
+        let mut any = false;
+        for (id, w) in workers.iter() {
+            if w.stack.is_empty() {
+                continue;
+            }
+            any = true;
+            let label = if *id == 0 {
+                "main".to_string()
+            } else {
+                format!("w{id}")
+            };
+            let path: Vec<&str> = w.stack.iter().map(|s| s.name).collect();
+            lines.push(format!("diam-obs live:   {label}: {}", path.join(" > ")));
+        }
+        if !any {
+            lines.push("diam-obs live:   (no open spans)".to_string());
+        }
+        lines
+    }
+}
+
+/// Spawns the watchdog thread for `state`; it runs until
+/// [`LiveState::request_stop`] and is joined by `Session::finish`.
+pub(crate) fn spawn_watchdog(state: Arc<LiveState>) -> std::thread::JoinHandle<()> {
+    eprintln!(
+        "diam-obs live: armed — heartbeat every {:.1}s, stall threshold {:.1}s",
+        state.opts.heartbeat.as_secs_f64(),
+        state.opts.stall.as_secs_f64()
+    );
+    std::thread::Builder::new()
+        .name("diam-obs-live".to_string())
+        .spawn(move || watchdog_loop(&state))
+        .expect("spawn live watchdog")
+}
+
+fn watchdog_loop(state: &LiveState) {
+    let tick = state.opts.heartbeat.min(state.opts.stall).div_f64(4.0);
+    let tick = tick.max(std::time::Duration::from_millis(10));
+    let mut last_beat_ns = 0u64;
+    let mut stalled = false;
+    while !state.stop.load(Ordering::Acquire) {
+        std::thread::sleep(tick);
+        let now_ns = state.start.elapsed().as_nanos() as u64;
+        if state.events.load(Ordering::Relaxed) == 0 {
+            continue; // nothing recorded yet — stay quiet
+        }
+        let last_ev = state.last_event_ns.load(Ordering::Relaxed);
+        let quiet_ns = now_ns.saturating_sub(last_ev);
+        if quiet_ns > state.opts.stall.as_nanos() as u64 {
+            if !stalled {
+                stalled = true;
+                for line in state.stall_lines(quiet_ns as f64 / 1e9) {
+                    eprintln!("{line}");
+                }
+            }
+        } else {
+            stalled = false;
+        }
+        if now_ns.saturating_sub(last_beat_ns) >= state.opts.heartbeat.as_nanos() as u64 {
+            last_beat_ns = now_ns;
+            for line in state.heartbeat_lines(now_ns) {
+                eprintln!("{line}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ObsConfig, ObsMode, RunManifest, Session};
+    use std::time::Duration;
+
+    /// Live mode records like summary mode and the watchdog thread starts,
+    /// beats, and shuts down cleanly with the session.
+    #[test]
+    fn live_session_records_and_watchdog_stops() {
+        let session = Session::install(
+            ObsConfig {
+                mode: ObsMode::Live,
+                live: LiveOptions {
+                    heartbeat: Duration::from_millis(20),
+                    stall: Duration::from_millis(40),
+                },
+                ..ObsConfig::default()
+            },
+            RunManifest::capture("live-test"),
+        );
+        {
+            let _sp = crate::span!("live.outer", target = "t0");
+            crate::event!("sat.solve", depth = 3u64);
+            // Long enough for at least one heartbeat and one stall window.
+            std::thread::sleep(Duration::from_millis(120));
+        }
+        let report = session.finish();
+        assert_eq!(report.events.len(), 3); // open + point + close
+        assert_eq!(report.mode, ObsMode::Live);
+    }
+
+    /// The stack mirror pairs opens/closes and picks up depth from
+    /// `sat.solve` points; heartbeat and stall renderers see it.
+    #[test]
+    fn live_state_mirrors_stacks() {
+        let state = LiveState::new(LiveOptions::default());
+        let open = |span, name: &'static str, fields: Vec<(&'static str, Value)>| Event {
+            seq: 0,
+            ts_ns: 1000,
+            worker: 1,
+            kind: EventKind::Open {
+                span,
+                parent: 0,
+                name,
+                fields,
+            },
+        };
+        state.on_event(&open(
+            1,
+            "bmc.check",
+            vec![
+                ("index", Value::U64(4)),
+                ("max_depth", Value::U64(49)),
+                ("target", Value::Str("t4".into())),
+            ],
+        ));
+        state.on_event(&Event {
+            seq: 1,
+            ts_ns: 2000,
+            worker: 1,
+            kind: EventKind::Point {
+                span: 1,
+                name: "sat.solve",
+                fields: vec![("depth", Value::U64(12))],
+            },
+        });
+        let beat = state.heartbeat_lines(3000).join("\n");
+        assert!(beat.contains("bmc.check(t4)"), "{beat}");
+        assert!(beat.contains("depth 12/49"), "{beat}");
+        let stall = state.stall_lines(9.0).join("\n");
+        assert!(stall.contains("STALL"), "{stall}");
+        assert!(stall.contains("w1: bmc.check"), "{stall}");
+        state.on_event(&Event {
+            seq: 2,
+            ts_ns: 4000,
+            worker: 1,
+            kind: EventKind::Close {
+                span: 1,
+                name: "bmc.check",
+                dur_ns: 3000,
+                fields: vec![],
+            },
+        });
+        assert!(state.heartbeat_lines(5000).is_empty());
+        assert!(state.stall_lines(9.0).join("\n").contains("no open spans"));
+    }
+}

@@ -1,0 +1,427 @@
+//! The schema-versioned `BENCH_<label>.json` baseline format.
+//!
+//! The `benchreport` harness (`crates/bench`) runs a suite N times under
+//! `--obs json`, parses each run with [`Trace::parse`], and folds the runs
+//! into one [`Baseline`]: per-phase **median** totals (medians resist the
+//! one slow outlier run that means nothing), total SAT work, peak RSS, and
+//! per-depth SAT quantile rows. The file carries a `schema_version` so a
+//! future format change fails loudly instead of mis-diffing, and a
+//! manifest **fingerprint** (FNV-1a over tool + input + non-observability
+//! options) so two baselines are only ever compared when they measured the
+//! same workload.
+
+use crate::analyze::{rollup, sat_depth_table, DepthRow};
+use crate::model::{SatAttr, Trace};
+use diam_obs::json::{self, JsonValue};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Version of the `BENCH_*.json` schema written by [`Baseline::to_json`].
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Option keys that describe *how we observed* the run rather than *what
+/// ran*; they are excluded from the fingerprint so `--obs json --trace-out
+/// foo` baselines stay comparable across observability settings.
+const FINGERPRINT_EXCLUDED_OPTIONS: &[&str] = &["obs", "trace_out", "trace-out"];
+
+/// Median phase statistics across the baseline's runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselinePhase {
+    /// Span name.
+    pub name: String,
+    /// Median span count per run.
+    pub count: u64,
+    /// Median total time per run.
+    pub total_ns: u64,
+    /// Median self time per run.
+    pub self_ns: u64,
+}
+
+/// An aggregated benchmark baseline, serializable as `BENCH_<label>.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// Schema version (see [`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Human label, e.g. `seed`.
+    pub label: String,
+    /// Tool that produced the traces (e.g. `table1`).
+    pub tool: String,
+    /// Build fingerprint string from the manifest.
+    pub build: String,
+    /// Creation time, milliseconds since the Unix epoch.
+    pub created_unix_ms: u64,
+    /// Workload fingerprint (see [`fingerprint`]).
+    pub fingerprint: String,
+    /// Number of runs aggregated.
+    pub runs: u64,
+    /// Median wall time across runs.
+    pub wall_ns: u64,
+    /// Maximum peak RSS across runs; `None` when no run reported it.
+    pub peak_rss_kb: Option<u64>,
+    /// Median total SAT work across runs.
+    pub sat: SatAttr,
+    /// Per-phase medians, sorted by `total_ns` descending.
+    pub phases: Vec<BaselinePhase>,
+    /// Per-depth SAT rows from the **first** run (quantiles are bucket
+    /// bounds already; medianizing them would double-estimate).
+    pub sat_depths: Vec<DepthRow>,
+}
+
+/// FNV-1a (64-bit) over the manifest's tool, input, and options — skipping
+/// observability-only keys. Hex-encoded.
+pub fn fingerprint(trace: &Trace) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= 0x1f; // field separator
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    eat(trace.manifest.tool.as_bytes());
+    eat(trace.manifest.input.as_deref().unwrap_or("").as_bytes());
+    for (k, v) in &trace.manifest.options {
+        if FINGERPRINT_EXCLUDED_OPTIONS.contains(&k.as_str()) {
+            continue;
+        }
+        eat(k.as_bytes());
+        eat(v.as_bytes());
+    }
+    format!("{h:016x}")
+}
+
+/// Lower median of a slice (deterministic; no averaging of integers).
+fn median(values: &mut [u64]) -> u64 {
+    if values.is_empty() {
+        return 0;
+    }
+    values.sort_unstable();
+    values[(values.len() - 1) / 2]
+}
+
+impl Baseline {
+    /// Aggregates N single-run traces into a baseline.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `traces` is empty or the runs have mismatched workload
+    /// fingerprints (they must all measure the same thing).
+    pub fn from_traces(label: &str, traces: &[Trace]) -> Result<Baseline, String> {
+        let Some(first) = traces.first() else {
+            return Err("no traces to aggregate".into());
+        };
+        let fp = fingerprint(first);
+        for (i, t) in traces.iter().enumerate() {
+            let tfp = fingerprint(t);
+            if tfp != fp {
+                return Err(format!(
+                    "run {} has fingerprint {tfp} but run 0 has {fp}; all runs must measure the same workload",
+                    i
+                ));
+            }
+        }
+
+        let rollups: Vec<_> = traces.iter().map(rollup).collect();
+        let mut names: BTreeSet<&str> = BTreeSet::new();
+        for r in &rollups {
+            for p in r {
+                names.insert(&p.name);
+            }
+        }
+        let mut phases = Vec::new();
+        for name in names {
+            let mut counts = Vec::new();
+            let mut totals = Vec::new();
+            let mut selfs = Vec::new();
+            for r in &rollups {
+                let p = r.iter().find(|p| p.name == name);
+                counts.push(p.map_or(0, |p| p.count));
+                totals.push(p.map_or(0, |p| p.total_ns));
+                selfs.push(p.map_or(0, |p| p.self_ns));
+            }
+            phases.push(BaselinePhase {
+                name: name.to_string(),
+                count: median(&mut counts),
+                total_ns: median(&mut totals),
+                self_ns: median(&mut selfs),
+            });
+        }
+        phases.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+
+        // Total SAT work per run = sum over root spans (root close fields
+        // already include everything charged beneath them).
+        let total_sat = |t: &Trace| {
+            let mut sat = SatAttr::default();
+            for id in t.roots() {
+                sat.add(&t.spans[&id].sat);
+            }
+            sat
+        };
+        let mut solves: Vec<u64> = traces.iter().map(|t| total_sat(t).solves).collect();
+        let mut conflicts: Vec<u64> = traces.iter().map(|t| total_sat(t).conflicts).collect();
+        let mut decisions: Vec<u64> = traces.iter().map(|t| total_sat(t).decisions).collect();
+        let mut props: Vec<u64> = traces.iter().map(|t| total_sat(t).propagations).collect();
+        let mut walls: Vec<u64> = traces.iter().map(|t| t.manifest.wall_ns).collect();
+
+        Ok(Baseline {
+            schema_version: SCHEMA_VERSION,
+            label: label.to_string(),
+            tool: first.manifest.tool.clone(),
+            build: first.manifest.build.clone(),
+            created_unix_ms: first.manifest.started_unix_ms,
+            fingerprint: fp,
+            runs: traces.len() as u64,
+            wall_ns: median(&mut walls),
+            peak_rss_kb: traces.iter().filter_map(|t| t.manifest.peak_rss_kb).max(),
+            sat: SatAttr {
+                solves: median(&mut solves),
+                conflicts: median(&mut conflicts),
+                decisions: median(&mut decisions),
+                propagations: median(&mut props),
+            },
+            phases,
+            sat_depths: sat_depth_table(first),
+        })
+    }
+
+    /// Serializes to pretty-printed JSON (the `BENCH_<label>.json` format).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema_version\": {},\n", self.schema_version));
+        out.push_str("  \"label\": ");
+        json::write_escaped(&mut out, &self.label);
+        out.push_str(",\n  \"tool\": ");
+        json::write_escaped(&mut out, &self.tool);
+        out.push_str(",\n  \"build\": ");
+        json::write_escaped(&mut out, &self.build);
+        out.push_str(&format!(
+            ",\n  \"created_unix_ms\": {},\n  \"fingerprint\": \"{}\",\n  \"runs\": {},\n  \"wall_ns\": {},\n",
+            self.created_unix_ms, self.fingerprint, self.runs, self.wall_ns
+        ));
+        if let Some(kb) = self.peak_rss_kb {
+            out.push_str(&format!("  \"peak_rss_kb\": {kb},\n"));
+        }
+        out.push_str(&format!(
+            "  \"sat\": {{\"solves\": {}, \"conflicts\": {}, \"decisions\": {}, \"propagations\": {}}},\n",
+            self.sat.solves, self.sat.conflicts, self.sat.decisions, self.sat.propagations
+        ));
+        out.push_str("  \"phases\": [\n");
+        for (i, p) in self.phases.iter().enumerate() {
+            out.push_str("    {\"name\": ");
+            json::write_escaped(&mut out, &p.name);
+            out.push_str(&format!(
+                ", \"count\": {}, \"total_ns\": {}, \"self_ns\": {}}}{}\n",
+                p.count,
+                p.total_ns,
+                p.self_ns,
+                if i + 1 < self.phases.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n  \"sat_depths\": [\n");
+        for (i, d) in self.sat_depths.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"depth\": {}, \"solves\": {}, \"conflicts\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}{}\n",
+                d.depth,
+                d.solves,
+                d.conflicts,
+                d.p50,
+                d.p90,
+                d.p99,
+                if i + 1 < self.sat_depths.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a `BENCH_*.json` file.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid JSON, a missing/foreign `schema_version`, or missing
+    /// required keys.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let v = json::parse(text).map_err(|e| format!("invalid baseline JSON: {e}"))?;
+        let obj = match &v {
+            JsonValue::Object(m) => m,
+            _ => return Err("baseline is not a JSON object".into()),
+        };
+        let schema_version = get_u64(obj, "schema_version")?;
+        if schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "baseline schema version {schema_version} unsupported (this build reads {SCHEMA_VERSION})"
+            ));
+        }
+        let phases = match obj.get("phases") {
+            Some(JsonValue::Array(a)) => a
+                .iter()
+                .map(|p| {
+                    let m = match p {
+                        JsonValue::Object(m) => m,
+                        _ => return Err("phase entry is not an object".to_string()),
+                    };
+                    Ok(BaselinePhase {
+                        name: get_str(m, "name")?,
+                        count: get_u64(m, "count")?,
+                        total_ns: get_u64(m, "total_ns")?,
+                        self_ns: get_u64(m, "self_ns")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("missing `phases` array".into()),
+        };
+        let sat_depths = match obj.get("sat_depths") {
+            Some(JsonValue::Array(a)) => a
+                .iter()
+                .map(|p| {
+                    let m = match p {
+                        JsonValue::Object(m) => m,
+                        _ => return Err("sat_depths entry is not an object".to_string()),
+                    };
+                    Ok(DepthRow {
+                        depth: get_u64(m, "depth")?,
+                        solves: get_u64(m, "solves")?,
+                        conflicts: get_u64(m, "conflicts")?,
+                        p50: get_u64(m, "p50")?,
+                        p90: get_u64(m, "p90")?,
+                        p99: get_u64(m, "p99")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => Vec::new(),
+        };
+        let sat = match obj.get("sat") {
+            Some(JsonValue::Object(m)) => SatAttr {
+                solves: get_u64(m, "solves")?,
+                conflicts: get_u64(m, "conflicts")?,
+                decisions: get_u64(m, "decisions")?,
+                propagations: get_u64(m, "propagations")?,
+            },
+            _ => SatAttr::default(),
+        };
+        Ok(Baseline {
+            schema_version,
+            label: get_str(obj, "label")?,
+            tool: get_str(obj, "tool")?,
+            build: get_str(obj, "build")?,
+            created_unix_ms: get_u64(obj, "created_unix_ms")?,
+            fingerprint: get_str(obj, "fingerprint")?,
+            runs: get_u64(obj, "runs")?,
+            wall_ns: get_u64(obj, "wall_ns")?,
+            peak_rss_kb: obj.get("peak_rss_kb").and_then(|v| v.as_u64()),
+            sat,
+            phases,
+            sat_depths,
+        })
+    }
+}
+
+fn get_u64(m: &BTreeMap<String, JsonValue>, k: &str) -> Result<u64, String> {
+    m.get(k)
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| format!("missing or non-integer `{k}`"))
+}
+
+fn get_str(m: &BTreeMap<String, JsonValue>, k: &str) -> Result<String, String> {
+    m.get(k)
+        .and_then(|v| v.as_str())
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string `{k}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_trace(wall: u64, slow_ns: u64, rss: Option<u64>) -> Trace {
+        let rss_field = match rss {
+            Some(kb) => format!(",\"peak_rss_kb\":{kb}"),
+            None => String::new(),
+        };
+        let text = format!(
+            concat!(
+                "{{\"ts\":0,\"span\":0,\"ev\":\"manifest\",\"fields\":{{\"tool\":\"table1\",\"args\":[\"7\"],\"input\":\"suite\",\"options\":{{\"jobs\":\"seq\",\"obs\":\"json\"}},\"build\":\"dev\",\"started_unix_ms\":5,\"wall_ns\":{wall}{rss}}}}}\n",
+                "{{\"ts\":0,\"seq\":0,\"worker\":0,\"ev\":\"open\",\"span\":1,\"parent\":0,\"name\":\"pipeline.run\",\"fields\":{{}}}}\n",
+                "{{\"ts\":1,\"seq\":1,\"worker\":0,\"ev\":\"open\",\"span\":2,\"parent\":1,\"name\":\"bmc.check\",\"fields\":{{}}}}\n",
+                "{{\"ts\":2,\"seq\":2,\"worker\":0,\"ev\":\"point\",\"span\":2,\"name\":\"sat.solve\",\"fields\":{{\"depth\":1,\"conflicts\":9}}}}\n",
+                "{{\"ts\":3,\"seq\":3,\"worker\":0,\"ev\":\"close\",\"span\":2,\"dur_ns\":{slow},\"name\":\"bmc.check\",\"fields\":{{\"sat_solves\":1,\"sat_conflicts\":9,\"sat_decisions\":2,\"sat_propagations\":30}}}}\n",
+                "{{\"ts\":4,\"seq\":4,\"worker\":0,\"ev\":\"close\",\"span\":1,\"dur_ns\":{wall},\"name\":\"pipeline.run\",\"fields\":{{\"sat_solves\":1,\"sat_conflicts\":9,\"sat_decisions\":2,\"sat_propagations\":30}}}}\n",
+                "{{\"ts\":{wall},\"span\":0,\"ev\":\"metrics\",\"fields\":{{}}}}\n",
+            ),
+            wall = wall,
+            rss = rss_field,
+            slow = slow_ns,
+        );
+        Trace::parse(&text).expect("valid run trace")
+    }
+
+    #[test]
+    fn medians_and_rss_aggregate_across_runs() {
+        let traces = vec![
+            run_trace(300, 200, Some(1000)),
+            run_trace(100, 50, None),
+            run_trace(200, 120, Some(4000)),
+        ];
+        let b = Baseline::from_traces("seed", &traces).expect("aggregates");
+        assert_eq!(b.runs, 3);
+        assert_eq!(b.wall_ns, 200); // median of 100/200/300
+        assert_eq!(b.peak_rss_kb, Some(4000)); // max of known values
+        assert_eq!(b.sat.solves, 1);
+        let bmc = b.phases.iter().find(|p| p.name == "bmc.check").unwrap();
+        assert_eq!(bmc.total_ns, 120); // median of 50/120/200
+        assert_eq!(b.sat_depths.len(), 1);
+        assert_eq!(b.sat_depths[0].p50, 15); // 9 → 4-bit bucket bound
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let traces = vec![run_trace(300, 200, Some(1000)), run_trace(100, 50, None)];
+        let b1 = Baseline::from_traces("seed", &traces).expect("aggregates");
+        let b2 = Baseline::parse(&b1.to_json()).expect("parses back");
+        assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn peak_rss_key_is_absent_when_unknown() {
+        let traces = vec![run_trace(100, 50, None)];
+        let b = Baseline::from_traces("seed", &traces).expect("aggregates");
+        assert_eq!(b.peak_rss_kb, None);
+        assert!(!b.to_json().contains("peak_rss_kb"));
+    }
+
+    #[test]
+    fn fingerprint_ignores_observability_options_only() {
+        let a = run_trace(100, 50, None);
+        let mut b = a.clone();
+        b.manifest.options.insert("obs".into(), "summary".into());
+        b.manifest
+            .options
+            .insert("trace_out".into(), "/tmp/x.jsonl".into());
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        let mut c = a.clone();
+        c.manifest.options.insert("jobs".into(), "4".into());
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn schema_version_mismatch_is_rejected() {
+        let traces = vec![run_trace(100, 50, None)];
+        let b = Baseline::from_traces("seed", &traces).expect("aggregates");
+        let bad = b.to_json().replace(
+            &format!("\"schema_version\": {SCHEMA_VERSION}"),
+            "\"schema_version\": 999",
+        );
+        let err = Baseline::parse(&bad).expect_err("must reject");
+        assert!(err.contains("schema version 999"), "{err}");
+    }
+
+    #[test]
+    fn mismatched_fingerprints_refuse_to_aggregate() {
+        let a = run_trace(100, 50, None);
+        let mut b = run_trace(100, 50, None);
+        b.manifest.options.insert("limit".into(), "2".into());
+        let err = Baseline::from_traces("seed", &[a, b]).expect_err("must refuse");
+        assert!(err.contains("fingerprint"), "{err}");
+    }
+}

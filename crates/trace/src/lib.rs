@@ -1,0 +1,58 @@
+//! # diam-trace — trace analytics for diam-obs JSONL traces
+//!
+//! `diam-obs` (see `crates/obs`) records structured runs as JSONL: one
+//! manifest line, a stream of span open/close and point events, and a final
+//! metrics line. This crate is the *analytics* layer on top of that format:
+//!
+//! * [`model`] — a typed span-tree parser ([`Trace::parse`]) with strict
+//!   validation. Its diagnostics are byte-identical to the historical
+//!   `tracecheck` checker, which is now a thin wrapper over this parser.
+//! * [`analyze`] — per-phase attribution rollups, critical-path extraction
+//!   (heaviest-child chains that respect `diam-par` worker overlap), top-K
+//!   hotspots, and per-depth SAT work tables.
+//! * [`diff`] — noise-aware comparison of two traces (or two baselines):
+//!   a phase regresses only when it exceeds both a relative threshold and an
+//!   absolute floor, so micro-jitter on fast phases never trips the gate.
+//! * [`baseline`] — the schema-versioned `BENCH_<label>.json` format written
+//!   by the `benchreport` harness (`crates/bench`): per-phase medians across
+//!   N runs, SAT totals, peak RSS, and a manifest fingerprint that guards
+//!   against apples-to-oranges diffs.
+//!
+//! Everything is std-only; the only dependency is `diam-obs` itself (for the
+//! vendored JSON parser and histogram machinery).
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use diam_trace::{Trace, analyze};
+//!
+//! let jsonl = concat!(
+//!     "{\"ts\":0,\"span\":0,\"ev\":\"manifest\",\"fields\":{\"tool\":\"demo\",",
+//!     "\"args\":[],\"input\":null,\"options\":{},\"build\":\"dev\",",
+//!     "\"started_unix_ms\":0,\"wall_ns\":10}}\n",
+//!     "{\"ts\":0,\"seq\":0,\"worker\":0,\"ev\":\"open\",\"span\":1,",
+//!     "\"parent\":0,\"name\":\"pipeline.run\",\"fields\":{}}\n",
+//!     "{\"ts\":9,\"seq\":1,\"worker\":0,\"ev\":\"close\",\"span\":1,",
+//!     "\"dur_ns\":9,\"name\":\"pipeline.run\",\"fields\":{}}\n",
+//!     "{\"ts\":10,\"span\":0,\"ev\":\"metrics\",\"fields\":{}}\n",
+//! );
+//! let trace = Trace::parse(jsonl).unwrap();
+//! assert_eq!(trace.span_count(), 1);
+//! let path = analyze::critical_path(&trace);
+//! assert_eq!(path[0].name, "pipeline.run");
+//! ```
+
+pub mod analyze;
+pub mod baseline;
+pub mod diff;
+pub mod model;
+
+pub use analyze::{
+    critical_path, critical_path_from, hotspots, render_report, report_to_json, rollup, DepthRow,
+    PathStep, PhaseRollup,
+};
+pub use baseline::{Baseline, BaselinePhase, SCHEMA_VERSION};
+pub use diff::{
+    diff_baselines, diff_traces, has_regressions, render_diff, DiffOptions, PhaseDiff, Verdict,
+};
+pub use model::{MetricValue, Point, SatAttr, Span, Trace, TraceError, TraceEvent, TraceManifest};

@@ -1,0 +1,70 @@
+//! Property test: any trace a real `diam-obs` session can emit survives
+//! `Trace::parse` → `Trace::to_jsonl` → `Trace::parse` unchanged.
+//!
+//! The strategy is an ops interpreter: a random instruction tape drives a
+//! live Json-mode session (nested spans, point events, SAT charging,
+//! histogram metrics), and the session's `Report::to_jsonl()` output — the
+//! exact bytes `--trace-out` would write — is round-tripped through the
+//! model. Key order is normalized by the first parse, so model equality
+//! after the second parse is the lossless-ness claim.
+
+use diam_obs::{ObsConfig, ObsMode, RunManifest, Session};
+use diam_trace::Trace;
+use proptest::prelude::*;
+
+const NAMES: [&str; 3] = ["phase.alpha", "phase.beta", "phase.gamma"];
+
+/// Interprets one instruction tape against the installed session.
+fn run_ops(ops: &[(u8, u8)]) {
+    let mut guards = Vec::new();
+    for &(op, arg) in ops {
+        match op {
+            0 => {
+                let name = NAMES[arg as usize % NAMES.len()];
+                let mut guard = diam_obs::span!(name, index = arg as u64);
+                if arg % 2 == 0 {
+                    guard.record("flag", u64::from(arg));
+                }
+                guards.push(guard);
+            }
+            1 => {
+                guards.pop(); // closes the innermost span, if any
+            }
+            2 => {
+                diam_obs::event!(
+                    "sat.solve",
+                    depth = arg as u64,
+                    conflicts = (arg as u64) * 3
+                );
+            }
+            3 => diam_obs::charge_sat(arg as u64, 1, 2),
+            _ => diam_obs::histogram_record("prop.hist", arg as u64),
+        }
+    }
+    // Close innermost-first so spans unwind like real RAII scopes.
+    while guards.pop().is_some() {}
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn session_output_round_trips(
+        ops in proptest::collection::vec((0u8..5, any::<u8>()), 0..=48)
+    ) {
+        let config = ObsConfig {
+            mode: ObsMode::Json,
+            ..ObsConfig::default()
+        };
+        let manifest = RunManifest::capture("roundtrip").option("kind", "property");
+        let session = Session::install(config, manifest);
+        run_ops(&ops);
+        let jsonl = session.finish().to_jsonl();
+
+        let t1 = Trace::parse(&jsonl)
+            .unwrap_or_else(|e| panic!("live session emitted an invalid trace: {e}\n{jsonl}"));
+        let t2 = Trace::parse(&t1.to_jsonl())
+            .unwrap_or_else(|e| panic!("re-serialized model failed to parse: {e}"));
+        prop_assert_eq!(t1, t2);
+    }
+}

@@ -14,7 +14,7 @@ use diam::par::{self, Parallelism};
 fn json_session(tool: &str) -> Session {
     let config = ObsConfig {
         mode: ObsMode::Json,
-        trace_out: None,
+        ..ObsConfig::default()
     };
     Session::install(config, RunManifest::capture(tool))
 }
