@@ -49,7 +49,7 @@ fn obs_summary_appends_breakdown() {
     );
     assert!(sum_s.contains("observability summary"), "{sum_s}");
     assert!(sum_s.contains("per-phase breakdown"), "{sum_s}");
-    assert!(sum_s.contains("com.sweep"), "{sum_s}");
+    assert!(sum_s.contains("pass.apply"), "{sum_s}");
 }
 
 /// `--obs json --trace-out` writes a trace the validator accepts, both
@@ -85,6 +85,10 @@ fn trace_out_passes_tracecheck() {
             String::from_utf8_lossy(&check.stdout),
             String::from_utf8_lossy(&check.stderr)
         );
+        // The validator's accepted-span inventory includes the unified
+        // transform span schema.
+        let kinds = String::from_utf8_lossy(&check.stdout);
+        assert!(kinds.contains("pass.apply"), "{kinds}");
         let _ = std::fs::remove_file(&path);
     }
 }

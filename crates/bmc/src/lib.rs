@@ -195,6 +195,110 @@ pub fn check_all(n: &Netlist, opts: &BmcOptions) -> Vec<BmcOutcome> {
     check_all_sliced(n, opts)
 }
 
+/// Runs BMC on every target *through* a transformation pipeline: the search
+/// happens on the transformed (smaller, shallower) netlist, and every
+/// verdict is carried back to the original netlist by the pipeline's
+/// [`CertificateChain`](diam_core::CertificateChain).
+///
+/// Per target, when the chain's bound map is purely additive
+/// (`d̂ ↦ d̂ + p`, see [`diam_core::PipelineResult::prefix_obligation`]):
+///
+/// 1. the **prefix** `0..=min(p − 1, max_depth)` is checked on the
+///    *original* netlist (the transformed netlist cannot observe hits
+///    shallower than `p`);
+/// 2. the remaining budget `0..=max_depth − p` is checked on the
+///    *transformed* netlist;
+/// 3. a transformed counterexample is lifted through the certificate chain
+///    ([`diam_core::PipelineResult::lift_witness`]) into a replayable
+///    counterexample of the original netlist. Clean results compose:
+///    original-clean to `p − 1` plus transformed-clean to `max_depth − p`
+///    proves the original clean to `max_depth`.
+///
+/// Multiplicative (FOLD) chains do not transfer emptiness, and a lift can
+/// fail in the enlargement corner case documented in
+/// `diam_transform::pass` — both fall back to plain [`check`] on the
+/// original netlist, so the outcome contract is identical to
+/// [`check_all`]'s: every counterexample replays on the original netlist.
+pub fn check_all_transformed(
+    n: &Netlist,
+    pipeline: &Pipeline,
+    opts: &BmcOptions,
+) -> Vec<BmcOutcome> {
+    let _sp = diam_obs::span!(
+        "bmc.check_transformed",
+        targets = n.targets().len(),
+        max_depth = opts.max_depth
+    );
+    let result = pipeline.run(n);
+    (0..n.targets().len())
+        .map(|i| check_one_transformed(n, &result, i, opts))
+        .collect()
+}
+
+/// The per-target body of [`check_all_transformed`] (also the engine behind
+/// the portfolio's diameter-complete check).
+pub(crate) fn check_one_transformed(
+    n: &Netlist,
+    result: &diam_core::PipelineResult,
+    index: usize,
+    opts: &BmcOptions,
+) -> BmcOutcome {
+    let target = n.targets()[index].lit;
+    let Some(p) = result.prefix_obligation(index) else {
+        // A FOLD step is in the chain: `c · d̂` bounds do not transfer
+        // emptiness depth-for-depth, so search the original directly.
+        return check(n, index, opts);
+    };
+    // 1. Prefix on the original netlist.
+    if p > 0 {
+        let prefix = BmcOptions {
+            max_depth: (p - 1).min(opts.max_depth),
+            ..opts.clone()
+        };
+        match check(n, index, &prefix) {
+            BmcOutcome::NoHitUpTo(_) => {}
+            decided => return decided,
+        }
+        if p > opts.max_depth {
+            return BmcOutcome::NoHitUpTo(opts.max_depth);
+        }
+    }
+    // 2. Remaining budget on the transformed netlist.
+    let suffix = BmcOptions {
+        max_depth: opts.max_depth - p,
+        ..opts.clone()
+    };
+    match check(&result.netlist, index, &suffix) {
+        BmcOutcome::Counterexample { depth, witness } => {
+            match result.lift_witness(index, &witness) {
+                Some(lifted) => {
+                    let depth = lifted.inputs.len() as u64 - 1;
+                    debug_assert!(
+                        lifted.replays_to(n, target),
+                        "lifted witness fails to replay at depth {depth}"
+                    );
+                    BmcOutcome::Counterexample {
+                        depth,
+                        witness: lifted,
+                    }
+                }
+                // The enlargement corner case: the transformed hit does not
+                // extend to the original target (spurious depth-0 enlarged
+                // witness) — search the original directly.
+                None => {
+                    debug_assert!(
+                        result.chain.certs().iter().any(|c| c.pass() == "enl"),
+                        "only enlargement lifts may fail (found cex at {depth})"
+                    );
+                    check(n, index, opts)
+                }
+            }
+        }
+        BmcOutcome::NoHitUpTo(_) => BmcOutcome::NoHitUpTo(opts.max_depth),
+        BmcOutcome::Unknown { depth } => BmcOutcome::Unknown { depth: depth + p },
+    }
+}
+
 /// The classic path: one incremental solver and one unrolling, shared by
 /// every target.
 fn check_all_shared(n: &Netlist, opts: &BmcOptions) -> Vec<BmcOutcome> {
@@ -1069,6 +1173,93 @@ mod tests {
                 assert!(witness.inputs.iter().all(|row| row[0]));
             }
             other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transformed_check_lifts_retimed_counterexamples() {
+        // A 6-deep shift register whose target is the last stage: retiming
+        // collapses it to a wire, so the transformed search is depth 0 and
+        // the certificate chain owes a 6-step lift (prefix obligation 6).
+        let mut n = Netlist::new();
+        let i = n.input("i");
+        let mut prev = i.lit();
+        for k in 0..6 {
+            let r = n.reg(format!("s{k}"), Init::Zero);
+            n.set_next(r, prev);
+            prev = r.lit();
+        }
+        n.add_target(prev, "tail");
+        let outcomes = check_all_transformed(&n, &Pipeline::com_ret_com(), &BmcOptions::default());
+        match &outcomes[0] {
+            BmcOutcome::Counterexample { depth, witness } => {
+                assert_eq!(*depth, 6, "earliest hit is behind the full skew");
+                assert!(witness.replays_to(&n, n.targets()[0].lit));
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+        // A budget shallower than the prefix obligation is discharged by the
+        // prefix check alone.
+        let shallow = check_all_transformed(
+            &n,
+            &Pipeline::com_ret_com(),
+            &BmcOptions {
+                max_depth: 3,
+                ..BmcOptions::default()
+            },
+        );
+        assert_eq!(shallow[0], BmcOutcome::NoHitUpTo(3));
+    }
+
+    #[test]
+    fn transformed_check_agrees_with_plain_check_on_random_netlists() {
+        let mut rng = SplitMix64::new(0x7a5f);
+        for round in 0..10 {
+            let mut n = Netlist::new();
+            let mut pool: Vec<Lit> = (0..2).map(|k| n.input(format!("i{k}")).lit()).collect();
+            let mut regs = Vec::new();
+            for k in 0..4 {
+                let init = if rng.bool() { Init::Zero } else { Init::One };
+                let r = n.reg(format!("r{k}"), init);
+                regs.push(r);
+                pool.push(r.lit());
+            }
+            for _ in 0..8 {
+                let a = pool[rng.below(pool.len() as u64) as usize];
+                let b = pool[rng.below(pool.len() as u64) as usize];
+                pool.push(match rng.below(3) {
+                    0 => n.and(a, b),
+                    1 => n.or(a, b),
+                    _ => n.xor(a, b),
+                });
+            }
+            for &r in &regs {
+                let nx = pool[rng.below(pool.len() as u64) as usize];
+                n.set_next(r, nx);
+            }
+            n.add_target(*pool.last().unwrap(), format!("t{round}"));
+            let opts = BmcOptions {
+                max_depth: 24,
+                ..BmcOptions::default()
+            };
+            let plain = check_all(&n, &opts);
+            let lifted = check_all_transformed(&n, &Pipeline::com_ret_com(), &opts);
+            match (&plain[0], &lifted[0]) {
+                (
+                    BmcOutcome::Counterexample { depth: a, .. },
+                    BmcOutcome::Counterexample {
+                        depth: b,
+                        witness: w,
+                    },
+                ) => {
+                    assert_eq!(a, b, "round {round}: additive chains keep earliest hits");
+                    assert!(w.replays_to(&n, n.targets()[0].lit), "round {round}");
+                }
+                (BmcOutcome::NoHitUpTo(a), BmcOutcome::NoHitUpTo(b)) => {
+                    assert_eq!(a, b, "round {round}")
+                }
+                (p, l) => panic!("round {round}: plain {p:?} vs transformed {l:?}"),
+            }
         }
     }
 

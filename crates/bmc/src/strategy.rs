@@ -115,11 +115,13 @@ impl Default for StrategyOptions {
 /// Runs the portfolio on every target of `n`.
 pub fn solve_all(n: &Netlist, opts: &StrategyOptions) -> Vec<TargetStatus> {
     // Shared work: one sweep (engine 2 evidence + engine 4 invariants), one
-    // pipeline run + bounding pass (engine 3).
+    // pipeline run + bounding pass (engine 3). Keeping the pipeline result
+    // around gives engine 3 both halves of the certificate chain: the bound
+    // map (how deep to search) and the witness lifters (how to carry a
+    // transformed-netlist counterexample home).
     let swept = sweep(n, &opts.sweep);
-    let bounds = opts
-        .pipeline
-        .bound_targets(n, &StructuralOptions::default());
+    let pipelined = opts.pipeline.run(n);
+    let bounds = pipelined.bound_targets(&StructuralOptions::default());
 
     (0..n.targets().len())
         .map(|i| {
@@ -136,18 +138,15 @@ pub fn solve_all(n: &Netlist, opts: &StrategyOptions) -> Vec<TargetStatus> {
             if swept.lit(t) == Some(diam_netlist::Lit::FALSE) {
                 return TargetStatus::Proved { by: Engine::Com };
             }
-            // 3. Diameter-complete BMC on the original netlist.
+            // 3. Diameter-complete BMC through the transformation pipeline:
+            // search on the transformed netlist (to the *transformed* bound)
+            // and lift any counterexample home through the certificate
+            // chain. Falls back to the original netlist for multiplicative
+            // chains or failed lifts.
             let bound = bounds[i].original;
             if let Bound::Finite(b) = bound {
                 if opts.depth_cap == 0 || b <= opts.depth_cap {
-                    match check(
-                        n,
-                        i,
-                        &BmcOptions {
-                            max_depth: b.saturating_sub(1),
-                            ..BmcOptions::default()
-                        },
-                    ) {
+                    match diameter_complete_check(n, &pipelined, i, b) {
                         BmcOutcome::Counterexample { depth, witness } => {
                             return TargetStatus::Failed {
                                 depth,
@@ -215,6 +214,32 @@ pub fn solve_all(n: &Netlist, opts: &StrategyOptions) -> Vec<TargetStatus> {
             }
         })
         .collect()
+}
+
+/// Engine 3: a complete bounded check of target `index` against its
+/// back-translated bound `b`, run through the transformed netlist.
+///
+/// A clean prefix (original netlist, depths `0..p`) plus a clean
+/// transformed check (depths `0..=b − 1 − p`) covers original depths
+/// `0..=b − 1` — the same completeness contract as BMC-to-`b − 1` on the
+/// original, at the transformed netlist's (smaller) cost; counterexamples
+/// come back through the certificate chain's witness lifters and replay on
+/// the original netlist.
+fn diameter_complete_check(
+    n: &Netlist,
+    pipelined: &diam_core::PipelineResult,
+    index: usize,
+    b: u64,
+) -> BmcOutcome {
+    crate::check_one_transformed(
+        n,
+        pipelined,
+        index,
+        &BmcOptions {
+            max_depth: b.saturating_sub(1),
+            ..BmcOptions::default()
+        },
+    )
 }
 
 #[cfg(test)]

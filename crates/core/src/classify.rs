@@ -237,7 +237,8 @@ pub fn constant_registers(n: &Netlist) -> Vec<(Gate, bool)> {
 /// per-target jobs out across `par` workers (largest cone first).
 ///
 /// Returns one [`Classification`] per target, in target order. The output is
-/// identical for every [`Parallelism`] setting: each job is a pure function
+/// identical for every [`Parallelism`](diam_par::Parallelism) setting: each
+/// job is a pure function
 /// of the immutable netlist, and results are merged back in original order.
 pub fn classify_targets(
     n: &Netlist,

@@ -59,5 +59,6 @@ pub mod symbolic;
 pub use bound::Bound;
 pub use classify::{classify_targets, ClassCounts, Classification, ClassifyOptions, RegClass};
 pub use diam_par::Parallelism;
-pub use pipeline::{BackStep, Engine, Pipeline, PipelineResult, PipelinedBound};
+pub use diam_transform::pass::{BoundStep, Certificate, CertificateChain};
+pub use pipeline::{BackStep, Element, Engine, Pipeline, PipelineResult, PipelinedBound};
 pub use structural::{diameter_bound, StructuralOptions, TargetBound};

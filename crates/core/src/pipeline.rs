@@ -1,22 +1,35 @@
 //! The transformation pipeline — the paper's contribution, as an API.
 //!
-//! A [`Pipeline`] applies a sequence of structural transformation engines
-//! and records, per target, the *back-translation* each theorem licenses:
+//! A [`Pipeline`] is a schedule of certificate-carrying passes (the
+//! [`diam_transform::pass`] framework). Running it applies each engine and
+//! accumulates a [`CertificateChain`] carrying, per target, *both*
+//! directions of the per-theorem correspondence:
 //!
-//! | Engine | Theorem | Back-translation |
-//! |---|---|---|
-//! | cone-of-influence reduction | 1 | identity |
-//! | redundancy removal (COM) | 1 | identity |
-//! | parametric re-encoding | 1 | identity |
-//! | retiming (RET) | 2 | `d̂ ↦ d̂ + (−lag(t))` |
-//! | phase / c-slow abstraction | 3 | `d̂ ↦ c · d̂` |
-//! | target enlargement | 4 | `d̂ ↦ d̂ + k` |
+//! | Engine | Theorem | Bound map | Trace map |
+//! |---|---|---|---|
+//! | cone-of-influence reduction | 1 | identity | gate-map read-back |
+//! | redundancy removal (COM) | 1 | identity | gate-map read-back |
+//! | parametric re-encoding | 1 | identity | per-frame cut inversion |
+//! | retiming (RET) | 2 | `d̂ ↦ d̂ + (−lag(t))` | lag-shifted prefix |
+//! | phase / c-slow abstraction | 3 | `d̂ ↦ c · d̂` | c-slow frame expansion |
+//! | target enlargement | 4 | `d̂ ↦ d̂ + k` | k-suffix extension |
 //!
 //! After the pipeline runs, a diameter bound computed on the *final* netlist
 //! (with any technique — the structural engine of [`crate::structural`],
 //! the recurrence diameter, or anything else) is mapped back to a bound for
 //! the *original* netlist in constant time by replaying the recorded steps
-//! in reverse.
+//! in reverse ([`PipelineResult::back_translate`]); a counterexample found
+//! on the final netlist is mapped back to a replay-valid counterexample of
+//! the original by [`PipelineResult::lift_witness`].
+//!
+//! # Scheduling
+//!
+//! Pipelines are sequences of [`Element`]s: single engines or *fixpoint
+//! groups* (`com*`, `(com,ret)*:3`) that repeat until the netlist's
+//! structural [`fingerprint`] stops changing (or a repeat bound / the
+//! global iteration cap is reached). Passes that do not change the
+//! fingerprint are treated as no-ops: their certificate and log entry are
+//! dropped, so chains stay minimal.
 //!
 //! Over- and under-approximate engines (localization, case splitting)
 //! intentionally have **no** [`Engine`] variant: Sections 3.5–3.6 of the
@@ -27,15 +40,22 @@
 
 use crate::bound::Bound;
 use crate::structural::{diameter_bound, StructuralOptions, TargetBound};
-use diam_netlist::rebuild::reduce_coi;
+use diam_netlist::sim::Witness;
+use diam_netlist::stats::fingerprint;
 use diam_netlist::{Lit, Netlist};
-use diam_transform::com::{sweep, SweepOptions};
-use diam_transform::enlarge::{enlarge, EnlargeOptions};
-use diam_transform::fold::{detect, fold};
-use diam_transform::retime::retime;
+use diam_transform::com::SweepOptions;
+use diam_transform::enlarge::EnlargeOptions;
+use diam_transform::pass::{
+    apply_traced, BoundStep, CertificateChain, CoiPass, ComPass, EnlargePass, FoldPass,
+    ParametricPass, Pass, RetimePass,
+};
 use std::fmt;
 
-/// One transformation step of a pipeline.
+/// Iteration cap for unbounded fixpoint groups (`com*`): a safety valve
+/// against engines that oscillate instead of converging.
+const MAX_STAR_ITERS: u32 = 64;
+
+/// One transformation engine of a pipeline.
 #[derive(Debug, Clone)]
 pub enum Engine {
     /// Cone-of-influence reduction (Theorem 1).
@@ -59,6 +79,22 @@ pub enum Engine {
     Parametric,
 }
 
+impl Engine {
+    /// The certificate-carrying pass implementing this engine.
+    fn pass(&self) -> Box<dyn Pass> {
+        match self {
+            Engine::Coi => Box::new(CoiPass),
+            Engine::Com(opts) => Box::new(ComPass(opts.clone())),
+            Engine::Retime => Box::new(RetimePass),
+            Engine::Fold { preferred } => Box::new(FoldPass {
+                preferred: *preferred,
+            }),
+            Engine::Enlarge(opts) => Box::new(EnlargePass(opts.clone())),
+            Engine::Parametric => Box::new(ParametricPass),
+        }
+    }
+}
+
 impl fmt::Display for Engine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -72,12 +108,48 @@ impl fmt::Display for Engine {
     }
 }
 
+/// One scheduling element of a pipeline.
+#[derive(Debug, Clone)]
+pub enum Element {
+    /// Apply the engine once.
+    Single(Engine),
+    /// Apply the engine group repeatedly until the netlist fingerprint
+    /// stabilizes, up to the given repeat bound (`None` = the global cap).
+    Star(Vec<Engine>, Option<u32>),
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Element::Single(e) => write!(f, "{e}"),
+            Element::Star(engines, bound) => {
+                if engines.len() == 1 {
+                    write!(f, "{}*", engines[0])?;
+                } else {
+                    write!(f, "(")?;
+                    for (i, e) in engines.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ",")?;
+                        }
+                        write!(f, "{e}")?;
+                    }
+                    write!(f, ")*")?;
+                }
+                if let Some(n) = bound {
+                    write!(f, ":{n}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 impl fmt::Display for Pipeline {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.engines.is_empty() {
+        if self.elements.is_empty() {
             return write!(f, "none");
         }
-        for (i, e) in self.engines.iter().enumerate() {
+        for (i, e) in self.elements.iter().enumerate() {
             if i > 0 {
                 write!(f, ",")?;
             }
@@ -96,71 +168,70 @@ pub enum BackStep {
     Mul(u64),
 }
 
-/// A sequence of engines.
+impl From<BoundStep> for BackStep {
+    fn from(s: BoundStep) -> BackStep {
+        match s {
+            BoundStep::Add(k) => BackStep::Add(k),
+            BoundStep::Mul(c) => BackStep::Mul(c),
+        }
+    }
+}
+
+/// A schedule of engines.
 ///
-/// Renders as a comma-separated engine list (`COI,COM,RET,COM`), mirroring
-/// the (lowercase) grammar [`Pipeline::parse`] accepts.
+/// Renders as a comma-separated element list (`COI,COM,RET,COM`,
+/// `COI,COM*,(COM,RET)*:3`), mirroring the (lowercase) grammar
+/// [`Pipeline::parse`] accepts.
 #[derive(Debug, Clone, Default)]
 pub struct Pipeline {
-    engines: Vec<Engine>,
+    elements: Vec<Element>,
 }
 
 impl Pipeline {
-    /// An empty pipeline (bounds transfer unchanged).
+    /// An empty pipeline (bounds and witnesses transfer unchanged).
     pub fn new() -> Pipeline {
         Pipeline::default()
     }
 
-    /// Appends an engine.
+    /// Appends an engine, applied once.
     #[must_use]
     pub fn then(mut self, e: Engine) -> Pipeline {
-        self.engines.push(e);
+        self.elements.push(Element::Single(e));
         self
     }
 
-    /// Parses a comma-separated engine list: `coi`, `com`, `ret`,
-    /// `fold[:c]`, `enl[:k]` — e.g. `"coi,com,ret,com"` or
-    /// `"coi,enl:2,com"`. Also accepts the aliases `none` (empty) and the
-    /// canned `com` / `com-ret-com` pipelines when used as the whole string.
+    /// Appends a fixpoint group: the engines repeat (in order) until the
+    /// netlist fingerprint stabilizes or `bound` iterations have run
+    /// (`None` = the global cap).
+    #[must_use]
+    pub fn then_star(mut self, engines: Vec<Engine>, bound: Option<u32>) -> Pipeline {
+        self.elements.push(Element::Star(engines, bound));
+        self
+    }
+
+    /// Parses a comma-separated element list. Elements are engines —
+    /// `coi`, `com`, `ret`, `fold[:c]`, `enl[:k]`, `param` — optionally
+    /// starred into fixpoint groups: `com*` (repeat until no structural
+    /// change), `com*:3` (at most 3 repeats), `(com,ret)*:2` (repeat the
+    /// group). Examples: `"coi,com,ret,com"`, `"coi,com*"`,
+    /// `"coi,(com,ret)*:2,enl:1"`.
+    ///
+    /// Also accepts the aliases `none` (empty) and the canned `com` /
+    /// `com-ret-com` pipelines when used as the whole string.
     ///
     /// # Errors
     ///
     /// Returns a message naming the offending element.
     pub fn parse(spec: &str) -> Result<Pipeline, String> {
-        match spec {
+        match spec.trim() {
             "none" | "" => return Ok(Pipeline::new()),
+            "com" => return Ok(Pipeline::com()),
             "com-ret-com" => return Ok(Pipeline::com_ret_com()),
             _ => {}
         }
         let mut p = Pipeline::new();
-        for element in spec.split(',') {
-            let element = element.trim();
-            let (name, arg) = match element.split_once(':') {
-                Some((n, a)) => (n, Some(a)),
-                None => (element, None),
-            };
-            let engine = match (name, arg) {
-                ("coi", None) => Engine::Coi,
-                ("com", None) => Engine::Com(SweepOptions::default()),
-                ("ret" | "retime", None) => Engine::Retime,
-                ("fold" | "phase", arg) => {
-                    let preferred = match arg {
-                        Some(a) => a.parse().map_err(|_| format!("bad fold factor {a:?}"))?,
-                        None => 2,
-                    };
-                    Engine::Fold { preferred }
-                }
-                ("param" | "parametric", None) => Engine::Parametric,
-                ("enl" | "enlarge", arg) => {
-                    let k = match arg {
-                        Some(a) => a.parse().map_err(|_| format!("bad enlargement {a:?}"))?,
-                        None => 1,
-                    };
-                    Engine::Enlarge(crate::pipeline::enlarge_options(k))
-                }
-                _ => return Err(format!("unknown pipeline element {element:?}")),
-            };
-            p = p.then(engine);
+        for token in split_elements(spec)? {
+            p.elements.push(parse_element(token.trim())?);
         }
         Ok(p)
     }
@@ -182,127 +253,58 @@ impl Pipeline {
     }
 
     /// Runs the pipeline on `n`.
+    ///
+    /// Each applied pass runs under the unified `pass.apply` observability
+    /// span (see [`diam_transform::pass::apply_traced`]); passes that leave
+    /// the netlist structurally unchanged contribute neither a certificate
+    /// nor a log entry.
     pub fn run(&self, n: &Netlist) -> PipelineResult {
         let _sp = diam_obs::span!(
             "pipeline.run",
-            engines = self.engines.len(),
+            elements = self.elements.len(),
             targets = n.targets().len()
         );
-        let mut current = n.clone();
-        let mut steps: Vec<Vec<BackStep>> = vec![Vec::new(); n.targets().len()];
-        let mut log = Vec::new();
-        for e in &self.engines {
-            let mut step_sp = diam_obs::span!("pipeline.step", engine = e.to_string());
-            let regs_before = current.num_regs();
-            match e {
-                Engine::Coi => {
-                    current = reduce_coi(&current).netlist;
+        let mut state = RunState {
+            netlist: n.clone(),
+            fp: fingerprint(n),
+            chain: CertificateChain::new(),
+            log: Vec::new(),
+        };
+        for el in &self.elements {
+            match el {
+                Element::Single(e) => {
+                    state.apply(e);
                 }
-                Engine::Com(opts) => {
-                    current = sweep(&current, opts).netlist;
-                }
-                Engine::Retime => {
-                    // Retiming requires literal initial values; normalize
-                    // nondeterministic inits first (semantics-preserving).
-                    let mut pre = current.clone();
-                    diam_netlist::rebuild::explicit_nondet_init(&mut pre);
-                    match retime(&pre) {
-                        Ok(ret) => {
-                            for (s, t) in steps.iter_mut().zip(pre.targets()) {
-                                let skew = ret.skew(t.lit.gate());
-                                if skew > 0 {
-                                    s.push(BackStep::Add(skew));
-                                }
-                            }
-                            current = ret.netlist;
+                Element::Star(engines, bound) => {
+                    let cap = bound.unwrap_or(MAX_STAR_ITERS).min(MAX_STAR_ITERS);
+                    for _ in 0..cap {
+                        let mut changed = false;
+                        for e in engines {
+                            changed |= state.apply(e);
                         }
-                        Err(_) => {
-                            // Unsupported structure: skip the step (bounds
-                            // simply transfer unchanged).
+                        if !changed {
+                            break;
                         }
-                    }
-                }
-                Engine::Fold { preferred } => {
-                    let coloring = detect(&current, *preferred);
-                    // Theorem 3 speaks about *identically-colored* vertex
-                    // sets: folding is only applied when every target's
-                    // register support lives in a single color class.
-                    let uni_colored = coloring.c >= 2
-                        && current.targets().iter().all(|t| {
-                            let sup = diam_netlist::analysis::support(&current, t.lit);
-                            let mut colors = sup.regs.iter().map(|r| {
-                                let pos = current
-                                    .regs()
-                                    .iter()
-                                    .position(|x| x == r)
-                                    .expect("register");
-                                coloring.colors[pos]
-                            });
-                            match colors.next() {
-                                None => true,
-                                Some(first) => colors.all(|c| c == first),
-                            }
-                        });
-                    if uni_colored {
-                        // Keep the color the targets observe (all targets
-                        // must agree for a single fold; otherwise skip).
-                        let target_colors: Vec<u32> = current
-                            .targets()
-                            .iter()
-                            .filter_map(|t| {
-                                let sup = diam_netlist::analysis::support(&current, t.lit);
-                                sup.regs.first().map(|r| {
-                                    let pos = current
-                                        .regs()
-                                        .iter()
-                                        .position(|x| x == r)
-                                        .expect("register");
-                                    coloring.colors[pos]
-                                })
-                            })
-                            .collect();
-                        let all_same = target_colors.windows(2).all(|w| w[0] == w[1]);
-                        if all_same {
-                            let keep = target_colors.first().copied().unwrap_or(0);
-                            if let Ok(folded) = fold(&current, &coloring, keep) {
-                                for s in &mut steps {
-                                    s.push(BackStep::Mul(folded.c as u64));
-                                }
-                                current = folded.netlist;
-                            }
-                        }
-                    }
-                }
-                Engine::Enlarge(opts) => {
-                    #[allow(clippy::needless_range_loop)] // `current` changes as we go
-                    for i in 0..current.targets().len() {
-                        if let Ok(enl) = enlarge(&current, i, opts) {
-                            steps[i].push(BackStep::Add(enl.k as u64));
-                            current = enl.netlist;
-                        }
-                    }
-                }
-                Engine::Parametric => {
-                    if let Some(re) = diam_transform::parametric::reencode_auto(&current) {
-                        // Trace-equivalence preserving: identity
-                        // back-translation (Theorem 1).
-                        current = re.netlist;
                     }
                 }
             }
-            step_sp.record("regs_before", regs_before);
-            step_sp.record("regs_after", current.num_regs());
-            log.push(StepLog {
-                engine: e.clone(),
-                regs_before,
-                regs_after: current.num_regs(),
-            });
         }
+        let steps = (0..n.targets().len())
+            .map(|i| {
+                state
+                    .chain
+                    .bound_steps(i)
+                    .into_iter()
+                    .map(BackStep::from)
+                    .collect()
+            })
+            .collect();
         PipelineResult {
             original_targets: n.targets().len(),
-            netlist: current,
+            netlist: state.netlist,
             steps,
-            log,
+            chain: state.chain,
+            log: state.log,
         }
     }
 
@@ -314,6 +316,43 @@ impl Pipeline {
     }
 }
 
+/// The pass manager's mutable state while a pipeline runs.
+struct RunState {
+    netlist: Netlist,
+    fp: u64,
+    chain: CertificateChain,
+    log: Vec<StepLog>,
+}
+
+impl RunState {
+    /// Applies one engine; returns whether the netlist changed. Passes that
+    /// do not apply, or apply without changing the structural fingerprint,
+    /// are no-ops: nothing is recorded.
+    fn apply(&mut self, e: &Engine) -> bool {
+        let pass = e.pass();
+        let Some(out) = apply_traced(pass.as_ref(), &self.netlist) else {
+            return false;
+        };
+        let fp = fingerprint(&out.netlist);
+        if fp == self.fp {
+            return false;
+        }
+        self.log.push(StepLog {
+            engine: e.clone(),
+            regs_before: out.stats_before.regs,
+            regs_after: out.stats_after.regs,
+            ands_before: out.stats_before.ands,
+            ands_after: out.stats_after.ands,
+            level_before: out.stats_before.max_level,
+            level_after: out.stats_after.max_level,
+        });
+        self.chain.push(out.cert);
+        self.netlist = out.netlist;
+        self.fp = fp;
+        true
+    }
+}
+
 pub(crate) fn enlarge_options(k: u32) -> EnlargeOptions {
     EnlargeOptions {
         k,
@@ -321,7 +360,102 @@ pub(crate) fn enlarge_options(k: u32) -> EnlargeOptions {
     }
 }
 
-/// Per-step log entry.
+/// Splits a pipeline spec on commas at parenthesis depth 0.
+fn split_elements(spec: &str) -> Result<Vec<&str>, String> {
+    let mut tokens = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, ch) in spec.char_indices() {
+        match ch {
+            '(' => depth += 1,
+            ')' => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| format!("unbalanced ')' in {spec:?}"))?;
+            }
+            ',' if depth == 0 => {
+                tokens.push(&spec[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 {
+        return Err(format!("unbalanced '(' in {spec:?}"));
+    }
+    tokens.push(&spec[start..]);
+    Ok(tokens)
+}
+
+/// Parses one element: `engine`, `engine*[:n]`, or `(e1,e2,…)*[:n]`.
+fn parse_element(token: &str) -> Result<Element, String> {
+    if let Some(rest) = token.strip_prefix('(') {
+        let close = rest
+            .find(')')
+            .ok_or_else(|| format!("unbalanced '(' in {token:?}"))?;
+        let engines = rest[..close]
+            .split(',')
+            .map(|e| parse_engine(e.trim()))
+            .collect::<Result<Vec<_>, _>>()?;
+        if engines.is_empty() {
+            return Err(format!("empty group in {token:?}"));
+        }
+        let bound = parse_star_tail(&rest[close + 1..], token)?;
+        Ok(Element::Star(engines, bound))
+    } else if let Some(star) = token.find('*') {
+        let engine = parse_engine(token[..star].trim())?;
+        let bound = parse_star_tail(&token[star..], token)?;
+        Ok(Element::Star(vec![engine], bound))
+    } else {
+        Ok(Element::Single(parse_engine(token)?))
+    }
+}
+
+/// Parses the `*` / `*:n` suffix of a star element.
+fn parse_star_tail(tail: &str, token: &str) -> Result<Option<u32>, String> {
+    match tail.strip_prefix('*') {
+        Some("") => Ok(None),
+        Some(rest) => match rest.strip_prefix(':') {
+            Some(num) => num
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("bad repeat bound in {token:?}")),
+            None => Err(format!("malformed star element {token:?}")),
+        },
+        None => Err(format!("malformed star element {token:?}")),
+    }
+}
+
+/// Parses one engine name with its optional `:arg`.
+fn parse_engine(element: &str) -> Result<Engine, String> {
+    let (name, arg) = match element.split_once(':') {
+        Some((n, a)) => (n, Some(a)),
+        None => (element, None),
+    };
+    match (name, arg) {
+        ("coi", None) => Ok(Engine::Coi),
+        ("com", None) => Ok(Engine::Com(SweepOptions::default())),
+        ("ret" | "retime", None) => Ok(Engine::Retime),
+        ("fold" | "phase", arg) => {
+            let preferred = match arg {
+                Some(a) => a.parse().map_err(|_| format!("bad fold factor {a:?}"))?,
+                None => 2,
+            };
+            Ok(Engine::Fold { preferred })
+        }
+        ("param" | "parametric", None) => Ok(Engine::Parametric),
+        ("enl" | "enlarge", arg) => {
+            let k = match arg {
+                Some(a) => a.parse().map_err(|_| format!("bad enlargement {a:?}"))?,
+                None => 1,
+            };
+            Ok(Engine::Enlarge(enlarge_options(k)))
+        }
+        _ => Err(format!("unknown pipeline element {element:?}")),
+    }
+}
+
+/// Per-applied-pass log entry (no-op passes are not logged).
 #[derive(Debug, Clone)]
 pub struct StepLog {
     /// The engine that ran.
@@ -330,6 +464,14 @@ pub struct StepLog {
     pub regs_before: usize,
     /// Registers after the step.
     pub regs_after: usize,
+    /// AND gates before the step.
+    pub ands_before: usize,
+    /// AND gates after the step.
+    pub ands_after: usize,
+    /// Maximum combinational depth before the step.
+    pub level_before: u32,
+    /// Maximum combinational depth after the step.
+    pub level_after: u32,
 }
 
 /// The outcome of running a pipeline.
@@ -338,9 +480,14 @@ pub struct PipelineResult {
     original_targets: usize,
     /// The transformed netlist.
     pub netlist: Netlist,
-    /// Back-translation steps per original target, in application order.
+    /// Back-translation steps per original target, in application order —
+    /// the bound-map half of [`PipelineResult::chain`], kept as a plain
+    /// vector for constant-time replay.
     pub steps: Vec<Vec<BackStep>>,
-    /// Per-engine log.
+    /// The composed certificate chain: bound maps *and* witness lifters for
+    /// every applied pass, in application order.
+    pub chain: CertificateChain,
+    /// Per-applied-pass log.
     pub log: Vec<StepLog>,
 }
 
@@ -357,6 +504,26 @@ impl PipelineResult {
             };
         }
         b
+    }
+
+    /// Lifts a counterexample found for target `index` of the *transformed*
+    /// netlist into a counterexample for the *original* netlist, replaying
+    /// the certificate chain's trace maps in reverse.
+    ///
+    /// Returns `None` when a lift step fails (empty witness, or the
+    /// enlargement corner case documented in [`diam_transform::pass`]) —
+    /// callers fall back to searching the original netlist directly.
+    pub fn lift_witness(&self, index: usize, w: &Witness) -> Option<Witness> {
+        self.chain.lift(index, w)
+    }
+
+    /// The proof-prefix obligation for target `index`: `Some(p)` when the
+    /// chain's bound map is purely additive (`d̂ ↦ d̂ + p`), in which case
+    /// "transformed netlist clean to depth D" plus "original netlist clean
+    /// to depth p − 1" proves the original clean to `D + p`. `None` when a
+    /// multiplicative (FOLD) step is present.
+    pub fn prefix_obligation(&self, index: usize) -> Option<u64> {
+        self.chain.prefix_obligation(index)
     }
 
     /// Structural bounds for all targets, back-translated to the original.
@@ -493,6 +660,19 @@ mod tests {
         }
     }
 
+    /// The docstring has always promised the canned `com` alias; the parser
+    /// used to silently treat it as the bare sweep engine, dropping the COI
+    /// step the alias includes.
+    #[test]
+    fn whole_spec_com_is_the_canned_pipeline() {
+        let parsed = Pipeline::parse("com").unwrap();
+        assert_eq!(parsed.to_string(), Pipeline::com().to_string());
+        assert_eq!(parsed.to_string(), "COI,COM");
+        // As an *element* of a longer spec, `com` is still the bare engine.
+        let element = Pipeline::parse("com,ret").unwrap();
+        assert_eq!(element.to_string(), "COM,RET");
+    }
+
     #[test]
     fn pipeline_display_lists_engines() {
         assert_eq!(Pipeline::new().to_string(), "none");
@@ -503,11 +683,28 @@ mod tests {
     }
 
     #[test]
+    fn star_elements_parse_and_display() {
+        let p = Pipeline::parse("coi,com*").unwrap();
+        assert_eq!(p.to_string(), "COI,COM*");
+        let p = Pipeline::parse("com*:3").unwrap();
+        assert_eq!(p.to_string(), "COM*:3");
+        let p = Pipeline::parse("(com,ret)*:2,enl:1").unwrap();
+        assert_eq!(p.to_string(), "(COM,RET)*:2,ENL(1)");
+        let p = Pipeline::parse("( com , ret )*").unwrap();
+        assert_eq!(p.to_string(), "(COM,RET)*");
+    }
+
+    #[test]
     fn parse_handles_arguments_and_rejects_garbage() {
         assert!(Pipeline::parse("coi,enl:2,fold:3").is_ok());
         assert!(Pipeline::parse("frobnicate").is_err());
         assert!(Pipeline::parse("enl:x").is_err());
         assert!(Pipeline::parse("fold:").is_err());
+        assert!(Pipeline::parse("com*x").is_err());
+        assert!(Pipeline::parse("com*:y").is_err());
+        assert!(Pipeline::parse("(com,ret").is_err());
+        assert!(Pipeline::parse("com,ret)*").is_err());
+        assert!(Pipeline::parse("()*").is_err());
     }
 
     #[test]
@@ -515,6 +712,36 @@ mod tests {
         let n = deep_pipeline();
         let result = Pipeline::new().run(&n);
         assert_eq!(result.back_translate(0, Bound::Finite(7)), Bound::Finite(7));
+        assert!(result.chain.is_empty());
+        assert_eq!(result.prefix_obligation(0), Some(0));
+    }
+
+    /// `com*` reaches the sweep's fixpoint: re-running the pipeline's final
+    /// netlist through another sweep changes nothing, and no-op iterations
+    /// contribute neither log entries nor certificates.
+    #[test]
+    fn star_runs_to_fixpoint() {
+        let n = deep_pipeline();
+        let star = Pipeline::parse("coi,com*").unwrap().run(&n);
+        use diam_transform::com::sweep;
+        let again = sweep(&star.netlist, &SweepOptions::default());
+        assert_eq!(
+            fingerprint(&again.netlist),
+            fingerprint(&star.netlist),
+            "com* must have converged"
+        );
+        assert_eq!(star.log.len(), star.chain.len(), "log mirrors the chain");
+        // Each logged COM step changed the netlist; the terminating no-op
+        // iteration is absent.
+        for step in &star.log {
+            assert!(
+                step.ands_before != step.ands_after
+                    || step.regs_before != step.regs_after
+                    || step.level_before != step.level_after
+                    || matches!(step.engine, Engine::Coi),
+                "no-op steps must be skipped: {step:?}"
+            );
+        }
     }
 
     #[test]
@@ -530,6 +757,7 @@ mod tests {
         let result = pipe.run(&n);
         assert_eq!(result.netlist.num_regs(), 1);
         assert_eq!(result.steps[0], vec![BackStep::Mul(2)]);
+        assert_eq!(result.prefix_obligation(0), None, "Mul blocks the prefix");
         check_sound(&n, &pipe);
     }
 
@@ -551,20 +779,18 @@ mod tests {
         }));
         let result = pipe.run(&n);
         assert_eq!(result.steps[0], vec![BackStep::Add(2)]);
+        assert_eq!(result.prefix_obligation(0), Some(2));
         check_sound(&n, &pipe);
     }
 
     #[test]
     fn composed_back_translation_order() {
-        // Mul then Add recorded: back-translation applies Add first then
-        // Mul… no: steps are recorded in application order and replayed in
-        // reverse, so a Fold (×c) followed by Enlarge (+k) maps b to
-        // (b + k)·c? No — reverse order: enlarge was applied last, so its
-        // +k happens first: c·b + … Verify concretely.
+        // Steps are recorded in application order and replayed in reverse.
         let result = PipelineResult {
             original_targets: 1,
             netlist: Netlist::new(),
             steps: vec![vec![BackStep::Mul(3), BackStep::Add(2)]],
+            chain: CertificateChain::new(),
             log: Vec::new(),
         };
         // Applied order: fold(×3) then enlarge(+2). A bound b on the final
@@ -574,6 +800,25 @@ mod tests {
             result.back_translate(0, Bound::Finite(4)),
             Bound::Finite(18)
         );
+    }
+
+    /// End-to-end witness lifting through a full pipeline: a counterexample
+    /// found on the `coi,com,ret,com` netlist replays on the original.
+    #[test]
+    fn pipeline_lifts_witnesses_through_the_chain() {
+        let n = deep_pipeline();
+        let result = Pipeline::com_ret_com().run(&n);
+        // The retimed pipeline is combinational: the single input hits the
+        // target immediately.
+        let w = Witness {
+            inputs: vec![vec![true; result.netlist.num_inputs()]],
+            nondet_init: vec![false; result.netlist.num_regs()],
+        };
+        assert!(w.replays_to(&result.netlist, result.target_lit(0)));
+        let lifted = result.lift_witness(0, &w).expect("chain lifts");
+        assert_eq!(lifted.inputs.len(), 6, "depth 0 + skew 5 → 6 frames");
+        assert!(lifted.replays_to(&n, n.targets()[0].lit));
+        assert_eq!(result.prefix_obligation(0), Some(5));
     }
 
     #[test]

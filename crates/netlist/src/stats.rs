@@ -115,6 +115,70 @@ pub fn stats(n: &Netlist) -> NetlistStats {
     }
 }
 
+/// A cheap structural fingerprint of a netlist: a 64-bit FNV-1a hash over
+/// every gate's kind, fanin literals, register next-state / initial-value
+/// functions, and the target list.
+///
+/// Two structurally identical netlists (same gates in the same order, same
+/// connections, same targets) always hash equal; the pass manager uses this
+/// to detect no-op transformations and fixpoints of `com*`-style repeated
+/// pipelines without a full structural comparison.
+///
+/// # Examples
+///
+/// ```
+/// use diam_netlist::{stats::fingerprint, Init, Netlist};
+///
+/// let mut n = Netlist::new();
+/// let i = n.input("i");
+/// let before = fingerprint(&n);
+/// let r = n.reg("r", Init::Zero);
+/// n.set_next(r, i.lit());
+/// assert_ne!(before, fingerprint(&n), "structure changed, hash changed");
+/// assert_eq!(fingerprint(&n), fingerprint(&n.clone()));
+/// ```
+pub fn fingerprint(n: &Netlist) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut mix = |x: u64| {
+        for byte in x.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    let lit_code = |l: crate::Lit| (l.gate().index() as u64) << 1 | u64::from(l.is_complement());
+    for g in n.gates() {
+        match n.kind(g) {
+            GateKind::Const0 => mix(0),
+            GateKind::Input => mix(1),
+            GateKind::And(a, b) => {
+                mix(2);
+                mix(lit_code(a));
+                mix(lit_code(b));
+            }
+            GateKind::Reg => {
+                mix(3);
+                mix(lit_code(n.reg_next(g)));
+                match n.reg_init(g) {
+                    Init::Zero => mix(4),
+                    Init::One => mix(5),
+                    Init::Nondet => mix(6),
+                    Init::Fn(l) => {
+                        mix(7);
+                        mix(lit_code(l));
+                    }
+                }
+            }
+        }
+    }
+    mix(8);
+    for t in n.targets() {
+        mix(lit_code(t.lit));
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,5 +208,34 @@ mod tests {
         let text = st.to_string();
         assert!(text.contains("registers 2"));
         assert!(text.contains("1 cyclic"));
+    }
+
+    #[test]
+    fn fingerprint_tracks_structure() {
+        let mut n = Netlist::new();
+        let a = n.input("a").lit();
+        let b = n.input("b").lit();
+        let x = n.and(a, b);
+        let f0 = fingerprint(&n);
+        assert_eq!(f0, fingerprint(&n.clone()), "clone hashes identically");
+
+        // Adding a target changes the hash even though no gate changes.
+        let mut with_target = n.clone();
+        with_target.add_target(x, "t");
+        assert_ne!(f0, fingerprint(&with_target));
+
+        // Complementing a target literal changes the hash.
+        let mut neg_target = n.clone();
+        neg_target.add_target(!x, "t");
+        assert_ne!(fingerprint(&with_target), fingerprint(&neg_target));
+
+        // Changing a register's init kind changes the hash.
+        let mut n1 = n.clone();
+        let r1 = n1.reg("r", Init::Zero);
+        n1.set_next(r1, x);
+        let mut n2 = n.clone();
+        let r2 = n2.reg("r", Init::Nondet);
+        n2.set_next(r2, x);
+        assert_ne!(fingerprint(&n1), fingerprint(&n2));
     }
 }

@@ -2,9 +2,10 @@
 //!
 //! The build environment for this repository has no access to crates.io, so
 //! the workspace vendors the *subset* of the proptest API its test-suites
-//! actually use: [`Strategy`] with `prop_map`, [`any`], integer-range
-//! strategies, tuple composition, [`collection::vec`], the [`proptest!`]
-//! macro with `#![proptest_config(...)]`, and `prop_assert*`.
+//! actually use: [`strategy::Strategy`] with `prop_map`,
+//! [`arbitrary::any`], integer-range strategies, tuple composition,
+//! [`collection::vec()`], the [`proptest!`] macro with
+//! `#![proptest_config(...)]`, and `prop_assert*`.
 //!
 //! Differences from the real crate, by design:
 //!
@@ -278,7 +279,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

@@ -223,12 +223,9 @@ impl Classes {
 /// assert_eq!(result.netlist.num_regs(), 1);
 /// ```
 pub fn sweep(n: &Netlist, opts: &SweepOptions) -> SweepResult {
-    let mut sp = diam_obs::span!(
-        "com.sweep",
-        induction_depth = opts.induction_depth,
-        sim_rounds = opts.sim_rounds
-    );
-    crate::span_stats_before(&mut sp, n);
+    // Observability: the pass framework wraps this engine in the unified
+    // `pass.apply` span (see `crate::pass`); `com.round` events and the SAT
+    // attribution from `solve_traced` land on whatever span is current.
     let mut rng = SplitMix64::new(opts.seed);
 
     // --- 1. Candidate classes from sequential simulation -----------------
@@ -334,9 +331,6 @@ pub fn sweep(n: &Netlist, opts: &SweepOptions) -> SweepResult {
         merges += 1;
     }
     let Rebuilt { netlist, map } = rebuild(n, &repr);
-    sp.record("merges", merges);
-    sp.record("refinements", refinements);
-    crate::span_stats_after(&mut sp, &netlist);
     SweepResult {
         netlist,
         map,

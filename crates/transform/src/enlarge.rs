@@ -115,25 +115,8 @@ pub struct Enlarged {
 /// # Ok::<(), diam_transform::enlarge::EnlargeError>(())
 /// ```
 pub fn enlarge(n: &Netlist, index: usize, opts: &EnlargeOptions) -> Result<Enlarged, EnlargeError> {
-    let mut sp = diam_obs::span!("enlarge", index = index, k = opts.k);
-    crate::span_stats_before(&mut sp, n);
-    let result = enlarge_impl(n, index, opts);
-    match &result {
-        Ok(e) => {
-            sp.record("ok", true);
-            sp.record("collapsed", e.collapsed);
-            crate::span_stats_after(&mut sp, &e.netlist);
-        }
-        Err(_) => sp.record("ok", false),
-    }
-    result
-}
-
-fn enlarge_impl(
-    n: &Netlist,
-    index: usize,
-    opts: &EnlargeOptions,
-) -> Result<Enlarged, EnlargeError> {
+    // Observability: the pass framework wraps this engine in the unified
+    // `pass.apply` span (see `crate::pass`); no ad-hoc span here.
     let target = n
         .targets()
         .get(index)

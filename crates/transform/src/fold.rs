@@ -173,24 +173,8 @@ impl Folded {
 /// # Ok::<(), diam_transform::fold::FoldError>(())
 /// ```
 pub fn fold(n: &Netlist, coloring: &Coloring, keep: u32) -> Result<Folded, FoldError> {
-    let mut sp = diam_obs::span!("fold", c = coloring.c, keep = keep);
-    crate::span_stats_before(&mut sp, n);
-    let result = fold_impl(n, coloring, keep);
-    match &result {
-        Ok(folded) => {
-            sp.record("ok", true);
-            sp.record(
-                "regs_removed",
-                folded.regs_before.saturating_sub(folded.regs_after),
-            );
-            crate::span_stats_after(&mut sp, &folded.netlist);
-        }
-        Err(_) => sp.record("ok", false),
-    }
-    result
-}
-
-fn fold_impl(n: &Netlist, coloring: &Coloring, keep: u32) -> Result<Folded, FoldError> {
+    // Observability: the pass framework wraps this engine in the unified
+    // `pass.apply` span (see `crate::pass`); no ad-hoc span here.
     let c = coloring.c;
     if c < 2 {
         return Err(FoldError::TrivialFactor);
@@ -208,10 +192,14 @@ fn fold_impl(n: &Netlist, coloring: &Coloring, keep: u32) -> Result<Folded, Fold
             }
         }
     }
-    let color_of = |r: Gate| -> u32 {
-        let pos = n.regs().iter().position(|&x| x == r).expect("register");
-        coloring.colors[pos]
-    };
+    // Precomputed gate → register-position map: `color_of` is hit once per
+    // register fanin during translation, so the old `position()` scan made
+    // eligibility and folding O(regs²) on register-heavy designs.
+    let mut reg_pos = vec![usize::MAX; n.num_gates()];
+    for (j, &r) in regs.iter().enumerate() {
+        reg_pos[r.index()] = j;
+    }
+    let color_of = move |r: Gate| -> u32 { coloring.colors[reg_pos[r.index()]] };
 
     let mut out = Netlist::new();
     let mut map: Vec<Option<Lit>> = vec![None; n.num_gates()];
@@ -301,13 +289,17 @@ pub fn phase_abstract(n: &Netlist) -> Option<Folded> {
     if coloring.c < 2 {
         return None;
     }
-    // Find the color the targets observe; bail out on mixed support.
+    // Find the color the targets observe; bail out on mixed support. The
+    // gate → register-position map keeps this linear in the support size.
+    let mut reg_pos = vec![usize::MAX; n.num_gates()];
+    for (j, &r) in n.regs().iter().enumerate() {
+        reg_pos[r.index()] = j;
+    }
     let mut keep: Option<u32> = None;
     for t in n.targets() {
         let sup = diam_netlist::analysis::support(n, t.lit);
         for r in sup.regs {
-            let pos = n.regs().iter().position(|&x| x == r)?;
-            let c = coloring.colors[pos];
+            let c = coloring.colors[reg_pos[r.index()]];
             match keep {
                 None => keep = Some(c),
                 Some(k) if k != c => return None,

@@ -19,6 +19,12 @@
 //! SAT solver), [`flow`] (the min-cost-flow solver behind retiming), and
 //! [`bridge`] (netlist ↔ BDD conversion).
 //!
+//! The [`pass`] module wraps every engine in a uniform [`pass::Pass`]
+//! interface whose output carries a [`pass::Certificate`]: the bound
+//! back-translation *and* a counterexample lifter, so pipelines can both
+//! shrink bounds and replay transformed-netlist witnesses on the original
+//! design.
+//!
 //! The paper's target-enlargement caveat is worth restating here: an
 //! enlarged target may *obscure deassertions* (its mod-c counter example),
 //! so enlargement yields only the `d̂ + k` hittability bound of Theorem 4 —
@@ -32,31 +38,6 @@ pub mod enlarge;
 pub mod flow;
 pub mod fold;
 pub mod parametric;
+pub mod pass;
 pub mod retime;
 pub mod unroll;
-
-/// Records before-transform structural statistics on `sp` (no-op — not even
-/// the stats walk — when observability is off).
-pub(crate) fn span_stats_before(sp: &mut diam_obs::SpanGuard, n: &diam_netlist::Netlist) {
-    if !diam_obs::enabled() {
-        return;
-    }
-    let s = diam_netlist::stats::stats(n);
-    sp.record("ands_before", s.ands);
-    sp.record("regs_before", s.regs);
-    sp.record("inputs_before", s.inputs);
-    sp.record("level_before", s.max_level);
-}
-
-/// Records after-transform structural statistics on `sp`; paired with
-/// [`span_stats_before`], the close event carries the full delta.
-pub(crate) fn span_stats_after(sp: &mut diam_obs::SpanGuard, n: &diam_netlist::Netlist) {
-    if !diam_obs::enabled() {
-        return;
-    }
-    let s = diam_netlist::stats::stats(n);
-    sp.record("ands_after", s.ands);
-    sp.record("regs_after", s.regs);
-    sp.record("inputs_after", s.inputs);
-    sp.record("level_after", s.max_level);
-}

@@ -62,6 +62,13 @@ pub struct Reencoded {
     pub params: Vec<Gate>,
     /// Whether the cut's range was complete (pure cut-to-input rewrite).
     pub complete_range: bool,
+    /// The cut literals that were re-encoded, in the original netlist.
+    pub cut: Vec<Lit>,
+    /// The re-encoded value of each cut literal in the new netlist, when it
+    /// survived the rebuild (`None` when the parametric function was merged
+    /// away and left unobservable). Certificate lifters invert the
+    /// re-encoding per time frame by constraining the surviving entries.
+    pub cut_new: Vec<Option<Lit>>,
 }
 
 /// Re-encodes the given cut literals parametrically.
@@ -91,22 +98,8 @@ pub struct Reencoded {
 /// # Ok::<(), diam_transform::parametric::ReencodeError>(())
 /// ```
 pub fn reencode(n: &Netlist, cut: &[Lit]) -> Result<Reencoded, ReencodeError> {
-    let mut sp = diam_obs::span!("parametric.reencode", cut = cut.len());
-    crate::span_stats_before(&mut sp, n);
-    let result = reencode_impl(n, cut);
-    match &result {
-        Ok(re) => {
-            sp.record("ok", true);
-            sp.record("params", re.params.len());
-            sp.record("complete_range", re.complete_range);
-            crate::span_stats_after(&mut sp, &re.netlist);
-        }
-        Err(_) => sp.record("ok", false),
-    }
-    result
-}
-
-fn reencode_impl(n: &Netlist, cut: &[Lit]) -> Result<Reencoded, ReencodeError> {
+    // Observability: the pass framework wraps this engine in the unified
+    // `pass.apply` span (see `crate::pass`); no ad-hoc span here.
     if cut.is_empty() {
         return Err(ReencodeError::EmptyCut);
     }
@@ -242,11 +235,21 @@ fn reencode_impl(n: &Netlist, cut: &[Lit]) -> Result<Reencoded, ReencodeError> {
         .iter()
         .filter_map(|&p| map[p.index()].map(|l| l.gate()))
         .collect();
+    // Where each cut literal's value lives in the new netlist. The cut gate
+    // itself was merged into its parametric function `g_lits[i]`, which the
+    // rebuild does not memoize under the cut gate's index — so resolve
+    // through the synthesized literal instead: value(cut[i]) = value(g_i).
+    let cut_new: Vec<Option<Lit>> = g_lits
+        .iter()
+        .map(|&g| map[g.gate().index()].map(|m| m.xor_complement(g.is_complement())))
+        .collect();
     Ok(Reencoded {
         netlist,
         map,
         params: new_params,
         complete_range,
+        cut: cut.to_vec(),
+        cut_new,
     })
 }
 

@@ -116,24 +116,8 @@ impl RetimedNetlist {
 /// # Ok::<(), diam_transform::retime::RetimeError>(())
 /// ```
 pub fn retime(n: &Netlist) -> Result<RetimedNetlist, RetimeError> {
-    let mut sp = diam_obs::span!("retime");
-    crate::span_stats_before(&mut sp, n);
-    let result = retime_impl(n);
-    match &result {
-        Ok(ret) => {
-            sp.record("ok", true);
-            sp.record(
-                "regs_removed",
-                ret.regs_before.saturating_sub(ret.regs_after),
-            );
-            crate::span_stats_after(&mut sp, &ret.netlist);
-        }
-        Err(_) => sp.record("ok", false),
-    }
-    result
-}
-
-fn retime_impl(n: &Netlist) -> Result<RetimedNetlist, RetimeError> {
+    // Observability: the pass framework wraps this engine in the unified
+    // `pass.apply` span (see `crate::pass`); no ad-hoc span here.
     // --- validate inits ----------------------------------------------------
     for &r in n.regs() {
         if let Init::Fn(l) = n.reg_init(r) {

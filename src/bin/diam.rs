@@ -14,7 +14,9 @@
 //!
 //! OPTIONS:
 //!   --pipeline <P>   none | com | com-ret-com | a comma list of
-//!                    coi, com, ret, fold[:c], enl[:k]   (default com-ret-com)
+//!                    coi, com, ret, fold[:c], enl[:k], param — each
+//!                    optionally starred into a fixpoint group, e.g.
+//!                    com* or (com,ret)*:2       (default com-ret-com)
 //!   --threshold <N>  usefulness threshold       (default 50)
 //!   --depth-cap <N>  refuse BMC beyond N        (default 10000)
 //!   --explain        for `bound`: print the dominant component chain of
@@ -72,10 +74,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             file => files.push(file.to_string()),
         }
     }
-    let pipeline = match pipeline_name.as_str() {
-        "com" => Pipeline::com(),
-        spec => Pipeline::parse(spec)?,
-    };
+    // `Pipeline::parse` owns the full grammar, including the canned
+    // whole-spec aliases (`com`, `com-ret-com`).
+    let pipeline = Pipeline::parse(&pipeline_name)?;
     Ok(Options {
         pipeline,
         pipeline_name,

@@ -86,6 +86,37 @@ fn custom_pipeline_spec_is_accepted() {
     assert!(out.contains("_enl1"), "{out}");
 }
 
+/// Regression: the whole-spec `com` alias must mean the canned COI+COM
+/// pipeline (as the usage text promises), not the bare sweep engine — the
+/// parser used to silently drop the COI step on this path.
+#[test]
+fn pipeline_com_alias_is_the_canned_pipeline() {
+    let dir = std::env::temp_dir();
+    let f = fixture(&dir, "diam_cli_com_alias.aag", LOCKSTEP);
+    let (out, ok) = run(&["bound", "--pipeline", "com", f.to_str().unwrap()]);
+    assert!(ok, "{out}");
+    assert!(out.contains("pipeline com"), "{out}");
+    assert!(out.contains("2/2 targets below the threshold"), "{out}");
+    // The canned alias and its expansion agree bound-for-bound.
+    let (expanded, ok) = run(&["bound", "--pipeline", "coi,com", f.to_str().unwrap()]);
+    assert!(ok, "{expanded}");
+    let tail = |s: &str| s.lines().skip(1).map(String::from).collect::<Vec<_>>();
+    assert_eq!(tail(&out), tail(&expanded));
+}
+
+/// Fixpoint groups parse end-to-end through the CLI.
+#[test]
+fn star_pipeline_spec_is_accepted() {
+    let dir = std::env::temp_dir();
+    let f = fixture(&dir, "diam_cli_star.aag", LOCKSTEP);
+    let (out, ok) = run(&["bound", "--pipeline", "coi,com*", f.to_str().unwrap()]);
+    assert!(ok, "{out}");
+    assert!(out.contains("2/2 targets below the threshold"), "{out}");
+    let (out, ok) = run(&["solve", "--pipeline", "(com,ret)*:2", f.to_str().unwrap()]);
+    assert!(ok, "{out}");
+    assert!(out.contains("1 proved, 1 failed, 0 open"), "{out}");
+}
+
 #[test]
 fn bad_arguments_fail_cleanly() {
     let (_, ok) = run(&["frobnicate"]);

@@ -152,15 +152,17 @@ fn jsonl_schema_round_trip() {
     assert!(saw_target, "at least one bound.target close span");
 }
 
-/// Transform spans record before/after netlist statistics, and SAT work is
-/// attributed to the enclosing span via the drop-time `sat_*` fields.
+/// Transform passes share one `pass.apply` span schema: the close event
+/// records before/after netlist statistics and pass-specific details, and
+/// SAT work is attributed via the drop-time `sat_*` fields.
 #[test]
 fn transform_spans_carry_stats_deltas() {
     use diam::netlist::{Init, Netlist};
-    use diam::transform::com::{sweep, SweepOptions};
+    use diam::transform::com::SweepOptions;
+    use diam::transform::pass::{apply_traced, ComPass};
     // A lockstep pair: `r` and `s` are sequentially equivalent, which the
     // sweep can only discover through its SAT check — guaranteeing nonzero
-    // `sat_*` attribution on the `com.sweep` span.
+    // `sat_*` attribution on the `pass.apply` span.
     let mut n = Netlist::new();
     let a = n.input("a");
     let r = n.reg("r", Init::Zero);
@@ -172,18 +174,32 @@ fn transform_spans_carry_stats_deltas() {
     let t = n.and(r.lit(), !s.lit());
     n.add_target(t, "diverge");
     let session = json_session("test-deltas");
-    let _ = sweep(&n, &SweepOptions::default());
+    let _ = apply_traced(&ComPass(SweepOptions::default()), &n);
     let report = session.finish();
+    // The open event names the engine via the `pass` field.
+    let open = report
+        .events
+        .iter()
+        .find_map(|e| match &e.kind {
+            EventKind::Open { name, fields, .. } if *name == "pass.apply" => Some(fields.clone()),
+            _ => None,
+        })
+        .expect("pass.apply open event");
+    assert!(
+        open.iter().any(|(name, _)| *name == "pass"),
+        "pass.apply open carries `pass`: {open:?}"
+    );
     let close = report
         .events
         .iter()
         .find_map(|e| match &e.kind {
-            EventKind::Close { name, fields, .. } if *name == "com.sweep" => Some(fields.clone()),
+            EventKind::Close { name, fields, .. } if *name == "pass.apply" => Some(fields.clone()),
             _ => None,
         })
-        .expect("com.sweep close event");
+        .expect("pass.apply close event");
     let key = |k: &str| close.iter().any(|(name, _)| *name == k);
     for k in [
+        "ok",
         "ands_before",
         "regs_before",
         "ands_after",
@@ -192,7 +208,7 @@ fn transform_spans_carry_stats_deltas() {
         "refinements",
         "sat_solves",
     ] {
-        assert!(key(k), "com.sweep close carries `{k}`: {close:?}");
+        assert!(key(k), "pass.apply close carries `{k}`: {close:?}");
     }
 }
 
