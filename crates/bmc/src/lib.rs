@@ -59,6 +59,10 @@ fn solve_traced(solver: &mut Solver, assumptions: &[SatLit], depth: u64) -> Solv
     let r = solver.solve_with(assumptions);
     let d = solver.stats_ref().delta_since(&before);
     diam_obs::charge_sat(d.conflicts, d.decisions, d.propagations);
+    diam_obs::charge_sat_gc(d.gc_runs, d.gc_freed_bytes, d.arena_bytes);
+    for (i, &n) in d.lbd_hist.iter().enumerate() {
+        diam_obs::histogram_record_n("sat.lbd", (i + 1) as u64, n);
+    }
     diam_obs::event!(
         "sat.solve",
         depth = depth,
@@ -72,6 +76,20 @@ fn solve_traced(solver: &mut Solver, assumptions: &[SatLit], depth: u64) -> Solv
         propagations = d.propagations
     );
     r
+}
+
+/// [`Solver::inprocess`] plus observability: arena-GC work performed at the
+/// level-0 boundary is charged to the open spans and the `sat.arena_bytes`
+/// gauge is refreshed.
+fn inprocess_traced(solver: &mut Solver) {
+    if !diam_obs::enabled() {
+        solver.inprocess();
+        return;
+    }
+    let before = *solver.stats_ref();
+    solver.inprocess();
+    let d = solver.stats_ref().delta_since(&before);
+    diam_obs::charge_sat_gc(d.gc_runs, d.gc_freed_bytes, d.arena_bytes);
 }
 
 /// Options for [`check`].
@@ -156,7 +174,13 @@ pub fn check(n: &Netlist, index: usize, opts: &BmcOptions) -> BmcOutcome {
                 sp.record("depth", depth);
                 return BmcOutcome::Counterexample { depth, witness };
             }
-            SolveResult::Unsat => continue,
+            SolveResult::Unsat => {
+                // Natural level-0 boundary: this depth is clean, the next
+                // frame is about to be encoded — let the solver clean up
+                // (root-fact simplification + arena GC, both self-gated).
+                inprocess_traced(&mut solver);
+                continue;
+            }
             SolveResult::Unknown => {
                 sp.record("outcome", "unknown");
                 sp.record("depth", depth);
@@ -328,6 +352,10 @@ fn check_all_shared(n: &Netlist, opts: &BmcOptions) -> Vec<BmcOutcome> {
         if outcomes.iter().all(Option::is_some) {
             break 'depth;
         }
+        // Level-0 boundary between depths of the shared unrolling: the
+        // incremental solver lives for the whole sweep, so tombstone
+        // cleanup matters most here.
+        inprocess_traced(&mut solver);
     }
     outcomes
         .into_iter()
@@ -468,7 +496,10 @@ fn run_chunk(
                 sp.record("depth", depth);
                 return ChunkOutcome::Cex { depth, witness };
             }
-            SolveResult::Unsat => {}
+            SolveResult::Unsat => {
+                // Level-0 boundary after a clean depth (self-gated cleanup).
+                inprocess_traced(&mut solver);
+            }
             SolveResult::Unknown => {
                 frontier.record(depth);
                 sp.record("outcome", "unknown");

@@ -359,6 +359,10 @@ pub struct SatTotals {
     pub decisions: u64,
     /// Propagations.
     pub propagations: u64,
+    /// Clause-arena garbage collections (see [`charge_sat_gc`]).
+    pub gc_runs: u64,
+    /// Bytes reclaimed by arena GC.
+    pub gc_freed_bytes: u64,
 }
 
 impl SatTotals {
@@ -368,6 +372,8 @@ impl SatTotals {
             conflicts: self.conflicts - earlier.conflicts,
             decisions: self.decisions - earlier.decisions,
             propagations: self.propagations - earlier.propagations,
+            gc_runs: self.gc_runs - earlier.gc_runs,
+            gc_freed_bytes: self.gc_freed_bytes - earlier.gc_freed_bytes,
         }
     }
 
@@ -547,6 +553,10 @@ impl Drop for SpanGuard {
                 fields.push(("sat_conflicts", Value::U64(sat.conflicts)));
                 fields.push(("sat_decisions", Value::U64(sat.decisions)));
                 fields.push(("sat_propagations", Value::U64(sat.propagations)));
+                if sat.gc_runs > 0 {
+                    fields.push(("sat_gc_runs", Value::U64(sat.gc_runs)));
+                    fields.push(("sat_gc_freed_bytes", Value::U64(sat.gc_freed_bytes)));
+                }
             }
             push_event(
                 t,
@@ -709,6 +719,48 @@ pub fn histogram_record(name: &'static str, value: u64) {
             buckets[b] += 1;
         }
     });
+}
+
+/// Records `n` occurrences of `value` into a named power-of-two-bucketed
+/// histogram in one locked update. Used to merge pre-bucketed histograms
+/// (e.g. the SAT solver's per-solve LBD histogram) without `n` separate
+/// metric-table round trips.
+pub fn histogram_record_n(name: &'static str, value: u64, n: u64) {
+    if !enabled() || n == 0 {
+        return;
+    }
+    with_metric(name, Metric::new_histogram, |m| {
+        if let Metric::Histogram {
+            count,
+            sum,
+            buckets,
+        } = m
+        {
+            *count += n;
+            *sum = sum.saturating_add(value.saturating_mul(n));
+            let b = (64 - value.leading_zeros()) as usize;
+            buckets[b] += n;
+        }
+    });
+}
+
+/// Reports clause-arena maintenance deltas from one SAT solve: GC runs,
+/// bytes reclaimed, and the arena's current live size. GC work is attributed
+/// to the open spans (close events gain `sat_gc_runs` / `sat_gc_freed_bytes`
+/// when nonzero); `arena_bytes` is a level, exported as a gauge.
+pub fn charge_sat_gc(gc_runs: u64, freed_bytes: u64, arena_bytes: u64) {
+    if !enabled() {
+        return;
+    }
+    if gc_runs > 0 {
+        with_tls(|t| {
+            t.sat.gc_runs += gc_runs;
+            t.sat.gc_freed_bytes += freed_bytes;
+        });
+        counter_add("sat.gc_runs", gc_runs);
+        counter_add("sat.gc_freed_bytes", freed_bytes);
+    }
+    gauge_set("sat.arena_bytes", arena_bytes as i64);
 }
 
 /// Reports one SAT solve's statistic deltas. Updates this thread's span
@@ -1437,6 +1489,50 @@ mod tests {
             other => panic!("expected close, got {other:?}"),
         }
         assert_eq!(report.metrics["sat.solves"], Metric::Counter(2));
+    }
+
+    #[test]
+    fn sat_gc_charges_attach_to_spans_and_gauge() {
+        let session = quiet_session();
+        {
+            let _outer = span!("job");
+            charge_sat(1, 2, 3);
+            charge_sat_gc(2, 4096, 1024);
+        }
+        let report = session.finish();
+        match &report.events[1].kind {
+            EventKind::Close { fields, .. } => {
+                assert!(fields.contains(&("sat_gc_runs", Value::U64(2))));
+                assert!(fields.contains(&("sat_gc_freed_bytes", Value::U64(4096))));
+            }
+            other => panic!("expected close, got {other:?}"),
+        }
+        assert_eq!(report.metrics["sat.gc_runs"], Metric::Counter(2));
+        assert_eq!(report.metrics["sat.gc_freed_bytes"], Metric::Counter(4096));
+        assert_eq!(report.metrics["sat.arena_bytes"], Metric::Gauge(1024));
+    }
+
+    #[test]
+    fn histogram_record_n_merges_buckets() {
+        let session = quiet_session();
+        histogram_record("hn", 5);
+        histogram_record_n("hn", 5, 3);
+        histogram_record_n("hn", 1000, 2);
+        histogram_record_n("hn", 7, 0); // no-op
+        let report = session.finish();
+        match &report.metrics["hn"] {
+            Metric::Histogram {
+                count,
+                sum,
+                buckets,
+            } => {
+                assert_eq!(*count, 6);
+                assert_eq!(*sum, 5 + 15 + 2000);
+                assert_eq!(buckets[3], 4); // 5 = 3 bits
+                assert_eq!(buckets[10], 2); // 1000 = 10 bits
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,10 +1,23 @@
-//! A CDCL SAT solver in the MiniSat lineage.
+//! A CDCL SAT solver in the MiniSat/Glucose lineage.
 //!
-//! Features: two-watched-literal propagation with blockers, VSIDS variable
-//! activities with an indexed heap, phase saving, first-UIP conflict
-//! analysis with local clause minimization, Luby restarts, learnt-clause
-//! database reduction, incremental solving under assumptions, and an
-//! optional conflict budget for anytime use.
+//! Features: a flat `u32` clause arena with a compacting garbage collector,
+//! two-watched-literal propagation with blockers, VSIDS variable activities
+//! with an indexed heap, phase saving, first-UIP conflict analysis with
+//! local clause minimization, LBD (glue) computation at learning time,
+//! tiered learnt-clause reduction (core / mid / local), Luby restarts with
+//! glue-aware postponement, incremental solving under assumptions, level-0
+//! inprocessing hooks, and an optional conflict budget for anytime use.
+//!
+//! ## Clause arena
+//!
+//! Clauses live contiguously in one `Vec<u32>` ([`Arena`]): a 3-word header
+//! (size; flags + LBD; activity as `f32` bits) followed by the literal
+//! codes. A [`CRef`] is the word offset of the header. Deletion tombstones
+//! the header; the collector ([`Solver::gc`]) compacts live clauses into a
+//! fresh arena and rewrites every watcher list, `reason[]` entry, and
+//! clause-list reference through forwarding pointers left in the old
+//! headers — so long-lived incremental solvers (BMC unrollers held open
+//! across hundreds of frames, sweeping loops) stop leaking tombstones.
 
 use crate::{LBool, Lit, Var};
 
@@ -19,21 +32,166 @@ pub enum SolveResult {
     Unknown,
 }
 
-#[derive(Debug, Clone)]
-struct Clause {
-    lits: Vec<Lit>,
-    learnt: bool,
-    deleted: bool,
-    activity: f64,
+/// A clause reference: the word offset of the clause header in the arena.
+type CRef = u32;
+
+const NO_REASON: CRef = u32::MAX;
+
+/// Words in a clause header: `[size, flags|lbd, activity]`.
+const HEADER_WORDS: usize = 3;
+const F_LEARNT: u32 = 1 << 0;
+const F_DELETED: u32 = 1 << 1;
+const F_RELOCATED: u32 = 1 << 2;
+const F_PROTECTED: u32 = 1 << 3;
+const LBD_SHIFT: u32 = 4;
+const LBD_MAX: u32 = (1 << 28) - 1;
+
+/// Learnt clauses with LBD at or below this are *core*: kept forever.
+const CORE_LBD: u32 = 2;
+/// Learnt clauses with LBD at or below this are *mid*: they survive a
+/// reduction round when recently used in conflict analysis.
+const MID_LBD: u32 = 6;
+
+/// The flat clause store. See the module docs for the layout.
+#[derive(Debug, Clone, Default)]
+struct Arena {
+    data: Vec<u32>,
+    /// Words occupied by tombstoned clauses and shrunk-away literals;
+    /// reclaimable by [`Solver::gc`].
+    wasted: usize,
+}
+
+impl Arena {
+    fn alloc(&mut self, lits: &[Lit], learnt: bool, lbd: u32, activity: f32) -> CRef {
+        let r = u32::try_from(self.data.len()).expect("clause arena exceeds u32 words");
+        self.data.reserve(HEADER_WORDS + lits.len());
+        self.data.push(lits.len() as u32);
+        let flags = if learnt { F_LEARNT } else { 0 };
+        self.data.push(flags | (lbd.min(LBD_MAX) << LBD_SHIFT));
+        self.data.push(activity.to_bits());
+        self.data.extend(lits.iter().map(|l| l.code() as u32));
+        r
+    }
+
+    #[inline]
+    fn len(&self, r: CRef) -> usize {
+        self.data[r as usize] as usize
+    }
+
+    #[inline]
+    fn lit(&self, r: CRef, i: usize) -> Lit {
+        Lit::from_code(self.data[r as usize + HEADER_WORDS + i] as usize)
+    }
+
+    #[inline]
+    fn set_lit(&mut self, r: CRef, i: usize, l: Lit) {
+        self.data[r as usize + HEADER_WORDS + i] = l.code() as u32;
+    }
+
+    #[inline]
+    fn flags(&self, r: CRef) -> u32 {
+        self.data[r as usize + 1]
+    }
+
+    #[inline]
+    fn is_learnt(&self, r: CRef) -> bool {
+        self.flags(r) & F_LEARNT != 0
+    }
+
+    #[inline]
+    fn is_deleted(&self, r: CRef) -> bool {
+        self.flags(r) & F_DELETED != 0
+    }
+
+    #[inline]
+    fn is_relocated(&self, r: CRef) -> bool {
+        self.flags(r) & F_RELOCATED != 0
+    }
+
+    #[inline]
+    fn is_protected(&self, r: CRef) -> bool {
+        self.flags(r) & F_PROTECTED != 0
+    }
+
+    fn set_protected(&mut self, r: CRef, on: bool) {
+        if on {
+            self.data[r as usize + 1] |= F_PROTECTED;
+        } else {
+            self.data[r as usize + 1] &= !F_PROTECTED;
+        }
+    }
+
+    #[inline]
+    fn lbd(&self, r: CRef) -> u32 {
+        self.flags(r) >> LBD_SHIFT
+    }
+
+    #[inline]
+    fn activity(&self, r: CRef) -> f32 {
+        f32::from_bits(self.data[r as usize + 2])
+    }
+
+    #[inline]
+    fn set_activity(&mut self, r: CRef, a: f32) {
+        self.data[r as usize + 2] = a.to_bits();
+    }
+
+    /// Tombstones the clause; the space is reclaimed by the next GC.
+    fn delete(&mut self, r: CRef) {
+        debug_assert!(!self.is_deleted(r));
+        self.wasted += HEADER_WORDS + self.len(r);
+        self.data[r as usize + 1] |= F_DELETED;
+    }
+
+    /// Shrinks the clause in place to its first `new_len` literals. The
+    /// abandoned tail words become waste for the next GC; sequential arena
+    /// walks are never performed, so the gap is harmless.
+    fn shrink(&mut self, r: CRef, new_len: usize) {
+        let old = self.len(r);
+        debug_assert!((2..old).contains(&new_len));
+        self.wasted += old - new_len;
+        self.data[r as usize] = new_len as u32;
+    }
+
+    /// Copies the clause into `new`, leaves a forwarding pointer in the old
+    /// header, and returns the new reference. Idempotent.
+    fn relocate(&mut self, r: CRef, new: &mut Vec<u32>) -> CRef {
+        if self.is_relocated(r) {
+            return self.forward(r);
+        }
+        debug_assert!(!self.is_deleted(r));
+        let nr = u32::try_from(new.len()).expect("clause arena exceeds u32 words");
+        let start = r as usize;
+        new.extend_from_slice(&self.data[start..start + HEADER_WORDS + self.len(r)]);
+        self.data[start] = nr; // size word becomes the forwarding pointer
+        self.data[start + 1] |= F_RELOCATED;
+        nr
+    }
+
+    /// The forwarding pointer of a relocated clause.
+    #[inline]
+    fn forward(&self, r: CRef) -> CRef {
+        debug_assert!(self.is_relocated(r));
+        self.data[r as usize]
+    }
+
+    /// Current arena footprint in bytes (live + tombstoned).
+    fn bytes(&self) -> usize {
+        self.data.len() * 4
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
 struct Watcher {
-    clause: u32,
+    clause: CRef,
     blocker: Lit,
 }
 
 /// Runtime statistics of a [`Solver`].
+///
+/// Most fields are monotone counters; `learnts`, `arena_bytes`, and
+/// `arena_wasted_bytes` are *levels* (current values). See
+/// [`delta_since`](SolverStats::delta_since) for the distinction.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SolverStats {
     /// Conflicts encountered.
@@ -44,14 +202,30 @@ pub struct SolverStats {
     pub propagations: u64,
     /// Restarts performed.
     pub restarts: u64,
-    /// Learnt clauses currently in the database.
+    /// Restarts postponed by the glue-aware (trail-size) heuristic.
+    pub blocked_restarts: u64,
+    /// Learnt clauses currently in the database (level, not counter).
     pub learnts: u64,
+    /// Arena garbage-collection passes performed.
+    pub gc_runs: u64,
+    /// Total bytes reclaimed by arena GC so far.
+    pub gc_freed_bytes: u64,
+    /// Current clause-arena footprint in bytes (level, not counter).
+    pub arena_bytes: u64,
+    /// Bytes currently tombstoned awaiting GC (level, not counter).
+    pub arena_wasted_bytes: u64,
+    /// Sum of LBD (glue) over all clauses learnt so far.
+    pub lbd_sum: u64,
+    /// Histogram of learnt-clause LBD: bucket `i < 7` counts clauses with
+    /// `lbd == i + 1`; bucket 7 counts `lbd >= 8`.
+    pub lbd_hist: [u64; 8],
 }
 
 impl SolverStats {
     /// The work performed since `earlier` was snapshotted: the monotone
-    /// counters subtract (saturating, so misuse never panics); `learnts` is
-    /// a level, not a counter, and carries the *current* value.
+    /// counters subtract (saturating, so misuse never panics); `learnts`,
+    /// `arena_bytes`, and `arena_wasted_bytes` are levels, not counters,
+    /// and carry the *current* value.
     ///
     /// # Examples
     ///
@@ -67,12 +241,28 @@ impl SolverStats {
     /// assert_eq!(delta.conflicts, 0);
     /// ```
     pub fn delta_since(&self, earlier: &SolverStats) -> SolverStats {
+        let mut lbd_hist = [0u64; 8];
+        for (d, (now, then)) in lbd_hist
+            .iter_mut()
+            .zip(self.lbd_hist.iter().zip(earlier.lbd_hist.iter()))
+        {
+            *d = now.saturating_sub(*then);
+        }
         SolverStats {
             conflicts: self.conflicts.saturating_sub(earlier.conflicts),
             decisions: self.decisions.saturating_sub(earlier.decisions),
             propagations: self.propagations.saturating_sub(earlier.propagations),
             restarts: self.restarts.saturating_sub(earlier.restarts),
+            blocked_restarts: self
+                .blocked_restarts
+                .saturating_sub(earlier.blocked_restarts),
             learnts: self.learnts,
+            gc_runs: self.gc_runs.saturating_sub(earlier.gc_runs),
+            gc_freed_bytes: self.gc_freed_bytes.saturating_sub(earlier.gc_freed_bytes),
+            arena_bytes: self.arena_bytes,
+            arena_wasted_bytes: self.arena_wasted_bytes,
+            lbd_sum: self.lbd_sum.saturating_sub(earlier.lbd_sum),
+            lbd_hist,
         }
     }
 }
@@ -96,11 +286,15 @@ impl SolverStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Solver {
-    clauses: Vec<Clause>,
+    ca: Arena,
+    /// Problem (original) clause references, insertion order.
+    clauses: Vec<CRef>,
+    /// Learnt clause references, insertion order.
+    learnts: Vec<CRef>,
     watches: Vec<Vec<Watcher>>,
     assigns: Vec<LBool>,
     level: Vec<u32>,
-    reason: Vec<u32>, // u32::MAX = decision / unassigned
+    reason: Vec<CRef>, // NO_REASON = decision / unassigned
     trail: Vec<Lit>,
     trail_lim: Vec<usize>,
     qhead: usize,
@@ -112,6 +306,15 @@ pub struct Solver {
     polarity: Vec<bool>,
     // Conflict analysis scratch.
     seen: Vec<bool>,
+    // LBD computation scratch: level → stamp of the current computation.
+    lbd_stamp: Vec<u64>,
+    lbd_counter: u64,
+    // Exponential moving average of the trail size at conflicts; large
+    // current trails (search deep in a satisfying-looking region) postpone
+    // restarts (Glucose-style blocking, here on top of Luby).
+    trail_ema: f64,
+    // Trail length at the last `simplify`; gates `inprocess`.
+    simplified_at: usize,
     // Clause activities.
     cla_inc: f64,
     ok: bool,
@@ -121,8 +324,6 @@ pub struct Solver {
     model: Vec<LBool>,
     conflict_core: Vec<Lit>,
 }
-
-const NO_REASON: u32 = u32::MAX;
 
 impl Default for Solver {
     fn default() -> Self {
@@ -134,7 +335,9 @@ impl Solver {
     /// Creates an empty solver.
     pub fn new() -> Solver {
         Solver {
+            ca: Arena::default(),
             clauses: Vec::new(),
+            learnts: Vec::new(),
             watches: Vec::new(),
             assigns: Vec::new(),
             level: Vec::new(),
@@ -148,6 +351,10 @@ impl Solver {
             heap_pos: Vec::new(),
             polarity: Vec::new(),
             seen: Vec::new(),
+            lbd_stamp: Vec::new(),
+            lbd_counter: 0,
+            trail_ema: 0.0,
+            simplified_at: 0,
             cla_inc: 1.0,
             ok: true,
             stats: SolverStats::default(),
@@ -179,6 +386,12 @@ impl Solver {
         self.assigns.len()
     }
 
+    /// Current clause-arena footprint in bytes (live clauses plus
+    /// tombstones awaiting [`gc`](Solver::gc)).
+    pub fn arena_bytes(&self) -> usize {
+        self.ca.bytes()
+    }
+
     /// Solver statistics accumulated so far.
     ///
     /// All fields — including `learnts` — are maintained incrementally, so
@@ -188,9 +401,9 @@ impl Solver {
     pub fn stats(&self) -> SolverStats {
         debug_assert_eq!(
             self.stats.learnts,
-            self.clauses
+            self.learnts
                 .iter()
-                .filter(|c| c.learnt && !c.deleted)
+                .filter(|&&r| !self.ca.is_deleted(r))
                 .count() as u64,
             "incremental learnt-clause counter out of sync"
         );
@@ -267,15 +480,11 @@ impl Solver {
                 self.ok
             }
             _ => {
-                let idx = u32::try_from(self.clauses.len()).expect("clause count overflow");
-                self.watch(lits[0], lits[1], idx);
-                self.watch(lits[1], lits[0], idx);
-                self.clauses.push(Clause {
-                    lits,
-                    learnt: false,
-                    deleted: false,
-                    activity: 0.0,
-                });
+                let r = self.ca.alloc(&lits, false, 0, 0.0);
+                self.clauses.push(r);
+                self.watch(lits[0], lits[1], r);
+                self.watch(lits[1], lits[0], r);
+                self.sync_arena_stats();
                 true
             }
         }
@@ -349,12 +558,12 @@ impl Solver {
         self.trail_lim.len() as u32
     }
 
-    fn watch(&mut self, lit: Lit, blocker: Lit, clause: u32) {
+    fn watch(&mut self, lit: Lit, blocker: Lit, clause: CRef) {
         // A clause watching `lit` must be revisited when `¬lit` is enqueued.
         self.watches[(!lit).code()].push(Watcher { clause, blocker });
     }
 
-    fn unchecked_enqueue(&mut self, l: Lit, reason: u32) {
+    fn unchecked_enqueue(&mut self, l: Lit, reason: CRef) {
         debug_assert_eq!(self.lit_value(l), LBool::Undef);
         let v = l.var().index();
         self.assigns[v] = LBool::from_bool(!l.is_negative());
@@ -363,8 +572,13 @@ impl Solver {
         self.trail.push(l);
     }
 
-    /// Propagates all enqueued facts; returns the conflicting clause index.
-    fn propagate(&mut self) -> Option<u32> {
+    fn sync_arena_stats(&mut self) {
+        self.stats.arena_bytes = self.ca.bytes() as u64;
+        self.stats.arena_wasted_bytes = (self.ca.wasted * 4) as u64;
+    }
+
+    /// Propagates all enqueued facts; returns the conflicting clause.
+    fn propagate(&mut self) -> Option<CRef> {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
@@ -378,30 +592,33 @@ impl Solver {
                     i += 1;
                     continue;
                 }
-                let ci = w.clause as usize;
-                if self.clauses[ci].deleted {
+                let r = w.clause;
+                if self.ca.is_deleted(r) {
                     ws.swap_remove(i);
                     continue;
                 }
                 // Normalize: the false literal (¬p) goes to position 1.
                 let false_lit = !p;
-                if self.clauses[ci].lits[0] == false_lit {
-                    self.clauses[ci].lits.swap(0, 1);
+                if self.ca.lit(r, 0) == false_lit {
+                    let other = self.ca.lit(r, 1);
+                    self.ca.set_lit(r, 0, other);
+                    self.ca.set_lit(r, 1, false_lit);
                 }
-                debug_assert_eq!(self.clauses[ci].lits[1], false_lit);
-                let first = self.clauses[ci].lits[0];
+                debug_assert_eq!(self.ca.lit(r, 1), false_lit);
+                let first = self.ca.lit(r, 0);
                 if first != w.blocker && self.lit_value(first) == LBool::True {
                     ws[i].blocker = first;
                     i += 1;
                     continue;
                 }
                 // Find a new watch.
-                for k in 2..self.clauses[ci].lits.len() {
-                    let cand = self.clauses[ci].lits[k];
+                let n = self.ca.len(r);
+                for k in 2..n {
+                    let cand = self.ca.lit(r, k);
                     if self.lit_value(cand) != LBool::False {
-                        self.clauses[ci].lits.swap(1, k);
-                        let blocker = self.clauses[ci].lits[0];
-                        self.watch(cand, blocker, w.clause);
+                        self.ca.set_lit(r, 1, cand);
+                        self.ca.set_lit(r, k, false_lit);
+                        self.watch(cand, first, r);
                         ws.swap_remove(i);
                         continue 'watchers;
                     }
@@ -410,11 +627,11 @@ impl Solver {
                 ws[i].blocker = first;
                 i += 1;
                 if self.lit_value(first) == LBool::False {
-                    conflict = Some(w.clause);
+                    conflict = Some(r);
                     self.qhead = self.trail.len();
                     break;
                 }
-                self.unchecked_enqueue(first, w.clause);
+                self.unchecked_enqueue(first, r);
             }
             debug_assert!(self.watches[p.code()].is_empty());
             self.watches[p.code()] = ws;
@@ -427,18 +644,19 @@ impl Solver {
 
     /// First-UIP conflict analysis. Returns the learnt clause (asserting
     /// literal first) and the backtrack level.
-    fn analyze(&mut self, mut conflict: u32) -> (Vec<Lit>, u32) {
+    fn analyze(&mut self, mut conflict: CRef) -> (Vec<Lit>, u32) {
         let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // placeholder slot
         let mut counter = 0u32;
         let mut p: Option<Lit> = None;
         let mut index = self.trail.len();
         loop {
-            self.bump_clause(conflict as usize);
-            let start = usize::from(p.is_some());
-            // Collect literals of the reason clause (skipping the implied
+            self.bump_clause(conflict);
+            // Visit the literals of the reason clause (skipping the implied
             // literal itself when this is not the conflict clause).
-            let clause_lits: Vec<Lit> = self.clauses[conflict as usize].lits[start..].to_vec();
-            for q in clause_lits {
+            let start = usize::from(p.is_some());
+            let n = self.ca.len(conflict);
+            for k in start..n {
+                let q = self.ca.lit(conflict, k);
                 let v = q.var().index();
                 if !self.seen[v] && self.level[v] > 0 {
                     self.seen[v] = true;
@@ -477,10 +695,13 @@ impl Solver {
         let mut minimized = vec![learnt[0]];
         for &l in &learnt[1..] {
             let r = self.reason[l.var().index()];
-            let redundant = r != NO_REASON
-                && self.clauses[r as usize].lits[1..]
-                    .iter()
-                    .all(|&q| self.seen[q.var().index()] || self.level[q.var().index()] == 0);
+            let redundant = r != NO_REASON && {
+                let n = self.ca.len(r);
+                (1..n).all(|k| {
+                    let q = self.ca.lit(r, k);
+                    self.seen[q.var().index()] || self.level[q.var().index()] == 0
+                })
+            };
             if !redundant {
                 minimized.push(l);
             }
@@ -523,19 +744,45 @@ impl Solver {
         self.qhead = self.trail.len();
     }
 
-    fn learn(&mut self, lits: Vec<Lit>) -> u32 {
+    /// The LBD ("glue") of a clause: the number of distinct decision levels
+    /// among its literals. Computed with a stamped level map, no clearing.
+    ///
+    /// Called from [`learn`](Self::learn) *after* the backtrack: the
+    /// asserting literal's variable was just unassigned, but its `level[]`
+    /// entry still holds the conflict level — which is strictly greater
+    /// than every other literal's level, so the count is exactly the
+    /// pre-backtrack LBD.
+    fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
+        self.lbd_counter += 1;
+        let mut lbd = 0u32;
+        for &l in lits {
+            let lev = self.level[l.var().index()] as usize;
+            if lev == 0 {
+                continue;
+            }
+            if lev >= self.lbd_stamp.len() {
+                self.lbd_stamp.resize(lev + 1, 0);
+            }
+            if self.lbd_stamp[lev] != self.lbd_counter {
+                self.lbd_stamp[lev] = self.lbd_counter;
+                lbd += 1;
+            }
+        }
+        lbd.max(1)
+    }
+
+    fn learn(&mut self, lits: &[Lit]) -> CRef {
         debug_assert!(lits.len() >= 2);
-        let idx = u32::try_from(self.clauses.len()).expect("clause count overflow");
-        self.watch(lits[0], lits[1], idx);
-        self.watch(lits[1], lits[0], idx);
-        self.clauses.push(Clause {
-            lits,
-            learnt: true,
-            deleted: false,
-            activity: self.cla_inc,
-        });
+        let lbd = self.compute_lbd(lits);
+        let r = self.ca.alloc(lits, true, lbd, self.cla_inc as f32);
+        self.learnts.push(r);
+        self.watch(lits[0], lits[1], r);
+        self.watch(lits[1], lits[0], r);
         self.stats.learnts += 1;
-        idx
+        self.stats.lbd_sum += u64::from(lbd);
+        self.stats.lbd_hist[(lbd as usize).clamp(1, 8) - 1] += 1;
+        self.sync_arena_stats();
+        r
     }
 
     /// One restart period of CDCL search. `None` = restart requested.
@@ -546,10 +793,14 @@ impl Solver {
         budget_start: u64,
     ) -> Option<SolveResult> {
         let mut conflicts_here: u64 = 0;
+        let mut postponements: u32 = 0;
         loop {
             if let Some(conflict) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_here += 1;
+                // Glue-aware restart postponement input: track the average
+                // trail size at conflicts.
+                self.trail_ema += (self.trail.len() as f64 - self.trail_ema) * (1.0 / 1024.0);
                 if self.decision_level() <= assumptions.len() as u32 {
                     // Conflict within (or below) the assumption prefix:
                     // compute the subset of assumptions responsible.
@@ -578,8 +829,8 @@ impl Solver {
                         self.unchecked_enqueue(learnt[0], NO_REASON);
                     }
                 } else {
-                    let ci = self.learn(learnt.clone());
-                    self.unchecked_enqueue(learnt[0], ci);
+                    let r = self.learn(&learnt);
+                    self.unchecked_enqueue(learnt[0], r);
                 }
                 self.decay_activities();
                 if let Some(b) = self.conflict_budget {
@@ -588,7 +839,20 @@ impl Solver {
                     }
                 }
                 if conflicts_here >= restart_limit {
-                    return None;
+                    // Glue-aware postponement on top of Luby: a trail much
+                    // larger than the running average means the search is
+                    // deep in a promising region — postpone the restart
+                    // (bounded per period so Luby keeps its schedule).
+                    if self.stats.conflicts > 1000
+                        && postponements < 3
+                        && self.trail.len() as f64 > 1.4 * self.trail_ema
+                    {
+                        postponements += 1;
+                        self.stats.blocked_restarts += 1;
+                        conflicts_here = 0;
+                    } else {
+                        return None;
+                    }
                 }
                 if self.stats.learnts as f64 > self.max_learnts {
                     self.reduce_db();
@@ -628,33 +892,73 @@ impl Solver {
         }
     }
 
+    /// Tiered learnt-clause reduction:
+    ///
+    /// * **core** (`lbd <= 2`), binary, and locked (reason) clauses are
+    ///   kept unconditionally;
+    /// * **mid** (`lbd <= 6`) clauses that were used in conflict analysis
+    ///   since the last reduction survive one round (their protection bit
+    ///   is cleared — they must earn the next reprieve);
+    /// * everything else is a removal candidate: the worse half by
+    ///   (LBD desc, activity asc) is tombstoned, selected with
+    ///   `select_nth_unstable_by` instead of a full sort.
     fn reduce_db(&mut self) {
-        let mut learnt_indices: Vec<usize> = (0..self.clauses.len())
-            .filter(|&i| {
-                let c = &self.clauses[i];
-                c.learnt && !c.deleted && c.lits.len() > 2 && !self.is_reason(i)
-            })
-            .collect();
-        learnt_indices.sort_by(|&a, &b| {
-            self.clauses[a]
-                .activity
-                .partial_cmp(&self.clauses[b].activity)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        let remove = learnt_indices.len() / 2;
-        for &i in &learnt_indices[..remove] {
-            self.clauses[i].deleted = true;
+        let mut cands: Vec<CRef> = Vec::new();
+        for i in 0..self.learnts.len() {
+            let r = self.learnts[i];
+            if self.ca.is_deleted(r) || self.ca.len(r) <= 2 || self.is_locked(r) {
+                continue;
+            }
+            let lbd = self.ca.lbd(r);
+            if lbd <= CORE_LBD {
+                continue;
+            }
+            if lbd <= MID_LBD && self.ca.is_protected(r) {
+                self.ca.set_protected(r, false);
+                continue;
+            }
+            cands.push(r);
         }
-        self.stats.learnts -= remove as u64;
+        if cands.len() >= 2 {
+            let mid = cands.len() / 2;
+            let ca = &self.ca;
+            // Worse-first: higher LBD, then lower activity.
+            cands.select_nth_unstable_by(mid, |&a, &b| {
+                ca.lbd(b).cmp(&ca.lbd(a)).then(
+                    ca.activity(a)
+                        .partial_cmp(&ca.activity(b))
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+            });
+            for &r in cands.iter().take(mid) {
+                self.remove_clause(r);
+            }
+        }
+        let ca = &self.ca;
+        self.learnts.retain(|&r| !ca.is_deleted(r));
+        self.maybe_gc();
     }
 
-    fn is_reason(&self, clause: usize) -> bool {
-        let c = &self.clauses[clause];
-        if c.lits.is_empty() {
+    fn remove_clause(&mut self, r: CRef) {
+        debug_assert!(!self.ca.is_deleted(r));
+        if self.ca.is_learnt(r) {
+            self.stats.learnts -= 1;
+        }
+        self.ca.delete(r);
+        self.sync_arena_stats();
+    }
+
+    /// Whether the clause is the reason of a currently-assigned variable
+    /// *above* level 0. Level-0 reasons are never dereferenced (conflict
+    /// analysis and core extraction both stop at level 0), so root-satisfied
+    /// reason clauses stay removable; GC clears their dangling `reason[]`
+    /// entries.
+    fn is_locked(&self, r: CRef) -> bool {
+        if self.ca.len(r) == 0 {
             return false;
         }
-        let v = c.lits[0].var().index();
-        self.assigns[v] != LBool::Undef && self.reason[v] == clause as u32
+        let v = self.ca.lit(r, 0).var().index();
+        self.reason[v] == r && self.assigns[v] != LBool::Undef && self.level[v] > 0
     }
 
     fn pick_branch(&mut self) -> Option<Var> {
@@ -677,13 +981,21 @@ impl Solver {
         self.heap_update(v);
     }
 
-    fn bump_clause(&mut self, ci: usize) {
-        self.clauses[ci].activity += self.cla_inc;
-        if self.clauses[ci].activity > 1e100 {
-            for c in &mut self.clauses {
-                c.activity *= 1e-100;
+    fn bump_clause(&mut self, r: CRef) {
+        if !self.ca.is_learnt(r) {
+            return;
+        }
+        let a = self.ca.activity(r) + self.cla_inc as f32;
+        self.ca.set_activity(r, a);
+        // Used in conflict analysis: refresh the mid-tier reprieve.
+        self.ca.set_protected(r, true);
+        if a > 1e20 {
+            for i in 0..self.learnts.len() {
+                let lr = self.learnts[i];
+                let scaled = self.ca.activity(lr) * 1e-20;
+                self.ca.set_activity(lr, scaled);
             }
-            self.cla_inc *= 1e-100;
+            self.cla_inc *= 1e-20;
         }
     }
 
@@ -695,6 +1007,7 @@ impl Solver {
     /// Level-0 simplification: removes clauses satisfied by root-level
     /// facts and strips falsified literals from the rest. Cheap, and keeps
     /// long-lived incremental solvers (BMC unrollers, sweeping loops) lean.
+    /// Runs the arena collector afterwards when enough waste accumulated.
     /// Returns the number of clauses removed.
     pub fn simplify(&mut self) -> usize {
         assert!(self.trail_lim.is_empty(), "simplify above decision level 0");
@@ -702,22 +1015,21 @@ impl Solver {
             return 0;
         }
         let mut removed = 0;
-        for ci in 0..self.clauses.len() {
-            if self.clauses[ci].deleted {
+        let total = self.clauses.len() + self.learnts.len();
+        for idx in 0..total {
+            let r = if idx < self.clauses.len() {
+                self.clauses[idx]
+            } else {
+                self.learnts[idx - self.clauses.len()]
+            };
+            if self.ca.is_deleted(r) || self.is_locked(r) {
                 continue;
             }
-            if self.is_reason(ci) {
-                continue;
-            }
-            let satisfied = self.clauses[ci]
-                .lits
-                .iter()
-                .any(|&l| self.lit_value(l) == LBool::True && self.level[l.var().index()] == 0);
+            // At level 0 every assignment is a root fact.
+            let n = self.ca.len(r);
+            let satisfied = (0..n).any(|k| self.lit_value(self.ca.lit(r, k)) == LBool::True);
             if satisfied {
-                if self.clauses[ci].learnt {
-                    self.stats.learnts -= 1;
-                }
-                self.clauses[ci].deleted = true;
+                self.remove_clause(r);
                 removed += 1;
                 continue;
             }
@@ -725,20 +1037,135 @@ impl Solver {
             // are the watched pair and must not move (watcher lists refer
             // to them); a root-false watch is harmless and migrates on its
             // own during propagation.
-            let level = &self.level;
-            let assigns = &self.assigns;
-            let lits = &mut self.clauses[ci].lits;
-            if lits.len() > 2 {
-                let mut keep = lits[..2].to_vec();
-                keep.extend(lits[2..].iter().copied().filter(|&l| {
-                    let v = assigns[l.var().index()];
-                    let val = if l.is_negative() { v.negate() } else { v };
-                    !(val == LBool::False && level[l.var().index()] == 0)
-                }));
-                *lits = keep;
+            if n > 2 {
+                let mut w = 2;
+                for k in 2..n {
+                    let l = self.ca.lit(r, k);
+                    if self.lit_value(l) != LBool::False {
+                        if w != k {
+                            self.ca.set_lit(r, w, l);
+                        }
+                        w += 1;
+                    }
+                }
+                if w < n {
+                    self.ca.shrink(r, w);
+                }
             }
         }
+        let ca = &self.ca;
+        self.clauses.retain(|&r| !ca.is_deleted(r));
+        self.learnts.retain(|&r| !ca.is_deleted(r));
+        self.simplified_at = self.trail.len();
+        self.sync_arena_stats();
+        self.maybe_gc();
         removed
+    }
+
+    /// Level-0 inprocessing hook for incremental callers (BMC depth loops,
+    /// sweeping rounds): call it at natural boundaries — e.g. after each
+    /// UNSAT depth — and it decides internally whether any work is worth
+    /// doing. [`simplify`](Solver::simplify) runs only when new root facts
+    /// arrived since the last pass; the collector runs only past its waste
+    /// threshold. Calling this every round is safe and cheap.
+    pub fn inprocess(&mut self) {
+        assert!(
+            self.trail_lim.is_empty(),
+            "inprocess above decision level 0"
+        );
+        if !self.ok {
+            return;
+        }
+        if self.trail.len() > self.simplified_at {
+            self.simplify(); // also runs maybe_gc
+        } else {
+            self.maybe_gc();
+        }
+    }
+
+    /// Runs the collector when at least 25% of the arena (and a minimum
+    /// absolute amount) is waste.
+    fn maybe_gc(&mut self) {
+        if self.ca.wasted >= 256 && self.ca.wasted * 4 >= self.ca.data.len() {
+            self.gc();
+        }
+    }
+
+    /// Compacts the clause arena: copies live clauses into a fresh arena
+    /// (insertion order preserved) and rewrites every watcher list,
+    /// `reason[]` entry, and internal clause list through forwarding
+    /// pointers. Returns the number of bytes reclaimed.
+    ///
+    /// Safe at any decision level: reasons of assigned variables are
+    /// remapped; dangling level-0 reasons (their clause was removed by
+    /// [`simplify`](Solver::simplify)/reduction — legal because level-0
+    /// reasons are never dereferenced) are cleared.
+    pub fn gc(&mut self) -> usize {
+        let old_bytes = self.ca.bytes();
+        let live_words = self.ca.data.len().saturating_sub(self.ca.wasted);
+        let mut new_data: Vec<u32> = Vec::with_capacity(live_words);
+
+        // Relocate via the clause lists (every live clause is in exactly
+        // one); drop tombstones from the lists as we go.
+        let mut clauses = std::mem::take(&mut self.clauses);
+        clauses.retain_mut(|r| {
+            if self.ca.is_deleted(*r) {
+                false
+            } else {
+                *r = self.ca.relocate(*r, &mut new_data);
+                true
+            }
+        });
+        self.clauses = clauses;
+        let mut learnts = std::mem::take(&mut self.learnts);
+        learnts.retain_mut(|r| {
+            if self.ca.is_deleted(*r) {
+                false
+            } else {
+                *r = self.ca.relocate(*r, &mut new_data);
+                true
+            }
+        });
+        self.learnts = learnts;
+
+        // Rewrite watchers: live clauses forward, tombstones drop.
+        let ca = &self.ca;
+        for wl in self.watches.iter_mut() {
+            wl.retain_mut(|w| {
+                if ca.is_relocated(w.clause) {
+                    w.clause = ca.forward(w.clause);
+                    true
+                } else {
+                    debug_assert!(ca.is_deleted(w.clause));
+                    false
+                }
+            });
+        }
+
+        // Rewrite reasons. A reason pointing at a tombstone can only belong
+        // to a level-0 assignment (reduction/simplify never delete clauses
+        // locked above level 0); those reasons are never read again — clear.
+        for v in 0..self.reason.len() {
+            let r = self.reason[v];
+            if r == NO_REASON {
+                continue;
+            }
+            if self.ca.is_relocated(r) {
+                self.reason[v] = self.ca.forward(r);
+            } else {
+                debug_assert!(self.ca.is_deleted(r));
+                debug_assert!(self.assigns[v] == LBool::Undef || self.level[v] == 0);
+                self.reason[v] = NO_REASON;
+            }
+        }
+
+        self.ca.data = new_data;
+        self.ca.wasted = 0;
+        let freed = old_bytes - self.ca.bytes();
+        self.stats.gc_runs += 1;
+        self.stats.gc_freed_bytes += freed as u64;
+        self.sync_arena_stats();
+        freed
     }
 
     /// The subset of the last call's assumptions that were proven jointly
@@ -751,8 +1178,10 @@ impl Solver {
 
     /// Walks reasons from a conflicting clause back to the assumption
     /// decisions, filling `conflict_core`.
-    fn analyze_final_clause(&mut self, conflict: u32, assumptions: &[Lit]) {
-        let lits: Vec<Lit> = self.clauses[conflict as usize].lits.clone();
+    fn analyze_final_clause(&mut self, conflict: CRef, assumptions: &[Lit]) {
+        let lits: Vec<Lit> = (0..self.ca.len(conflict))
+            .map(|k| self.ca.lit(conflict, k))
+            .collect();
         self.trace_to_assumptions(&lits, assumptions);
     }
 
@@ -784,9 +1213,8 @@ impl Solver {
                     }
                 }
             } else {
-                let lits = self.clauses[reason as usize].lits.clone();
-                for l in lits {
-                    stack.push(l.var());
+                for k in 0..self.ca.len(reason) {
+                    stack.push(self.ca.lit(reason, k).var());
                 }
             }
         }
@@ -965,6 +1393,42 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_assumptions_are_harmless() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause([!v[0], v[1]]);
+        assert_eq!(s.solve_with(&[v[0], v[0], v[0]]), SolveResult::Sat);
+        assert_eq!(s.value(v[1]), Some(true));
+        // Duplicates in an UNSAT query don't confuse the core either.
+        s.add_clause([!v[1]]);
+        assert_eq!(s.solve_with(&[v[0], v[0]]), SolveResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        assert!(core.contains(&v[0]), "core {core:?}");
+    }
+
+    #[test]
+    fn contradictory_assumptions_are_unsat_with_core() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        s.add_clause([v[0], v[1], v[2]]); // keep the formula satisfiable
+        assert_eq!(s.solve_with(&[v[0], !v[0]]), SolveResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        assert!(
+            core.contains(&v[0]) && core.contains(&!v[0]),
+            "core must name both sides of the contradiction: {core:?}"
+        );
+        // The solver stays usable and the formula is still satisfiable.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // Order flipped: still Unsat, still both sides.
+        assert_eq!(s.solve_with(&[!v[0], v[0]]), SolveResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        assert!(
+            core.contains(&v[0]) && core.contains(&!v[0]),
+            "core {core:?}"
+        );
+    }
+
+    #[test]
     fn xor_chain_parity() {
         // Encode x0 ^ x1 ^ x2 = 1 via CNF; satisfiable, then force all-false.
         let mut s = Solver::new();
@@ -1096,6 +1560,174 @@ mod tests {
         for (i, &e) in expect.iter().enumerate() {
             assert_eq!(luby(i as u64), e, "luby({i})");
         }
+    }
+
+    #[test]
+    fn gc_reclaims_tombstoned_arena_bytes() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 20);
+        // Many clauses that a root fact will satisfy (→ tombstones).
+        for i in 1..20 {
+            s.add_clause([v[0], v[i % 20], v[(i + 1) % 20]]);
+        }
+        s.add_clause([v[0]]); // satisfies every clause above
+        let before = s.stats().arena_bytes;
+        assert!(before > 0);
+        let removed = s.simplify();
+        assert!(removed >= 19, "removed {removed}");
+        // simplify may or may not have crossed the auto-GC threshold; a
+        // forced collection must leave a strictly smaller arena when
+        // tombstones are present, and account the freed bytes.
+        let st_before_gc = s.stats();
+        if st_before_gc.arena_wasted_bytes > 0 {
+            let freed = s.gc();
+            assert!(freed > 0, "gc freed nothing with tombstones present");
+        }
+        let st = s.stats();
+        assert!(
+            st.arena_bytes < before,
+            "arena did not shrink: {} -> {}",
+            before,
+            st.arena_bytes
+        );
+        assert_eq!(st.arena_wasted_bytes, 0);
+        assert!(st.gc_runs >= 1);
+        assert!(st.gc_freed_bytes > 0);
+        // The solver still answers correctly after compaction: v0 is a
+        // root fact, so contradicting it is Unsat while anything else is
+        // free.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(v[0]), Some(true));
+        assert_eq!(s.solve_with(&[!v[1]]), SolveResult::Sat);
+        assert_eq!(s.solve_with(&[!v[0]]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn gc_rewrites_watchers_and_reasons_mid_search() {
+        // Force learning + reduction + collection on a pigeonhole, then
+        // verify the answer and continued usability.
+        let mut s = Solver::new();
+        let n = 7;
+        let p: Vec<Vec<Lit>> = (0..n + 1)
+            .map(|_| (0..n).map(|_| s.new_var().positive()).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.iter().copied());
+        }
+        for j in 0..n {
+            for i1 in 0..=n {
+                for i2 in (i1 + 1)..=n {
+                    s.add_clause([!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+        // Tiny reduction threshold → many reduce_db (and hence GC) passes.
+        s.max_learnts = 20.0;
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+        // The instance is unconditionally UNSAT; the solver noticed.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn reduce_db_keeps_reason_clauses_mid_db() {
+        // Regression for the reason-check pathology: build a solver state
+        // where learnt clauses sit in the middle of the database and one of
+        // them is the reason of a literal on the trail, then force a
+        // reduction pass. The locked clause must survive (deleting a
+        // reason corrupts conflict analysis — this used to be guarded only
+        // via lits[0], which in-place watch swaps can invalidate for
+        // root-satisfied clauses).
+        let mut s = Solver::new();
+        let n = 6;
+        let p: Vec<Vec<Lit>> = (0..n + 1)
+            .map(|_| (0..n).map(|_| s.new_var().positive()).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.iter().copied());
+        }
+        for j in 0..n {
+            for i1 in 0..=n {
+                for i2 in (i1 + 1)..=n {
+                    s.add_clause([!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+        // Aggressive reduction: reduce_db runs constantly while reasons
+        // from learnt clauses are live on the trail.
+        s.max_learnts = 4.0;
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        // Binary learnts are never deleted by reduction.
+        let ca = &s.ca;
+        assert!(s.learnts.iter().all(|&r| !ca.is_deleted(r)));
+    }
+
+    #[test]
+    fn root_satisfied_reason_clauses_are_removable() {
+        // A clause that *implied* a level-0 fact stays marked as its reason
+        // forever (level-0 assignments are never cancelled). The robust
+        // lock check must still allow simplify to drop it once satisfied.
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        s.add_clause([v[0], v[1]]); // will become v1's reason after !v0
+        s.add_clause([!v[0]]); // root fact: v0 false → v1 implied with reason
+        assert_eq!(s.lit_value(v[1]), LBool::True);
+        let reason = s.reason[v[1].var().index()];
+        assert_ne!(reason, NO_REASON, "v1 must be implied, not decided");
+        // The clause is root-satisfied (by v1) — simplify must remove it.
+        let removed = s.simplify();
+        assert!(removed >= 1, "root-satisfied reason clause kept");
+        // And GC clears the dangling level-0 reason without issue.
+        s.gc();
+        assert_eq!(s.reason[v[1].var().index()], NO_REASON);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(v[1]), Some(true));
+    }
+
+    #[test]
+    fn lbd_is_computed_and_histogrammed() {
+        let mut s = Solver::new();
+        let n = 6;
+        let p: Vec<Vec<Lit>> = (0..n + 1)
+            .map(|_| (0..n).map(|_| s.new_var().positive()).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.iter().copied());
+        }
+        for j in 0..n {
+            for i1 in 0..=n {
+                for i2 in (i1 + 1)..=n {
+                    s.add_clause([!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let st = s.stats();
+        let learnt_total: u64 = st.lbd_hist.iter().sum();
+        assert!(learnt_total > 0, "no learnt clauses recorded");
+        assert!(st.lbd_sum >= learnt_total, "lbd is at least 1 per clause");
+        // Deltas subtract the histogram elementwise.
+        let d = st.delta_since(&st);
+        assert_eq!(d.lbd_hist.iter().sum::<u64>(), 0);
+        assert_eq!(d.lbd_sum, 0);
+    }
+
+    #[test]
+    fn inprocess_is_idempotent_and_preserves_answers() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 8);
+        for i in 0..7 {
+            s.add_clause([!v[i], v[i + 1]]);
+        }
+        s.add_clause([v[0]]);
+        s.inprocess();
+        s.inprocess(); // no new facts: must be a cheap no-op
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for &l in &v {
+            assert_eq!(s.value(l), Some(true));
+        }
+        s.inprocess();
+        assert_eq!(s.solve_with(&[!v[7]]), SolveResult::Unsat);
     }
 
     /// Brute-force cross-check on random 3-CNF instances.

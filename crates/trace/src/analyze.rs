@@ -246,6 +246,19 @@ pub fn render_report(trace: &Trace, top_k: usize) -> String {
             r.sat.conflicts,
         ));
     }
+    // Whole-run arena-GC totals (root spans carry all nested attribution).
+    // Absent in pre-PR5 traces, so old reports render unchanged.
+    let mut gc = crate::model::SatAttr::default();
+    for id in trace.roots() {
+        gc.add(&trace.spans[&id].sat);
+    }
+    if gc.gc_runs > 0 {
+        out.push_str(&format!(
+            "  arena gc: {} runs, {:.1} KiB reclaimed\n",
+            gc.gc_runs,
+            gc.gc_freed_bytes as f64 / 1024.0
+        ));
+    }
 
     out.push_str("\ncritical path (heaviest-child chain):\n");
     for (i, step) in critical_path(trace).iter().enumerate() {

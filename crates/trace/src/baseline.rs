@@ -178,6 +178,9 @@ impl Baseline {
                 conflicts: median(&mut conflicts),
                 decisions: median(&mut decisions),
                 propagations: median(&mut props),
+                // GC work is run-local maintenance, not part of the pinned
+                // baseline schema (BENCH_seed.json predates it).
+                ..SatAttr::default()
             },
             phases,
             sat_depths: sat_depth_table(first),
@@ -297,6 +300,7 @@ impl Baseline {
                 conflicts: get_u64(m, "conflicts")?,
                 decisions: get_u64(m, "decisions")?,
                 propagations: get_u64(m, "propagations")?,
+                ..SatAttr::default()
             },
             _ => SatAttr::default(),
         };

@@ -65,6 +65,10 @@ pub struct SatAttr {
     pub decisions: u64,
     /// Propagations.
     pub propagations: u64,
+    /// Clause-arena garbage collections (absent in pre-PR5 traces → 0).
+    pub gc_runs: u64,
+    /// Bytes reclaimed by arena GC (absent in pre-PR5 traces → 0).
+    pub gc_freed_bytes: u64,
 }
 
 impl SatAttr {
@@ -74,6 +78,8 @@ impl SatAttr {
         self.conflicts += other.conflicts;
         self.decisions += other.decisions;
         self.propagations += other.propagations;
+        self.gc_runs += other.gc_runs;
+        self.gc_freed_bytes += other.gc_freed_bytes;
     }
 
     /// Whether every counter is zero.
@@ -287,6 +293,8 @@ fn sat_from(fields: &BTreeMap<String, JsonValue>) -> SatAttr {
         conflicts: pick("sat_conflicts"),
         decisions: pick("sat_decisions"),
         propagations: pick("sat_propagations"),
+        gc_runs: pick("sat_gc_runs"),
+        gc_freed_bytes: pick("sat_gc_freed_bytes"),
     }
 }
 

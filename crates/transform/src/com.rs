@@ -351,7 +351,24 @@ fn solve_traced(solver: &mut Solver, assumptions: &[SatLit]) -> SolveResult {
     let r = solver.solve_with(assumptions);
     let d = solver.stats_ref().delta_since(&before);
     diam_obs::charge_sat(d.conflicts, d.decisions, d.propagations);
+    diam_obs::charge_sat_gc(d.gc_runs, d.gc_freed_bytes, d.arena_bytes);
+    for (i, &n) in d.lbd_hist.iter().enumerate() {
+        diam_obs::histogram_record_n("sat.lbd", (i + 1) as u64, n);
+    }
     r
+}
+
+/// [`Solver::inprocess`] plus observability: arena-GC work at the level-0
+/// boundary between per-pair queries is charged to the open spans.
+fn inprocess_traced(solver: &mut Solver) {
+    if !diam_obs::enabled() {
+        solver.inprocess();
+        return;
+    }
+    let before = *solver.stats_ref();
+    solver.inprocess();
+    let d = solver.stats_ref().delta_since(&before);
+    diam_obs::charge_sat_gc(d.gc_runs, d.gc_freed_bytes, d.arena_bytes);
 }
 
 struct Cex {
@@ -397,7 +414,11 @@ fn check_classes(n: &Netlist, classes: &Classes, opts: &SweepOptions) -> CheckOu
             .collect();
         for &d in &diffs {
             match solve_traced(&mut solver, &[d]) {
-                SolveResult::Unsat => {}
+                SolveResult::Unsat => {
+                    // Level-0 boundary between per-pair queries: self-gated
+                    // simplification + arena GC for the shared solver.
+                    inprocess_traced(&mut solver);
+                }
                 SolveResult::Unknown => return CheckOutcome::Budget,
                 SolveResult::Sat => {
                     let (regs, ins) = extract_frame0(n, &mut u, &solver);
@@ -443,7 +464,11 @@ fn check_classes(n: &Netlist, classes: &Classes, opts: &SweepOptions) -> CheckOu
             .collect();
         for &d in &diffs {
             match solve_traced(&mut solver, &[d]) {
-                SolveResult::Unsat => {}
+                SolveResult::Unsat => {
+                    // Level-0 boundary between per-pair induction queries:
+                    // self-gated simplification + arena GC.
+                    inprocess_traced(&mut solver);
+                }
                 SolveResult::Unknown => return CheckOutcome::Budget,
                 SolveResult::Sat => {
                     let (regs, ins) = extract_frame0(n, &mut u, &solver);
