@@ -35,7 +35,10 @@
 //! assert!(matches!(outcome, ProveOutcome::Counterexample { depth: 3, .. }));
 //! ```
 
+pub mod cube;
 pub mod strategy;
+
+pub use cube::{CubeMode, CubeOptions};
 
 use diam_core::{Bound, Pipeline, StructuralOptions};
 use diam_netlist::rebuild::{slice_target, Rebuilt};
@@ -60,6 +63,7 @@ fn solve_traced(solver: &mut Solver, assumptions: &[SatLit], depth: u64) -> Solv
     let d = solver.stats_ref().delta_since(&before);
     diam_obs::charge_sat(d.conflicts, d.decisions, d.propagations);
     diam_obs::charge_sat_gc(d.gc_runs, d.gc_freed_bytes, d.arena_bytes);
+    diam_obs::charge_sat_shared(d.shared_in, d.shared_out);
     for (i, &n) in d.lbd_hist.iter().enumerate() {
         diam_obs::histogram_record_n("sat.lbd", (i + 1) as u64, n);
     }
@@ -92,6 +96,46 @@ fn inprocess_traced(solver: &mut Solver) {
     diam_obs::charge_sat_gc(d.gc_runs, d.gc_freed_bytes, d.arena_bytes);
 }
 
+/// A solver configured by `opts`: conflict budget plus, when a nonzero
+/// [`BmcOptions::portfolio`] seed is set, restart-jitter and phase seeds.
+/// The seeds depend only on the options, never on scheduling, so seeded
+/// runs stay deterministic at every `Parallelism` setting.
+fn new_solver(opts: &BmcOptions) -> Solver {
+    let mut solver = Solver::new();
+    solver.set_conflict_budget(opts.conflict_budget);
+    if opts.portfolio != 0 {
+        solver.set_restart_seed(opts.portfolio);
+        solver.set_phase_seed(opts.portfolio.rotate_left(32) | 1);
+    }
+    solver
+}
+
+/// Solves the depth-`depth` obligation of `target`, routing through the
+/// cube-and-conquer layer when enabled ([`BmcOptions::cube`]). Returns the
+/// verdict plus, on SAT, a witness extracted from the winning model.
+/// `token` chains any cube group under the caller's cancellation scope.
+fn solve_depth(
+    n: &Netlist,
+    solver: &mut Solver,
+    unroller: &mut Unroller<'_>,
+    target: Lit,
+    depth: u64,
+    token: Option<&CancelToken>,
+    opts: &BmcOptions,
+) -> (SolveResult, Option<Witness>) {
+    if cube::applicable(opts, depth) {
+        return cube::solve_depth_with_witness(n, solver, unroller, target, depth, token, opts);
+    }
+    let lit = unroller.lit_at(solver, target, depth as usize);
+    let r = solve_traced(solver, &[lit], depth);
+    let w = if r == SolveResult::Sat {
+        Some(extract_witness(n, unroller, solver, depth as usize))
+    } else {
+        None
+    };
+    (r, w)
+}
+
 /// Options for [`check`].
 #[derive(Debug, Clone)]
 pub struct BmcOptions {
@@ -117,6 +161,16 @@ pub struct BmcOptions {
     /// cone-sliced path (used by tests to observe early cancellation).
     /// Setting this forces the cone-sliced path.
     pub solve_probe: Option<Arc<AtomicUsize>>,
+    /// Cube-and-conquer splitting of deep per-depth obligations; see
+    /// [`cube::CubeOptions`]. Off by default.
+    pub cube: CubeOptions,
+    /// Portfolio seed (0 = off, the deterministic baseline search). Nonzero
+    /// values derive restart-jitter and phase seeds for the BMC solvers —
+    /// and, in fast cube mode, vary each cube worker's jitter. Verdicts are
+    /// unaffected; the seed is applied identically at every `Parallelism`
+    /// setting, so reproducible-mode bit-identity across `--jobs` holds
+    /// seeded or not.
+    pub portfolio: u64,
 }
 
 impl Default for BmcOptions {
@@ -127,6 +181,8 @@ impl Default for BmcOptions {
             parallelism: Parallelism::Sequential,
             depth_chunk: 0,
             solve_probe: None,
+            cube: CubeOptions::default(),
+            portfolio: 0,
         }
     }
 }
@@ -158,14 +214,12 @@ pub enum BmcOutcome {
 pub fn check(n: &Netlist, index: usize, opts: &BmcOptions) -> BmcOutcome {
     let mut sp = diam_obs::span!("bmc.check", index = index, max_depth = opts.max_depth);
     let target = n.targets()[index].lit;
-    let mut solver = Solver::new();
-    solver.set_conflict_budget(opts.conflict_budget);
+    let mut solver = new_solver(opts);
     let mut unroller = Unroller::new(n, FrameZero::Init);
     for depth in 0..=opts.max_depth {
-        let lit = unroller.lit_at(&mut solver, target, depth as usize);
-        match solve_traced(&mut solver, &[lit], depth) {
-            SolveResult::Sat => {
-                let witness = extract_witness(n, &unroller, &solver, depth as usize);
+        match solve_depth(n, &mut solver, &mut unroller, target, depth, None, opts) {
+            (SolveResult::Sat, witness) => {
+                let witness = witness.expect("SAT verdicts carry a witness");
                 debug_assert!(
                     witness.replays_to(n, target),
                     "witness fails to replay at depth {depth}"
@@ -174,14 +228,14 @@ pub fn check(n: &Netlist, index: usize, opts: &BmcOptions) -> BmcOutcome {
                 sp.record("depth", depth);
                 return BmcOutcome::Counterexample { depth, witness };
             }
-            SolveResult::Unsat => {
+            (SolveResult::Unsat, _) => {
                 // Natural level-0 boundary: this depth is clean, the next
                 // frame is about to be encoded — let the solver clean up
                 // (root-fact simplification + arena GC, both self-gated).
                 inprocess_traced(&mut solver);
                 continue;
             }
-            SolveResult::Unknown => {
+            (SolveResult::Unknown, _) => {
                 sp.record("outcome", "unknown");
                 sp.record("depth", depth);
                 return BmcOutcome::Unknown { depth };
@@ -326,8 +380,7 @@ pub(crate) fn check_one_transformed(
 /// The classic path: one incremental solver and one unrolling, shared by
 /// every target.
 fn check_all_shared(n: &Netlist, opts: &BmcOptions) -> Vec<BmcOutcome> {
-    let mut solver = Solver::new();
-    solver.set_conflict_budget(opts.conflict_budget);
+    let mut solver = new_solver(opts);
     let mut unroller = Unroller::new(n, FrameZero::Init);
     let targets = n.targets().to_vec();
     let mut outcomes: Vec<Option<BmcOutcome>> = vec![None; targets.len()];
@@ -336,15 +389,14 @@ fn check_all_shared(n: &Netlist, opts: &BmcOptions) -> Vec<BmcOutcome> {
             if outcomes[i].is_some() {
                 continue;
             }
-            let lit = unroller.lit_at(&mut solver, t.lit, depth as usize);
-            match solve_traced(&mut solver, &[lit], depth) {
-                SolveResult::Sat => {
-                    let witness = extract_witness(n, &unroller, &solver, depth as usize);
+            match solve_depth(n, &mut solver, &mut unroller, t.lit, depth, None, opts) {
+                (SolveResult::Sat, witness) => {
+                    let witness = witness.expect("SAT verdicts carry a witness");
                     debug_assert!(witness.replays_to(n, t.lit));
                     outcomes[i] = Some(BmcOutcome::Counterexample { depth, witness });
                 }
-                SolveResult::Unsat => {}
-                SolveResult::Unknown => {
+                (SolveResult::Unsat, _) => {}
+                (SolveResult::Unknown, _) => {
                     outcomes[i] = Some(BmcOutcome::Unknown { depth });
                 }
             }
@@ -466,8 +518,7 @@ fn run_chunk(
     let mut sp = diam_obs::span!("bmc.chunk", target = u.target, lo = u.lo, hi = u.hi);
     let orig_target = orig.targets()[u.target].lit;
     let target = slice.netlist.targets()[0].lit;
-    let mut solver = Solver::new();
-    solver.set_conflict_budget(opts.conflict_budget);
+    let mut solver = new_solver(opts);
     let mut unroller = Unroller::new(&slice.netlist, FrameZero::Init);
     // Frames below `lo` belong to earlier units; they are unrolled (the
     // encoding needs them) but not solved here.
@@ -479,14 +530,21 @@ fn run_chunk(
             sp.record("outcome", "stopped");
             return ChunkOutcome::Stopped { at: depth };
         }
-        let lit = unroller.lit_at(&mut solver, target, depth as usize);
         if let Some(probe) = &opts.solve_probe {
             probe.fetch_add(1, Ordering::AcqRel);
         }
-        match solve_traced(&mut solver, &[lit], depth) {
-            SolveResult::Sat => {
+        match solve_depth(
+            &slice.netlist,
+            &mut solver,
+            &mut unroller,
+            target,
+            depth,
+            Some(token),
+            opts,
+        ) {
+            (SolveResult::Sat, sliced) => {
                 frontier.record(depth);
-                let sliced = extract_witness(&slice.netlist, &unroller, &solver, depth as usize);
+                let sliced = sliced.expect("SAT verdicts carry a witness");
                 let witness = lift_witness(orig, slice, &sliced);
                 debug_assert!(
                     witness.replays_to(orig, orig_target),
@@ -496,11 +554,11 @@ fn run_chunk(
                 sp.record("depth", depth);
                 return ChunkOutcome::Cex { depth, witness };
             }
-            SolveResult::Unsat => {
+            (SolveResult::Unsat, _) => {
                 // Level-0 boundary after a clean depth (self-gated cleanup).
                 inprocess_traced(&mut solver);
             }
-            SolveResult::Unknown => {
+            (SolveResult::Unknown, _) => {
                 frontier.record(depth);
                 sp.record("outcome", "unknown");
                 sp.record("depth", depth);
@@ -785,6 +843,12 @@ pub struct ProveOptions {
     /// [`Parallelism::Threads`]`(n)` output is bit-identical to
     /// [`Parallelism::Sequential`] output.
     pub parallelism: Parallelism,
+    /// Cube-and-conquer splitting for the per-target BMC runs (see
+    /// [`BmcOptions::cube`]). Off by default; [`CubeMode::Reproducible`]
+    /// preserves `prove_all`'s bit-identity contract.
+    pub cube: CubeOptions,
+    /// Portfolio seed for the BMC solvers (see [`BmcOptions::portfolio`]).
+    pub portfolio: u64,
 }
 
 /// Outcome of a complete, diameter-bounded check.
@@ -832,6 +896,8 @@ pub fn prove(n: &Netlist, index: usize, pipeline: &Pipeline, opts: &ProveOptions
         &BmcOptions {
             max_depth: bound.saturating_sub(1),
             conflict_budget: opts.conflict_budget,
+            cube: opts.cube.clone(),
+            portfolio: opts.portfolio,
             ..BmcOptions::default()
         },
     ) {
@@ -919,6 +985,8 @@ pub fn prove_all(n: &Netlist, pipeline: &Pipeline, opts: &ProveOptions) -> Vec<P
                 let bmc = BmcOptions {
                     max_depth: bound.saturating_sub(1),
                     conflict_budget: opts.conflict_budget,
+                    cube: opts.cube.clone(),
+                    portfolio: opts.portfolio,
                     ..BmcOptions::default()
                 };
                 match run_chunk(n, &slice, &frontier, unit, token, &bmc) {
@@ -1525,5 +1593,138 @@ mod tests {
     fn sanity_check_accepts_valid_netlists() {
         let n = counter(3, 1);
         assert!(sanity_check(&n).is_ok());
+    }
+
+    #[test]
+    fn cube_modes_agree_with_monolithic_check() {
+        // A hit at depth 11 and an unreachable target: both verdicts must
+        // survive cube splitting in every mode and at every thread count.
+        for (bits, value, hit) in [(4, 11, Some(11u64)), (3, 6, Some(6))] {
+            let n = counter(bits, value);
+            for mode in [CubeMode::Reproducible, CubeMode::Fast] {
+                for par in [Parallelism::Sequential, Parallelism::Threads(4)] {
+                    let opts = BmcOptions {
+                        max_depth: 16,
+                        parallelism: par,
+                        cube: CubeOptions {
+                            mode,
+                            vars: 2,
+                            min_depth: 2,
+                        },
+                        ..Default::default()
+                    };
+                    match (hit, check(&n, 0, &opts)) {
+                        (Some(d), BmcOutcome::Counterexample { depth, witness }) => {
+                            assert_eq!(depth, d, "{mode} {par}");
+                            assert!(witness.replays_to(&n, n.targets()[0].lit), "{mode} {par}");
+                        }
+                        (None, BmcOutcome::NoHitUpTo(16)) => {}
+                        (want, got) => panic!("{mode} {par}: want {want:?}, got {got:?}"),
+                    }
+                }
+            }
+        }
+        // Unreachable: two lock-step registers never differ.
+        let mut n = Netlist::new();
+        let i = n.input("i");
+        let a = n.reg("a", Init::Zero);
+        let b = n.reg("b", Init::Zero);
+        n.set_next(a, i.lit());
+        n.set_next(b, i.lit());
+        let t = n.xor(a.lit(), b.lit());
+        n.add_target(t, "differ");
+        for mode in [CubeMode::Reproducible, CubeMode::Fast] {
+            let opts = BmcOptions {
+                max_depth: 12,
+                parallelism: Parallelism::Threads(3),
+                cube: CubeOptions {
+                    mode,
+                    vars: 3,
+                    min_depth: 0,
+                },
+                ..Default::default()
+            };
+            assert_eq!(check(&n, 0, &opts), BmcOutcome::NoHitUpTo(12), "{mode}");
+        }
+    }
+
+    #[test]
+    fn reproducible_cubes_are_bit_identical_across_thread_counts() {
+        let n = counter(4, 13);
+        let base = BmcOptions {
+            max_depth: 20,
+            cube: CubeOptions {
+                mode: CubeMode::Reproducible,
+                vars: 3,
+                min_depth: 1,
+            },
+            ..Default::default()
+        };
+        let seq = check(&n, 0, &base);
+        for workers in [2usize, 8] {
+            let got = check(
+                &n,
+                0,
+                &BmcOptions {
+                    parallelism: Parallelism::Threads(workers),
+                    ..base.clone()
+                },
+            );
+            // PartialEq covers the witness: bit-for-bit identity.
+            assert_eq!(seq, got, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn cube_check_all_matches_plain_check_all() {
+        let mut n = Netlist::new();
+        let b: Vec<Gate> = (0..4).map(|k| n.reg(format!("b{k}"), Init::Zero)).collect();
+        let mut carry = Lit::TRUE;
+        for r in &b {
+            let nk = n.xor(r.lit(), carry);
+            carry = n.and(r.lit(), carry);
+            n.set_next(*r, nk);
+        }
+        for v in [3u64, 9, 14] {
+            let lits: Vec<Lit> = (0..4)
+                .map(|k| b[k].lit().xor_complement(v >> k & 1 == 0))
+                .collect();
+            let t = n.and_many(lits);
+            n.add_target(t, format!("is_{v}"));
+        }
+        let plain = check_all(
+            &n,
+            &BmcOptions {
+                max_depth: 16,
+                ..Default::default()
+            },
+        );
+        for mode in [CubeMode::Reproducible, CubeMode::Fast] {
+            let cubed = check_all(
+                &n,
+                &BmcOptions {
+                    max_depth: 16,
+                    cube: CubeOptions {
+                        mode,
+                        vars: 2,
+                        min_depth: 3,
+                    },
+                    ..Default::default()
+                },
+            );
+            for (i, (p, c)) in plain.iter().zip(&cubed).enumerate() {
+                match (p, c) {
+                    (
+                        BmcOutcome::Counterexample { depth: a, .. },
+                        BmcOutcome::Counterexample { depth: b, witness },
+                    ) => {
+                        assert_eq!(a, b, "{mode} target {i}");
+                        assert!(witness.replays_to(&n, n.targets()[i].lit));
+                    }
+                    (BmcOutcome::NoHitUpTo(a), BmcOutcome::NoHitUpTo(b)) => assert_eq!(a, b),
+                    other => panic!("{mode} target {i}: {other:?}"),
+                }
+            }
+        }
     }
 }

@@ -259,6 +259,13 @@ pub fn render_report(trace: &Trace, top_k: usize) -> String {
             gc.gc_freed_bytes as f64 / 1024.0
         ));
     }
+    // Whole-run cube clause-exchange totals (absent before the cube layer).
+    if gc.shared_in > 0 || gc.shared_out > 0 {
+        out.push_str(&format!(
+            "  clause exchange: {} exported, {} imported\n",
+            gc.shared_out, gc.shared_in
+        ));
+    }
 
     out.push_str("\ncritical path (heaviest-child chain):\n");
     for (i, step) in critical_path(trace).iter().enumerate() {
@@ -275,10 +282,13 @@ pub fn render_report(trace: &Trace, top_k: usize) -> String {
             fmt_s(step.self_ns),
             100.0 * step.share_of_parent,
             step.worker,
-            if step.sat.conflicts > 0 {
-                format!("  sat.conflicts {}", step.sat.conflicts)
-            } else {
-                String::new()
+            match (step.sat.conflicts, step.sat.shared_in + step.sat.shared_out) {
+                (0, 0) => String::new(),
+                (c, 0) => format!("  sat.conflicts {c}"),
+                (c, _) => format!(
+                    "  sat.conflicts {c}  shared in/out {}/{}",
+                    step.sat.shared_in, step.sat.shared_out
+                ),
             },
             width = 34usize.saturating_sub(2 * i),
         ));

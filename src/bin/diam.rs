@@ -19,11 +19,17 @@
 //!                    com* or (com,ret)*:2       (default com-ret-com)
 //!   --threshold <N>  usefulness threshold       (default 50)
 //!   --depth-cap <N>  refuse BMC beyond N        (default 10000)
+//!   --cube <M>       off | repro | fast — cube-and-conquer splitting of
+//!                    deep BMC obligations (default off). `repro` keeps
+//!                    output bit-identical at any worker count; `fast`
+//!                    adds clause sharing + sibling cancellation
+//!   --portfolio <S>  nonzero seed: restart/phase jitter for the SAT
+//!                    solvers behind prove/solve/sweep (default 0 = off)
 //!   --explain        for `bound`: print the dominant component chain of
 //!                    every target that stays over the threshold
 //! ```
 
-use diam::bmc::{prove, ProveOptions, ProveOutcome};
+use diam::bmc::{prove, CubeMode, CubeOptions, ProveOptions, ProveOutcome};
 use diam::core::classify::{classify, ClassifyOptions};
 use diam::core::{Pipeline, StructuralOptions};
 use diam::netlist::{aiger, Netlist};
@@ -37,14 +43,27 @@ struct Options {
     pipeline_name: String,
     threshold: u64,
     depth_cap: u64,
+    cube: CubeMode,
+    portfolio: u64,
     explain: bool,
     files: Vec<String>,
+}
+
+impl Options {
+    fn cube_options(&self) -> CubeOptions {
+        CubeOptions {
+            mode: self.cube,
+            ..CubeOptions::default()
+        }
+    }
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut pipeline_name = "com-ret-com".to_string();
     let mut threshold = 50u64;
     let mut depth_cap = 10_000u64;
+    let mut cube = CubeMode::Off;
+    let mut portfolio = 0u64;
     let mut explain = false;
     let mut files = Vec::new();
     let mut it = args.iter();
@@ -67,6 +86,16 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "bad --depth-cap value")?;
             }
+            "--cube" => {
+                cube = CubeMode::parse(it.next().ok_or("--cube needs a value")?)?;
+            }
+            "--portfolio" => {
+                portfolio = it
+                    .next()
+                    .ok_or("--portfolio needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --portfolio value")?;
+            }
             "--explain" => explain = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown option {other}"));
@@ -82,6 +111,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         pipeline_name,
         threshold,
         depth_cap,
+        cube,
+        portfolio,
         explain,
         files,
     })
@@ -152,6 +183,8 @@ fn cmd_prove(opts: &Options) -> Result<(), String> {
     let n = load(path)?;
     let prove_opts = ProveOptions {
         depth_cap: opts.depth_cap,
+        cube: opts.cube_options(),
+        portfolio: opts.portfolio,
         ..Default::default()
     };
     let mut proved = 0;
@@ -213,7 +246,13 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
     let path = opts.files.first().ok_or("missing input file")?;
     let out_path = opts.files.get(1).ok_or("missing output file")?;
     let n = load(path)?;
-    let result = sweep(&n, &SweepOptions::default());
+    let result = sweep(
+        &n,
+        &SweepOptions {
+            portfolio: opts.portfolio,
+            ..SweepOptions::default()
+        },
+    );
     println!(
         "{path}: {} -> {} registers, {} -> {} ANDs ({} merges, {} refinement rounds)",
         n.num_regs(),
@@ -262,6 +301,10 @@ fn cmd_solve(opts: &Options) -> Result<(), String> {
     let strategy = StrategyOptions {
         pipeline: opts.pipeline.clone(),
         depth_cap: opts.depth_cap,
+        sweep: diam::transform::com::SweepOptions {
+            portfolio: opts.portfolio,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let statuses = solve_all(&n, &strategy);

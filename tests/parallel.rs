@@ -204,6 +204,37 @@ fn deeper_units_observe_the_frontier_and_stop_early() {
 }
 
 #[test]
+fn child_tokens_scope_cancellation_hierarchically() {
+    use diam::par::CancelToken;
+
+    // Regression for the cube layer's cancellation contract: a parent's
+    // cancel reaches every descendant group, while a child's cancel (a SAT
+    // cube stopping its siblings) stays inside that group — the parent and
+    // unrelated groups keep running.
+    let parent = CancelToken::new();
+    let group_a = parent.child();
+    let group_b = parent.child();
+    let grandchild = group_a.child();
+
+    group_a.cancel();
+    assert!(group_a.is_cancelled(), "cancelled group observes itself");
+    assert!(grandchild.is_cancelled(), "descendants observe the group");
+    assert!(!parent.is_cancelled(), "cancellation never flows upward");
+    assert!(!group_b.is_cancelled(), "sibling groups are unaffected");
+
+    parent.cancel();
+    assert!(group_b.is_cancelled(), "parent cancel reaches every child");
+
+    // Clones share the same flag chain (the token is a handle, not a node).
+    let parent2 = CancelToken::new();
+    let child = parent2.child();
+    let child_clone = child.clone();
+    child_clone.cancel();
+    assert!(child.is_cancelled());
+    assert!(!parent2.is_cancelled());
+}
+
+#[test]
 fn cancellation_never_changes_merged_results() {
     // Several targets hitting at different depths, chunked finely: the
     // per-target frontiers fire constantly, yet every mode merges to the
