@@ -10,11 +10,18 @@
 //! ```text
 //! benchreport [--suite table1|table2] [--runs N] [--seed S] [--limit N]
 //!             [--label L] [--out PATH] [--baseline PATH] [--quick]
+//!             [--history-dir PATH] [--no-history]
 //! ```
 //!
 //! `--quick` is the CI profile: 3 runs over the first 2 designs. Exit
 //! codes: `0` success / no regressions, `1` regressions vs `--baseline`,
 //! `2` usage or aggregation error.
+//!
+//! Every successful aggregation is also appended to the run-history store
+//! (`.diam/history/<fingerprint>/<seq>.json` by default; see
+//! `diam_trace::history`) so `diam-trace history <fingerprint>` can show
+//! trends across invocations. `--no-history` opts out; `--history-dir`
+//! redirects the store (tests, scratch checkouts).
 //!
 //! Progress goes to **stderr**; the only stdout output is the baseline
 //! path line (and the diff table when `--baseline` is given), so the tool
@@ -24,11 +31,11 @@ use diam_bench::run_suite_with;
 use diam_gen::{gp, iscas};
 use diam_obs::{ObsConfig, ObsMode, RunManifest, Session};
 use diam_par::Parallelism;
-use diam_trace::{diff, Baseline, DiffOptions, Trace};
+use diam_trace::{diff, history, Baseline, DiffOptions, Trace};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: benchreport [--suite table1|table2] [--runs N] [--seed S] [--limit N] \
-[--label L] [--out PATH] [--baseline PATH] [--quick]";
+[--label L] [--out PATH] [--baseline PATH] [--quick] [--history-dir PATH] [--no-history]";
 
 struct Cli {
     suite: String,
@@ -38,6 +45,8 @@ struct Cli {
     label: String,
     out: Option<String>,
     baseline: Option<String>,
+    history_dir: Option<String>,
+    no_history: bool,
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -49,6 +58,8 @@ fn parse_cli() -> Result<Cli, String> {
         label: "local".into(),
         out: None,
         baseline: None,
+        history_dir: None,
+        no_history: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -86,6 +97,8 @@ fn parse_cli() -> Result<Cli, String> {
             "--label" => cli.label = value("--label")?,
             "--out" => cli.out = Some(value("--out")?),
             "--baseline" => cli.baseline = Some(value("--baseline")?),
+            "--history-dir" => cli.history_dir = Some(value("--history-dir")?),
+            "--no-history" => cli.no_history = true,
             "--quick" => {
                 cli.runs = 3;
                 cli.limit = Some(2);
@@ -158,6 +171,22 @@ fn run() -> Result<ExitCode, String> {
         baseline.wall_ns as f64 / 1e9,
         baseline.fingerprint
     );
+
+    if !cli.no_history {
+        let store = match &cli.history_dir {
+            Some(dir) => history::History::at(dir),
+            None => history::History::default_root(),
+        };
+        // History is best-effort: a read-only checkout must not fail the
+        // benchmark run itself.
+        match store.append(&baseline) {
+            Ok((seq, path)) => eprintln!(
+                "benchreport: history run {seq} recorded at {}",
+                path.display()
+            ),
+            Err(e) => eprintln!("benchreport: history append skipped: {e}"),
+        }
+    }
 
     if let Some(base_path) = &cli.baseline {
         let text = std::fs::read_to_string(base_path)

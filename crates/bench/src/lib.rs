@@ -30,7 +30,8 @@ pub struct BenchCli {
     pub seed: u64,
     /// `--jobs <N|seq|auto>` — per-target fan-out.
     pub jobs: Parallelism,
-    /// `--obs <off|summary|json|live>` + `--trace-out <path.jsonl>`.
+    /// `--obs <off|summary|json|live|live-json>` + `--trace-out <path.jsonl>`
+    /// + `--live-out <path.jsonl>`.
     pub obs: ObsConfig,
     /// `--limit <N>` — truncate the suite to its first `N` designs (CI and
     /// smoke runs).
@@ -75,8 +76,10 @@ impl BenchCli {
 
 /// Shared CLI parsing for the table/ablation binaries: a positional seed
 /// (default 1) plus `--jobs <N|seq|auto>` (per-target fan-out),
-/// `--obs <off|summary|json|live>`, `--trace-out <path.jsonl>`, and
-/// `--limit <N>`. Unrecognized arguments abort with a usage message.
+/// `--obs <off|summary|json|live|live-json>`, `--trace-out <path.jsonl>`,
+/// `--live-out <path.jsonl>` (machine-readable live stream; implies
+/// `--obs live` when no mode was chosen), and `--limit <N>`. Unrecognized
+/// arguments abort with a usage message.
 pub fn parse_cli(usage: &str) -> BenchCli {
     let mut cli = BenchCli {
         seed: 1,
@@ -104,10 +107,12 @@ pub fn parse_cli(usage: &str) -> BenchCli {
             cli.jobs =
                 Parallelism::parse(&v).unwrap_or_else(|_| fail("--jobs expects <N|seq|auto>"));
         } else if let Some(v) = flag_value("--obs", None) {
-            cli.obs.mode =
-                ObsMode::parse(&v).unwrap_or_else(|_| fail("--obs expects off|summary|json|live"));
+            cli.obs.mode = ObsMode::parse(&v)
+                .unwrap_or_else(|_| fail("--obs expects off|summary|json|live|live-json"));
         } else if let Some(v) = flag_value("--trace-out", None) {
             cli.obs.trace_out = Some(v.into());
+        } else if let Some(v) = flag_value("--live-out", None) {
+            cli.obs.live_out = Some(v.into());
         } else if let Some(v) = flag_value("--limit", None) {
             cli.limit = Some(
                 v.parse()
@@ -120,9 +125,13 @@ pub fn parse_cli(usage: &str) -> BenchCli {
         }
     }
     // `--trace-out` without a recording mode means the user wants the trace:
-    // promote to `json` rather than silently writing nothing.
+    // promote to `json` rather than silently writing nothing. Likewise
+    // `--live-out` alone means the user wants the live stream.
     if cli.obs.trace_out.is_some() && cli.obs.mode.is_off() {
         cli.obs.mode = ObsMode::Json;
+    }
+    if cli.obs.live_out.is_some() && cli.obs.mode.is_off() {
+        cli.obs.mode = ObsMode::Live;
     }
     cli
 }

@@ -140,3 +140,124 @@ fn bad_flags_abort_with_usage() {
     let out = table1(&["--obs", "loud"]);
     assert_eq!(out.status.code(), Some(2));
 }
+
+/// Validate one machine-readable live-stream line against the documented
+/// schema (DESIGN.md §8.2): every event carries `v` (schema version), `ev`
+/// (known kind), and `ts_ns`; kind-specific required keys are checked too.
+fn check_live_event(line: &str) -> String {
+    let v = diam_obs::json::parse(line).unwrap_or_else(|e| panic!("bad JSON {line:?}: {e}"));
+    assert_eq!(
+        v.get("v").and_then(|x| x.as_u64()),
+        Some(diam_obs::LIVE_SCHEMA_VERSION),
+        "{line}"
+    );
+    assert!(v.get("ts_ns").and_then(|x| x.as_u64()).is_some(), "{line}");
+    let ev = v
+        .get("ev")
+        .and_then(|x| x.as_str())
+        .unwrap_or_else(|| panic!("missing ev in {line}"))
+        .to_string();
+    let cubes_ok = |val: &diam_obs::json::JsonValue| {
+        let c = val.get("cubes").expect("cubes object");
+        for key in ["refuted", "total", "share_dropped"] {
+            assert!(c.get(key).and_then(|x| x.as_u64()).is_some(), "{line}");
+        }
+    };
+    match ev.as_str() {
+        "live_start" => {
+            for key in ["heartbeat_ms", "stall_ms"] {
+                assert!(v.get(key).and_then(|x| x.as_u64()).is_some(), "{line}");
+            }
+        }
+        "heartbeat" => {
+            assert!(
+                v.get("workers").and_then(|x| x.as_array()).is_some(),
+                "{line}"
+            );
+            assert!(v.get("queue_depth").is_some(), "{line}");
+            cubes_ok(&v);
+        }
+        "progress" => {
+            assert!(v.get("queue_depth").is_some(), "{line}");
+            cubes_ok(&v);
+        }
+        "stall" => {
+            assert!(
+                v.get("quiet_s").and_then(|x| x.as_f64()).is_some(),
+                "{line}"
+            );
+            assert!(
+                v.get("stacks").and_then(|x| x.as_array()).is_some(),
+                "{line}"
+            );
+        }
+        "finish" => {
+            assert!(v.get("events").and_then(|x| x.as_u64()).is_some(), "{line}");
+            cubes_ok(&v);
+        }
+        other => panic!("unknown live event kind {other:?} in {line}"),
+    }
+    ev
+}
+
+/// `--live-out` alone implies `--obs live` and streams schema-valid JSONL
+/// to the file: `live_start` first, `finish` last, every line validating
+/// against the documented schema. Stdout stays the unchanged table (plus
+/// the appended summary); the machine channel never touches stdout.
+#[test]
+fn live_out_streams_schema_valid_jsonl() {
+    let path = std::env::temp_dir().join("diam_obs_cli_live_out.jsonl");
+    let path_s = path.to_str().unwrap().to_string();
+    let off = table1(&["1", "--limit", "1"]);
+    let live = table1(&["1", "--limit", "1", "--live-out", &path_s]);
+    assert!(
+        live.status.success(),
+        "{}",
+        String::from_utf8_lossy(&live.stderr)
+    );
+    let off_s = String::from_utf8_lossy(&off.stdout);
+    let live_s = String::from_utf8_lossy(&live.stdout);
+    assert!(
+        live_s.starts_with(off_s.as_ref()),
+        "live-out must leave the table untouched"
+    );
+    // --live-out implies live mode → the human watchdog arming line.
+    let err = String::from_utf8_lossy(&live.stderr);
+    assert!(err.contains("diam-obs live: armed"), "{err}");
+
+    let text = std::fs::read_to_string(&path).expect("live stream written");
+    let kinds: Vec<String> = text.lines().map(check_live_event).collect();
+    assert!(kinds.len() >= 2, "at least live_start + finish: {kinds:?}");
+    assert_eq!(kinds.first().map(String::as_str), Some("live_start"));
+    assert_eq!(kinds.last().map(String::as_str), Some("finish"));
+    let _ = std::fs::remove_file(&path);
+}
+
+/// `--obs live-json` is the pure machine mode: the stream goes to stderr,
+/// no human heartbeat lines are armed, and stdout still begins with the
+/// unchanged table.
+#[test]
+fn obs_live_json_streams_to_stderr() {
+    let off = table1(&["1", "--limit", "1"]);
+    let lj = table1(&["1", "--limit", "1", "--obs", "live-json"]);
+    assert!(
+        lj.status.success(),
+        "{}",
+        String::from_utf8_lossy(&lj.stderr)
+    );
+    let off_s = String::from_utf8_lossy(&off.stdout);
+    let lj_s = String::from_utf8_lossy(&lj.stdout);
+    assert!(lj_s.starts_with(off_s.as_ref()));
+    let err = String::from_utf8_lossy(&lj.stderr);
+    assert!(
+        !err.contains("diam-obs live: armed"),
+        "live-json must not emit human lines: {err}"
+    );
+    let kinds: Vec<String> = err
+        .lines()
+        .filter(|l| l.starts_with('{'))
+        .map(check_live_event)
+        .collect();
+    assert_eq!(kinds.first().map(String::as_str), Some("live_start"));
+    assert_eq!(kinds.last().map(String::as_str), Some("finish"));
+}

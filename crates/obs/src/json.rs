@@ -42,6 +42,31 @@ impl JsonValue {
         }
     }
 
+    /// This value as a signed integer, if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Int(i) => i64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// This value as a float (integral sources convert too).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Float(f) => Some(*f),
+            JsonValue::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// This value's items, if it is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
     /// This value as a string slice, if it is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {

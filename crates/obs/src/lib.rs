@@ -59,6 +59,8 @@
 pub mod json;
 mod live;
 
+pub use live::LIVE_SCHEMA_VERSION;
+
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -86,6 +88,11 @@ pub enum ObsMode {
     /// flight, plus a span-stack dump when no event arrives for the stall
     /// threshold (see [`LiveOptions`]).
     Live,
+    /// Record events like [`ObsMode::Live`] but stream machine-readable
+    /// JSONL progress events (schema-versioned `heartbeat` / `progress` /
+    /// `stall` lines) to stderr instead of the human heartbeat lines. Use
+    /// [`ObsConfig::live_out`] to redirect the stream to a file.
+    LiveJson,
 }
 
 impl ObsMode {
@@ -100,8 +107,9 @@ impl ObsMode {
             "summary" => Ok(ObsMode::Summary),
             "json" => Ok(ObsMode::Json),
             "live" => Ok(ObsMode::Live),
+            "live-json" => Ok(ObsMode::LiveJson),
             _ => Err(format!(
-                "bad --obs value {s:?} (expected off|summary|json|live)"
+                "bad --obs value {s:?} (expected off|summary|json|live|live-json)"
             )),
         }
     }
@@ -109,6 +117,11 @@ impl ObsMode {
     /// Whether this mode records nothing.
     pub fn is_off(self) -> bool {
         matches!(self, ObsMode::Off)
+    }
+
+    /// Whether this mode runs the live watchdog.
+    pub fn is_live(self) -> bool {
+        matches!(self, ObsMode::Live | ObsMode::LiveJson)
     }
 }
 
@@ -119,6 +132,7 @@ impl std::fmt::Display for ObsMode {
             ObsMode::Summary => write!(f, "summary"),
             ObsMode::Json => write!(f, "json"),
             ObsMode::Live => write!(f, "live"),
+            ObsMode::LiveJson => write!(f, "live-json"),
         }
     }
 }
@@ -150,8 +164,14 @@ pub struct ObsConfig {
     /// Where to write the JSONL trace (written on finish when set and the
     /// mode records).
     pub trace_out: Option<PathBuf>,
-    /// Watchdog tuning, used by [`ObsMode::Live`] only.
+    /// Watchdog tuning, used by the live modes only.
     pub live: LiveOptions,
+    /// Where to stream the machine-readable live JSONL events. When set
+    /// (and the mode records), the live watchdog runs and appends
+    /// schema-versioned `heartbeat` / `progress` / `stall` lines here, in
+    /// addition to whatever the mode itself does; [`ObsMode::LiveJson`]
+    /// without a path streams the same lines to stderr.
+    pub live_out: Option<PathBuf>,
 }
 
 // ---------------------------------------------------------------------------
@@ -300,6 +320,12 @@ pub enum Metric {
         count: u64,
         /// Sum of recorded values (saturating).
         sum: u64,
+        /// Smallest recorded value (`u64::MAX` while empty; read through
+        /// [`Metric::observed_min`]).
+        min: u64,
+        /// Largest recorded value (0 while empty; read through
+        /// [`Metric::observed_max`]).
+        max: u64,
         /// `buckets[b]` counts values with `b` significant bits.
         buckets: Box<[u64; HIST_BUCKETS]>,
     },
@@ -310,7 +336,27 @@ impl Metric {
         Metric::Histogram {
             count: 0,
             sum: 0,
+            min: u64::MAX,
+            max: 0,
             buckets: Box::new([0; HIST_BUCKETS]),
+        }
+    }
+
+    /// The exact smallest recorded value of a non-empty histogram. The
+    /// bucket quantiles over-estimate by up to 2×; min/max bound the exact
+    /// observed range.
+    pub fn observed_min(&self) -> Option<u64> {
+        match self {
+            Metric::Histogram { count, min, .. } if *count > 0 => Some(*min),
+            _ => None,
+        }
+    }
+
+    /// The exact largest recorded value of a non-empty histogram.
+    pub fn observed_max(&self) -> Option<u64> {
+        match self {
+            Metric::Histogram { count, max, .. } if *count > 0 => Some(*max),
+            _ => None,
         }
     }
 
@@ -404,7 +450,8 @@ struct Recorder {
     next_span: AtomicU64,
     buffers: Mutex<Vec<Arc<ThreadBuffer>>>,
     metrics: Mutex<BTreeMap<&'static str, Metric>>,
-    /// Live sink state; present only under [`ObsMode::Live`].
+    /// Live sink state; present only when a live mode or a machine live
+    /// stream ([`ObsConfig::live_out`]) is configured.
     live: Option<Arc<live::LiveState>>,
 }
 
@@ -674,8 +721,21 @@ pub fn set_worker(worker: u32) {
 fn with_metric(name: &'static str, init: impl FnOnce() -> Metric, f: impl FnOnce(&mut Metric)) {
     with_tls(|t| {
         let rec = t.recorder.as_ref().expect("recorder bound");
-        let mut metrics = unpoison(rec.metrics.lock());
-        f(metrics.entry(name).or_insert_with(init))
+        // Snapshot the updated scalar under the metrics lock, mirror it to
+        // the live sink after releasing it (the sink takes its own lock).
+        let scalar = {
+            let mut metrics = unpoison(rec.metrics.lock());
+            let m = metrics.entry(name).or_insert_with(init);
+            f(m);
+            match (&rec.live, &*m) {
+                (Some(_), Metric::Counter(v)) => Some(*v as i64),
+                (Some(_), Metric::Gauge(v)) => Some(*v),
+                _ => None,
+            }
+        };
+        if let (Some(live), Some(v)) = (&rec.live, scalar) {
+            live.on_scalar(name, v);
+        }
     });
 }
 
@@ -720,11 +780,15 @@ pub fn histogram_record(name: &'static str, value: u64) {
         if let Metric::Histogram {
             count,
             sum,
+            min,
+            max,
             buckets,
         } = m
         {
             *count += 1;
             *sum = sum.saturating_add(value);
+            *min = (*min).min(value);
+            *max = (*max).max(value);
             let b = (64 - value.leading_zeros()) as usize;
             buckets[b] += 1;
         }
@@ -743,11 +807,15 @@ pub fn histogram_record_n(name: &'static str, value: u64, n: u64) {
         if let Metric::Histogram {
             count,
             sum,
+            min,
+            max,
             buckets,
         } = m
         {
             *count += n;
             *sum = sum.saturating_add(value.saturating_mul(n));
+            *min = (*min).min(value);
+            *max = (*max).max(value);
             let b = (64 - value.leading_zeros()) as usize;
             buckets[b] += n;
         }
@@ -954,12 +1022,33 @@ pub struct Session {
 impl Session {
     /// Installs a session. With [`ObsMode::Off`] the session exists but
     /// records nothing (hooks stay no-ops). With [`ObsMode::Live`] a
-    /// watchdog thread prints heartbeat/stall lines to stderr until finish.
+    /// watchdog thread prints heartbeat/stall lines to stderr until finish;
+    /// with [`ObsMode::LiveJson`] or [`ObsConfig::live_out`] it streams
+    /// machine-readable JSONL progress events instead of / alongside them.
     pub fn install(config: ObsConfig, manifest: RunManifest) -> Session {
         let lock = unpoison(INSTALL.lock());
         let epoch = EPOCH.fetch_add(1, Ordering::AcqRel) + 1;
-        let live_state = if config.mode == ObsMode::Live {
-            Some(Arc::new(live::LiveState::new(config.live)))
+        let machine = if config.mode.is_off() {
+            None
+        } else {
+            match &config.live_out {
+                Some(path) => match std::fs::File::create(path) {
+                    Ok(f) => Some(live::MachineSink::File(Mutex::new(f))),
+                    Err(e) => {
+                        eprintln!("diam-obs: cannot open live stream {}: {e}", path.display());
+                        None
+                    }
+                },
+                None if config.mode == ObsMode::LiveJson => Some(live::MachineSink::Stderr),
+                None => None,
+            }
+        };
+        let human = config.mode == ObsMode::Live;
+        let live_state = if human || machine.is_some() {
+            Some(Arc::new(live::LiveState::new(
+                config.live,
+                live::SinkConfig { human, machine },
+            )))
         } else {
             None
         };
@@ -1003,6 +1092,9 @@ impl Session {
         events.sort_by_key(|e| e.seq);
         self.manifest.wall_ns = self.recorder.start.elapsed().as_nanos() as u64;
         self.manifest.peak_rss_kb = peak_rss_kb();
+        if let Some(live) = &self.recorder.live {
+            live.emit_finish(self.manifest.wall_ns, events.len() as u64);
+        }
         let metrics = unpoison(self.recorder.metrics.lock()).clone();
         let report = Report {
             mode: self.config.mode,
@@ -1161,6 +1253,9 @@ impl Report {
                 Metric::Gauge(v) => out.push_str(&v.to_string()),
                 Metric::Histogram { count, sum, .. } => {
                     out.push_str(&format!("{{\"count\":{count},\"sum\":{sum}"));
+                    if let (Some(min), Some(max)) = (m.observed_min(), m.observed_max()) {
+                        out.push_str(&format!(",\"min\":{min},\"max\":{max}"));
+                    }
                     if let (Some(p50), Some(p90), Some(p99)) =
                         (m.quantile(0.50), m.quantile(0.90), m.quantile(0.99))
                     {
@@ -1240,6 +1335,9 @@ impl Report {
                             *sum as f64 / *count as f64
                         };
                         out.push_str(&format!("  {name:<28} n={count} sum={sum} avg={avg:.1}"));
+                        if let (Some(min), Some(max)) = (m.observed_min(), m.observed_max()) {
+                            out.push_str(&format!(" min={min} max={max}"));
+                        }
                         if let (Some(p50), Some(p90), Some(p99)) =
                             (m.quantile(0.50), m.quantile(0.90), m.quantile(0.99))
                         {
@@ -1485,10 +1583,14 @@ mod tests {
             Metric::Histogram {
                 count,
                 sum,
+                min,
+                max,
                 buckets,
             } => {
                 assert_eq!(*count, 3);
                 assert_eq!(*sum, 1005);
+                assert_eq!(*min, 0);
+                assert_eq!(*max, 1000);
                 assert_eq!(buckets[0], 1); // zero
                 assert_eq!(buckets[3], 1); // 5 = 3 bits
                 assert_eq!(buckets[10], 1); // 1000 = 10 bits
@@ -1497,6 +1599,7 @@ mod tests {
         }
         let text = report.render_summary();
         assert!(text.contains("n=3 sum=1005"));
+        assert!(text.contains("min=0 max=1000"), "{text}");
     }
 
     #[test]
@@ -1553,10 +1656,14 @@ mod tests {
             Metric::Histogram {
                 count,
                 sum,
+                min,
+                max,
                 buckets,
             } => {
                 assert_eq!(*count, 6);
                 assert_eq!(*sum, 5 + 15 + 2000);
+                assert_eq!(*min, 5);
+                assert_eq!(*max, 1000);
                 assert_eq!(buckets[3], 4); // 5 = 3 bits
                 assert_eq!(buckets[10], 2); // 1000 = 10 bits
             }
@@ -1630,14 +1737,25 @@ mod tests {
         assert_eq!(h.quantile(1.0), Some(131_071));
         assert_eq!(Metric::Counter(3).quantile(0.5), None);
         assert_eq!(Metric::new_histogram().quantile(0.5), None);
+        // Exact min/max bound the bucket-rounded quantile estimates.
+        assert_eq!(h.observed_min(), Some(3));
+        assert_eq!(h.observed_max(), Some(100_000));
+        assert_eq!(Metric::Counter(3).observed_min(), None);
+        assert_eq!(Metric::new_histogram().observed_max(), None);
         // Rendered everywhere a histogram shows up.
         let summary = report.render_summary();
+        assert!(summary.contains("min=3 max=100000"), "{summary}");
         assert!(summary.contains("p50≤3"), "{summary}");
         assert!(summary.contains("p99≤255"), "{summary}");
         let jsonl = report.to_jsonl();
         let metrics_line = jsonl.lines().last().unwrap();
         let v = json::parse(metrics_line).unwrap();
         let q = v.get("fields").unwrap().get("q").unwrap();
+        assert_eq!(q.get("min").and_then(json::JsonValue::as_u64), Some(3));
+        assert_eq!(
+            q.get("max").and_then(json::JsonValue::as_u64),
+            Some(100_000)
+        );
         assert_eq!(q.get("p50").and_then(json::JsonValue::as_u64), Some(3));
         assert_eq!(q.get("p90").and_then(json::JsonValue::as_u64), Some(3));
         assert_eq!(q.get("p99").and_then(json::JsonValue::as_u64), Some(255));
@@ -1695,8 +1813,12 @@ mod tests {
         assert_eq!(ObsMode::parse("summary"), Ok(ObsMode::Summary));
         assert_eq!(ObsMode::parse("json"), Ok(ObsMode::Json));
         assert_eq!(ObsMode::parse("live"), Ok(ObsMode::Live));
+        assert_eq!(ObsMode::parse("live-json"), Ok(ObsMode::LiveJson));
         assert_eq!(ObsMode::Live.to_string(), "live");
+        assert_eq!(ObsMode::LiveJson.to_string(), "live-json");
         assert!(!ObsMode::Live.is_off());
+        assert!(ObsMode::Live.is_live() && ObsMode::LiveJson.is_live());
+        assert!(!ObsMode::Json.is_live());
         assert!(ObsMode::parse("verbose").is_err());
         assert_eq!(ObsMode::Json.to_string(), "json");
         let m = RunManifest::capture("t").input("file.aag").option("k", "v");

@@ -1,27 +1,65 @@
-//! The `--obs live` sink: a watchdog that makes long runs observable while
-//! they run, without touching stdout.
+//! The live sinks: a watchdog that makes long runs observable while they
+//! run, without touching stdout.
 //!
-//! When a session is installed with [`ObsMode::Live`](crate::ObsMode::Live),
-//! every recorded event also streams through a [`LiveState`]: per-worker
-//! open-span stacks are mirrored as events arrive, and a background thread
-//! prints two kinds of stderr lines:
+//! When a session is installed with a live mode, every recorded event also
+//! streams through a [`LiveState`]: per-worker open-span stacks are mirrored
+//! as events arrive, selected counters (`cube.refuted`, `cube.share_dropped`,
+//! `par.queue_depth`) are mirrored into atomics, and a background thread
+//! drives two sinks:
 //!
-//! * **heartbeats** — every [`LiveOptions::heartbeat`], one line per busy
-//!   worker showing its innermost spans, the current BMC depth (from
-//!   `sat.solve` point events), and a naive linear ETA when the span
-//!   advertises its depth range (`max_depth` / `hi` open fields);
-//! * **stall dumps** — when no event has arrived for
-//!   [`LiveOptions::stall`], a one-shot dump of every worker's open span
-//!   stack, so a wedged solve is attributable without attaching a debugger.
+//! * **human** ([`ObsMode::Live`](crate::ObsMode::Live)) — stderr lines:
+//!   heartbeats every [`LiveOptions::heartbeat`] showing each busy worker's
+//!   innermost spans, the current BMC depth (from `sat.solve` point events),
+//!   a naive linear ETA when the span advertises its depth range
+//!   (`max_depth` / `hi` open fields), and cube progress / sharing drops;
+//!   plus a one-shot stall dump of every worker's open span stack when no
+//!   event has arrived for [`LiveOptions::stall`].
+//! * **machine** ([`ObsMode::LiveJson`](crate::ObsMode::LiveJson) → stderr,
+//!   or [`ObsConfig::live_out`](crate::ObsConfig::live_out) → a file) — the
+//!   same information as schema-versioned JSONL events
+//!   (`live_start` / `heartbeat` / `progress` / `stall` / `finish`, see
+//!   [`LIVE_SCHEMA_VERSION`]) that a server can relay verbatim.
 //!
 //! The sink costs one mutex-protected stack update per event and only
-//! exists in live mode; all other modes never allocate a [`LiveState`].
+//! exists in live modes; all other modes never allocate a [`LiveState`].
 
-use crate::{Event, EventKind, LiveOptions, Value};
+use crate::{json, Event, EventKind, LiveOptions, Value};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// Version of the machine-readable live JSONL schema: every line is an
+/// object with `"v"` set to this, an `"ev"` discriminator
+/// (`live_start` / `heartbeat` / `progress` / `stall` / `finish`), and a
+/// `"ts_ns"` timestamp (nanoseconds since session start).
+pub const LIVE_SCHEMA_VERSION: u64 = 1;
+
+/// Where the machine-readable live JSONL stream goes.
+pub(crate) enum MachineSink {
+    /// `--obs live-json` without a path: stream to stderr.
+    Stderr,
+    /// `--live-out <path>`: append to the file.
+    File(Mutex<std::fs::File>),
+}
+
+/// Which sinks a [`LiveState`] drives.
+pub(crate) struct SinkConfig {
+    /// Human-readable stderr lines (`--obs live`).
+    pub human: bool,
+    /// Machine-readable JSONL stream, when configured.
+    pub machine: Option<MachineSink>,
+}
+
+impl Default for SinkConfig {
+    fn default() -> SinkConfig {
+        SinkConfig {
+            human: true,
+            machine: None,
+        }
+    }
+}
 
 /// One mirrored open span on a worker's live stack.
 struct OpenSpan {
@@ -36,6 +74,23 @@ struct OpenSpan {
     max_depth: Option<u64>,
 }
 
+impl OpenSpan {
+    /// Depth/ETA annotation: `Some((depth, Some((max, eta_s))))` when the
+    /// span advertises its range, `Some((depth, None))` otherwise.
+    fn progress(&self, now_ns: u64) -> Option<(u64, Option<(u64, f64)>)> {
+        let depth = self.depth?;
+        match self.max_depth {
+            Some(max) if max > 0 && depth <= max => {
+                let frac = (depth + 1) as f64 / (max + 1) as f64;
+                let elapsed_s = now_ns.saturating_sub(self.opened_ns) as f64 / 1e9;
+                let eta_s = elapsed_s * (1.0 - frac) / frac.max(1e-9);
+                Some((depth, Some((max, eta_s))))
+            }
+            _ => Some((depth, None)),
+        }
+    }
+}
+
 #[derive(Default)]
 struct WorkerLive {
     stack: Vec<OpenSpan>,
@@ -44,13 +99,24 @@ struct WorkerLive {
 /// Shared state between the recording threads and the watchdog thread.
 pub(crate) struct LiveState {
     opts: LiveOptions,
+    sinks: SinkConfig,
     start: Instant,
     /// `ts_ns` of the most recent event (nanoseconds since session start).
     last_event_ns: AtomicU64,
     /// Total events seen (heartbeats stay quiet until the first one).
     events: AtomicU64,
     stop: AtomicBool,
+    /// One-shot stall latch: set on the first stall detection, cleared when
+    /// events resume (see [`LiveState::check_stall`]).
+    stalled: AtomicBool,
     workers: Mutex<BTreeMap<u32, WorkerLive>>,
+    /// Mirrors of the `cube.refuted` / `cube.share_dropped` counters and the
+    /// `par.queue_depth` gauge (see `with_metric` in the crate root).
+    cube_refuted: AtomicU64,
+    share_dropped: AtomicU64,
+    queue_depth: AtomicI64,
+    /// Total cubes announced by `cube.split` open events (`cubes` field).
+    cube_total: AtomicU64,
 }
 
 fn unpoison<T>(r: Result<T, std::sync::PoisonError<T>>) -> T {
@@ -86,14 +152,20 @@ fn field_u64(fields: &[(&'static str, Value)], key: &str) -> Option<u64> {
 }
 
 impl LiveState {
-    pub(crate) fn new(opts: LiveOptions) -> LiveState {
+    pub(crate) fn new(opts: LiveOptions, sinks: SinkConfig) -> LiveState {
         LiveState {
             opts,
+            sinks,
             start: Instant::now(),
             last_event_ns: AtomicU64::new(0),
             events: AtomicU64::new(0),
             stop: AtomicBool::new(false),
+            stalled: AtomicBool::new(false),
             workers: Mutex::new(BTreeMap::new()),
+            cube_refuted: AtomicU64::new(0),
+            share_dropped: AtomicU64::new(0),
+            queue_depth: AtomicI64::new(0),
+            cube_total: AtomicU64::new(0),
         }
     }
 
@@ -110,6 +182,11 @@ impl LiveState {
         let w = workers.entry(ev.worker).or_default();
         match &ev.kind {
             EventKind::Open { name, fields, .. } => {
+                if *name == "cube.split" {
+                    if let Some(cubes) = field_u64(fields, "cubes") {
+                        self.cube_total.fetch_add(cubes, Ordering::Relaxed);
+                    }
+                }
                 w.stack.push(OpenSpan {
                     name,
                     detail: detail_from(fields),
@@ -137,7 +214,56 @@ impl LiveState {
         }
     }
 
-    /// Renders the heartbeat lines for every worker with open spans.
+    /// Mirrors a counter/gauge update into the live atomics (called from
+    /// `with_metric` with the post-update value).
+    pub(crate) fn on_scalar(&self, name: &str, value: i64) {
+        match name {
+            "cube.refuted" => self.cube_refuted.store(value as u64, Ordering::Relaxed),
+            "cube.share_dropped" => self.share_dropped.store(value as u64, Ordering::Relaxed),
+            "par.queue_depth" => self.queue_depth.store(value, Ordering::Relaxed),
+            _ => {}
+        }
+    }
+
+    fn cube_counts(&self) -> (u64, u64, u64) {
+        (
+            self.cube_refuted.load(Ordering::Relaxed),
+            self.cube_total.load(Ordering::Relaxed),
+            self.share_dropped.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The deepest BMC depth any worker has reported (the depth frontier).
+    fn frontier_depth(&self) -> Option<u64> {
+        let workers = unpoison(self.workers.lock());
+        workers
+            .values()
+            .flat_map(|w| w.stack.iter().filter_map(|s| s.depth))
+            .max()
+    }
+
+    /// One-shot stall detection: returns the quiet time on the *first* tick
+    /// past the threshold, `None` on subsequent ticks; the latch resets as
+    /// soon as events resume, so a second distinct stall dumps again.
+    pub(crate) fn check_stall(&self, now_ns: u64) -> Option<f64> {
+        if self.events.load(Ordering::Relaxed) == 0 {
+            return None; // nothing recorded yet — stay quiet
+        }
+        let last_ev = self.last_event_ns.load(Ordering::Relaxed);
+        let quiet_ns = now_ns.saturating_sub(last_ev);
+        if quiet_ns > self.opts.stall.as_nanos() as u64 {
+            if !self.stalled.swap(true, Ordering::Relaxed) {
+                return Some(quiet_ns as f64 / 1e9);
+            }
+            None
+        } else {
+            self.stalled.store(false, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Renders the heartbeat lines for every worker with open spans, plus a
+    /// cube-progress line once cube solving / sharing is underway.
     fn heartbeat_lines(&self, now_ns: u64) -> Vec<String> {
         let workers = unpoison(self.workers.lock());
         let mut lines = Vec::new();
@@ -168,15 +294,12 @@ impl LiveState {
             );
             // Depth + ETA from the innermost span that reports progress.
             if let Some(sp) = w.stack.iter().rev().find(|s| s.depth.is_some()) {
-                let depth = sp.depth.unwrap_or(0);
-                match sp.max_depth {
-                    Some(max) if max > 0 && depth <= max => {
-                        let frac = (depth + 1) as f64 / (max + 1) as f64;
-                        let elapsed_s = now_ns.saturating_sub(sp.opened_ns) as f64 / 1e9;
-                        let eta_s = elapsed_s * (1.0 - frac) / frac.max(1e-9);
+                match sp.progress(now_ns) {
+                    Some((depth, Some((max, eta_s)))) => {
                         line.push_str(&format!(" depth {depth}/{max} eta {eta_s:.1}s"));
                     }
-                    _ => line.push_str(&format!(" depth {depth}")),
+                    Some((depth, None)) => line.push_str(&format!(" depth {depth}")),
+                    None => {}
                 }
             }
             lines.push(line);
@@ -184,6 +307,14 @@ impl LiveState {
                 lines.push("diam-obs live: … (more workers elided)".to_string());
                 break;
             }
+        }
+        drop(workers);
+        let (refuted, total, dropped) = self.cube_counts();
+        if refuted > 0 || total > 0 || dropped > 0 {
+            lines.push(format!(
+                "diam-obs live: {:>7.1}s cubes {refuted}/{total} refuted, {dropped} shared drops",
+                now_ns as f64 / 1e9
+            ));
         }
         lines
     }
@@ -213,16 +344,160 @@ impl LiveState {
         }
         lines
     }
+
+    // --- machine-readable JSONL events -----------------------------------
+
+    fn json_cubes(&self, out: &mut String) {
+        let (refuted, total, dropped) = self.cube_counts();
+        out.push_str(&format!(
+            "\"cubes\":{{\"refuted\":{refuted},\"total\":{total},\"share_dropped\":{dropped}}}"
+        ));
+    }
+
+    fn machine_start_json(&self) -> String {
+        format!(
+            "{{\"v\":{LIVE_SCHEMA_VERSION},\"ev\":\"live_start\",\"ts_ns\":0,\
+             \"heartbeat_ms\":{},\"stall_ms\":{}}}",
+            self.opts.heartbeat.as_millis(),
+            self.opts.stall.as_millis()
+        )
+    }
+
+    fn machine_heartbeat_json(&self, now_ns: u64) -> String {
+        let mut out = format!(
+            "{{\"v\":{LIVE_SCHEMA_VERSION},\"ev\":\"heartbeat\",\"ts_ns\":{now_ns},\"workers\":["
+        );
+        {
+            let workers = unpoison(self.workers.lock());
+            let mut first = true;
+            for (id, w) in workers.iter() {
+                let Some(top) = w.stack.last() else { continue };
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!("{{\"worker\":{id},\"span\":"));
+                json::write_escaped(&mut out, top.name);
+                if !top.detail.is_empty() {
+                    out.push_str(",\"detail\":");
+                    json::write_escaped(&mut out, &top.detail);
+                }
+                out.push_str(",\"stack\":[");
+                for (i, s) in w.stack.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    json::write_escaped(&mut out, s.name);
+                }
+                out.push(']');
+                if let Some(sp) = w.stack.iter().rev().find(|s| s.depth.is_some()) {
+                    match sp.progress(now_ns) {
+                        Some((depth, Some((max, eta_s)))) => out.push_str(&format!(
+                            ",\"depth\":{depth},\"max_depth\":{max},\"eta_s\":{eta_s:.3}"
+                        )),
+                        Some((depth, None)) => out.push_str(&format!(",\"depth\":{depth}")),
+                        None => {}
+                    }
+                }
+                out.push('}');
+            }
+        }
+        out.push_str("],");
+        self.json_cubes(&mut out);
+        out.push_str(&format!(
+            ",\"queue_depth\":{}}}",
+            self.queue_depth.load(Ordering::Relaxed)
+        ));
+        out
+    }
+
+    fn machine_progress_json(&self, now_ns: u64, depth: Option<u64>) -> String {
+        let mut out =
+            format!("{{\"v\":{LIVE_SCHEMA_VERSION},\"ev\":\"progress\",\"ts_ns\":{now_ns}");
+        if let Some(d) = depth {
+            out.push_str(&format!(",\"depth\":{d}"));
+        }
+        out.push(',');
+        self.json_cubes(&mut out);
+        out.push_str(&format!(
+            ",\"queue_depth\":{}}}",
+            self.queue_depth.load(Ordering::Relaxed)
+        ));
+        out
+    }
+
+    fn machine_stall_json(&self, now_ns: u64, quiet_s: f64) -> String {
+        let mut out = format!(
+            "{{\"v\":{LIVE_SCHEMA_VERSION},\"ev\":\"stall\",\"ts_ns\":{now_ns},\
+             \"quiet_s\":{quiet_s:.3},\"stacks\":["
+        );
+        {
+            let workers = unpoison(self.workers.lock());
+            let mut first = true;
+            for (id, w) in workers.iter() {
+                if w.stack.is_empty() {
+                    continue;
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!("{{\"worker\":{id},\"stack\":["));
+                for (i, s) in w.stack.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    json::write_escaped(&mut out, s.name);
+                }
+                out.push_str("]}");
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+
+    fn machine_finish_json(&self, wall_ns: u64, events: u64) -> String {
+        let mut out = format!(
+            "{{\"v\":{LIVE_SCHEMA_VERSION},\"ev\":\"finish\",\"ts_ns\":{wall_ns},\"events\":{events},"
+        );
+        self.json_cubes(&mut out);
+        out.push('}');
+        out
+    }
+
+    /// Writes one line to the machine sink, if configured. Errors are
+    /// swallowed: a full disk must not take down the run being observed.
+    fn write_machine(&self, line: &str) {
+        match &self.sinks.machine {
+            None => {}
+            Some(MachineSink::Stderr) => eprintln!("{line}"),
+            Some(MachineSink::File(f)) => {
+                let mut f = unpoison(f.lock());
+                let _ = writeln!(f, "{line}");
+                let _ = f.flush();
+            }
+        }
+    }
+
+    /// Emits the final machine event (called from `Session::finish`).
+    pub(crate) fn emit_finish(&self, wall_ns: u64, events: u64) {
+        if self.sinks.machine.is_some() {
+            self.write_machine(&self.machine_finish_json(wall_ns, events));
+        }
+    }
 }
 
 /// Spawns the watchdog thread for `state`; it runs until
 /// [`LiveState::request_stop`] and is joined by `Session::finish`.
 pub(crate) fn spawn_watchdog(state: Arc<LiveState>) -> std::thread::JoinHandle<()> {
-    eprintln!(
-        "diam-obs live: armed — heartbeat every {:.1}s, stall threshold {:.1}s",
-        state.opts.heartbeat.as_secs_f64(),
-        state.opts.stall.as_secs_f64()
-    );
+    if state.sinks.human {
+        eprintln!(
+            "diam-obs live: armed — heartbeat every {:.1}s, stall threshold {:.1}s",
+            state.opts.heartbeat.as_secs_f64(),
+            state.opts.stall.as_secs_f64()
+        );
+    }
+    state.write_machine(&state.machine_start_json());
     std::thread::Builder::new()
         .name("diam-obs-live".to_string())
         .spawn(move || watchdog_loop(&state))
@@ -233,29 +508,45 @@ fn watchdog_loop(state: &LiveState) {
     let tick = state.opts.heartbeat.min(state.opts.stall).div_f64(4.0);
     let tick = tick.max(std::time::Duration::from_millis(10));
     let mut last_beat_ns = 0u64;
-    let mut stalled = false;
+    let mut last_progress = (None, 0u64);
     while !state.stop.load(Ordering::Acquire) {
         std::thread::sleep(tick);
         let now_ns = state.start.elapsed().as_nanos() as u64;
         if state.events.load(Ordering::Relaxed) == 0 {
             continue; // nothing recorded yet — stay quiet
         }
-        let last_ev = state.last_event_ns.load(Ordering::Relaxed);
-        let quiet_ns = now_ns.saturating_sub(last_ev);
-        if quiet_ns > state.opts.stall.as_nanos() as u64 {
-            if !stalled {
-                stalled = true;
-                for line in state.stall_lines(quiet_ns as f64 / 1e9) {
+        if let Some(quiet_s) = state.check_stall(now_ns) {
+            if state.sinks.human {
+                for line in state.stall_lines(quiet_s) {
                     eprintln!("{line}");
                 }
             }
-        } else {
-            stalled = false;
+            if state.sinks.machine.is_some() {
+                state.write_machine(&state.machine_stall_json(now_ns, quiet_s));
+            }
+        }
+        if state.sinks.machine.is_some() {
+            // A `progress` event whenever the depth frontier or the refuted
+            // count moved since the last tick — finer-grained than the
+            // heartbeat, but still bounded by the tick rate.
+            let cur = (
+                state.frontier_depth(),
+                state.cube_refuted.load(Ordering::Relaxed),
+            );
+            if cur != last_progress && (cur.0.is_some() || cur.1 > 0) {
+                last_progress = cur;
+                state.write_machine(&state.machine_progress_json(now_ns, cur.0));
+            }
         }
         if now_ns.saturating_sub(last_beat_ns) >= state.opts.heartbeat.as_nanos() as u64 {
             last_beat_ns = now_ns;
-            for line in state.heartbeat_lines(now_ns) {
-                eprintln!("{line}");
+            if state.sinks.human {
+                for line in state.heartbeat_lines(now_ns) {
+                    eprintln!("{line}");
+                }
+            }
+            if state.sinks.machine.is_some() {
+                state.write_machine(&state.machine_heartbeat_json(now_ns));
             }
         }
     }
@@ -266,6 +557,39 @@ mod tests {
     use super::*;
     use crate::{ObsConfig, ObsMode, RunManifest, Session};
     use std::time::Duration;
+
+    fn open_ev(
+        span: u64,
+        ts_ns: u64,
+        name: &'static str,
+        fields: Vec<(&'static str, Value)>,
+    ) -> Event {
+        Event {
+            seq: 0,
+            ts_ns,
+            worker: 1,
+            kind: EventKind::Open {
+                span,
+                parent: 0,
+                name,
+                fields,
+            },
+        }
+    }
+
+    fn point_ev(
+        span: u64,
+        ts_ns: u64,
+        name: &'static str,
+        fields: Vec<(&'static str, Value)>,
+    ) -> Event {
+        Event {
+            seq: 0,
+            ts_ns,
+            worker: 1,
+            kind: EventKind::Point { span, name, fields },
+        }
+    }
 
     /// Live mode records like summary mode and the watchdog thread starts,
     /// beats, and shuts down cleanly with the session.
@@ -293,24 +617,60 @@ mod tests {
         assert_eq!(report.mode, ObsMode::Live);
     }
 
+    /// A `live_out` file receives schema-versioned JSONL: at least the
+    /// `live_start` and `finish` events, each parseable with v/ev/ts_ns.
+    #[test]
+    fn live_out_file_gets_machine_events() {
+        let path = std::env::temp_dir().join(format!("diam-live-{}.jsonl", std::process::id()));
+        let session = Session::install(
+            ObsConfig {
+                mode: ObsMode::LiveJson,
+                live_out: Some(path.clone()),
+                ..ObsConfig::default()
+            },
+            RunManifest::capture("live-json-test"),
+        );
+        {
+            let _sp = crate::span!("live.outer", target = "t0");
+            crate::counter_add("cube.refuted", 2);
+        }
+        drop(session);
+        let text = std::fs::read_to_string(&path).expect("live stream written");
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 2, "{text}");
+        for line in &lines {
+            let v = json::parse(line).expect("machine line parses");
+            assert_eq!(
+                v.get("v").and_then(json::JsonValue::as_u64),
+                Some(LIVE_SCHEMA_VERSION)
+            );
+            assert!(v.get("ev").is_some_and(|e| e.as_str().is_some()), "{line}");
+            assert!(v.get("ts_ns").is_some(), "{line}");
+        }
+        assert_eq!(
+            json::parse(lines[0]).unwrap().get("ev").unwrap().as_str(),
+            Some("live_start")
+        );
+        let finish = json::parse(lines.last().unwrap()).unwrap();
+        assert_eq!(finish.get("ev").unwrap().as_str(), Some("finish"));
+        assert_eq!(
+            finish
+                .get("cubes")
+                .and_then(|c| c.get("refuted"))
+                .and_then(json::JsonValue::as_u64),
+            Some(2)
+        );
+    }
+
     /// The stack mirror pairs opens/closes and picks up depth from
     /// `sat.solve` points; heartbeat and stall renderers see it.
     #[test]
     fn live_state_mirrors_stacks() {
-        let state = LiveState::new(LiveOptions::default());
-        let open = |span, name: &'static str, fields: Vec<(&'static str, Value)>| Event {
-            seq: 0,
-            ts_ns: 1000,
-            worker: 1,
-            kind: EventKind::Open {
-                span,
-                parent: 0,
-                name,
-                fields,
-            },
-        };
-        state.on_event(&open(
+        let state = LiveState::new(LiveOptions::default(), SinkConfig::default());
+        state.on_event(&open_ev(
             1,
+            1000,
             "bmc.check",
             vec![
                 ("index", Value::U64(4)),
@@ -318,16 +678,12 @@ mod tests {
                 ("target", Value::Str("t4".into())),
             ],
         ));
-        state.on_event(&Event {
-            seq: 1,
-            ts_ns: 2000,
-            worker: 1,
-            kind: EventKind::Point {
-                span: 1,
-                name: "sat.solve",
-                fields: vec![("depth", Value::U64(12))],
-            },
-        });
+        state.on_event(&point_ev(
+            1,
+            2000,
+            "sat.solve",
+            vec![("depth", Value::U64(12))],
+        ));
         let beat = state.heartbeat_lines(3000).join("\n");
         assert!(beat.contains("bmc.check(t4)"), "{beat}");
         assert!(beat.contains("depth 12/49"), "{beat}");
@@ -347,5 +703,115 @@ mod tests {
         });
         assert!(state.heartbeat_lines(5000).is_empty());
         assert!(state.stall_lines(9.0).join("\n").contains("no open spans"));
+    }
+
+    /// Heartbeat ETA on a synthetic slow trace: a span opened at t=0 with
+    /// max depth 9 that reaches depth 4 by t=10 s is halfway — the linear
+    /// ETA is exactly the elapsed 10 s again.
+    #[test]
+    fn heartbeat_eta_extrapolates_linearly() {
+        let state = LiveState::new(LiveOptions::default(), SinkConfig::default());
+        state.on_event(&open_ev(
+            1,
+            0,
+            "bmc.check",
+            vec![
+                ("target", Value::Str("slow".into())),
+                ("max_depth", Value::U64(9)),
+            ],
+        ));
+        state.on_event(&point_ev(
+            1,
+            1000,
+            "sat.solve",
+            vec![("depth", Value::U64(4))],
+        ));
+        let now_ns = 10_000_000_000; // 10 s in
+        let beat = state.heartbeat_lines(now_ns).join("\n");
+        assert!(beat.contains("depth 4/9 eta 10.0s"), "{beat}");
+        // Machine heartbeat carries the same numbers.
+        let hb = json::parse(&state.machine_heartbeat_json(now_ns)).unwrap();
+        let worker = &hb.get("workers").unwrap().as_array().unwrap()[0];
+        assert_eq!(
+            worker.get("depth").and_then(json::JsonValue::as_u64),
+            Some(4)
+        );
+        assert_eq!(
+            worker.get("max_depth").and_then(json::JsonValue::as_u64),
+            Some(9)
+        );
+        let eta = worker
+            .get("eta_s")
+            .and_then(json::JsonValue::as_f64)
+            .unwrap();
+        assert!((eta - 10.0).abs() < 1e-6, "eta {eta}");
+    }
+
+    /// Stall detection is one-shot: the first tick past the threshold dumps,
+    /// later ticks stay quiet, and a resumed event re-arms the latch.
+    #[test]
+    fn stall_latch_is_one_shot_and_rearms() {
+        let opts = LiveOptions {
+            heartbeat: Duration::from_secs(1),
+            stall: Duration::from_secs(1),
+        };
+        let state = LiveState::new(opts, SinkConfig::default());
+        // No events yet → never stalls, however long the quiet time.
+        assert_eq!(state.check_stall(10_000_000_000), None);
+        state.on_event(&open_ev(1, 1_000, "bmc.check", vec![]));
+        // Quiet for > 1 s: first check fires, second stays silent.
+        assert!(state.check_stall(2_000_000_000).is_some());
+        assert_eq!(state.check_stall(3_000_000_000), None);
+        // An event resumes; a short quiet window clears the latch...
+        state.on_event(&point_ev(1, 3_100_000_000, "sat.solve", vec![]));
+        assert_eq!(state.check_stall(3_200_000_000), None);
+        // ...so a second distinct stall dumps exactly once again.
+        assert!(state.check_stall(9_000_000_000).is_some());
+        assert_eq!(state.check_stall(9_500_000_000), None);
+    }
+
+    /// Cube counters mirrored from the metrics layer and `cube.split` opens
+    /// show up on heartbeat lines and in every machine event.
+    #[test]
+    fn cube_progress_surfaces_in_heartbeats() {
+        let state = LiveState::new(LiveOptions::default(), SinkConfig::default());
+        state.on_event(&open_ev(
+            1,
+            1000,
+            "cube.split",
+            vec![("cubes", Value::U64(8))],
+        ));
+        state.on_scalar("cube.refuted", 3);
+        state.on_scalar("cube.share_dropped", 5);
+        state.on_scalar("par.queue_depth", 2);
+        let beat = state.heartbeat_lines(2000).join("\n");
+        assert!(beat.contains("cubes 3/8 refuted, 5 shared drops"), "{beat}");
+        let hb = json::parse(&state.machine_heartbeat_json(2000)).unwrap();
+        let cubes = hb.get("cubes").unwrap();
+        assert_eq!(
+            cubes.get("refuted").and_then(json::JsonValue::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            cubes.get("total").and_then(json::JsonValue::as_u64),
+            Some(8)
+        );
+        assert_eq!(
+            cubes.get("share_dropped").and_then(json::JsonValue::as_u64),
+            Some(5)
+        );
+        assert_eq!(
+            hb.get("queue_depth").and_then(json::JsonValue::as_i64),
+            Some(2)
+        );
+        let progress = json::parse(&state.machine_progress_json(2000, Some(7))).unwrap();
+        assert_eq!(progress.get("ev").unwrap().as_str(), Some("progress"));
+        assert_eq!(
+            progress.get("depth").and_then(json::JsonValue::as_u64),
+            Some(7)
+        );
+        let stall = json::parse(&state.machine_stall_json(2000, 4.5)).unwrap();
+        assert_eq!(stall.get("ev").unwrap().as_str(), Some("stall"));
+        assert!(stall.get("stacks").is_some_and(|s| s.as_array().is_some()));
     }
 }

@@ -269,6 +269,9 @@ struct WorkQueues<T> {
     deques: Vec<Mutex<VecDeque<Job<T>>>>,
     /// Jobs not yet finished (guard-decremented, so panics still drain it).
     pending: AtomicUsize,
+    /// Jobs not yet *started* — drives the `par.queue_depth` gauge so live
+    /// observers can see backlog drain; never read for scheduling.
+    queued: AtomicUsize,
 }
 
 impl<T> WorkQueues<T> {
@@ -376,7 +379,10 @@ where
         injector: Mutex::new(backlog),
         deques: seeds.into_iter().map(Mutex::new).collect(),
         pending: AtomicUsize::new(total),
+        queued: AtomicUsize::new(total),
     };
+    diam_obs::gauge_set("par.workers", workers as i64);
+    diam_obs::gauge_set("par.queue_depth", total as i64);
 
     let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(total));
     // Observability: spans opened inside worker threads attach to the span
@@ -397,6 +403,13 @@ where
                     match queues.pop(me) {
                         Some((i, job)) => {
                             let _guard = PendingGuard(&queues.pending);
+                            if diam_obs::enabled() {
+                                let left = queues
+                                    .queued
+                                    .fetch_sub(1, Ordering::AcqRel)
+                                    .saturating_sub(1);
+                                diam_obs::gauge_set("par.queue_depth", left as i64);
+                            }
                             local.push((i, f(i, job, token)));
                         }
                         None => {

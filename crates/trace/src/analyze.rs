@@ -175,16 +175,22 @@ pub fn sat_depth_table(trace: &Trace) -> Vec<DepthRow> {
         let m = by_depth.entry(depth).or_insert_with(|| Metric::Histogram {
             count: 0,
             sum: 0,
+            min: u64::MAX,
+            max: 0,
             buckets: Box::new([0; HIST_BUCKETS]),
         });
         if let Metric::Histogram {
             count,
             sum,
+            min,
+            max,
             buckets,
         } = m
         {
             *count += 1;
             *sum = sum.saturating_add(conflicts);
+            *min = (*min).min(conflicts);
+            *max = (*max).max(conflicts);
             let b = (64 - conflicts.leading_zeros()) as usize;
             buckets[b] += 1;
         }

@@ -5,12 +5,15 @@
 //! diam-trace critical-path <trace.jsonl> [--json]
 //! diam-trace diff <base.jsonl> <new.jsonl> [--rel X] [--abs-floor-ms N]
 //! diam-trace diff-baseline <base.json> <new.json> [--rel X] [--abs-floor-ms N]
+//! diam-trace export <trace.jsonl> --format chrome|flamegraph [--out PATH]
+//! diam-trace timeline <trace.jsonl> [--width N]
+//! diam-trace history [<fingerprint>] [--last N] [--dir PATH] [--rel X] [--abs-floor-ms N]
 //! ```
 //!
 //! Exit codes: `0` success / no regressions, `1` regressions found by a
-//! diff, `2` usage, I/O, or parse error.
+//! diff (or drift found by `history`), `2` usage, I/O, or parse error.
 
-use diam_trace::{analyze, diff, Baseline, DiffOptions, Trace};
+use diam_trace::{analyze, diff, export, history, timeline, Baseline, DiffOptions, Trace};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: diam-trace <command> [args]
@@ -24,12 +27,25 @@ commands:
       phase-wise comparison of two traces; exit 1 on regressions
   diff-baseline <base.json> <new.json> [--rel X] [--abs-floor-ms N]
       phase-wise comparison of two BENCH_*.json baselines; exit 1 on regressions
+  export <trace.jsonl> --format chrome|flamegraph [--out PATH]
+      convert a trace to Chrome trace-event JSON (Perfetto) or collapsed
+      stacks; the export is verified against the span model before writing
+  timeline <trace.jsonl> [--width N]
+      per-worker busy/idle lanes (default width 60)
+  history [<fingerprint>] [--last N] [--dir PATH] [--rel X] [--abs-floor-ms N]
+      per-phase trends for stored runs of one workload; exit 1 on drift.
+      without a fingerprint, lists stored fingerprints and run counts
 
 options:
   --top K           hotspot count for `report` (default 10)
   --json            machine-readable output instead of text
   --rel X           regression ratio threshold (default 1.30)
   --abs-floor-ms N  ignore deltas smaller than N ms (default 20)
+  --format F        export format: chrome or flamegraph
+  --out PATH        write export to PATH instead of stdout
+  --width N         timeline lane width in cells (default 60)
+  --last N          history runs to show (default 10)
+  --dir PATH        history store root (default .diam/history)
 ";
 
 fn usage_err(msg: &str) -> ExitCode {
@@ -53,6 +69,11 @@ struct Flags {
     top: usize,
     json: bool,
     opts: DiffOptions,
+    format: Option<String>,
+    out: Option<String>,
+    width: usize,
+    last: usize,
+    dir: Option<String>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -61,6 +82,11 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         top: 10,
         json: false,
         opts: DiffOptions::default(),
+        format: None,
+        out: None,
+        width: 60,
+        last: 10,
+        dir: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -87,6 +113,40 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .parse()
                     .map_err(|_| format!("invalid --abs-floor-ms value `{v}`"))?;
                 flags.opts.abs_floor_ns = ms * 1_000_000;
+            }
+            "--format" => {
+                let v = it.next().ok_or("--format requires a value")?;
+                match v.as_str() {
+                    "chrome" | "flamegraph" => flags.format = Some(v.clone()),
+                    other => {
+                        return Err(format!(
+                            "invalid --format value `{other}` (expected chrome|flamegraph)"
+                        ))
+                    }
+                }
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out requires a value")?;
+                flags.out = Some(v.clone());
+            }
+            "--width" => {
+                let v = it.next().ok_or("--width requires a value")?;
+                flags.width = v
+                    .parse()
+                    .map_err(|_| format!("invalid --width value `{v}`"))?;
+            }
+            "--last" => {
+                let v = it.next().ok_or("--last requires a value")?;
+                flags.last = v
+                    .parse()
+                    .map_err(|_| format!("invalid --last value `{v}`"))?;
+                if flags.last == 0 {
+                    return Err("--last must be >= 1".into());
+                }
+            }
+            "--dir" => {
+                let v = it.next().ok_or("--dir requires a value")?;
+                flags.dir = Some(v.clone());
             }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option `{other}`"));
@@ -182,6 +242,97 @@ fn cmd_diff_baseline(flags: &Flags) -> Result<ExitCode, String> {
     Ok(finish_diff(&rows, &flags.opts))
 }
 
+fn cmd_export(flags: &Flags) -> Result<ExitCode, String> {
+    let [path] = flags.positional.as_slice() else {
+        return Err("export takes exactly one trace file".into());
+    };
+    let format = flags
+        .format
+        .as_deref()
+        .ok_or("export requires --format chrome|flamegraph")?;
+    let trace = load_trace(path)?;
+    // Render, then verify the export against the span model before letting
+    // it out the door — a broken exporter fails loudly, not in Perfetto.
+    let (rendered, what) = match format {
+        "chrome" => {
+            let text = export::chrome_trace(&trace);
+            let (complete, counters) = export::verify_chrome_trace(&trace, &text)?;
+            (
+                text,
+                format!("chrome trace, {complete} span event(s), {counters} counter series"),
+            )
+        }
+        "flamegraph" => {
+            let text = export::flamegraph(&trace);
+            let lines = export::verify_flamegraph(&trace, &text)?;
+            (
+                text,
+                format!(
+                    "collapsed stacks, {lines} line(s), total self {:.3}s",
+                    export::total_self_ns(&trace) as f64 / 1e9
+                ),
+            )
+        }
+        _ => unreachable!("parse_flags validated --format"),
+    };
+    match &flags.out {
+        Some(out) => {
+            std::fs::write(out, &rendered).map_err(|e| format!("cannot write {out}: {e}"))?;
+            eprintln!("diam-trace: wrote {out} ({what})");
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_timeline(flags: &Flags) -> Result<ExitCode, String> {
+    let [path] = flags.positional.as_slice() else {
+        return Err("timeline takes exactly one trace file".into());
+    };
+    let trace = load_trace(path)?;
+    print!("{}", timeline::render_timeline(&trace, flags.width));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_history(flags: &Flags) -> Result<ExitCode, String> {
+    let store = match &flags.dir {
+        Some(dir) => history::History::at(dir),
+        None => history::History::default_root(),
+    };
+    match flags.positional.as_slice() {
+        [] => {
+            let fps = store.fingerprints()?;
+            if fps.is_empty() {
+                println!("history: no runs recorded under {}", store.root().display());
+            } else {
+                println!("history under {}:", store.root().display());
+                for (fp, count) in fps {
+                    println!("  {fp}  {count} run(s)");
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        [fingerprint] => {
+            let runs = store.runs(fingerprint)?;
+            if runs.is_empty() {
+                return Err(format!(
+                    "no runs recorded for fingerprint {fingerprint} under {}",
+                    store.root().display()
+                ));
+            }
+            let (text, drifted) =
+                history::render_trends(fingerprint, &runs, flags.last, &flags.opts);
+            print!("{text}");
+            Ok(if drifted {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            })
+        }
+        _ => Err("history takes at most one fingerprint".into()),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -196,6 +347,9 @@ fn main() -> ExitCode {
         "critical-path" => cmd_critical_path(&flags),
         "diff" => cmd_diff(&flags),
         "diff-baseline" => cmd_diff_baseline(&flags),
+        "export" => cmd_export(&flags),
+        "timeline" => cmd_timeline(&flags),
+        "history" => cmd_history(&flags),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;

@@ -1,0 +1,418 @@
+//! Content-addressed run-history store under `.diam/history/`.
+//!
+//! Layout: one file per recorded run,
+//!
+//! ```text
+//! .diam/history/<fingerprint>/<seq>.json
+//! ```
+//!
+//! where `<fingerprint>` is the FNV-1a workload fingerprint from
+//! [`crate::baseline::fingerprint`] (so runs of different inputs/options
+//! never mix) and `<seq>` is a zero-padded monotonic sequence number per
+//! fingerprint. Each file is one [`Baseline`] in its `BENCH_*.json` format
+//! — `benchreport` appends its aggregate here automatically, and the `diam`
+//! CLI appends a single-run baseline whenever a run records a trace.
+//!
+//! [`render_trends`] prints per-phase totals across the last N runs and
+//! flags drift by comparing the latest run against the per-phase **median
+//! of the earlier runs**, through the same noise gate as `diam-trace diff`
+//! ([`DiffOptions`]: regress iff > 1.30× *and* > 20 ms slower by default).
+
+use crate::analyze::PhaseRollup;
+use crate::baseline::Baseline;
+use crate::diff::{diff_rollups, has_regressions, DiffOptions, PhaseDiff, Verdict};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Default store root, relative to the working directory.
+pub const DEFAULT_HISTORY_DIR: &str = ".diam/history";
+
+/// A run-history store rooted at a directory.
+#[derive(Debug, Clone)]
+pub struct History {
+    root: PathBuf,
+}
+
+impl History {
+    /// A store rooted at an explicit directory (tests, `--history-dir`).
+    pub fn at(root: impl Into<PathBuf>) -> History {
+        History { root: root.into() }
+    }
+
+    /// The default store: `.diam/history` under the working directory.
+    pub fn default_root() -> History {
+        History::at(DEFAULT_HISTORY_DIR)
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Append one baseline under its fingerprint; creates directories on
+    /// first use. Returns the assigned sequence number and the file path.
+    pub fn append(&self, baseline: &Baseline) -> Result<(u64, PathBuf), String> {
+        if baseline.fingerprint.is_empty() {
+            return Err("refusing to store a baseline with an empty fingerprint".to_string());
+        }
+        let dir = self.root.join(&baseline.fingerprint);
+        fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create history dir {}: {e}", dir.display()))?;
+        let seq = next_seq(&dir)?;
+        let path = dir.join(format!("{seq:06}.json"));
+        fs::write(&path, baseline.to_json())
+            .map_err(|e| format!("cannot write history entry {}: {e}", path.display()))?;
+        Ok((seq, path))
+    }
+
+    /// All fingerprints in the store with their run counts, sorted.
+    pub fn fingerprints(&self) -> Result<Vec<(String, u64)>, String> {
+        let mut out = Vec::new();
+        let entries = match fs::read_dir(&self.root) {
+            Ok(e) => e,
+            Err(_) => return Ok(out), // no store yet → empty history
+        };
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("cannot list {}: {e}", self.root.display()))?;
+            if !entry.path().is_dir() {
+                continue;
+            }
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let count = self.runs(&name)?.len() as u64;
+            out.push((name, count));
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// All stored runs for one fingerprint, sorted by sequence number.
+    /// Entries that fail to parse or whose stored fingerprint disagrees
+    /// with the directory are skipped (a corrupt file must not wedge the
+    /// whole history).
+    pub fn runs(&self, fingerprint: &str) -> Result<Vec<(u64, Baseline)>, String> {
+        let dir = self.root.join(fingerprint);
+        let mut out = Vec::new();
+        let entries = match fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(_) => return Ok(out),
+        };
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+            let path = entry.path();
+            let seq = match path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                Some(s) if path.extension().is_some_and(|e| e == "json") => s,
+                _ => continue,
+            };
+            let Ok(text) = fs::read_to_string(&path) else {
+                continue;
+            };
+            match Baseline::parse(&text) {
+                Ok(b) if b.fingerprint == fingerprint => out.push((seq, b)),
+                _ => continue,
+            }
+        }
+        out.sort_by_key(|(seq, _)| *seq);
+        Ok(out)
+    }
+}
+
+fn next_seq(dir: &Path) -> Result<u64, String> {
+    let mut max = 0u64;
+    for entry in fs::read_dir(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))? {
+        let entry = entry.map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+        if let Some(seq) = entry
+            .path()
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            max = max.max(seq);
+        }
+    }
+    Ok(max + 1)
+}
+
+fn lower_median(sorted: &mut [u64]) -> u64 {
+    sorted.sort_unstable();
+    if sorted.is_empty() {
+        0
+    } else {
+        sorted[(sorted.len() - 1) / 2]
+    }
+}
+
+fn to_rollups(b: &Baseline) -> Vec<PhaseRollup> {
+    b.phases
+        .iter()
+        .map(|p| PhaseRollup {
+            name: p.name.clone(),
+            count: p.count,
+            total_ns: p.total_ns,
+            self_ns: p.self_ns,
+            sat: Default::default(),
+        })
+        .collect()
+}
+
+/// Diff the latest run against the per-phase median of the earlier runs.
+/// Returns `None` when there is only one run (nothing to compare).
+pub fn drift_rows(runs: &[(u64, Baseline)], opts: &DiffOptions) -> Option<Vec<PhaseDiff>> {
+    let (latest, earlier) = runs.split_last()?;
+    if earlier.is_empty() {
+        return None;
+    }
+    // Per-phase median totals over the earlier runs; a phase missing from a
+    // run simply contributes fewer samples (phases come and go as the
+    // pipeline evolves).
+    let mut totals: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
+    let mut counts: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
+    let mut selfs: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
+    for (_, b) in earlier {
+        for p in &b.phases {
+            totals.entry(&p.name).or_default().push(p.total_ns);
+            counts.entry(&p.name).or_default().push(p.count);
+            selfs.entry(&p.name).or_default().push(p.self_ns);
+        }
+    }
+    let names: Vec<String> = totals.keys().map(|n| n.to_string()).collect();
+    let mut base: Vec<PhaseRollup> = names
+        .iter()
+        .map(|name| PhaseRollup {
+            name: name.clone(),
+            count: lower_median(counts.get_mut(name.as_str()).unwrap()),
+            total_ns: lower_median(totals.get_mut(name.as_str()).unwrap()),
+            self_ns: lower_median(selfs.get_mut(name.as_str()).unwrap()),
+            sat: Default::default(),
+        })
+        .collect();
+    base.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+    Some(diff_rollups(&base, &to_rollups(&latest.1), opts))
+}
+
+/// Render a per-phase trend table over the last `last` runs plus a drift
+/// verdict. Returns `(text, drifted)`; `drifted` is `true` when the latest
+/// run regresses vs the median of the earlier shown runs under `opts`.
+pub fn render_trends(
+    fingerprint: &str,
+    runs: &[(u64, Baseline)],
+    last: usize,
+    opts: &DiffOptions,
+) -> (String, bool) {
+    let shown = &runs[runs.len().saturating_sub(last.max(2))..];
+    let mut out = String::new();
+    if shown.is_empty() {
+        out.push_str(&format!("history {fingerprint}: no runs recorded\n"));
+        return (out, false);
+    }
+    let tool = &shown.last().unwrap().1.tool;
+    out.push_str(&format!(
+        "history {fingerprint} — {} runs of {tool} (showing last {})\n",
+        runs.len(),
+        shown.len()
+    ));
+
+    // Phase rows: union of phase names, ordered by the latest run's totals
+    // (descending), then name; phases absent from the latest run go last.
+    let latest = &shown.last().unwrap().1;
+    let mut names: Vec<&str> = Vec::new();
+    for p in &latest.phases {
+        names.push(&p.name);
+    }
+    let mut extra: Vec<&str> = Vec::new();
+    for (_, b) in shown {
+        for p in &b.phases {
+            if !names.contains(&p.name.as_str()) && !extra.contains(&p.name.as_str()) {
+                extra.push(&p.name);
+            }
+        }
+    }
+    extra.sort_unstable();
+    names.extend(extra);
+
+    let name_w = names
+        .iter()
+        .map(|n| n.len())
+        .chain(["phase".len(), "wall".len()])
+        .max()
+        .unwrap_or(5);
+    out.push_str(&format!("  {:<name_w$}", "phase"));
+    for (seq, _) in shown {
+        out.push_str(&format!("  {:>10}", format!("run {seq}")));
+    }
+    out.push('\n');
+    let fmt_ms = |ns: u64| format!("{:.1}ms", ns as f64 / 1e6);
+    for name in &names {
+        out.push_str(&format!("  {name:<name_w$}"));
+        for (_, b) in shown {
+            match b.phases.iter().find(|p| &p.name == name) {
+                Some(p) => out.push_str(&format!("  {:>10}", fmt_ms(p.total_ns))),
+                None => out.push_str(&format!("  {:>10}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("  {:<name_w$}", "wall"));
+    for (_, b) in shown {
+        out.push_str(&format!("  {:>10}", fmt_ms(b.wall_ns)));
+    }
+    out.push('\n');
+
+    // Drift gate: latest vs median of the earlier shown runs.
+    match drift_rows(shown, opts) {
+        None => {
+            out.push_str("verdict: STEADY — single run, nothing to compare\n");
+            (out, false)
+        }
+        Some(rows) => {
+            let drifted = has_regressions(&rows);
+            let regressed: Vec<&str> = rows
+                .iter()
+                .filter(|r| r.verdict == Verdict::Regress)
+                .map(|r| r.name.as_str())
+                .collect();
+            out.push_str(&format!(
+                "drift gate: latest vs median of previous (regress iff > {:.2}x and > {} ms slower)\n",
+                opts.rel_threshold,
+                opts.abs_floor_ns / 1_000_000
+            ));
+            if drifted {
+                out.push_str(&format!(
+                    "verdict: DRIFT — {} phase(s) regressed: {}\n",
+                    regressed.len(),
+                    regressed.join(", ")
+                ));
+            } else {
+                out.push_str("verdict: STEADY — no drift\n");
+            }
+            (out, drifted)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::BaselinePhase;
+
+    fn baseline(label: &str, bmc_ns: u64, wall_ns: u64) -> Baseline {
+        Baseline {
+            schema_version: crate::baseline::SCHEMA_VERSION,
+            label: label.to_string(),
+            tool: "table1".to_string(),
+            build: "dev".to_string(),
+            created_unix_ms: 5,
+            fingerprint: "00aabbccddeeff11".to_string(),
+            runs: 1,
+            wall_ns,
+            peak_rss_kb: None,
+            sat: Default::default(),
+            phases: vec![
+                BaselinePhase {
+                    name: "pipeline.run".to_string(),
+                    count: 1,
+                    total_ns: wall_ns,
+                    self_ns: wall_ns - bmc_ns,
+                },
+                BaselinePhase {
+                    name: "bmc.check".to_string(),
+                    count: 1,
+                    total_ns: bmc_ns,
+                    self_ns: bmc_ns,
+                },
+            ],
+            sat_depths: Vec::new(),
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("diam-history-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn append_assigns_monotonic_seqs_and_runs_sort() {
+        let root = tmpdir("seq");
+        let h = History::at(&root);
+        let (s1, p1) = h.append(&baseline("r1", 100_000_000, 200_000_000)).unwrap();
+        let (s2, _) = h.append(&baseline("r2", 101_000_000, 201_000_000)).unwrap();
+        let (s3, _) = h.append(&baseline("r3", 99_000_000, 199_000_000)).unwrap();
+        assert_eq!((s1, s2, s3), (1, 2, 3));
+        assert!(p1.ends_with("00aabbccddeeff11/000001.json"), "{p1:?}");
+        let runs = h.runs("00aabbccddeeff11").unwrap();
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[0].1.label, "r1");
+        assert_eq!(runs[2].1.label, "r3");
+        assert_eq!(
+            h.fingerprints().unwrap(),
+            vec![("00aabbccddeeff11".to_string(), 3)]
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_entries_are_skipped_not_fatal() {
+        let root = tmpdir("corrupt");
+        let h = History::at(&root);
+        h.append(&baseline("ok", 100_000_000, 200_000_000)).unwrap();
+        fs::write(root.join("00aabbccddeeff11/000002.json"), "not json").unwrap();
+        fs::write(root.join("00aabbccddeeff11/README"), "ignore me").unwrap();
+        let runs = h.runs("00aabbccddeeff11").unwrap();
+        assert_eq!(runs.len(), 1);
+        // ... but the corrupt file still occupies its seq slot.
+        let (seq, _) = h
+            .append(&baseline("next", 100_000_000, 200_000_000))
+            .unwrap();
+        assert_eq!(seq, 3);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn steady_runs_report_no_drift() {
+        let runs: Vec<(u64, Baseline)> = (1..=3)
+            .map(|i| (i, baseline(&format!("r{i}"), 100_000_000, 200_000_000)))
+            .collect();
+        let (text, drifted) = render_trends("00aabbccddeeff11", &runs, 10, &DiffOptions::default());
+        assert!(!drifted, "{text}");
+        assert!(text.contains("3 runs of table1"), "{text}");
+        assert!(text.contains("verdict: STEADY — no drift"), "{text}");
+        assert!(text.contains("bmc.check"), "{text}");
+        assert!(text.contains("wall"), "{text}");
+    }
+
+    #[test]
+    fn injected_2x_slowdown_flags_drift() {
+        let mut runs: Vec<(u64, Baseline)> = (1..=3)
+            .map(|i| (i, baseline(&format!("r{i}"), 100_000_000, 200_000_000)))
+            .collect();
+        runs.push((4, baseline("slow", 200_000_000, 300_000_000)));
+        let (text, drifted) = render_trends("00aabbccddeeff11", &runs, 10, &DiffOptions::default());
+        assert!(drifted, "{text}");
+        assert!(text.contains("verdict: DRIFT"), "{text}");
+        assert!(text.contains("bmc.check"), "{text}");
+    }
+
+    #[test]
+    fn single_run_has_nothing_to_compare() {
+        let runs = vec![(1u64, baseline("only", 100_000_000, 200_000_000))];
+        let (text, drifted) = render_trends("00aabbccddeeff11", &runs, 10, &DiffOptions::default());
+        assert!(!drifted);
+        assert!(text.contains("single run, nothing to compare"), "{text}");
+    }
+
+    #[test]
+    fn small_jitter_stays_steady_under_the_noise_gate() {
+        // +10 ms on a 100 ms phase: under both gates → STEADY.
+        let runs = vec![
+            (1u64, baseline("r1", 100_000_000, 200_000_000)),
+            (2u64, baseline("r2", 110_000_000, 210_000_000)),
+        ];
+        let (text, drifted) = render_trends("00aabbccddeeff11", &runs, 10, &DiffOptions::default());
+        assert!(!drifted, "{text}");
+    }
+}

@@ -17,6 +17,14 @@
 //!   by the `benchreport` harness (`crates/bench`): per-phase medians across
 //!   N runs, SAT totals, peak RSS, and a manifest fingerprint that guards
 //!   against apples-to-oranges diffs.
+//! * [`export`] — Chrome trace-event JSON (Perfetto / `chrome://tracing`)
+//!   and collapsed-stack flamegraph exporters, each with a round-trip
+//!   verifier that checks the export against the span model.
+//! * [`timeline`] — per-worker busy/idle lane rendering from merged span
+//!   intervals.
+//! * [`history`] — the content-addressed `.diam/history/` run store keyed
+//!   by workload fingerprint, with per-phase trend tables and a drift gate
+//!   reusing the [`diff`] thresholds.
 //!
 //! Everything is std-only; the only dependency is `diam-obs` itself (for the
 //! vendored JSON parser and histogram machinery).
@@ -45,7 +53,10 @@
 pub mod analyze;
 pub mod baseline;
 pub mod diff;
+pub mod export;
+pub mod history;
 pub mod model;
+pub mod timeline;
 
 pub use analyze::{
     critical_path, critical_path_from, hotspots, render_report, report_to_json, rollup, DepthRow,
@@ -55,4 +66,10 @@ pub use baseline::{Baseline, BaselinePhase, SCHEMA_VERSION};
 pub use diff::{
     diff_baselines, diff_traces, has_regressions, render_diff, DiffOptions, PhaseDiff, Verdict,
 };
+pub use export::{
+    chrome_trace, flamegraph, per_worker_dur_ns, total_self_ns, verify_chrome_trace,
+    verify_flamegraph,
+};
+pub use history::{render_trends, History, DEFAULT_HISTORY_DIR};
 pub use model::{MetricValue, Point, SatAttr, Span, Trace, TraceError, TraceEvent, TraceManifest};
+pub use timeline::{per_worker_busy_ns, render_timeline};

@@ -176,13 +176,18 @@ pub struct Point {
 pub enum MetricValue {
     /// A counter or gauge (JSONL does not distinguish them).
     Scalar(i128),
-    /// A histogram summary: count, sum, and the power-of-two-bucket
-    /// quantile estimates (absent in pre-quantile traces).
+    /// A histogram summary: count, sum, the exact observed range (absent in
+    /// pre-min/max traces), and the power-of-two-bucket quantile estimates
+    /// (absent in pre-quantile traces).
     Histogram {
         /// Number of recorded values.
         count: u64,
         /// Sum of recorded values.
         sum: u64,
+        /// Exact smallest recorded value.
+        min: Option<u64>,
+        /// Exact largest recorded value.
+        max: Option<u64>,
         /// Estimated median (inclusive bucket upper bound).
         p50: Option<u64>,
         /// Estimated 90th percentile.
@@ -652,11 +657,16 @@ impl Trace {
                 MetricValue::Histogram {
                     count,
                     sum,
+                    min,
+                    max,
                     p50,
                     p90,
                     p99,
                 } => {
                     out.push_str(&format!("{{\"count\":{count},\"sum\":{sum}"));
+                    if let (Some(min), Some(max)) = (min, max) {
+                        out.push_str(&format!(",\"min\":{min},\"max\":{max}"));
+                    }
                     if let (Some(p50), Some(p90), Some(p99)) = (p50, p90, p99) {
                         out.push_str(&format!(",\"p50\":{p50},\"p90\":{p90},\"p99\":{p99}"));
                     }
@@ -715,6 +725,8 @@ fn parse_metrics(f: &JsonValue) -> BTreeMap<String, MetricValue> {
                 JsonValue::Object(_) => MetricValue::Histogram {
                     count: v.get("count").and_then(as_u64).unwrap_or(0),
                     sum: v.get("sum").and_then(as_u64).unwrap_or(0),
+                    min: v.get("min").and_then(as_u64),
+                    max: v.get("max").and_then(as_u64),
                     p50: v.get("p50").and_then(as_u64),
                     p90: v.get("p90").and_then(as_u64),
                     p99: v.get("p99").and_then(as_u64),
@@ -727,7 +739,7 @@ fn parse_metrics(f: &JsonValue) -> BTreeMap<String, MetricValue> {
     out
 }
 
-fn write_json_value(out: &mut String, v: &JsonValue) {
+pub(crate) fn write_json_value(out: &mut String, v: &JsonValue) {
     match v {
         JsonValue::Null => out.push_str("null"),
         JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),

@@ -1,0 +1,183 @@
+//! Exporter round-trip + golden tests and `diam-trace history` CLI tests.
+//!
+//! The export goldens (`seed_run.chrome.json`, `seed_run.folded`) pin the
+//! exact bytes produced from the committed seed trace, so format changes
+//! are deliberate, reviewed diffs. The history tests drive the real binary
+//! (`CARGO_BIN_EXE_diam-trace`) against a temp store to pin exit codes.
+
+use diam_trace::{export, history, timeline, Baseline, Trace};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+fn seed_trace() -> Trace {
+    Trace::parse(&fixture("seed_run.jsonl")).expect("seed fixture parses")
+}
+
+#[test]
+fn chrome_export_matches_golden_byte_for_byte() {
+    let trace = seed_trace();
+    assert_eq!(
+        export::chrome_trace(&trace),
+        fixture("seed_run.chrome.json")
+    );
+}
+
+#[test]
+fn chrome_export_verifies_against_span_model() {
+    let trace = seed_trace();
+    let chrome = export::chrome_trace(&trace);
+    let (complete, counters) = export::verify_chrome_trace(&trace, &chrome).expect("verifies");
+    assert_eq!(complete, trace.spans.len());
+    assert_eq!(counters, trace.metrics.len());
+    // Spot-check the per-tid reference itself: one worker, sum of all
+    // span durations.
+    let by_tid = export::per_worker_dur_ns(&trace);
+    let want: u64 = trace.spans.values().map(|s| s.dur_ns).sum();
+    assert_eq!(by_tid.values().sum::<u64>(), want);
+}
+
+#[test]
+fn flamegraph_matches_golden_and_weights_sum() {
+    let trace = seed_trace();
+    let folded = export::flamegraph(&trace);
+    assert_eq!(folded, fixture("seed_run.folded"));
+    let lines = export::verify_flamegraph(&trace, &folded).expect("verifies");
+    assert!(lines > 0);
+    let sum: u64 = folded
+        .lines()
+        .map(|l| l.rsplit_once(' ').unwrap().1.parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(sum, export::total_self_ns(&trace));
+}
+
+#[test]
+fn timeline_covers_all_seed_spans() {
+    let trace = seed_trace();
+    let text = timeline::render_timeline(&trace, 60);
+    assert!(text.contains("table1"), "{text}");
+    assert!(text.contains("295 span(s)"), "{text}");
+    // Single-worker trace: merged busy time can never exceed the wall.
+    let busy = timeline::per_worker_busy_ns(&trace);
+    assert_eq!(busy.len(), 1);
+    assert!(busy[&0] <= trace.manifest.wall_ns);
+}
+
+fn history_tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("diam-trace-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Store a single-run baseline built from the seed trace, with every phase
+/// total scaled by `scale_pct` percent (100 = unchanged).
+fn store_scaled_run(store: &history::History, label: &str, scale_pct: u64) {
+    let trace = seed_trace();
+    let mut baseline = Baseline::from_traces(label, &[trace]).expect("aggregates");
+    for phase in &mut baseline.phases {
+        phase.total_ns = phase.total_ns * scale_pct / 100;
+        phase.self_ns = phase.self_ns * scale_pct / 100;
+    }
+    baseline.wall_ns = baseline.wall_ns * scale_pct / 100;
+    store.append(&baseline).expect("append succeeds");
+}
+
+#[test]
+fn history_cli_trends_steady_then_drift() {
+    let root = history_tmpdir("drift");
+    let store = history::History::at(&root);
+    // Three steady runs...
+    for (i, label) in ["r1", "r2", "r3"].iter().enumerate() {
+        store_scaled_run(&store, label, 100 + i as u64); // ±3% jitter
+    }
+    let fp = store.fingerprints().unwrap()[0].0.clone();
+
+    let steady = Command::new(env!("CARGO_BIN_EXE_diam-trace"))
+        .args(["history", &fp, "--dir", root.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    let text = String::from_utf8_lossy(&steady.stdout);
+    assert!(steady.status.success(), "{text}");
+    assert!(text.contains("3 runs of table1"), "{text}");
+    assert!(text.contains("verdict: STEADY"), "{text}");
+
+    // ... then an injected 2× slowdown must trip the drift gate → exit 1.
+    store_scaled_run(&store, "slow", 200);
+    let drift = Command::new(env!("CARGO_BIN_EXE_diam-trace"))
+        .args(["history", &fp, "--dir", root.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    let text = String::from_utf8_lossy(&drift.stdout);
+    assert_eq!(drift.status.code(), Some(1), "{text}");
+    assert!(text.contains("4 runs of table1"), "{text}");
+    assert!(text.contains("verdict: DRIFT"), "{text}");
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn history_cli_lists_fingerprints_and_rejects_unknown() {
+    let root = history_tmpdir("list");
+    let store = history::History::at(&root);
+    store_scaled_run(&store, "only", 100);
+    let fp = store.fingerprints().unwrap()[0].0.clone();
+
+    let list = Command::new(env!("CARGO_BIN_EXE_diam-trace"))
+        .args(["history", "--dir", root.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert!(list.status.success());
+    let text = String::from_utf8_lossy(&list.stdout);
+    assert!(text.contains(&fp), "{text}");
+    assert!(text.contains("1 run(s)"), "{text}");
+
+    let missing = Command::new(env!("CARGO_BIN_EXE_diam-trace"))
+        .args([
+            "history",
+            "ffffffffffffffff",
+            "--dir",
+            root.to_str().unwrap(),
+        ])
+        .output()
+        .expect("runs");
+    assert_eq!(missing.status.code(), Some(2));
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn export_cli_is_self_verifying() {
+    let tmp = std::env::temp_dir().join(format!("diam-export-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&tmp);
+    let trace_path = format!(
+        "{}/tests/fixtures/seed_run.jsonl",
+        env!("CARGO_MANIFEST_DIR")
+    );
+
+    for (format, golden) in [
+        ("chrome", "seed_run.chrome.json"),
+        ("flamegraph", "seed_run.folded"),
+    ] {
+        let out = tmp.join(golden);
+        let run = Command::new(env!("CARGO_BIN_EXE_diam-trace"))
+            .args(["export", &trace_path, "--format", format])
+            .args(["--out", out.to_str().unwrap()])
+            .output()
+            .expect("runs");
+        assert!(
+            run.status.success(),
+            "{}",
+            String::from_utf8_lossy(&run.stderr)
+        );
+        assert_eq!(
+            std::fs::read_to_string(&out).unwrap(),
+            fixture(golden),
+            "{format} CLI output diverges from golden"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&tmp);
+}

@@ -27,6 +27,13 @@
 //!                    solvers behind prove/solve/sweep (default 0 = off)
 //!   --explain        for `bound`: print the dominant component chain of
 //!                    every target that stays over the threshold
+//!   --obs <M>        off | summary | json | live | live-json — structured
+//!                    observability for this run (default off; see diam-obs)
+//!   --trace-out <F>  write the JSONL trace to F (implies --obs json); a
+//!                    recorded run is also appended to the .diam/history
+//!                    store so `diam-trace history` can track it
+//!   --live-out <F>   stream machine-readable live progress JSONL to F
+//!                    (implies --obs live)
 //! ```
 
 use diam::bmc::{prove, CubeMode, CubeOptions, ProveOptions, ProveOutcome};
@@ -35,6 +42,7 @@ use diam::core::{Pipeline, StructuralOptions};
 use diam::netlist::{aiger, Netlist};
 use diam::transform::com::{sweep, SweepOptions};
 use diam::transform::retime::retime;
+use diam_obs::{ObsConfig, ObsMode, RunManifest, Session};
 use std::io::BufReader;
 use std::process::ExitCode;
 
@@ -46,6 +54,7 @@ struct Options {
     cube: CubeMode,
     portfolio: u64,
     explain: bool,
+    obs: ObsConfig,
     files: Vec<String>,
 }
 
@@ -65,10 +74,20 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut cube = CubeMode::Off;
     let mut portfolio = 0u64;
     let mut explain = false;
+    let mut obs = ObsConfig::default();
     let mut files = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--obs" => {
+                obs.mode = ObsMode::parse(it.next().ok_or("--obs needs a value")?)?;
+            }
+            "--trace-out" => {
+                obs.trace_out = Some(it.next().ok_or("--trace-out needs a value")?.into());
+            }
+            "--live-out" => {
+                obs.live_out = Some(it.next().ok_or("--live-out needs a value")?.into());
+            }
             "--pipeline" => {
                 pipeline_name = it.next().ok_or("--pipeline needs a value")?.clone();
             }
@@ -106,6 +125,15 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     // `Pipeline::parse` owns the full grammar, including the canned
     // whole-spec aliases (`com`, `com-ret-com`).
     let pipeline = Pipeline::parse(&pipeline_name)?;
+    // `--trace-out` / `--live-out` without a mode mean the user wants that
+    // output: promote rather than silently writing nothing (same rules as
+    // the bench binaries).
+    if obs.trace_out.is_some() && obs.mode.is_off() {
+        obs.mode = ObsMode::Json;
+    }
+    if obs.live_out.is_some() && obs.mode.is_off() {
+        obs.mode = ObsMode::Live;
+    }
     Ok(Options {
         pipeline,
         pipeline_name,
@@ -114,6 +142,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         cube,
         portfolio,
         explain,
+        obs,
         files,
     })
 }
@@ -332,6 +361,52 @@ fn cmd_solve(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Installs the observability session for one CLI invocation. With the
+/// default `--obs off` this records nothing and prints nothing — output
+/// stays byte-identical to an uninstrumented binary.
+fn install_session(cmd: &str, opts: &Options) -> Session {
+    let mut manifest = RunManifest::capture(&format!("diam-{cmd}"))
+        .option("pipeline", &opts.pipeline_name)
+        .option("threshold", opts.threshold.to_string())
+        .option("depth_cap", opts.depth_cap.to_string())
+        .option("cube", format!("{:?}", opts.cube).to_lowercase())
+        .option("portfolio", opts.portfolio.to_string())
+        .option("obs", opts.obs.mode.to_string());
+    if let Some(file) = opts.files.first() {
+        manifest = manifest.input(file.clone());
+    }
+    Session::install(opts.obs.clone(), manifest)
+}
+
+/// Finishes the session: prints the summary tree in recording modes and
+/// appends a single-run baseline to the `.diam/history` store so
+/// `diam-trace history` can track CLI runs alongside `benchreport` ones.
+/// History is best-effort — a read-only checkout never fails the run.
+fn finish_session(opts: &Options, session: Session) {
+    let report = session.finish();
+    if opts.obs.mode.is_off() {
+        return;
+    }
+    println!("\n{}", report.render_summary());
+    match diam_trace::Trace::parse(&report.to_jsonl()) {
+        Ok(trace) if !trace.spans.is_empty() => {
+            let store = diam_trace::History::default_root();
+            match diam_trace::Baseline::from_traces("cli", &[trace]) {
+                Ok(baseline) => match store.append(&baseline) {
+                    Ok((seq, path)) => eprintln!(
+                        "diam: history run {seq} recorded at {} (fingerprint {})",
+                        path.display(),
+                        baseline.fingerprint
+                    ),
+                    Err(e) => eprintln!("diam: history append skipped: {e}"),
+                },
+                Err(e) => eprintln!("diam: history append skipped: {e}"),
+            }
+        }
+        _ => {}
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -345,6 +420,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let session = install_session(cmd, &opts);
     let result = match cmd.as_str() {
         "bound" => cmd_bound(&opts),
         "prove" => cmd_prove(&opts),
@@ -354,6 +430,7 @@ fn main() -> ExitCode {
         "solve" => cmd_solve(&opts),
         other => Err(format!("unknown command {other}")),
     };
+    finish_session(&opts, session);
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
