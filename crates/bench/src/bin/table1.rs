@@ -3,15 +3,21 @@
 //! COM,RET,COM.
 //!
 //! Usage: `cargo run -p diam-bench --release --bin table1 [seed] [--jobs <N|seq|auto>]
-//! [--obs off|summary|json|live] [--trace-out <path.jsonl>] [--limit <N>]`
+//! [--obs off|summary|json|live] [--trace-out <path.jsonl>] [--mem on|off] [--limit <N>]`
 
 use diam_bench::{format_sigma, parse_cli, run_suite_with};
+// Memory accounting (`--mem on`) needs the counting allocator installed
+// process-wide; while `--mem off` (the default) it costs one relaxed
+// atomic load per allocation.
+#[global_allocator]
+static ALLOC: diam_obs::alloc::CountingAlloc = diam_obs::alloc::CountingAlloc::new();
+
 use diam_gen::iscas;
 
 fn main() {
     let cli = parse_cli(
         "table1 [seed] [--jobs <N|seq|auto>] [--obs off|summary|json|live] \
-         [--trace-out <path.jsonl>] [--limit <N>]",
+         [--trace-out <path.jsonl>] [--mem on|off] [--limit <N>]",
     );
     let session = cli.session("table1");
     println!(

@@ -1,15 +1,21 @@
 //! Regenerates Table 2 of the paper (phase-abstracted GP-profile suite).
 //!
 //! Usage: `cargo run -p diam-bench --release --bin table2 [seed] [--jobs <N|seq|auto>]
-//! [--obs off|summary|json|live] [--trace-out <path.jsonl>] [--limit <N>]`
+//! [--obs off|summary|json|live] [--trace-out <path.jsonl>] [--mem on|off] [--limit <N>]`
 
 use diam_bench::{format_sigma, parse_cli, run_suite_with};
+// Memory accounting (`--mem on`) needs the counting allocator installed
+// process-wide; while `--mem off` (the default) it costs one relaxed
+// atomic load per allocation.
+#[global_allocator]
+static ALLOC: diam_obs::alloc::CountingAlloc = diam_obs::alloc::CountingAlloc::new();
+
 use diam_gen::gp;
 
 fn main() {
     let cli = parse_cli(
         "table2 [seed] [--jobs <N|seq|auto>] [--obs off|summary|json|live] \
-         [--trace-out <path.jsonl>] [--limit <N>]",
+         [--trace-out <path.jsonl>] [--mem on|off] [--limit <N>]",
     );
     let session = cli.session("table2");
     println!(

@@ -36,6 +36,11 @@ pub struct BenchCli {
     /// `--limit <N>` — truncate the suite to its first `N` designs (CI and
     /// smoke runs).
     pub limit: Option<usize>,
+    /// `--mem <on|off>` — allocation accounting via the counting global
+    /// allocator (off by default; the binary must declare
+    /// `diam_obs::alloc::CountingAlloc` as its `#[global_allocator]` for
+    /// `on` to measure anything).
+    pub mem: bool,
 }
 
 impl BenchCli {
@@ -45,12 +50,20 @@ impl BenchCli {
     /// records nothing and prints nothing — output stays byte-identical to
     /// an uninstrumented binary.
     pub fn session(&self, tool: &str) -> Session {
+        // Crash forensics are always armed: a panic anywhere in the run
+        // writes a `.diam/crash/<id>.json` dump (manifest, open spans,
+        // flight-recorder tail, allocator state) whatever the `--obs` mode.
+        diam_obs::crash::install_panic_hook();
+        diam_obs::alloc::set_mem_enabled(self.mem);
         let mut manifest = RunManifest::capture(tool)
             .option("seed", self.seed.to_string())
             .option("jobs", self.jobs.to_string())
             .option("obs", self.obs.mode.to_string());
         if let Some(limit) = self.limit {
             manifest = manifest.option("limit", limit.to_string());
+        }
+        if self.mem {
+            manifest = manifest.option("mem", "on".to_string());
         }
         Session::install(self.obs.clone(), manifest)
     }
@@ -78,14 +91,16 @@ impl BenchCli {
 /// (default 1) plus `--jobs <N|seq|auto>` (per-target fan-out),
 /// `--obs <off|summary|json|live|live-json>`, `--trace-out <path.jsonl>`,
 /// `--live-out <path.jsonl>` (machine-readable live stream; implies
-/// `--obs live` when no mode was chosen), and `--limit <N>`. Unrecognized
-/// arguments abort with a usage message.
+/// `--obs live` when no mode was chosen), `--mem <on|off>` (allocation
+/// accounting), and `--limit <N>`. Unrecognized arguments abort with a
+/// usage message.
 pub fn parse_cli(usage: &str) -> BenchCli {
     let mut cli = BenchCli {
         seed: 1,
         jobs: Parallelism::Sequential,
         obs: ObsConfig::default(),
         limit: None,
+        mem: false,
     };
     let fail = |what: &str| -> ! {
         eprintln!("{what}\nusage: {usage}");
@@ -113,6 +128,12 @@ pub fn parse_cli(usage: &str) -> BenchCli {
             cli.obs.trace_out = Some(v.into());
         } else if let Some(v) = flag_value("--live-out", None) {
             cli.obs.live_out = Some(v.into());
+        } else if let Some(v) = flag_value("--mem", None) {
+            cli.mem = match v.as_str() {
+                "on" => true,
+                "off" => false,
+                _ => fail("--mem expects on|off"),
+            };
         } else if let Some(v) = flag_value("--limit", None) {
             cli.limit = Some(
                 v.parse()

@@ -8,15 +8,53 @@
 //! instrumented run of the same workload actually records, and require
 //! `hook_cost × event_count < 2%` of the uninstrumented wall time.
 //!
+//! The same contract covers the counting allocator (`--mem off`): its
+//! disabled path is one relaxed atomic load per allocation, so the measured
+//! per-allocation delta over the raw system allocator, multiplied by the
+//! allocator traffic the workload actually generates, must also stay under
+//! the 2% budget.
+//!
 //! This file must stay a single-test process: the measurement relies on no
 //! `diam_obs::Session` ever being installed before the disabled-path timing
-//! runs (sessions are process-global).
+//! runs (sessions are process-global), and on allocator accounting staying
+//! off during the wall-time baselines.
 
 use diam_bmc::{prove_all, ProveOptions};
 use diam_core::Pipeline;
 use diam_gen::random::{random_netlist, RandomDesignOptions};
+use diam_obs::alloc::CountingAlloc;
 use diam_obs::{ObsConfig, ObsMode, RunManifest, Session};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
 use std::time::Instant;
+
+// The wrapper is installed for real so the accounting-on run below can
+// count the workload's allocator traffic. Accounting stays off for every
+// timing section — exactly the configuration the budget certifies.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+/// Median wall time of alloc/dealloc pairs through `a`, in ns per pair.
+fn alloc_pair_ns<A: GlobalAlloc>(a: &A, pairs: u32) -> f64 {
+    let layout = Layout::from_size_align(256, 8).unwrap();
+    let mut runs: Vec<f64> = (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..pairs {
+                // SAFETY: alloc/dealloc pair with one layout; null is fatal.
+                unsafe {
+                    let p = a.alloc(layout);
+                    assert!(!p.is_null());
+                    black_box(p);
+                    a.dealloc(p, layout);
+                }
+            }
+            t0.elapsed().as_nanos() as f64 / f64::from(pairs)
+        })
+        .collect();
+    runs.sort_by(f64::total_cmp);
+    runs[1]
+}
 
 #[test]
 fn disabled_hooks_cost_under_two_percent() {
@@ -45,6 +83,18 @@ fn disabled_hooks_cost_under_two_percent() {
     }
     let hook_ns = t0.elapsed().as_nanos() as f64 / f64::from(HOOKS);
 
+    // 1b. Per-allocation cost of the disabled counting path: the delta
+    //     between alloc/dealloc pairs through the (off) wrapper and through
+    //     the raw system allocator. Each pair is two wrapper crossings.
+    assert!(
+        !diam_obs::alloc::mem_enabled(),
+        "allocator accounting must be off for the timing sections"
+    );
+    const PAIRS: u32 = 200_000;
+    let counting_pair_ns = alloc_pair_ns(&ALLOC, PAIRS);
+    let system_pair_ns = alloc_pair_ns(&System, PAIRS);
+    let alloc_op_ns = (counting_pair_ns - system_pair_ns).max(0.0) / 2.0;
+
     // 2. Uninstrumented workload wall time (median of three runs).
     let mut runs: Vec<f64> = (0..3)
         .map(|_| {
@@ -57,6 +107,16 @@ fn disabled_hooks_cost_under_two_percent() {
         .collect();
     runs.sort_by(f64::total_cmp);
     let work_ns = runs[1];
+
+    // 2b. Allocator traffic the same workload generates, counted by running
+    //     it once with accounting on (the counters are exact, not sampled).
+    let before = diam_obs::alloc::totals();
+    diam_obs::alloc::set_mem_enabled(true);
+    let _ = prove_all(&n, &pipe, &opts);
+    diam_obs::alloc::set_mem_enabled(false);
+    let traffic = diam_obs::alloc::totals().delta_since(&before);
+    let alloc_ops = (traffic.allocs + traffic.frees) as f64;
+    assert!(alloc_ops > 0.0, "workload allocates");
 
     // 3. Events the same workload records when instrumentation is on. Each
     //    span is one open + one close hook; points and metric bumps are one.
@@ -80,5 +140,17 @@ fn disabled_hooks_cost_under_two_percent() {
          ({hook_ns:.1}ns/hook) = {:.3}% of the {work_ns:.0}ns workload — \
          no-op path exceeds the 2% budget",
         100.0 * ratio
+    );
+
+    // Allocator-off budget: the relaxed-load fast path across all the
+    // allocator traffic the workload generates must also vanish.
+    let alloc_total = alloc_op_ns * alloc_ops;
+    let alloc_ratio = alloc_total / work_ns;
+    assert!(
+        alloc_ratio < 0.02,
+        "disabled allocator accounting costs {alloc_total:.0}ns over \
+         {alloc_ops} alloc ops ({alloc_op_ns:.2}ns/op) = {:.3}% of the \
+         {work_ns:.0}ns workload — --mem off exceeds the 2% budget",
+        100.0 * alloc_ratio
     );
 }

@@ -48,7 +48,7 @@ use diam_par::{CancelToken, Frontier, Parallelism};
 use diam_sat::{Lit as SatLit, SolveResult, Solver};
 use diam_transform::unroll::{FrameZero, Unroller};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// `solve_with` plus observability: when a session records, the per-call
 /// [`SolverStats`](diam_sat::SolverStats) delta is charged to the current
@@ -136,6 +136,27 @@ fn solve_depth(
     (r, w)
 }
 
+/// Crash-forensics smoke hook: `DIAM_FORCE_PANIC=<depth>` makes every BMC
+/// engine panic when it is about to solve that depth, exercising the
+/// panic-hook → crash-dump → `diam-trace postmortem` pipeline end to end
+/// (both the shared sweep and the cone-sliced workers route through this).
+/// Parsed once; unset or unparsable values disable the hook.
+fn forced_panic_depth() -> Option<u64> {
+    static DEPTH: OnceLock<Option<u64>> = OnceLock::new();
+    *DEPTH.get_or_init(|| {
+        std::env::var("DIAM_FORCE_PANIC")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+    })
+}
+
+#[inline]
+fn maybe_force_panic(depth: u64) {
+    if forced_panic_depth() == Some(depth) {
+        panic!("DIAM_FORCE_PANIC: injected failure at depth {depth}");
+    }
+}
+
 /// Options for [`check`].
 #[derive(Debug, Clone)]
 pub struct BmcOptions {
@@ -217,6 +238,7 @@ pub fn check(n: &Netlist, index: usize, opts: &BmcOptions) -> BmcOutcome {
     let mut solver = new_solver(opts);
     let mut unroller = Unroller::new(n, FrameZero::Init);
     for depth in 0..=opts.max_depth {
+        maybe_force_panic(depth);
         match solve_depth(n, &mut solver, &mut unroller, target, depth, None, opts) {
             (SolveResult::Sat, witness) => {
                 let witness = witness.expect("SAT verdicts carry a witness");
@@ -385,6 +407,7 @@ fn check_all_shared(n: &Netlist, opts: &BmcOptions) -> Vec<BmcOutcome> {
     let targets = n.targets().to_vec();
     let mut outcomes: Vec<Option<BmcOutcome>> = vec![None; targets.len()];
     'depth: for depth in 0..=opts.max_depth {
+        maybe_force_panic(depth);
         for (i, t) in targets.iter().enumerate() {
             if outcomes[i].is_some() {
                 continue;
@@ -530,6 +553,7 @@ fn run_chunk(
             sp.record("outcome", "stopped");
             return ChunkOutcome::Stopped { at: depth };
         }
+        maybe_force_panic(depth);
         if let Some(probe) = &opts.solve_probe {
             probe.fetch_add(1, Ordering::AcqRel);
         }

@@ -56,8 +56,11 @@
 //! assert!(report.render_summary().contains("work.outer"));
 //! ```
 
+pub mod alloc;
+pub mod crash;
 pub mod json;
 mod live;
+pub mod ring;
 
 pub use live::LIVE_SCHEMA_VERSION;
 
@@ -527,6 +530,21 @@ fn with_tls<R>(f: impl FnOnce(&mut Tls) -> R) -> Option<R> {
 
 fn push_event(t: &mut Tls, kind: EventKind) {
     let rec = t.recorder.as_ref().expect("recorder bound");
+    // Mirror the transition into the flight recorder so a crash dump can
+    // show the thread's recent history even when no trace file is written.
+    match &kind {
+        EventKind::Open { span, name, .. } => {
+            ring::note(ring::RingKind::SpanOpen, name, *span, 0);
+        }
+        EventKind::Close {
+            span, name, dur_ns, ..
+        } => {
+            ring::note(ring::RingKind::SpanClose, name, *span, *dur_ns);
+        }
+        EventKind::Point { span, name, .. } => {
+            ring::note(ring::RingKind::Point, name, *span, 0);
+        }
+    }
     let ev = Event {
         seq: rec.seq.fetch_add(1, Ordering::Relaxed),
         ts_ns: rec.start.elapsed().as_nanos() as u64,
@@ -553,6 +571,7 @@ pub struct SpanGuard {
     opened: Option<Instant>,
     close_fields: Vec<Field>,
     sat_at_open: SatTotals,
+    alloc_at_open: alloc::AllocTotals,
 }
 
 impl SpanGuard {
@@ -564,6 +583,7 @@ impl SpanGuard {
             opened: None,
             close_fields: Vec::new(),
             sat_at_open: SatTotals::default(),
+            alloc_at_open: alloc::AllocTotals::default(),
         }
     }
 
@@ -593,6 +613,10 @@ impl Drop for SpanGuard {
         let name = self.name;
         let mut fields = std::mem::take(&mut self.close_fields);
         let sat_at_open = self.sat_at_open;
+        // Allocator attribution mirrors the SAT counters: the delta of this
+        // thread's totals over the span's lifetime. Zero (and field-free)
+        // whenever `--mem` accounting is off.
+        let alloc_delta = alloc::thread_totals().delta_since(&self.alloc_at_open);
         with_tls(|t| {
             // Pop this span (defensively tolerate out-of-order drops).
             if t.stack.last() == Some(&id) {
@@ -615,6 +639,13 @@ impl Drop for SpanGuard {
                     fields.push(("sat_shared_out", Value::U64(sat.shared_out)));
                 }
             }
+            if !alloc_delta.is_zero() {
+                fields.push(("alloc_allocs", Value::U64(alloc_delta.allocs)));
+                fields.push(("alloc_frees", Value::U64(alloc_delta.frees)));
+                fields.push(("alloc_bytes", Value::U64(alloc_delta.alloc_bytes)));
+                fields.push(("alloc_freed_bytes", Value::U64(alloc_delta.freed_bytes)));
+            }
+            crash::on_span_close(id);
             push_event(
                 t,
                 EventKind::Close {
@@ -625,6 +656,11 @@ impl Drop for SpanGuard {
                 },
             );
         });
+        // Published outside the TLS borrow (the metrics path re-enters it);
+        // never set from inside the allocator, which must stay lock-free.
+        if alloc::mem_enabled() {
+            gauge_set("mem.live_bytes", alloc::live_bytes() as i64);
+        }
     }
 }
 
@@ -635,6 +671,7 @@ pub fn span_start(name: &'static str, fields: Vec<Field>) -> SpanGuard {
         let rec = t.recorder.as_ref().expect("recorder bound");
         let id = rec.next_span.fetch_add(1, Ordering::Relaxed);
         let parent = t.stack.last().copied().unwrap_or(t.ambient_parent);
+        crash::on_span_open(id, name, crash::format_detail(&fields));
         push_event(
             t,
             EventKind::Open {
@@ -651,6 +688,7 @@ pub fn span_start(name: &'static str, fields: Vec<Field>) -> SpanGuard {
             opened: Some(Instant::now()),
             close_fields: Vec::new(),
             sat_at_open: t.sat,
+            alloc_at_open: alloc::thread_totals(),
         }
     })
     .unwrap_or_else(SpanGuard::noop)
@@ -709,8 +747,10 @@ pub fn set_ambient_parent(span: u64) {
 }
 
 /// Tags this thread's events with a worker id (0 = main; `diam-par` workers
-/// use `index + 1`).
+/// use `index + 1`). The tag also sticks to the always-on flight recorder,
+/// so crash dumps name the worker even with `--obs off`.
 pub fn set_worker(worker: u32) {
+    ring::set_ring_worker(worker);
     with_tls(|t| t.worker = worker);
 }
 
@@ -938,6 +978,40 @@ impl RunManifest {
         self.options.push((key.into(), value.into()));
         self
     }
+
+    /// Renders the manifest's identity fields (tool, args, input, options,
+    /// build, start time) as a JSON object — the form crash dumps embed.
+    /// End-of-run fields (`wall_ns`, `peak_rss_kb`) are deliberately absent:
+    /// a crash has no orderly end of run.
+    pub fn to_json_object(&self) -> String {
+        let mut out = String::from("{\"tool\":");
+        json::write_escaped(&mut out, &self.tool);
+        out.push_str(",\"args\":[");
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_escaped(&mut out, a);
+        }
+        out.push_str("],\"input\":");
+        match &self.input {
+            Some(s) => json::write_escaped(&mut out, s),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"options\":{");
+        for (i, (k, v)) in self.options.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_escaped(&mut out, k);
+            out.push(':');
+            json::write_escaped(&mut out, v);
+        }
+        out.push_str("},\"build\":");
+        json::write_escaped(&mut out, &self.build);
+        out.push_str(&format!(",\"started_unix_ms\":{}}}", self.started_unix_ms));
+        out
+    }
 }
 
 /// Version + git-describe-ish build string, e.g. `diam 0.1.0 (1a2b3c4d5e6f)`.
@@ -990,8 +1064,26 @@ pub fn peak_rss_kb() -> Option<u64> {
 /// and never mistakes a malformed line for a zero reading. Malformed `VmHWM`
 /// lines do not stop the scan (a later well-formed line still counts).
 pub fn parse_peak_rss_kb(status: &str) -> Option<u64> {
+    parse_status_kb(status, "VmHWM:")
+}
+
+/// Current RSS in KiB from `/proc/self/status` (`VmRSS`), when readable.
+/// The live watchdog samples this on every heartbeat (`mem.rss_kb`) so a
+/// long run's memory growth is visible while it happens, not only as the
+/// final `peak_rss_kb`.
+pub fn current_rss_kb() -> Option<u64> {
+    parse_rss_kb(&std::fs::read_to_string("/proc/self/status").ok()?)
+}
+
+/// Extracts `VmRSS` (KiB) from the text of a `/proc/self/status` file, under
+/// the same total-function contract as [`parse_peak_rss_kb`].
+pub fn parse_rss_kb(status: &str) -> Option<u64> {
+    parse_status_kb(status, "VmRSS:")
+}
+
+fn parse_status_kb(status: &str, key: &str) -> Option<u64> {
     for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmHWM:") {
+        if let Some(rest) = line.strip_prefix(key) {
             let number = rest.trim().trim_end_matches("kB").trim();
             if let Ok(kb) = number.parse::<u64>() {
                 return Some(kb);
@@ -1028,6 +1120,10 @@ impl Session {
     pub fn install(config: ObsConfig, manifest: RunManifest) -> Session {
         let lock = unpoison(INSTALL.lock());
         let epoch = EPOCH.fetch_add(1, Ordering::AcqRel) + 1;
+        // Crash context: dumps from this point on name this run; span
+        // stacks left over from a previous session are invalidated.
+        crash::reset_span_stacks();
+        crash::set_manifest_json(manifest.to_json_object());
         let machine = if config.mode.is_off() {
             None
         } else {
@@ -1782,6 +1878,87 @@ mod tests {
         // No unit suffix still parses (the kernel always writes one, but
         // the parser does not insist).
         assert_eq!(parse_peak_rss_kb("VmHWM: 7"), Some(7));
+    }
+
+    #[test]
+    fn current_rss_parsing_is_total() {
+        let good = "VmPeak:\t  123 kB\nVmHWM:\t   5544 kB\nVmRSS:\t  99 kB\n";
+        assert_eq!(parse_rss_kb(good), Some(99));
+        assert_eq!(parse_rss_kb(""), None);
+        assert_eq!(parse_rss_kb("VmRSS:\tgarbage kB"), None);
+        let twice = "VmRSS:\t<truncated\nVmRSS:\t 42 kB\n";
+        assert_eq!(parse_rss_kb(twice), Some(42));
+        // On Linux the live read works; elsewhere it degrades to None.
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(current_rss_kb().is_some());
+        }
+    }
+
+    /// With `--mem` accounting on, span close events carry the allocator
+    /// work performed under them — the `alloc_*` analogue of `sat_*`.
+    #[test]
+    fn alloc_charges_attach_to_spans() {
+        let _serial = alloc::test_lock();
+        let session = quiet_session();
+        alloc::set_mem_enabled(true);
+        {
+            let _outer = span!("job.alloc");
+            // Simulate allocator traffic the way the wrapper reports it:
+            // the wrapper itself is only installed in opted-in binaries.
+            use std::alloc::GlobalAlloc;
+            let a = alloc::CountingAlloc::new();
+            let layout = std::alloc::Layout::from_size_align(512, 8).unwrap();
+            unsafe {
+                let p = a.alloc(layout);
+                assert!(!p.is_null());
+                a.dealloc(p, layout);
+            }
+        }
+        alloc::set_mem_enabled(false);
+        let report = session.finish();
+        let close_fields = report
+            .events
+            .iter()
+            .find_map(|e| match &e.kind {
+                EventKind::Close { name, fields, .. } if *name == "job.alloc" => Some(fields),
+                _ => None,
+            })
+            .expect("span closed");
+        let get = |key: &str| {
+            close_fields.iter().find_map(|(k, v)| match v {
+                Value::U64(n) if *k == key => Some(*n),
+                _ => None,
+            })
+        };
+        assert_eq!(get("alloc_allocs"), Some(1));
+        assert_eq!(get("alloc_frees"), Some(1));
+        assert_eq!(get("alloc_bytes"), Some(512));
+        assert_eq!(get("alloc_freed_bytes"), Some(512));
+        assert!(matches!(
+            report.metrics.get("mem.live_bytes"),
+            Some(Metric::Gauge(_))
+        ));
+    }
+
+    /// With accounting off no `alloc_*` fields appear — old traces and
+    /// golden fixtures stay byte-identical.
+    #[test]
+    fn alloc_fields_absent_when_mem_off() {
+        let session = quiet_session();
+        {
+            let _outer = span!("job.noalloc");
+            let _v: Vec<u64> = Vec::with_capacity(100);
+        }
+        let report = session.finish();
+        let close_fields = report
+            .events
+            .iter()
+            .find_map(|e| match &e.kind {
+                EventKind::Close { name, fields, .. } if *name == "job.noalloc" => Some(fields),
+                _ => None,
+            })
+            .expect("span closed");
+        assert!(!close_fields.iter().any(|(k, _)| k.starts_with("alloc_")));
     }
 
     /// A `None` peak RSS is an *absent* manifest key, not `null`.

@@ -117,6 +117,10 @@ pub(crate) struct LiveState {
     queue_depth: AtomicI64,
     /// Total cubes announced by `cube.split` open events (`cubes` field).
     cube_total: AtomicU64,
+    /// Last sampled `VmRSS` in KiB (0 = not sampled yet); refreshed by the
+    /// watchdog on every heartbeat so live consumers see memory growth
+    /// during the run, not only the final `peak_rss_kb`.
+    rss_kb: AtomicU64,
 }
 
 fn unpoison<T>(r: Result<T, std::sync::PoisonError<T>>) -> T {
@@ -166,6 +170,7 @@ impl LiveState {
             share_dropped: AtomicU64::new(0),
             queue_depth: AtomicI64::new(0),
             cube_total: AtomicU64::new(0),
+            rss_kb: AtomicU64::new(0),
         }
     }
 
@@ -316,6 +321,14 @@ impl LiveState {
                 now_ns as f64 / 1e9
             ));
         }
+        let rss_kb = self.rss_kb.load(Ordering::Relaxed);
+        if rss_kb > 0 {
+            lines.push(format!(
+                "diam-obs live: {:>7.1}s rss {:.1} MiB",
+                now_ns as f64 / 1e9,
+                rss_kb as f64 / 1024.0
+            ));
+        }
         lines
     }
 
@@ -405,9 +418,14 @@ impl LiveState {
         out.push_str("],");
         self.json_cubes(&mut out);
         out.push_str(&format!(
-            ",\"queue_depth\":{}}}",
+            ",\"queue_depth\":{}",
             self.queue_depth.load(Ordering::Relaxed)
         ));
+        let rss_kb = self.rss_kb.load(Ordering::Relaxed);
+        if rss_kb > 0 {
+            out.push_str(&format!(",\"rss_kb\":{rss_kb}"));
+        }
+        out.push('}');
         out
     }
 
@@ -540,6 +558,13 @@ fn watchdog_loop(state: &LiveState) {
         }
         if now_ns.saturating_sub(last_beat_ns) >= state.opts.heartbeat.as_nanos() as u64 {
             last_beat_ns = now_ns;
+            // Sample current RSS once per heartbeat: cheap (one /proc read
+            // per heartbeat interval) and exported both as the `mem.rss_kb`
+            // gauge and on the heartbeat lines / JSON below.
+            if let Some(kb) = crate::current_rss_kb() {
+                state.rss_kb.store(kb, Ordering::Relaxed);
+                crate::gauge_set("mem.rss_kb", kb as i64);
+            }
             if state.sinks.human {
                 for line in state.heartbeat_lines(now_ns) {
                     eprintln!("{line}");
@@ -813,5 +838,27 @@ mod tests {
         let stall = json::parse(&state.machine_stall_json(2000, 4.5)).unwrap();
         assert_eq!(stall.get("ev").unwrap().as_str(), Some("stall"));
         assert!(stall.get("stacks").is_some_and(|s| s.as_array().is_some()));
+    }
+
+    /// A sampled RSS shows up on the human heartbeat and as an additive
+    /// `rss_kb` key in the machine heartbeat; before the first sample (0),
+    /// neither surfaces, keeping pre-existing consumers byte-compatible.
+    #[test]
+    fn rss_sample_surfaces_in_heartbeats() {
+        let state = LiveState::new(LiveOptions::default(), SinkConfig::default());
+        state.on_event(&open_ev(1, 1000, "bmc.check", vec![]));
+        let beat = state.heartbeat_lines(2000).join("\n");
+        assert!(!beat.contains("rss"), "{beat}");
+        let hb = json::parse(&state.machine_heartbeat_json(2000)).unwrap();
+        assert!(hb.get("rss_kb").is_none());
+
+        state.rss_kb.store(2048, Ordering::Relaxed);
+        let beat = state.heartbeat_lines(2000).join("\n");
+        assert!(beat.contains("rss 2.0 MiB"), "{beat}");
+        let hb = json::parse(&state.machine_heartbeat_json(2000)).unwrap();
+        assert_eq!(
+            hb.get("rss_kb").and_then(json::JsonValue::as_u64),
+            Some(2048)
+        );
     }
 }

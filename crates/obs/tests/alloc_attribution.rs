@@ -1,0 +1,102 @@
+//! Allocator attribution consistency: with [`CountingAlloc`] installed as
+//! the real global allocator, the sum of per-thread attribution deltas must
+//! match the process-global counter delta for the same window.
+//!
+//! Single test in this file: it owns the process-global `MEM_ENABLED` flag,
+//! and the equality below needs the accounting window to contain no
+//! allocator traffic besides this test's own threads.
+
+use diam_obs::alloc::{self, AllocTotals, CountingAlloc};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+const WORKERS: usize = 4;
+const ROUNDS: usize = 50;
+
+/// Performs exactly `ROUNDS` heap allocations of known sizes: each round
+/// `collect`s a `Vec<u64>` from an exact-size iterator (one allocation) and
+/// drops it (one free); `into_boxed_slice` on a full vec does not reallocate.
+fn churn(seed: u64) -> u64 {
+    let mut acc = seed;
+    for i in 0..ROUNDS {
+        let v: Vec<u64> = (0..64 + (i as u64 % 32)).map(|x| x ^ acc).collect();
+        let b = v.into_boxed_slice();
+        acc = b.iter().fold(acc, |a, &x| a.wrapping_add(x));
+    }
+    acc
+}
+
+fn churn_bytes() -> u64 {
+    (0..ROUNDS as u64).map(|i| (64 + i % 32) * 8).sum()
+}
+
+fn run_workers() -> Vec<AllocTotals> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|t| {
+                s.spawn(move || {
+                    let before = alloc::thread_totals();
+                    std::hint::black_box(churn(t as u64 + 1));
+                    alloc::thread_totals().delta_since(&before)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+#[test]
+fn thread_attribution_sums_match_global_counters() {
+    // Warm up lazy one-time allocations (thread-spawn bookkeeping, the
+    // result Vec's growth path) outside the accounting window.
+    let _ = run_workers();
+
+    let global_before = alloc::totals();
+    let main_before = alloc::thread_totals();
+    alloc::set_mem_enabled(true);
+
+    let deltas = run_workers();
+
+    // The test thread's own allocations (packets for the scoped threads,
+    // the deltas Vec, ...) are part of the global window too.
+    let main_delta = alloc::thread_totals().delta_since(&main_before);
+    alloc::set_mem_enabled(false);
+    let global_delta = alloc::totals().delta_since(&global_before);
+
+    // Each worker's window contains nothing but `churn`, so its attribution
+    // must match the sequential model exactly.
+    let mut thread_sum = AllocTotals::default();
+    for d in &deltas {
+        assert_eq!(d.allocs, ROUNDS as u64, "worker alloc count: {d:?}");
+        assert_eq!(d.frees, ROUNDS as u64, "worker free count: {d:?}");
+        assert_eq!(d.alloc_bytes, churn_bytes(), "worker alloc bytes: {d:?}");
+        assert_eq!(d.freed_bytes, churn_bytes(), "worker freed bytes: {d:?}");
+        thread_sum.allocs += d.allocs;
+        thread_sum.frees += d.frees;
+        thread_sum.alloc_bytes += d.alloc_bytes;
+        thread_sum.freed_bytes += d.freed_bytes;
+    }
+    thread_sum.allocs += main_delta.allocs;
+    thread_sum.frees += main_delta.frees;
+    thread_sum.alloc_bytes += main_delta.alloc_bytes;
+    thread_sum.freed_bytes += main_delta.freed_bytes;
+
+    // Worker threads free spawner-allocated state (their `Thread` handle,
+    // join packets) during teardown, after their final snapshot — so frees
+    // may exceed the per-thread sum, but never the other way around, and
+    // every allocation in the window happened under some snapshot pair.
+    assert_eq!(
+        thread_sum.allocs, global_delta.allocs,
+        "per-thread allocs must sum to the global counter"
+    );
+    assert_eq!(
+        thread_sum.alloc_bytes, global_delta.alloc_bytes,
+        "per-thread alloc bytes must sum to the global counter"
+    );
+    assert!(thread_sum.frees <= global_delta.frees);
+    assert!(thread_sum.freed_bytes <= global_delta.freed_bytes);
+
+    assert!(alloc::peak_live_bytes() >= churn_bytes() / ROUNDS as u64);
+    assert!(alloc::live_bytes() <= alloc::peak_live_bytes());
+}

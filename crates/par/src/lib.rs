@@ -32,6 +32,8 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use diam_obs::ring::{self, RingKind};
+
 /// How many worker threads an orchestration layer may use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Parallelism {
@@ -332,8 +334,11 @@ where
 ///   run inline in index order — the exact same closures, so results are
 ///   bit-identical to any `Threads(n)` run as long as each job is
 ///   deterministic in isolation.
-/// * A panicking job is re-raised after all workers drain (via
-///   `std::thread::scope`); remaining queued jobs still run.
+/// * A panicking job cancels the shared token, records the failure in the
+///   observability flight recorder (and writes a crash dump via
+///   [`diam_obs::crash`] unless the process panic hook already did), then is
+///   re-raised after all workers drain. Sibling workers keep draining the
+///   queue, but with the token cancelled cooperative jobs finish early.
 pub fn run_with_token<T, R, W, F>(
     par: Parallelism,
     token: &CancelToken,
@@ -390,14 +395,20 @@ where
     // records carries its 1-based worker id — the schedule becomes visible
     // in the trace without affecting it.
     let obs_parent = diam_obs::current_span();
+    // First panic payload across all workers; re-raised after the drain so
+    // the caller sees the same unwind it would get from a sequential run.
+    let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
     std::thread::scope(|s| {
         for me in 0..workers {
             let queues = &queues;
             let results = &results;
+            let first_panic = &first_panic;
             let f = &f;
             s.spawn(move || {
-                diam_obs::set_worker(me as u32 + 1);
+                let wid = me as u32 + 1;
+                diam_obs::set_worker(wid);
                 diam_obs::set_ambient_parent(obs_parent);
+                ring::note(RingKind::Worker, "par.worker_start", u64::from(wid), 0);
                 let mut local: Vec<(usize, R)> = Vec::new();
                 loop {
                     match queues.pop(me) {
@@ -410,7 +421,27 @@ where
                                     .saturating_sub(1);
                                 diam_obs::gauge_set("par.queue_depth", left as i64);
                             }
-                            local.push((i, f(i, job, token)));
+                            ring::note(RingKind::Job, "par.job", i as u64, 0);
+                            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                f(i, job, token)
+                            })) {
+                                Ok(r) => local.push((i, r)),
+                                Err(payload) => {
+                                    // Stop siblings cooperatively, leave the
+                                    // forensic trail, and stop taking work.
+                                    token.cancel();
+                                    diam_obs::crash::record_worker_panic(
+                                        wid,
+                                        i as u64,
+                                        payload.as_ref(),
+                                    );
+                                    let mut slot = lock(first_panic);
+                                    if slot.is_none() {
+                                        *slot = Some(payload);
+                                    }
+                                    break;
+                                }
+                            }
                         }
                         None => {
                             if queues.pending.load(Ordering::Acquire) == 0 {
@@ -420,10 +451,18 @@ where
                         }
                     }
                 }
+                ring::note(RingKind::Worker, "par.worker_stop", u64::from(wid), 0);
                 lock(results).extend(local);
             });
         }
     });
+
+    if let Some(payload) = first_panic
+        .into_inner()
+        .unwrap_or_else(PoisonedResults::recover)
+    {
+        std::panic::resume_unwind(payload);
+    }
 
     let mut tagged = results
         .into_inner()
@@ -665,8 +704,23 @@ mod tests {
         assert!(Parallelism::Auto.workers() >= 1);
     }
 
+    /// Routes crash dumps from panic tests into a per-process temp dir (set
+    /// once, shared by every panic test) instead of polluting the repo's
+    /// `.diam/crash`. Returns the directory for dump inspection.
+    fn crash_dir_for_tests() -> std::path::PathBuf {
+        use std::sync::OnceLock;
+        static DIR: OnceLock<std::path::PathBuf> = OnceLock::new();
+        DIR.get_or_init(|| {
+            let dir = std::env::temp_dir().join(format!("diam-par-crash-{}", std::process::id()));
+            diam_obs::crash::set_crash_dir(Some(dir.clone()));
+            dir
+        })
+        .clone()
+    }
+
     #[test]
     fn worker_panic_propagates_after_drain() {
+        crash_dir_for_tests();
         let result = std::panic::catch_unwind(|| {
             run(
                 Parallelism::Threads(2),
@@ -681,5 +735,62 @@ mod tests {
             )
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn worker_panic_writes_dump_and_cancels_siblings() {
+        let dir = crash_dir_for_tests();
+        let token = CancelToken::new();
+        let cancelled_seen = AtomicUsize::new(0);
+        let before: usize = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_with_token(
+                Parallelism::Threads(3),
+                &token,
+                (0..24).collect::<Vec<u64>>(),
+                |_| 0,
+                |_, v, tok| {
+                    if v == 0 {
+                        panic!("forced failure in job 0");
+                    }
+                    // Cooperative jobs: wait until the cancellation from the
+                    // panicking sibling becomes visible, then finish early.
+                    for _ in 0..10_000 {
+                        if tok.is_cancelled() {
+                            cancelled_seen.fetch_add(1, Ordering::Relaxed);
+                            return v;
+                        }
+                        std::thread::yield_now();
+                    }
+                    v
+                },
+            )
+        }));
+
+        // The panic is re-raised after the drain...
+        assert!(result.is_err());
+        // ...the shared token is left cancelled for the caller...
+        assert!(token.is_cancelled());
+        // ...sibling jobs observed it and exited cleanly...
+        assert!(cancelled_seen.load(Ordering::Relaxed) > 0);
+        // ...and exactly this panic produced a crash dump naming the worker
+        // and the failing job.
+        let dumps: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+            .expect("crash dir exists after a worker panic")
+            .map(|e| e.expect("readable dir entry").path())
+            .collect();
+        assert!(dumps.len() > before, "worker panic must write a crash dump");
+        // Other panic tests share the directory, so find *our* dump by its
+        // panic message rather than assuming it is the newest file.
+        let body = dumps
+            .iter()
+            .filter_map(|p| std::fs::read_to_string(p).ok())
+            .find(|b| b.contains("forced failure in job 0"))
+            .expect("a dump carries this test's panic message");
+        assert!(body.contains("\"reason\":\"worker_panic\""), "{body}");
+        assert!(body.contains("\"worker\":"), "{body}");
+        assert!(body.contains("\"job\":0"), "{body}");
+        assert!(body.contains("\"ring\":"), "{body}");
     }
 }

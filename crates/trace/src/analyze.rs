@@ -2,7 +2,7 @@
 //! critical-path extraction, hotspot tables, and the per-depth SAT work
 //! table — each rendered as text and as JSON.
 
-use crate::model::{SatAttr, Span, Trace};
+use crate::model::{MemAttr, SatAttr, Span, Trace};
 use diam_obs::json;
 use diam_obs::{Metric, HIST_BUCKETS};
 use std::collections::BTreeMap;
@@ -20,6 +20,8 @@ pub struct PhaseRollup {
     pub self_ns: u64,
     /// Summed SAT attribution.
     pub sat: SatAttr,
+    /// Summed allocator attribution (all-zero without `--mem on`).
+    pub mem: MemAttr,
 }
 
 impl PhaseRollup {
@@ -42,11 +44,13 @@ pub fn rollup(trace: &Trace) -> Vec<PhaseRollup> {
                 total_ns: 0,
                 self_ns: 0,
                 sat: SatAttr::default(),
+                mem: MemAttr::default(),
             });
         r.count += 1;
         r.total_ns = r.total_ns.saturating_add(sp.dur_ns);
         r.self_ns = r.self_ns.saturating_add(sp.self_ns(trace));
         r.sat.add(&sp.sat);
+        r.mem.add(&sp.mem);
     }
     let mut rows: Vec<PhaseRollup> = by_name.into_values().collect();
     rows.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
@@ -272,6 +276,21 @@ pub fn render_report(trace: &Trace, top_k: usize) -> String {
             gc.shared_out, gc.shared_in
         ));
     }
+    // Whole-run allocator totals (root spans carry all nested attribution).
+    // All-zero — and absent — unless the trace was recorded with `--mem on`.
+    let mut mem = MemAttr::default();
+    for id in trace.roots() {
+        mem.add(&trace.spans[&id].mem);
+    }
+    if !mem.is_zero() {
+        out.push_str(&format!(
+            "  allocator: {} allocs / {} frees, {:.1} MiB allocated, {:.1} MiB freed\n",
+            mem.allocs,
+            mem.frees,
+            mem.alloc_bytes as f64 / (1024.0 * 1024.0),
+            mem.freed_bytes as f64 / (1024.0 * 1024.0)
+        ));
+    }
 
     out.push_str("\ncritical path (heaviest-child chain):\n");
     for (i, step) in critical_path(trace).iter().enumerate() {
@@ -448,6 +467,31 @@ mod tests {
         assert_eq!(rows[0].p50, 7); // 5 → 3-bit bucket, upper bound 7
         assert_eq!(rows[1].conflicts, 100);
         assert_eq!(rows[1].p99, 127); // 100 → 7-bit bucket
+    }
+
+    #[test]
+    fn allocator_rollup_renders_only_with_mem_fields() {
+        // Without alloc_* close fields (mem off) the report has no
+        // allocator line — old traces render unchanged.
+        let plain = demo_trace();
+        assert!(!render_report(&plain, 3).contains("allocator:"));
+        // With them, the root-sum rollup line appears and MemAttr parses.
+        let text = concat!(
+            "{\"ts\":0,\"span\":0,\"ev\":\"manifest\",\"fields\":{\"tool\":\"demo\",\"args\":[],\"input\":null,\"options\":{},\"build\":\"b\",\"started_unix_ms\":0,\"wall_ns\":100}}\n",
+            "{\"ts\":0,\"seq\":0,\"worker\":0,\"ev\":\"open\",\"span\":1,\"parent\":0,\"name\":\"root\",\"fields\":{}}\n",
+            "{\"ts\":100,\"seq\":1,\"worker\":0,\"ev\":\"close\",\"span\":1,\"dur_ns\":100,\"name\":\"root\",\"fields\":{\"alloc_allocs\":10,\"alloc_frees\":8,\"alloc_bytes\":2097152,\"alloc_freed_bytes\":1048576}}\n",
+            "{\"ts\":100,\"span\":0,\"ev\":\"metrics\",\"fields\":{}}\n",
+        );
+        let t = Trace::parse(text).expect("valid trace");
+        assert_eq!(t.spans[&1].mem.allocs, 10);
+        assert_eq!(t.spans[&1].mem.alloc_bytes, 2_097_152);
+        let rows = rollup(&t);
+        assert_eq!(rows[0].mem.frees, 8);
+        let rendered = render_report(&t, 3);
+        assert!(
+            rendered.contains("allocator: 10 allocs / 8 frees, 2.0 MiB allocated, 1.0 MiB freed"),
+            "{rendered}"
+        );
     }
 
     #[test]

@@ -8,12 +8,16 @@
 //! diam-trace export <trace.jsonl> --format chrome|flamegraph [--out PATH]
 //! diam-trace timeline <trace.jsonl> [--width N]
 //! diam-trace history [<fingerprint>] [--last N] [--dir PATH] [--rel X] [--abs-floor-ms N]
+//! diam-trace postmortem <crash.json>
 //! ```
 //!
 //! Exit codes: `0` success / no regressions, `1` regressions found by a
-//! diff (or drift found by `history`), `2` usage, I/O, or parse error.
+//! diff (or drift found by `history`), `2` usage, I/O, or parse error
+//! (including a crash dump that fails schema validation).
 
-use diam_trace::{analyze, diff, export, history, timeline, Baseline, DiffOptions, Trace};
+use diam_trace::{
+    analyze, diff, export, history, postmortem, timeline, Baseline, DiffOptions, Trace,
+};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: diam-trace <command> [args]
@@ -35,6 +39,9 @@ commands:
   history [<fingerprint>] [--last N] [--dir PATH] [--rel X] [--abs-floor-ms N]
       per-phase trends for stored runs of one workload; exit 1 on drift.
       without a fingerprint, lists stored fingerprints and run counts
+  postmortem <crash.json>
+      validate and render a crash dump written by the diam-obs panic hook
+      (.diam/crash/<id>.json); exit 2 if the dump fails schema validation
 
 options:
   --top K           hotspot count for `report` (default 10)
@@ -333,6 +340,16 @@ fn cmd_history(flags: &Flags) -> Result<ExitCode, String> {
     }
 }
 
+fn cmd_postmortem(flags: &Flags) -> Result<ExitCode, String> {
+    let [path] = flags.positional.as_slice() else {
+        return Err("postmortem takes exactly one crash dump file".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let dump = postmortem::CrashDump::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    print!("{}", postmortem::render_postmortem(&dump));
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -350,6 +367,7 @@ fn main() -> ExitCode {
         "export" => cmd_export(&flags),
         "timeline" => cmd_timeline(&flags),
         "history" => cmd_history(&flags),
+        "postmortem" => cmd_postmortem(&flags),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;

@@ -173,6 +173,7 @@ pub fn diff_baselines(
                 total_ns: p.total_ns,
                 self_ns: p.self_ns,
                 sat: Default::default(),
+                mem: Default::default(),
             })
             .collect()
     };
@@ -252,6 +253,7 @@ mod tests {
             total_ns,
             self_ns: total_ns,
             sat: Default::default(),
+            mem: Default::default(),
         }
     }
 

@@ -155,6 +155,7 @@ fn to_rollups(b: &Baseline) -> Vec<PhaseRollup> {
             total_ns: p.total_ns,
             self_ns: p.self_ns,
             sat: Default::default(),
+            mem: Default::default(),
         })
         .collect()
 }
@@ -188,6 +189,7 @@ pub fn drift_rows(runs: &[(u64, Baseline)], opts: &DiffOptions) -> Option<Vec<Ph
             total_ns: lower_median(totals.get_mut(name.as_str()).unwrap()),
             self_ns: lower_median(selfs.get_mut(name.as_str()).unwrap()),
             sat: Default::default(),
+            mem: Default::default(),
         })
         .collect();
     base.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));

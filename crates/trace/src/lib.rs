@@ -20,6 +20,10 @@
 //! * [`export`] — Chrome trace-event JSON (Perfetto / `chrome://tracing`)
 //!   and collapsed-stack flamegraph exporters, each with a round-trip
 //!   verifier that checks the export against the span model.
+//! * [`postmortem`] — strict parser and human renderer for the crash dumps
+//!   written by `diam_obs::crash` (process panic hook and `diam-par` worker
+//!   panics): which worker died where, open-span stacks, the flight
+//!   recorder's last events, and allocator state at death.
 //! * [`timeline`] — per-worker busy/idle lane rendering from merged span
 //!   intervals.
 //! * [`history`] — the content-addressed `.diam/history/` run store keyed
@@ -56,6 +60,7 @@ pub mod diff;
 pub mod export;
 pub mod history;
 pub mod model;
+pub mod postmortem;
 pub mod timeline;
 
 pub use analyze::{
@@ -71,5 +76,8 @@ pub use export::{
     verify_flamegraph,
 };
 pub use history::{render_trends, History, DEFAULT_HISTORY_DIR};
-pub use model::{MetricValue, Point, SatAttr, Span, Trace, TraceError, TraceEvent, TraceManifest};
+pub use model::{
+    MemAttr, MetricValue, Point, SatAttr, Span, Trace, TraceError, TraceEvent, TraceManifest,
+};
+pub use postmortem::{render_postmortem, CrashDump};
 pub use timeline::{per_worker_busy_ns, render_timeline};

@@ -96,6 +96,36 @@ impl SatAttr {
     }
 }
 
+/// Allocator work attributed to one span (extracted from the `alloc_*`
+/// close fields written when the counting allocator is enabled via
+/// `--mem on`; absent fields → 0).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemAttr {
+    /// Heap allocations performed under this span (on its thread).
+    pub allocs: u64,
+    /// Heap deallocations.
+    pub frees: u64,
+    /// Bytes allocated.
+    pub alloc_bytes: u64,
+    /// Bytes freed.
+    pub freed_bytes: u64,
+}
+
+impl MemAttr {
+    /// Element-wise sum.
+    pub fn add(&mut self, other: &MemAttr) {
+        self.allocs += other.allocs;
+        self.frees += other.frees;
+        self.alloc_bytes += other.alloc_bytes;
+        self.freed_bytes += other.freed_bytes;
+    }
+
+    /// Whether every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == MemAttr::default()
+    }
+}
+
 /// One span, with open/close data joined.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Span {
@@ -119,6 +149,9 @@ pub struct Span {
     pub close_fields: BTreeMap<String, JsonValue>,
     /// SAT work charged to this span (parsed out of `close_fields`).
     pub sat: SatAttr,
+    /// Allocator work charged to this span (parsed out of `close_fields`;
+    /// all-zero unless the trace was recorded with `--mem on`).
+    pub mem: MemAttr,
     /// Child span ids, in open order.
     pub children: Vec<u64>,
 }
@@ -299,6 +332,16 @@ impl JsonExt for JsonValue {
     }
 }
 
+fn mem_from(fields: &BTreeMap<String, JsonValue>) -> MemAttr {
+    let pick = |k: &str| fields.get(k).and_then(as_u64).unwrap_or(0);
+    MemAttr {
+        allocs: pick("alloc_allocs"),
+        frees: pick("alloc_frees"),
+        alloc_bytes: pick("alloc_bytes"),
+        freed_bytes: pick("alloc_freed_bytes"),
+    }
+}
+
 fn sat_from(fields: &BTreeMap<String, JsonValue>) -> SatAttr {
     let pick = |k: &str| fields.get(k).and_then(as_u64).unwrap_or(0);
     SatAttr {
@@ -410,6 +453,7 @@ impl Trace {
                             open_fields: fields.clone(),
                             close_fields: BTreeMap::new(),
                             sat: SatAttr::default(),
+                            mem: MemAttr::default(),
                             children: Vec::new(),
                         },
                     );
@@ -445,6 +489,7 @@ impl Trace {
                     let sp = trace.spans.get_mut(&span).expect("span opened");
                     sp.dur_ns = dur_ns;
                     sp.sat = sat_from(&fields);
+                    sp.mem = mem_from(&fields);
                     sp.close_fields = fields.clone();
                     trace.events.push(TraceEvent::Close {
                         ts,

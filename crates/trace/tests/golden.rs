@@ -7,7 +7,7 @@
 //! goldens pin the exact rendered report and diff so formatting changes are
 //! deliberate, reviewed diffs rather than silent drift.
 
-use diam_trace::{analyze, diff, DiffOptions, Trace};
+use diam_trace::{analyze, diff, postmortem, DiffOptions, Trace};
 
 fn fixture(name: &str) -> String {
     let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
@@ -81,6 +81,58 @@ fn injected_2x_slowdown_is_flagged_and_matches_golden() {
         diff::render_diff(&rows, &opts),
         fixture("seed_run_vs_slow2x.diff.txt")
     );
+}
+
+#[test]
+fn postmortem_matches_golden() {
+    // `crash_dump.json` is a representative worker-panic dump (schema 1,
+    // manifest + open-span stacks + flight-recorder tail + allocator state);
+    // the `.txt` golden pins the `diam-trace postmortem` rendering byte for
+    // byte.
+    let dump =
+        postmortem::CrashDump::parse(&fixture("crash_dump.json")).expect("fixture dump validates");
+    assert_eq!(dump.reason, "worker_panic");
+    assert_eq!(dump.worker, 2);
+    assert_eq!(dump.job, Some(5));
+    assert!(dump.alloc.enabled);
+    assert_eq!(
+        postmortem::render_postmortem(&dump),
+        fixture("crash_dump.postmortem.txt")
+    );
+}
+
+#[test]
+fn postmortem_cli_exit_codes() {
+    let bin = env!("CARGO_BIN_EXE_diam-trace");
+    let dump_path = format!(
+        "{}/tests/fixtures/crash_dump.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    // Valid dump → exit 0, golden body on stdout.
+    let ok = std::process::Command::new(bin)
+        .args(["postmortem", &dump_path])
+        .output()
+        .expect("spawn diam-trace");
+    assert_eq!(ok.status.code(), Some(0), "{ok:?}");
+    assert_eq!(
+        String::from_utf8_lossy(&ok.stdout),
+        fixture("crash_dump.postmortem.txt")
+    );
+    // Schema-invalid dump → exit 2 with a diagnostic.
+    let dir = std::env::temp_dir().join(format!("diam_trace_pm_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "{\"crash_schema\":99}").unwrap();
+    let err = std::process::Command::new(bin)
+        .args(["postmortem", bad.to_str().unwrap()])
+        .output()
+        .expect("spawn diam-trace");
+    assert_eq!(err.status.code(), Some(2), "{err:?}");
+    assert!(
+        String::from_utf8_lossy(&err.stderr).contains("unsupported crash schema"),
+        "{err:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -34,6 +34,9 @@
 //!                    store so `diam-trace history` can track it
 //!   --live-out <F>   stream machine-readable live progress JSONL to F
 //!                    (implies --obs live)
+//!   --mem <on|off>   allocator accounting: live/peak bytes, per-span
+//!                    attribution, `mem.live_bytes` gauge (default off;
+//!                    off costs one relaxed atomic load per allocation)
 //! ```
 
 use diam::bmc::{prove, CubeMode, CubeOptions, ProveOptions, ProveOutcome};
@@ -46,6 +49,12 @@ use diam_obs::{ObsConfig, ObsMode, RunManifest, Session};
 use std::io::BufReader;
 use std::process::ExitCode;
 
+/// Counting allocator so `--mem on` can attribute heap traffic to spans.
+/// With accounting disabled (the default) each allocation pays only one
+/// relaxed atomic load over the system allocator.
+#[global_allocator]
+static ALLOC: diam_obs::alloc::CountingAlloc = diam_obs::alloc::CountingAlloc::new();
+
 struct Options {
     pipeline: Pipeline,
     pipeline_name: String,
@@ -55,6 +64,7 @@ struct Options {
     portfolio: u64,
     explain: bool,
     obs: ObsConfig,
+    mem: bool,
     files: Vec<String>,
 }
 
@@ -75,6 +85,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut portfolio = 0u64;
     let mut explain = false;
     let mut obs = ObsConfig::default();
+    let mut mem = false;
     let mut files = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -115,6 +126,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "bad --portfolio value")?;
             }
+            "--mem" => {
+                mem = match it.next().ok_or("--mem needs a value")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--mem expects on|off, got {other}")),
+                };
+            }
             "--explain" => explain = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown option {other}"));
@@ -143,6 +161,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         portfolio,
         explain,
         obs,
+        mem,
         files,
     })
 }
@@ -365,6 +384,10 @@ fn cmd_solve(opts: &Options) -> Result<(), String> {
 /// default `--obs off` this records nothing and prints nothing — output
 /// stays byte-identical to an uninstrumented binary.
 fn install_session(cmd: &str, opts: &Options) -> Session {
+    // Crash forensics are always armed (zero output unless the process
+    // panics); allocator accounting only when asked for.
+    diam_obs::crash::install_panic_hook();
+    diam_obs::alloc::set_mem_enabled(opts.mem);
     let mut manifest = RunManifest::capture(&format!("diam-{cmd}"))
         .option("pipeline", &opts.pipeline_name)
         .option("threshold", opts.threshold.to_string())
@@ -372,6 +395,9 @@ fn install_session(cmd: &str, opts: &Options) -> Session {
         .option("cube", format!("{:?}", opts.cube).to_lowercase())
         .option("portfolio", opts.portfolio.to_string())
         .option("obs", opts.obs.mode.to_string());
+    if opts.mem {
+        manifest = manifest.option("mem", "on".to_string());
+    }
     if let Some(file) = opts.files.first() {
         manifest = manifest.input(file.clone());
     }

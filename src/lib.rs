@@ -65,4 +65,5 @@ pub use diam_netlist as netlist;
 pub use diam_obs as obs;
 pub use diam_par as par;
 pub use diam_sat as sat;
+pub use diam_trace as trace;
 pub use diam_transform as transform;
