@@ -8,7 +8,7 @@
 //! committed one with the noise-aware gate.
 //!
 //! ```text
-//! benchreport [--suite table1|table2] [--runs N] [--seed S] [--limit N]
+//! benchreport [--suite table1|table2|netlist] [--runs N] [--seed S] [--limit N]
 //!             [--label L] [--out PATH] [--baseline PATH] [--quick]
 //!             [--history-dir PATH] [--no-history]
 //! ```
@@ -16,6 +16,13 @@
 //! `--quick` is the CI profile: 3 runs over the first 2 designs. Exit
 //! codes: `0` success / no regressions, `1` regressions vs `--baseline`,
 //! `2` usage or aggregation error.
+//!
+//! The `netlist` suite is the CSR-substrate scaling workout: generate the
+//! deterministic `large` archetype (1M gates by default), round-trip it
+//! through binary AIGER, then run cone-of-influence and classification on
+//! the full-netlist `parity` target — each phase under its own span. For
+//! this suite `--limit` is reinterpreted as the gate floor in *thousands*
+//! (so `--quick`'s `--limit 2` becomes a 2k-gate smoke run).
 //!
 //! Every successful aggregation is also appended to the run-history store
 //! (`.diam/history/<fingerprint>/<seq>.json` by default; see
@@ -34,8 +41,9 @@ use diam_par::Parallelism;
 use diam_trace::{diff, history, Baseline, DiffOptions, Trace};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: benchreport [--suite table1|table2] [--runs N] [--seed S] [--limit N] \
-[--label L] [--out PATH] [--baseline PATH] [--quick] [--history-dir PATH] [--no-history]";
+const USAGE: &str = "usage: benchreport [--suite table1|table2|netlist] [--runs N] [--seed S] \
+[--limit N] [--label L] [--out PATH] [--baseline PATH] [--quick] [--history-dir PATH] \
+[--no-history]";
 
 struct Cli {
     suite: String,
@@ -67,9 +75,9 @@ fn parse_cli() -> Result<Cli, String> {
         match arg.as_str() {
             "--suite" => {
                 cli.suite = value("--suite")?;
-                if cli.suite != "table1" && cli.suite != "table2" {
+                if !matches!(cli.suite.as_str(), "table1" | "table2" | "netlist") {
                     return Err(format!(
-                        "--suite expects table1|table2, got `{}`",
+                        "--suite expects table1|table2|netlist, got `{}`",
                         cli.suite
                     ));
                 }
@@ -123,17 +131,58 @@ fn one_run(cli: &Cli) -> Result<Trace, String> {
         ..ObsConfig::default()
     };
     let session = Session::install(config, manifest);
-    let mut suite = match cli.suite.as_str() {
-        "table2" => gp::suite(cli.seed),
-        _ => iscas::suite(cli.seed),
-    };
-    if let Some(limit) = cli.limit {
-        suite.truncate(limit);
+    if cli.suite == "netlist" {
+        let min_gates = cli.limit.map_or(1_000_000, |l| l.max(1) * 1000);
+        run_netlist_suite(cli.seed, min_gates);
+    } else {
+        let mut suite = match cli.suite.as_str() {
+            "table2" => gp::suite(cli.seed),
+            _ => iscas::suite(cli.seed),
+        };
+        if let Some(limit) = cli.limit {
+            suite.truncate(limit);
+        }
+        run_suite_with(&suite, false, Parallelism::Sequential);
     }
-    run_suite_with(&suite, false, Parallelism::Sequential);
     let report = session.finish();
     let jsonl = report.to_jsonl();
     Trace::parse(&jsonl).map_err(|e| format!("in-process trace failed validation: {e}"))
+}
+
+/// The CSR-substrate scaling workout: generate → binary-AIGER round-trip →
+/// full-netlist cone of influence → classification, one span per phase.
+fn run_netlist_suite(seed: u64, min_gates: usize) {
+    use diam_core::classify::{classify, ClassifyOptions};
+    use diam_gen::large::{large, LargeOptions};
+    use diam_netlist::{aiger, analysis};
+
+    let mut sp = diam_obs::span!("netlist.scale", min_gates = min_gates, seed = seed);
+    let n = {
+        let _g = diam_obs::span!("netlist.generate");
+        large(&LargeOptions { min_gates, seed })
+    };
+    let mut buf = Vec::new();
+    {
+        let _g = diam_obs::span!("netlist.write_binary");
+        aiger::write_binary(&n, &mut buf).expect("large archetype is AIGER-expressible");
+    }
+    let parsed = {
+        let _g = diam_obs::span!("netlist.parse");
+        aiger::read(std::io::Cursor::new(buf.as_slice())).expect("round-trip parses")
+    };
+    let parity = parsed.targets()[0].lit;
+    let cone = {
+        let _g = diam_obs::span!("netlist.coi");
+        analysis::coi(&parsed, [parity])
+    };
+    let classes = {
+        let _g = diam_obs::span!("netlist.classify");
+        classify(&parsed, &cone.regs, &ClassifyOptions::default())
+    };
+    sp.record("gates", parsed.num_gates());
+    sp.record("aig_bytes", buf.len());
+    sp.record("cone_regs", cone.regs.len());
+    sp.record("classified", classes.counts().total());
 }
 
 fn run() -> Result<ExitCode, String> {

@@ -21,7 +21,8 @@
 
 use diam_bdd::{Bdd, Manager};
 use diam_netlist::analysis::{condense, reg_graph, support, Condensation};
-use diam_netlist::{Gate, GateKind, Init, Netlist};
+use diam_netlist::csr::NodeKind;
+use diam_netlist::{Gate, GateKind, Init, Lit, Netlist};
 use diam_transform::bridge::cone_to_bdd;
 use std::collections::HashMap;
 
@@ -175,57 +176,70 @@ impl Ternary {
 /// Computes the registers that hold a constant value in every reachable
 /// state, by a ternary simulation fixpoint (inputs are `X`; register states
 /// only ever widen toward `X`).
+///
+/// Implemented as a worklist over the netlist's cached fanout CSR: after one
+/// in-order sweep over the topological AND plan seeds a consistent frame,
+/// every later change is a widening to `X`, so each gate re-enters the
+/// worklist at most once and the fixpoint costs `O(V + E)` instead of the
+/// full-netlist re-sweep per widening round of the naive iteration.
 pub fn constant_registers(n: &Netlist) -> Vec<(Gate, bool)> {
-    let mut state: Vec<Ternary> = n
-        .regs()
-        .iter()
-        .map(|&r| match n.reg_init(r) {
+    let csr = n.csr();
+    let mut values = vec![Ternary::X; n.num_gates()];
+    values[Gate::CONST0.index()] = Ternary::Zero;
+    for &r in n.regs() {
+        values[r.index()] = match n.reg_init(r) {
             Init::Zero => Ternary::Zero,
             Init::One => Ternary::One,
             Init::Nondet | Init::Fn(_) => Ternary::X,
-        })
-        .collect();
-    let mut values = vec![Ternary::X; n.num_gates()];
-    loop {
-        // Evaluate one frame.
-        for (j, &r) in n.regs().iter().enumerate() {
-            values[r.index()] = state[j];
+        };
+    }
+    let eval = |values: &[Ternary], l: Lit| values[l.gate().index()].complement(l.is_complement());
+    let and3 = |va: Ternary, vb: Ternary| match (va, vb) {
+        (Ternary::Zero, _) | (_, Ternary::Zero) => Ternary::Zero,
+        (Ternary::One, Ternary::One) => Ternary::One,
+        _ => Ternary::X,
+    };
+    // Initial frame from the register initial values.
+    for step in csr.and_plan() {
+        let va = values[(step.a >> 1) as usize].complement(step.a & 1 != 0);
+        let vb = values[(step.b >> 1) as usize].complement(step.b & 1 != 0);
+        values[step.gate as usize] = and3(va, vb);
+    }
+    // Seed: registers whose next-state value already widens their state.
+    let mut work: Vec<u32> = Vec::new();
+    for &r in n.regs() {
+        let joined = values[r.index()].join(eval(&values, n.reg_next(r)));
+        if joined != values[r.index()] {
+            values[r.index()] = joined;
+            work.push(r.index() as u32);
         }
-        for g in n.gates() {
-            match n.kind(g) {
-                GateKind::Const0 => values[g.index()] = Ternary::Zero,
-                GateKind::Input => values[g.index()] = Ternary::X,
-                GateKind::And(a, b) => {
-                    let va = values[a.gate().index()].complement(a.is_complement());
-                    let vb = values[b.gate().index()].complement(b.is_complement());
-                    values[g.index()] = match (va, vb) {
-                        (Ternary::Zero, _) | (_, Ternary::Zero) => Ternary::Zero,
-                        (Ternary::One, Ternary::One) => Ternary::One,
-                        _ => Ternary::X,
-                    };
+    }
+    // Monotone propagation: re-evaluate only the fanout of changed gates.
+    while let Some(v) = work.pop() {
+        for &w in csr.fanouts(v) {
+            let new = match csr.kind(w) {
+                NodeKind::And => {
+                    let g = Gate::from_index(w as usize);
+                    match n.kind(g) {
+                        GateKind::And(a, b) => and3(eval(&values, a), eval(&values, b)),
+                        _ => unreachable!("CSR kind disagrees with netlist"),
+                    }
                 }
-                GateKind::Reg => {}
+                NodeKind::Reg => {
+                    let g = Gate::from_index(w as usize);
+                    values[w as usize].join(eval(&values, n.reg_next(g)))
+                }
+                NodeKind::Const0 | NodeKind::Input => continue,
+            };
+            if new != values[w as usize] {
+                values[w as usize] = new;
+                work.push(w);
             }
-        }
-        // Widen.
-        let mut changed = false;
-        for (j, &r) in n.regs().iter().enumerate() {
-            let nx = n.reg_next(r);
-            let v = values[nx.gate().index()].complement(nx.is_complement());
-            let joined = state[j].join(v);
-            if joined != state[j] {
-                state[j] = joined;
-                changed = true;
-            }
-        }
-        if !changed {
-            break;
         }
     }
     n.regs()
         .iter()
-        .zip(&state)
-        .filter_map(|(&r, &t)| match t {
+        .filter_map(|&r| match values[r.index()] {
             Ternary::Zero => Some((r, false)),
             Ternary::One => Some((r, true)),
             Ternary::X => None,

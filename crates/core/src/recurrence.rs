@@ -174,8 +174,8 @@ fn recurrence_bounded_coi(
         let mut next = current.clone();
         for (p, &b) in current.iter().enumerate() {
             if b {
-                for &q in &graph.preds[p] {
-                    next[q] = true;
+                for &q in graph.preds(p) {
+                    next[q as usize] = true;
                 }
             }
         }

@@ -1,0 +1,147 @@
+//! Differential testing of the worklist-based ternary constant propagation
+//! in `classify::constant_registers` against the pre-refactor whole-netlist
+//! frame iteration.
+//!
+//! Both compute the least fixpoint of the same monotone ternary system, so
+//! their results must be identical on every netlist; the reference below is
+//! the original algorithm verbatim (re-evaluate every gate per widening
+//! round), kept as the easy-to-audit oracle.
+
+use diam_core::classify::constant_registers;
+use diam_netlist::sim::SplitMix64;
+use diam_netlist::{Gate, GateKind, Init, Lit, Netlist};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum T {
+    Zero,
+    One,
+    X,
+}
+
+impl T {
+    fn join(self, o: T) -> T {
+        if self == o {
+            self
+        } else {
+            T::X
+        }
+    }
+    fn comp(self, c: bool) -> T {
+        match (self, c) {
+            (T::Zero, true) => T::One,
+            (T::One, true) => T::Zero,
+            (v, _) => v,
+        }
+    }
+}
+
+/// The pre-refactor fixpoint: full-netlist re-sweep per widening round.
+fn ref_constant_registers(n: &Netlist) -> Vec<(Gate, bool)> {
+    let mut state: Vec<T> = n
+        .regs()
+        .iter()
+        .map(|&r| match n.reg_init(r) {
+            Init::Zero => T::Zero,
+            Init::One => T::One,
+            Init::Nondet | Init::Fn(_) => T::X,
+        })
+        .collect();
+    let mut values = vec![T::X; n.num_gates()];
+    loop {
+        for (j, &r) in n.regs().iter().enumerate() {
+            values[r.index()] = state[j];
+        }
+        for g in n.gates() {
+            match n.kind(g) {
+                GateKind::Const0 => values[g.index()] = T::Zero,
+                GateKind::Input => values[g.index()] = T::X,
+                GateKind::And(a, b) => {
+                    let va = values[a.gate().index()].comp(a.is_complement());
+                    let vb = values[b.gate().index()].comp(b.is_complement());
+                    values[g.index()] = match (va, vb) {
+                        (T::Zero, _) | (_, T::Zero) => T::Zero,
+                        (T::One, T::One) => T::One,
+                        _ => T::X,
+                    };
+                }
+                GateKind::Reg => {}
+            }
+        }
+        let mut changed = false;
+        for (j, &r) in n.regs().iter().enumerate() {
+            let nx = n.reg_next(r);
+            let v = values[nx.gate().index()].comp(nx.is_complement());
+            let joined = state[j].join(v);
+            if joined != state[j] {
+                state[j] = joined;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    n.regs()
+        .iter()
+        .zip(&state)
+        .filter_map(|(&r, &t)| match t {
+            T::Zero => Some((r, false)),
+            T::One => Some((r, true)),
+            T::X => None,
+        })
+        .collect()
+}
+
+/// Random sequential netlist biased toward constant-rich structure:
+/// re-latching loops, constants ANDed into cones, plus free logic.
+fn build_netlist(seed: u64, ni: usize, nr: usize, na: usize) -> Netlist {
+    let mut rng = SplitMix64::new(seed);
+    let mut n = Netlist::new();
+    let inputs: Vec<Lit> = (0..ni).map(|k| n.input(format!("i{k}")).lit()).collect();
+    let mut regs: Vec<Gate> = Vec::with_capacity(nr);
+    for k in 0..nr {
+        let init = match rng.below(3) {
+            0 => Init::Zero,
+            1 => Init::One,
+            _ => Init::Nondet,
+        };
+        regs.push(n.reg(format!("r{k}"), init));
+    }
+    let mut pool: Vec<Lit> = vec![Lit::FALSE];
+    pool.extend(&inputs);
+    pool.extend(regs.iter().map(|r| r.lit()));
+    for _ in 0..na {
+        let a = pool[rng.below(pool.len() as u64) as usize].xor_complement(rng.below(2) == 1);
+        let b = pool[rng.below(pool.len() as u64) as usize].xor_complement(rng.below(2) == 1);
+        pool.push(n.and(a, b));
+    }
+    for (k, &r) in regs.iter().enumerate() {
+        // Half the registers re-latch themselves (constant candidates);
+        // the rest take random next-state functions.
+        let nx = if k % 2 == 0 {
+            r.lit()
+        } else {
+            pool[rng.below(pool.len() as u64) as usize].xor_complement(rng.below(2) == 1)
+        };
+        n.set_next(r, nx);
+    }
+    n.add_target(*pool.last().expect("nonempty pool"), "t");
+    n.validate().expect("generated netlist is well-formed");
+    n
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn worklist_matches_frame_iteration(
+        seed in proptest::arbitrary::any::<u64>(),
+        ni in 1usize..=5,
+        nr in 1usize..=14,
+        na in 0usize..=70,
+    ) {
+        let n = build_netlist(seed, ni, nr, na);
+        prop_assert_eq!(constant_registers(&n), ref_constant_registers(&n));
+    }
+}

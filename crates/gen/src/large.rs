@@ -1,0 +1,191 @@
+//! The `large` archetype: deterministic million-gate netlists for scaling
+//! experiments on the CSR substrate.
+//!
+//! The design is a tiled composition of the existing archetypes — mixer
+//! pipelines (AC), register files and FIFOs (MC/QC), binary counters (GC) —
+//! chained *sequentially*: every cross-tile link is a register output or a
+//! shallow fold of register outputs, so combinational depth stays bounded
+//! (tile-local) no matter how many tiles are emitted. One parity target folds an observation bit of every
+//! tile, which makes its cone of influence span the whole netlist: a cone
+//! traversal, levelization, or classification of that target is a full-graph
+//! workout for the visit engine.
+//!
+//! Generation is a pure function of [`LargeOptions`]: the same options
+//! always produce a structurally identical netlist (equal
+//! [`diam_netlist::stats::fingerprint`]), which is what lets benchmark runs
+//! on different machines and different days talk about the same design.
+
+use crate::archetypes::{counter, fifo, pipeline_from, register_file};
+use diam_netlist::sim::SplitMix64;
+use diam_netlist::{Lit, Netlist};
+
+/// Options for [`large`].
+#[derive(Debug, Clone)]
+pub struct LargeOptions {
+    /// Stop emitting tiles once the gate count reaches this floor.
+    pub min_gates: usize,
+    /// Seed for the (deterministic) structural choices inside mixer tiles.
+    pub seed: u64,
+}
+
+impl Default for LargeOptions {
+    fn default() -> LargeOptions {
+        LargeOptions {
+            min_gates: 1_000_000,
+            seed: 0xD1A4,
+        }
+    }
+}
+
+/// Width of a mixer tile layer (gates per layer).
+const MIX_WIDTH: usize = 64;
+/// Layers per mixer tile — also the tile's combinational depth.
+const MIX_DEPTH: usize = 16;
+
+/// Builds a deterministic netlist with at least `opts.min_gates` gates.
+///
+/// The result has a single `parity` target whose cone of influence covers
+/// every tile, plus one `head` target observing only the first tile (a
+/// near-empty cone, as a contrast case for per-target slicing).
+pub fn large(opts: &LargeOptions) -> Netlist {
+    let mut n = Netlist::new();
+    let mut rng = SplitMix64::new(opts.seed);
+    // One observation literal per tile — a register output or a shallow
+    // fold of them, so chaining tiles through `obs` never deepens the logic
+    // beyond a tile-local constant.
+    let mut obs: Vec<Lit> = Vec::new();
+    let mut prev = Lit::FALSE;
+    let mut block = 0usize;
+    while n.num_gates() < opts.min_gates {
+        let name = format!("blk{block}");
+        // Each tile observes a fold of ALL its state bits, so the parity
+        // target's cone provably covers every register and input emitted.
+        let tile_obs = match block % 16 {
+            5 => {
+                let f = fifo(&mut n, &name, 8);
+                let cells: Vec<Lit> = f.cells.iter().map(|r| r.lit()).collect();
+                xor_reduce(&mut n, &cells)
+            }
+            10 => {
+                let m = register_file(&mut n, &name, 8, 4);
+                let cells: Vec<Lit> = m.all_cells().iter().map(|r| r.lit()).collect();
+                xor_reduce(&mut n, &cells)
+            }
+            15 => {
+                let c = counter(&mut n, &name, 16, prev);
+                c.all_ones
+            }
+            _ => mixer_tile(&mut n, &name, prev, &mut rng),
+        };
+        obs.push(tile_obs);
+        prev = tile_obs;
+        block += 1;
+    }
+    // Fold every tile's observation bit into one parity target; its cone is
+    // the entire netlist.
+    let parity = xor_reduce(&mut n, &obs);
+    n.add_target(parity, "parity");
+    n.add_target(obs[0], "head");
+    n
+}
+
+/// A mixer tile: a `MIX_WIDTH × MIX_DEPTH` layered blend of fresh inputs,
+/// the previous tile's observation bit, and tile-local feedback registers,
+/// drained through a short pipeline. Layered structure (each layer reads
+/// only the one before it) caps the tile's combinational depth at
+/// `MIX_DEPTH`.
+fn mixer_tile(n: &mut Netlist, name: &str, prev: Lit, rng: &mut SplitMix64) -> Lit {
+    let inputs: Vec<Lit> = (0..4)
+        .map(|k| n.input(format!("{name}_i{k}")).lit())
+        .collect();
+    let mut layer = inputs.clone();
+    layer.push(prev);
+    for d in 0..MIX_DEPTH {
+        let mut next = Vec::with_capacity(MIX_WIDTH);
+        for _ in 0..MIX_WIDTH {
+            let a = layer[rng.below(layer.len() as u64) as usize];
+            let b = layer[rng.below(layer.len() as u64) as usize];
+            next.push(match rng.below(3) {
+                0 => n.and(a, b),
+                1 => n.or(a, b),
+                _ => n.xor(a, b),
+            });
+        }
+        // Keep one representative of the old layer so constants from
+        // strashing collapses cannot starve a layer.
+        next.push(layer[d % layer.len()]);
+        layer = next;
+    }
+    // Fold the inputs back in before the drain pipeline: random picks alone
+    // cannot guarantee every input survives into the tail's cone.
+    let mut folded = *layer.last().expect("nonempty layer");
+    for &i in &inputs {
+        folded = n.xor(folded, i);
+    }
+    let regs = pipeline_from(n, name, folded, 4);
+    regs[3].lit()
+}
+
+/// Balanced XOR reduction of `lits` (logarithmic depth).
+fn xor_reduce(n: &mut Netlist, lits: &[Lit]) -> Lit {
+    let mut level: Vec<Lit> = lits.to_vec();
+    while level.len() > 1 {
+        level = level
+            .chunks(2)
+            .map(|c| {
+                if c.len() == 2 {
+                    n.xor(c[0], c[1])
+                } else {
+                    c[0]
+                }
+            })
+            .collect();
+    }
+    level.first().copied().unwrap_or(Lit::FALSE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diam_netlist::stats::fingerprint;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let opts = LargeOptions {
+            min_gates: 20_000,
+            seed: 7,
+        };
+        let a = large(&opts);
+        let b = large(&opts);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        assert!(a.num_gates() >= 20_000);
+        a.validate().unwrap();
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mk = |seed| {
+            large(&LargeOptions {
+                min_gates: 10_000,
+                seed,
+            })
+        };
+        assert_ne!(fingerprint(&mk(1)), fingerprint(&mk(2)));
+    }
+
+    #[test]
+    fn parity_cone_spans_the_netlist() {
+        let n = large(&LargeOptions {
+            min_gates: 30_000,
+            seed: 3,
+        });
+        let parity = n.targets()[0].lit;
+        let cone = diam_netlist::analysis::coi(&n, [parity]);
+        // Every register and every input feeds the parity target.
+        assert_eq!(cone.regs.len(), n.num_regs());
+        assert_eq!(cone.inputs.len(), n.num_inputs());
+        // The head target sees only the first tile.
+        let head = diam_netlist::analysis::coi(&n, [n.targets()[1].lit]);
+        assert!(head.regs.len() < cone.regs.len() / 10);
+    }
+}

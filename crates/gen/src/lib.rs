@@ -2,5 +2,6 @@
 pub mod archetypes;
 pub mod gp;
 pub mod iscas;
+pub mod large;
 pub mod profile;
 pub mod random;

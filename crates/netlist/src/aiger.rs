@@ -57,6 +57,13 @@ fn parse_err(m: impl Into<String>) -> AigerError {
 /// `o<k>` otherwise). AIGER 1.9 `bad` properties, when present, are also
 /// read as targets.
 ///
+/// Binary files are ingested *streaming*: the AND section's topological
+/// ordering guarantee (`lhs > rhs0 >= rhs1`) lets each gate be constructed
+/// the moment its deltas are decoded, with no intermediate definition
+/// buffer, and the netlist's CSR adjacency is built once at the end while
+/// the gate tables are cache-hot. ASCII files may list ANDs in any order
+/// and go through a worklist instead.
+///
 /// # Errors
 ///
 /// Returns [`AigerError`] on I/O failure or malformed input.
@@ -81,122 +88,59 @@ pub fn read<R: BufRead>(mut reader: R) -> Result<Netlist, AigerError> {
     if m < i + l + a {
         return Err(parse_err("M < I+L+A"));
     }
+    let hdr = Header { m, i, l, o, a, b };
+    if binary {
+        read_binary(reader, hdr)
+    } else {
+        read_ascii(reader, hdr)
+    }
+}
 
-    // AIGER variable -> construction plan. Variables: 1..=I inputs,
-    // I+1..=I+L latches (binary); ASCII lists literals explicitly.
-    let mut input_vars: Vec<u32> = Vec::with_capacity(i as usize);
-    let mut latch_vars: Vec<u32> = Vec::with_capacity(l as usize);
-    let mut latch_next: Vec<u32> = Vec::with_capacity(l as usize);
-    let mut latch_reset: Vec<u32> = Vec::with_capacity(l as usize);
-    let mut outputs: Vec<u32> = Vec::with_capacity(o as usize);
-    let mut bads: Vec<u32> = Vec::with_capacity(b as usize);
-    let mut and_defs: Vec<(u32, u32, u32)> = Vec::with_capacity(a as usize);
+#[derive(Clone, Copy)]
+struct Header {
+    m: u32,
+    i: u32,
+    l: u32,
+    o: u32,
+    a: u32,
+    b: u32,
+}
 
-    let read_line = |reader: &mut R| -> Result<Vec<u32>, AigerError> {
-        let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 {
-            return Err(parse_err("unexpected end of file"));
-        }
-        line.split_whitespace()
-            .map(|s| s.parse::<u32>().map_err(|_| parse_err("bad literal")))
-            .collect()
+fn read_u32_line<R: BufRead>(reader: &mut R) -> Result<Vec<u32>, AigerError> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(parse_err("unexpected end of file"));
+    }
+    line.split_whitespace()
+        .map(|s| s.parse::<u32>().map_err(|_| parse_err("bad literal")))
+        .collect()
+}
+
+fn latch_init(reset: u32, latch_lit: u32) -> Result<Init, AigerError> {
+    match reset {
+        0 => Ok(Init::Zero),
+        1 => Ok(Init::One),
+        r if r == latch_lit => Ok(Init::Nondet),
+        other => Err(parse_err(format!(
+            "latch reset {other} is neither 0, 1 nor the latch literal"
+        ))),
+    }
+}
+
+/// Symbol table (`i<k> name` / `l<k> name` / `o<k> name` lines up to the
+/// comment section or end of file).
+struct Symbols {
+    inputs: Vec<Option<String>>,
+    latches: Vec<Option<String>>,
+    outputs: Vec<Option<String>>,
+}
+
+fn read_symbols<R: BufRead>(reader: &mut R, hdr: Header) -> Result<Symbols, AigerError> {
+    let mut syms = Symbols {
+        inputs: vec![None; hdr.i as usize],
+        latches: vec![None; hdr.l as usize],
+        outputs: vec![None; hdr.o as usize],
     };
-
-    if binary {
-        for k in 0..i {
-            input_vars.push(k + 1);
-        }
-        for k in 0..l {
-            let v = i + k + 1;
-            latch_vars.push(v);
-            let fields = read_line(&mut reader)?;
-            match fields.as_slice() {
-                [next] => {
-                    latch_next.push(*next);
-                    latch_reset.push(0);
-                }
-                [next, reset] => {
-                    latch_next.push(*next);
-                    latch_reset.push(*reset);
-                }
-                _ => return Err(parse_err("bad latch line")),
-            }
-        }
-    } else {
-        for _ in 0..i {
-            let fields = read_line(&mut reader)?;
-            let lit = *fields.first().ok_or_else(|| parse_err("bad input line"))?;
-            if lit & 1 != 0 {
-                return Err(parse_err("input literal must be even"));
-            }
-            input_vars.push(lit >> 1);
-        }
-        for _ in 0..l {
-            let fields = read_line(&mut reader)?;
-            match fields.as_slice() {
-                [lit, next] => {
-                    latch_vars.push(lit >> 1);
-                    latch_next.push(*next);
-                    latch_reset.push(0);
-                }
-                [lit, next, reset] => {
-                    latch_vars.push(lit >> 1);
-                    latch_next.push(*next);
-                    latch_reset.push(*reset);
-                }
-                _ => return Err(parse_err("bad latch line")),
-            }
-        }
-    }
-    for _ in 0..o {
-        let fields = read_line(&mut reader)?;
-        outputs.push(*fields.first().ok_or_else(|| parse_err("bad output line"))?);
-    }
-    for _ in 0..b {
-        let fields = read_line(&mut reader)?;
-        bads.push(*fields.first().ok_or_else(|| parse_err("bad `bad` line"))?);
-    }
-    if binary {
-        // Binary AND section: deltas for rhs0/rhs1, lhs implicit.
-        let mut read_delta = || -> Result<u32, AigerError> {
-            let mut x: u32 = 0;
-            let mut shift = 0;
-            loop {
-                let mut byte = [0u8; 1];
-                reader.read_exact(&mut byte)?;
-                x |= u32::from(byte[0] & 0x7f) << shift;
-                if byte[0] & 0x80 == 0 {
-                    return Ok(x);
-                }
-                shift += 7;
-            }
-        };
-        for k in 0..a {
-            let lhs = 2 * (i + l + k + 1);
-            let d0 = read_delta()?;
-            let d1 = read_delta()?;
-            let rhs0 = lhs
-                .checked_sub(d0)
-                .ok_or_else(|| parse_err("binary delta underflow"))?;
-            let rhs1 = rhs0
-                .checked_sub(d1)
-                .ok_or_else(|| parse_err("binary delta underflow"))?;
-            and_defs.push((lhs, rhs0, rhs1));
-        }
-    } else {
-        for _ in 0..a {
-            let fields = read_line(&mut reader)?;
-            if fields.len() != 3 {
-                return Err(parse_err("bad and line"));
-            }
-            and_defs.push((fields[0], fields[1], fields[2]));
-        }
-    }
-
-    // Symbol table and comments.
-    let mut input_names: Vec<Option<String>> = vec![None; i as usize];
-    let mut latch_names: Vec<Option<String>> = vec![None; l as usize];
-    let mut output_names: Vec<Option<String>> = vec![None; o as usize];
     let mut line = String::new();
     loop {
         line.clear();
@@ -209,31 +153,191 @@ pub fn read<R: BufRead>(mut reader: R) -> Result<Netlist, AigerError> {
         }
         if let Some(rest) = t.strip_prefix('i') {
             if let Some((idx, name)) = split_symbol(rest) {
-                if let Some(slot) = input_names.get_mut(idx) {
+                if let Some(slot) = syms.inputs.get_mut(idx) {
                     *slot = Some(name);
                 }
             }
         } else if let Some(rest) = t.strip_prefix('l') {
             if let Some((idx, name)) = split_symbol(rest) {
-                if let Some(slot) = latch_names.get_mut(idx) {
+                if let Some(slot) = syms.latches.get_mut(idx) {
                     *slot = Some(name);
                 }
             }
         } else if let Some(rest) = t.strip_prefix('o') {
             if let Some((idx, name)) = split_symbol(rest) {
-                if let Some(slot) = output_names.get_mut(idx) {
+                if let Some(slot) = syms.outputs.get_mut(idx) {
                     *slot = Some(name);
                 }
             }
         }
     }
+    Ok(syms)
+}
+
+/// Streaming binary (`aig`) ingestion. Variables are dense and ordered —
+/// inputs `1..=I`, latches `I+1..=I+L`, ANDs `I+L+1..=I+L+A` — so the
+/// variable→literal table grows by exactly one entry per construction step
+/// and every AND can be built as soon as its two deltas are decoded.
+fn read_binary<R: BufRead>(mut reader: R, hdr: Header) -> Result<Netlist, AigerError> {
+    let Header { i, l, o, a, b, .. } = hdr;
+    let mut n = Netlist::new();
+    // Dense var -> literal table; index k is AIGER variable k.
+    let mut var_lit: Vec<Lit> = Vec::with_capacity((i + l + a + 1) as usize);
+    var_lit.push(Lit::FALSE);
+    // Names arrive only after the AND section; construct with positional
+    // defaults and patch from the symbol table afterwards.
+    for k in 0..i {
+        var_lit.push(n.input(format!("i{k}")).lit());
+    }
+    let mut regs: Vec<Gate> = Vec::with_capacity(l as usize);
+    let mut latch_next: Vec<u32> = Vec::with_capacity(l as usize);
+    for k in 0..l {
+        let v = i + k + 1;
+        let (next, reset) = match read_u32_line(&mut reader)?.as_slice() {
+            [next] => (*next, 0),
+            [next, reset] => (*next, *reset),
+            _ => return Err(parse_err("bad latch line")),
+        };
+        let g = n.reg(format!("l{k}"), latch_init(reset, 2 * v)?);
+        regs.push(g);
+        latch_next.push(next);
+        var_lit.push(g.lit());
+    }
+    let mut outputs: Vec<u32> = Vec::with_capacity(o as usize);
+    for _ in 0..o {
+        let fields = read_u32_line(&mut reader)?;
+        outputs.push(*fields.first().ok_or_else(|| parse_err("bad output line"))?);
+    }
+    let mut bads: Vec<u32> = Vec::with_capacity(b as usize);
+    for _ in 0..b {
+        let fields = read_u32_line(&mut reader)?;
+        bads.push(*fields.first().ok_or_else(|| parse_err("bad `bad` line"))?);
+    }
+    // AND section: per gate, deltas lhs−rhs0 and rhs0−rhs1. Both operands
+    // have smaller variables than the lhs, hence are already in `var_lit`.
+    let mut read_delta = || -> Result<u32, AigerError> {
+        let mut x: u32 = 0;
+        let mut shift = 0;
+        loop {
+            let mut byte = [0u8; 1];
+            reader.read_exact(&mut byte)?;
+            x |= u32::from(byte[0] & 0x7f) << shift;
+            if byte[0] & 0x80 == 0 {
+                return Ok(x);
+            }
+            shift += 7;
+        }
+    };
+    for k in 0..a {
+        let lhs = 2 * (i + l + k + 1);
+        let d0 = read_delta()?;
+        let d1 = read_delta()?;
+        let rhs0 = lhs
+            .checked_sub(d0)
+            .ok_or_else(|| parse_err("binary delta underflow"))?;
+        let rhs1 = rhs0
+            .checked_sub(d1)
+            .ok_or_else(|| parse_err("binary delta underflow"))?;
+        if rhs0 >= lhs {
+            return Err(parse_err("binary AND operand not older than its gate"));
+        }
+        let fa = var_lit[(rhs0 >> 1) as usize].xor_complement(rhs0 & 1 != 0);
+        let fb = var_lit[(rhs1 >> 1) as usize].xor_complement(rhs1 & 1 != 0);
+        var_lit.push(n.and(fa, fb).xor_complement(lhs & 1 != 0));
+    }
+    let resolve = |lit: u32, what: &str| -> Result<Lit, AigerError> {
+        var_lit
+            .get((lit >> 1) as usize)
+            .copied()
+            .map(|l| l.xor_complement(lit & 1 != 0))
+            .ok_or_else(|| parse_err(format!("{what} literal undefined")))
+    };
+    for (k, &r) in regs.iter().enumerate() {
+        n.set_next(r, resolve(latch_next[k], "latch next")?);
+    }
+    let syms = read_symbols(&mut reader, hdr)?;
+    for (k, name) in syms.inputs.iter().enumerate() {
+        if let Some(name) = name {
+            n.set_name(n.inputs()[k], name.clone());
+        }
+    }
+    for (k, name) in syms.latches.iter().enumerate() {
+        if let Some(name) = name {
+            n.set_name(regs[k], name.clone());
+        }
+    }
+    for (k, &out_lit) in outputs.iter().enumerate() {
+        let lit = resolve(out_lit, "output")?;
+        let name = syms.outputs[k].clone().unwrap_or_else(|| format!("o{k}"));
+        n.add_target(lit, name);
+    }
+    for (k, &bad_lit) in bads.iter().enumerate() {
+        n.add_target(resolve(bad_lit, "bad")?, format!("b{k}"));
+    }
+    // The gate tables are cache-hot right now; materialize the CSR so the
+    // first analysis a caller runs does not pay the build.
+    let _ = n.csr();
+    Ok(n)
+}
+
+/// ASCII (`aag`) ingestion. Literals are explicit and ANDs may appear in any
+/// order, so definitions are buffered and resolved with a worklist.
+fn read_ascii<R: BufRead>(mut reader: R, hdr: Header) -> Result<Netlist, AigerError> {
+    let Header { m, i, l, o, a, b } = hdr;
+    let mut input_vars: Vec<u32> = Vec::with_capacity(i as usize);
+    let mut latch_vars: Vec<u32> = Vec::with_capacity(l as usize);
+    let mut latch_next: Vec<u32> = Vec::with_capacity(l as usize);
+    let mut latch_reset: Vec<u32> = Vec::with_capacity(l as usize);
+    for _ in 0..i {
+        let fields = read_u32_line(&mut reader)?;
+        let lit = *fields.first().ok_or_else(|| parse_err("bad input line"))?;
+        if lit & 1 != 0 {
+            return Err(parse_err("input literal must be even"));
+        }
+        input_vars.push(lit >> 1);
+    }
+    for _ in 0..l {
+        let fields = read_u32_line(&mut reader)?;
+        match fields.as_slice() {
+            [lit, next] => {
+                latch_vars.push(lit >> 1);
+                latch_next.push(*next);
+                latch_reset.push(0);
+            }
+            [lit, next, reset] => {
+                latch_vars.push(lit >> 1);
+                latch_next.push(*next);
+                latch_reset.push(*reset);
+            }
+            _ => return Err(parse_err("bad latch line")),
+        }
+    }
+    let mut outputs: Vec<u32> = Vec::with_capacity(o as usize);
+    for _ in 0..o {
+        let fields = read_u32_line(&mut reader)?;
+        outputs.push(*fields.first().ok_or_else(|| parse_err("bad output line"))?);
+    }
+    let mut bads: Vec<u32> = Vec::with_capacity(b as usize);
+    for _ in 0..b {
+        let fields = read_u32_line(&mut reader)?;
+        bads.push(*fields.first().ok_or_else(|| parse_err("bad `bad` line"))?);
+    }
+    let mut and_defs: Vec<(u32, u32, u32)> = Vec::with_capacity(a as usize);
+    for _ in 0..a {
+        let fields = read_u32_line(&mut reader)?;
+        if fields.len() != 3 {
+            return Err(parse_err("bad and line"));
+        }
+        and_defs.push((fields[0], fields[1], fields[2]));
+    }
+    let syms = read_symbols(&mut reader, hdr)?;
 
     // Construct the netlist: inputs, latches, then ANDs in topological order.
     let mut n = Netlist::new();
     let mut var_lit: Vec<Option<Lit>> = vec![None; (m + 1) as usize];
     var_lit[0] = Some(Lit::FALSE);
     for (k, &v) in input_vars.iter().enumerate() {
-        let name = input_names[k].clone().unwrap_or_else(|| format!("i{k}"));
+        let name = syms.inputs[k].clone().unwrap_or_else(|| format!("i{k}"));
         let g = n.input(name);
         *var_lit
             .get_mut(v as usize)
@@ -241,18 +345,8 @@ pub fn read<R: BufRead>(mut reader: R) -> Result<Netlist, AigerError> {
     }
     let mut regs: Vec<Gate> = Vec::with_capacity(l as usize);
     for (k, &v) in latch_vars.iter().enumerate() {
-        let name = latch_names[k].clone().unwrap_or_else(|| format!("l{k}"));
-        let init = match latch_reset[k] {
-            0 => Init::Zero,
-            1 => Init::One,
-            r if r == 2 * v => Init::Nondet,
-            other => {
-                return Err(parse_err(format!(
-                    "latch reset {other} is neither 0, 1 nor the latch literal"
-                )))
-            }
-        };
-        let g = n.reg(name, init);
+        let name = syms.latches[k].clone().unwrap_or_else(|| format!("l{k}"));
+        let g = n.reg(name, latch_init(latch_reset[k], 2 * v)?);
         regs.push(g);
         *var_lit
             .get_mut(v as usize)
@@ -263,12 +357,12 @@ pub fn read<R: BufRead>(mut reader: R) -> Result<Netlist, AigerError> {
     while !pending.is_empty() {
         let before = pending.len();
         pending.retain(|&(lhs, rhs0, rhs1)| {
-            let a = resolve(&var_lit, rhs0);
-            let b = resolve(&var_lit, rhs1);
-            match (a, b) {
-                (Some(a), Some(b)) => {
-                    let l = n.and(a, b);
-                    var_lit[(lhs >> 1) as usize] = Some(l);
+            let fa = resolve(&var_lit, rhs0);
+            let fb = resolve(&var_lit, rhs1);
+            match (fa, fb) {
+                (Some(fa), Some(fb)) => {
+                    let lit = n.and(fa, fb);
+                    var_lit[(lhs >> 1) as usize] = Some(lit.xor_complement(lhs & 1 != 0));
                     false
                 }
                 _ => true,
@@ -284,15 +378,15 @@ pub fn read<R: BufRead>(mut reader: R) -> Result<Netlist, AigerError> {
         n.set_next(r, next);
     }
     for (k, &out_lit) in outputs.iter().enumerate() {
-        let l = resolve(&var_lit, out_lit)
+        let lit = resolve(&var_lit, out_lit)
             .ok_or_else(|| parse_err(format!("output {k} literal undefined")))?;
-        let name = output_names[k].clone().unwrap_or_else(|| format!("o{k}"));
-        n.add_target(l, name);
+        let name = syms.outputs[k].clone().unwrap_or_else(|| format!("o{k}"));
+        n.add_target(lit, name);
     }
     for (k, &bad_lit) in bads.iter().enumerate() {
-        let l = resolve(&var_lit, bad_lit)
+        let lit = resolve(&var_lit, bad_lit)
             .ok_or_else(|| parse_err(format!("bad {k} literal undefined")))?;
-        n.add_target(l, format!("b{k}"));
+        n.add_target(lit, format!("b{k}"));
     }
     Ok(n)
 }

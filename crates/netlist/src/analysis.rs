@@ -5,14 +5,24 @@
 //! (the component partition of \[7\]) and of the cone-of-influence reduction,
 //! which the paper notes preserves trace equivalence of every vertex in the
 //! cone (Section 3.1).
+//!
+//! Every traversal here runs over the cached CSR adjacency
+//! ([`Netlist::csr`]) through the unified visit engine
+//! ([`crate::visit`]): membership marks are dense bitvecs
+//! ([`Marks`]), scratch state is hoisted out of inner loops, and the
+//! BFS-based analyses accept a [`Parallelism`] without changing their
+//! results (bit-identical across thread counts — see the visit module).
 
-use crate::{Gate, GateKind, Init, Lit, Netlist};
+use crate::csr::{Marks, NodeKind};
+use crate::visit::{self, Dir, Expand};
+use crate::{Gate, Lit, Netlist};
+use diam_par::Parallelism;
 
 /// The cone of influence of a set of roots.
 #[derive(Debug, Clone)]
 pub struct Coi {
-    /// Membership flag per gate index.
-    pub in_cone: Vec<bool>,
+    /// Dense membership bitvec per gate index (O(1) [`Coi::contains`]).
+    pub in_cone: Marks,
     /// Registers in the cone, in creation order.
     pub regs: Vec<Gate>,
     /// Primary inputs in the cone, in creation order.
@@ -23,7 +33,7 @@ impl Coi {
     /// Whether gate `g` belongs to the cone.
     #[inline]
     pub fn contains(&self, g: Gate) -> bool {
-        self.in_cone[g.index()]
+        self.in_cone.get(g.index())
     }
 }
 
@@ -46,38 +56,33 @@ impl Coi {
 /// assert_eq!(coi.inputs.len(), 1);
 /// ```
 pub fn coi<I: IntoIterator<Item = Lit>>(n: &Netlist, roots: I) -> Coi {
-    let mut in_cone = vec![false; n.num_gates()];
-    let mut stack: Vec<Gate> = roots.into_iter().map(Lit::gate).collect();
-    while let Some(g) = stack.pop() {
-        if in_cone[g.index()] {
-            continue;
-        }
-        in_cone[g.index()] = true;
-        match n.kind(g) {
-            GateKind::And(a, b) => {
-                stack.push(a.gate());
-                stack.push(b.gate());
-            }
-            GateKind::Reg => {
-                stack.push(n.reg_next(g).gate());
-                if let Init::Fn(l) = n.reg_init(g) {
-                    stack.push(l.gate());
-                }
-            }
-            GateKind::Const0 | GateKind::Input => {}
-        }
-    }
+    coi_with(n, roots, Parallelism::Sequential)
+}
+
+/// [`coi`] with an explicit [`Parallelism`] for the underlying BFS. The
+/// result is bit-identical to the sequential one for every setting; use
+/// this on massive netlists where the frontier grows wide enough to split.
+pub fn coi_with<I: IntoIterator<Item = Lit>>(n: &Netlist, roots: I, par: Parallelism) -> Coi {
+    let csr = n.csr();
+    let v = visit::bfs(
+        csr,
+        Dir::Fanin,
+        Expand::All,
+        roots.into_iter().map(|l| l.gate().index() as u32),
+        par,
+    );
+    let in_cone = v.into_marks();
     let regs = n
         .regs()
         .iter()
         .copied()
-        .filter(|r| in_cone[r.index()])
+        .filter(|r| in_cone.get(r.index()))
         .collect();
     let inputs = n
         .inputs()
         .iter()
         .copied()
-        .filter(|i| in_cone[i.index()])
+        .filter(|i| in_cone.get(i.index()))
         .collect();
     Coi {
         in_cone,
@@ -99,22 +104,20 @@ pub struct Support {
 /// Computes the combinational support of `root` (registers and inputs are
 /// cone leaves; their fanin is not traversed).
 pub fn support(n: &Netlist, root: Lit) -> Support {
-    let mut seen = vec![false; n.num_gates()];
-    let mut stack = vec![root.gate()];
+    let csr = n.csr();
+    let v = visit::bfs(
+        csr,
+        Dir::Fanin,
+        Expand::Combinational,
+        [root.gate().index() as u32],
+        Parallelism::Sequential,
+    );
     let mut out = Support::default();
-    while let Some(g) = stack.pop() {
-        if seen[g.index()] {
-            continue;
-        }
-        seen[g.index()] = true;
-        match n.kind(g) {
-            GateKind::And(a, b) => {
-                stack.push(a.gate());
-                stack.push(b.gate());
-            }
-            GateKind::Reg => out.regs.push(g),
-            GateKind::Input => out.inputs.push(g),
-            GateKind::Const0 => {}
+    for &g in &v.order {
+        match csr.kind(g) {
+            NodeKind::Reg => out.regs.push(Gate::from_index(g as usize)),
+            NodeKind::Input => out.inputs.push(Gate::from_index(g as usize)),
+            NodeKind::And | NodeKind::Const0 => {}
         }
     }
     out.regs.sort();
@@ -123,7 +126,7 @@ pub fn support(n: &Netlist, root: Lit) -> Support {
 }
 
 /// The register dependency graph of a netlist (optionally restricted to a
-/// cone of influence).
+/// cone of influence), stored in CSR form.
 ///
 /// Vertex `i` is the `i`-th register of the restriction; an edge `i → j`
 /// means register `j`'s next-state function combinationally depends on
@@ -132,10 +135,10 @@ pub fn support(n: &Netlist, root: Lit) -> Support {
 pub struct RegGraph {
     /// The registers, defining the vertex numbering.
     pub regs: Vec<Gate>,
-    /// `succs[i]` = registers fed by register `i` (deduplicated, sorted).
-    pub succs: Vec<Vec<usize>>,
-    /// `preds[j]` = registers feeding register `j` (deduplicated, sorted).
-    pub preds: Vec<Vec<usize>>,
+    succ_off: Vec<u32>,
+    succ: Vec<u32>,
+    pred_off: Vec<u32>,
+    pred: Vec<u32>,
 }
 
 impl RegGraph {
@@ -148,40 +151,102 @@ impl RegGraph {
     pub fn is_empty(&self) -> bool {
         self.regs.is_empty()
     }
+
+    /// Registers fed by register `i` (deduplicated, sorted ascending).
+    #[inline]
+    pub fn succs(&self, i: usize) -> &[u32] {
+        &self.succ[self.succ_off[i] as usize..self.succ_off[i + 1] as usize]
+    }
+
+    /// Registers feeding register `j` (deduplicated, sorted ascending).
+    #[inline]
+    pub fn preds(&self, j: usize) -> &[u32] {
+        &self.pred[self.pred_off[j] as usize..self.pred_off[j + 1] as usize]
+    }
+
+    /// Total number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.succ.len()
+    }
 }
 
 /// Builds the register dependency graph over `regs` (typically
 /// [`Coi::regs`]). Dependencies through registers outside `regs` are ignored,
 /// which is correct when `regs` is closed under the cone of influence.
+///
+/// One mark bitvec and one DFS stack are allocated for the whole build and
+/// reused across the per-register support traversals; between registers only
+/// the touched bits are reset, so the cost is O(total cone size), not
+/// O(registers × gates).
 pub fn reg_graph(n: &Netlist, regs: &[Gate]) -> RegGraph {
-    let mut index_of = vec![usize::MAX; n.num_gates()];
+    let csr = n.csr();
+    let mut index_of = vec![u32::MAX; n.num_gates()];
     for (i, &r) in regs.iter().enumerate() {
-        index_of[r.index()] = i;
+        index_of[r.index()] = i as u32;
     }
-    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); regs.len()];
-    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); regs.len()];
+
+    // Hoisted scratch, reset via the touched list after each register.
+    let mut seen = Marks::new(n.num_gates());
+    let mut touched: Vec<u32> = Vec::new();
+    let mut stack: Vec<u32> = Vec::new();
+    let mut row: Vec<u32> = Vec::new();
+
+    let mut pred_off = vec![0u32; regs.len() + 1];
+    let mut pred: Vec<u32> = Vec::new();
     for (j, &r) in regs.iter().enumerate() {
-        let sup = support(n, n.reg_next(r));
-        for s in sup.regs {
-            let i = index_of[s.index()];
-            if i != usize::MAX {
-                preds[j].push(i);
+        row.clear();
+        stack.push(n.reg_next(r).gate().index() as u32);
+        while let Some(v) = stack.pop() {
+            if !seen.set(v as usize) {
+                continue;
+            }
+            touched.push(v);
+            match csr.kind(v) {
+                NodeKind::And => stack.extend_from_slice(csr.fanins(v)),
+                NodeKind::Reg => {
+                    let i = index_of[v as usize];
+                    if i != u32::MAX {
+                        row.push(i);
+                    }
+                }
+                NodeKind::Input | NodeKind::Const0 => {}
             }
         }
-        preds[j].sort_unstable();
-        preds[j].dedup();
-        for &i in &preds[j] {
-            succs[i].push(j);
+        for &v in &touched {
+            seen.unset(v as usize);
+        }
+        touched.clear();
+        row.sort_unstable();
+        row.dedup();
+        pred.extend_from_slice(&row);
+        pred_off[j + 1] = pred.len() as u32;
+    }
+
+    // Transpose into successor lists; walking rows in ascending `j` keeps
+    // every successor list sorted, and rows are already deduplicated.
+    let mut succ_off = vec![0u32; regs.len() + 1];
+    for &i in &pred {
+        succ_off[i as usize + 1] += 1;
+    }
+    for i in 1..=regs.len() {
+        succ_off[i] += succ_off[i - 1];
+    }
+    let mut succ = vec![0u32; pred.len()];
+    let mut pos = succ_off.clone();
+    for j in 0..regs.len() {
+        for &p in &pred[pred_off[j] as usize..pred_off[j + 1] as usize] {
+            let i = p as usize;
+            succ[pos[i] as usize] = j as u32;
+            pos[i] += 1;
         }
     }
-    for s in &mut succs {
-        s.sort_unstable();
-        s.dedup();
-    }
+
     RegGraph {
         regs: regs.to_vec(),
-        succs,
-        preds,
+        succ_off,
+        succ,
+        pred_off,
+        pred,
     }
 }
 
@@ -229,8 +294,9 @@ pub fn condense(g: &RegGraph) -> Condensation {
         stack.push(start);
         on_stack[start] = true;
         while let Some(&mut (v, ref mut pos)) = call.last_mut() {
-            if *pos < g.succs[v].len() {
-                let w = g.succs[v][*pos];
+            let succs = g.succs(v);
+            if *pos < succs.len() {
+                let w = succs[*pos] as usize;
                 *pos += 1;
                 if index[w] == usize::MAX {
                     index[w] = counter;
@@ -276,8 +342,8 @@ pub fn condense(g: &RegGraph) -> Condensation {
     let mut succs: Vec<Vec<usize>> = vec![Vec::new(); num];
     let mut cyclic = vec![false; num];
     for v in 0..n {
-        for &w in &g.succs[v] {
-            let (c, d) = (comp_of[v], comp_of[w]);
+        for &w in g.succs(v) {
+            let (c, d) = (comp_of[v], comp_of[w as usize]);
             if c == d {
                 cyclic[c] = true;
             } else {
@@ -305,11 +371,12 @@ pub fn condense(g: &RegGraph) -> Condensation {
 /// Combinational level (depth in AND gates) per gate; inputs, registers and
 /// the constant have level 0.
 pub fn levels(n: &Netlist) -> Vec<u32> {
+    let csr = n.csr();
     let mut lv = vec![0u32; n.num_gates()];
-    for g in n.gates() {
-        if let GateKind::And(a, b) = n.kind(g) {
-            lv[g.index()] = 1 + lv[a.gate().index()].max(lv[b.gate().index()]);
-        }
+    for step in csr.and_plan() {
+        let la = lv[(step.a >> 1) as usize];
+        let lb = lv[(step.b >> 1) as usize];
+        lv[step.gate as usize] = 1 + la.max(lb);
     }
     lv
 }
@@ -317,7 +384,7 @@ pub fn levels(n: &Netlist) -> Vec<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Netlist;
+    use crate::{Init, Netlist};
 
     /// Three-stage pipeline: i -> r0 -> r1 -> r2.
     fn pipeline() -> (Netlist, Vec<Gate>) {
@@ -353,6 +420,18 @@ mod tests {
     }
 
     #[test]
+    fn coi_with_parallelism_is_identical() {
+        let (n, regs) = pipeline();
+        let seq = coi(&n, [regs[2].lit()]);
+        for par in [Parallelism::Threads(2), Parallelism::Threads(8)] {
+            let p = coi_with(&n, [regs[2].lit()], par);
+            assert_eq!(seq.in_cone, p.in_cone);
+            assert_eq!(seq.regs, p.regs);
+            assert_eq!(seq.inputs, p.inputs);
+        }
+    }
+
+    #[test]
     fn support_stops_at_registers() {
         let mut n = Netlist::new();
         let i = n.input("i");
@@ -368,10 +447,11 @@ mod tests {
     fn pipeline_reg_graph_is_a_chain() {
         let (n, regs) = pipeline();
         let g = reg_graph(&n, &regs);
-        assert_eq!(g.succs[0], vec![1]);
-        assert_eq!(g.succs[1], vec![2]);
-        assert!(g.succs[2].is_empty());
-        assert_eq!(g.preds[2], vec![1]);
+        assert_eq!(g.succs(0), &[1]);
+        assert_eq!(g.succs(1), &[2]);
+        assert!(g.succs(2).is_empty());
+        assert_eq!(g.preds(2), &[1]);
+        assert_eq!(g.num_edges(), 2);
     }
 
     #[test]

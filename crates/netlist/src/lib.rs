@@ -15,6 +15,12 @@
 //! maps ([`rebuild`]), AIGER 1.9 interchange ([`aiger`]), and DOT export
 //! ([`dot`]).
 //!
+//! All of these run over one substrate: a compact CSR adjacency ([`csr`])
+//! cached per netlist and a unified parallel visit engine ([`visit`]) whose
+//! results are bit-identical across every parallelism setting — see those
+//! modules for the layout, the cache invalidation contract, and the
+//! determinism argument.
+//!
 //! ## Example
 //!
 //! ```
@@ -46,13 +52,16 @@
 
 pub mod aiger;
 pub mod analysis;
+pub mod csr;
 pub mod dot;
 mod lit;
 mod netlist;
 pub mod rebuild;
 pub mod sim;
 pub mod stats;
+pub mod visit;
 pub mod word;
 
+pub use csr::{Csr, Marks};
 pub use lit::{Gate, Lit};
 pub use netlist::{GateKind, Init, Netlist, Target, ValidateNetlistError};

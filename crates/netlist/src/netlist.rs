@@ -12,9 +12,11 @@
 //! which is how the retiming engine expresses its *retiming stump* (Section
 //! 3.2 of the paper) and how parametric re-encoding rewrites reset logic.
 
+use crate::csr::Csr;
 use crate::{Gate, Lit};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// The initial-value specification of a register.
 ///
@@ -105,6 +107,9 @@ pub struct Netlist {
     targets: Vec<Target>,
     names: HashMap<Gate, String>,
     strash: HashMap<(Lit, Lit), Gate>,
+    /// Lazily built CSR adjacency (see [`Netlist::csr`]); cleared by every
+    /// structural mutation. Cloning a netlist shares the cached `Arc`.
+    csr: OnceLock<Arc<Csr>>,
 }
 
 /// Error returned by [`Netlist::validate`].
@@ -157,13 +162,37 @@ impl Netlist {
             targets: Vec::new(),
             names: HashMap::new(),
             strash: HashMap::new(),
+            csr: OnceLock::new(),
         }
     }
 
     fn push(&mut self, data: GateData) -> Gate {
+        self.csr.take();
         let g = Gate::from_index(self.gates.len());
         self.gates.push(data);
         g
+    }
+
+    /// The cached CSR adjacency of this netlist, built on first access.
+    ///
+    /// **Invalidation contract:** every structural mutation — gate creation,
+    /// [`set_next`](Netlist::set_next), [`set_init`](Netlist::set_init),
+    /// [`add_target`](Netlist::add_target),
+    /// [`clear_targets`](Netlist::clear_targets) — clears the cache, so the
+    /// returned CSR always describes the current structure; its
+    /// [`fingerprint`](Csr::fingerprint) equals
+    /// [`stats::fingerprint`](crate::stats::fingerprint) of `self` (checked
+    /// by a debug assertion on every access). Debug-name changes do not
+    /// invalidate. Concurrent first accesses race benignly: one builder
+    /// wins, the rest share its `Arc`.
+    pub fn csr(&self) -> &Csr {
+        let csr = self.csr.get_or_init(|| Arc::new(Csr::build(self)));
+        debug_assert_eq!(
+            csr.fingerprint(),
+            crate::stats::fingerprint(self),
+            "cached CSR is stale: a structural mutation missed invalidation"
+        );
+        csr
     }
 
     /// Adds a primary input.
@@ -202,6 +231,7 @@ impl Netlist {
             GateKind::Reg,
             "set_next on non-register {r}"
         );
+        self.csr.take();
         self.gates[r.index()].next = next;
     }
 
@@ -216,6 +246,7 @@ impl Netlist {
             GateKind::Reg,
             "set_init on non-register {r}"
         );
+        self.csr.take();
         self.gates[r.index()].init = init;
     }
 
@@ -316,6 +347,7 @@ impl Netlist {
 
     /// Registers a safety target `AG ¬lit`.
     pub fn add_target(&mut self, lit: Lit, name: impl Into<String>) -> usize {
+        self.csr.take();
         self.targets.push(Target {
             lit,
             name: name.into(),
@@ -325,6 +357,7 @@ impl Netlist {
 
     /// Removes all targets (used by engines that rewrite the target list).
     pub fn clear_targets(&mut self) {
+        self.csr.take();
         self.targets.clear();
     }
 

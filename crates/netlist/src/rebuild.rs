@@ -8,7 +8,8 @@
 //! which also re-applies structural hashing and constant folding to the
 //! merged vertex's fanout cone.
 
-use crate::{Gate, GateKind, Init, Lit, Netlist};
+use crate::visit;
+use crate::{Gate, GateKind, Init, Lit, Netlist, Target};
 
 /// The result of [`rebuild`]: the new netlist plus a mapping from old gates
 /// to new literals (`None` for gates that fell outside the kept cone).
@@ -40,11 +41,23 @@ impl Rebuilt {
 /// Pass the identity (`g.lit()` for every gate) to get a pure
 /// cone-of-influence reduction.
 pub fn rebuild(n: &Netlist, repr: &[Lit]) -> Rebuilt {
-    let first = rebuild_once(n, repr);
+    rebuild_with_targets(n, repr, n.targets())
+}
+
+/// [`rebuild`] restricted to an explicit target subset (which need not be
+/// `n.targets()`): the kept cone and the rebuilt netlist's target list come
+/// from `targets` alone. This is what [`slice_target`] uses to carve out one
+/// target's cone without cloning the source netlist first.
+fn rebuild_with_targets(n: &Netlist, repr: &[Lit], targets: &[Target]) -> Rebuilt {
+    let first = rebuild_once(n, repr, targets);
     // Constant folding during emission can orphan leaves that the initial
     // cone marking (which runs before folding) still considered live; one
     // identity pass removes them and reaches a fixpoint.
-    let second = rebuild_once(&first.netlist, &identity_repr(&first.netlist));
+    let second = rebuild_once(
+        &first.netlist,
+        &identity_repr(&first.netlist),
+        first.netlist.targets(),
+    );
     let map = first
         .map
         .iter()
@@ -56,7 +69,7 @@ pub fn rebuild(n: &Netlist, repr: &[Lit]) -> Rebuilt {
     }
 }
 
-fn rebuild_once(n: &Netlist, repr: &[Lit]) -> Rebuilt {
+fn rebuild_once(n: &Netlist, repr: &[Lit], targets: &[Target]) -> Rebuilt {
     assert_eq!(repr.len(), n.num_gates(), "repr table width mismatch");
     // Compress representative chains: resolve(g) = final (gate, complement).
     let mut resolved: Vec<Lit> = vec![Lit::FALSE; n.num_gates()];
@@ -75,33 +88,32 @@ fn rebuild_once(n: &Netlist, repr: &[Lit]) -> Rebuilt {
         };
     }
 
-    // Mark the cone of influence of the remapped targets, following resolved
-    // edges only.
-    let mut keep = vec![false; n.num_gates()];
-    let mut stack: Vec<Gate> = n
-        .targets()
-        .iter()
-        .map(|t| resolved[t.lit.gate().index()].gate())
-        .collect();
-    while let Some(g) = stack.pop() {
-        if keep[g.index()] {
-            continue;
-        }
-        keep[g.index()] = true;
-        match n.kind(g) {
-            GateKind::And(a, b) => {
-                stack.push(resolved[a.gate().index()].gate());
-                stack.push(resolved[b.gate().index()].gate());
-            }
-            GateKind::Reg => {
-                stack.push(resolved[n.reg_next(g).gate().index()].gate());
-                if let Init::Fn(l) = n.reg_init(g) {
-                    stack.push(resolved[l.gate().index()].gate());
+    // Mark the cone of influence of the remapped targets through the visit
+    // layer, following resolved edges only (the raw CSR does not apply to
+    // representative-compressed adjacency, so this is the DFS side of the
+    // engine with a resolving successor closure).
+    let keep = visit::mark_reachable(
+        n.num_gates(),
+        targets
+            .iter()
+            .map(|t| resolved[t.lit.gate().index()].gate().index() as u32),
+        |v, stack| {
+            let g = Gate::from_index(v as usize);
+            match n.kind(g) {
+                GateKind::And(a, b) => {
+                    stack.push(resolved[a.gate().index()].gate().index() as u32);
+                    stack.push(resolved[b.gate().index()].gate().index() as u32);
                 }
+                GateKind::Reg => {
+                    stack.push(resolved[n.reg_next(g).gate().index()].gate().index() as u32);
+                    if let Init::Fn(l) = n.reg_init(g) {
+                        stack.push(resolved[l.gate().index()].gate().index() as u32);
+                    }
+                }
+                GateKind::Const0 | GateKind::Input => {}
             }
-            GateKind::Const0 | GateKind::Input => {}
-        }
-    }
+        },
+    );
 
     // Emit kept gates in index order. Register next/init functions may point
     // forward, so they are connected in a second pass.
@@ -116,7 +128,7 @@ fn rebuild_once(n: &Netlist, repr: &[Lit]) -> Rebuilt {
             map[g.index()] = map[r.gate().index()].map(|l| l.xor_complement(r.is_complement()));
             continue;
         }
-        if !keep[g.index()] {
+        if !keep.get(g.index()) {
             continue;
         }
         match n.kind(g) {
@@ -156,7 +168,7 @@ fn rebuild_once(n: &Netlist, repr: &[Lit]) -> Rebuilt {
             .xor_complement(r.is_complement())
     };
     for g in n.gates() {
-        if resolved[g.index()].gate() != g || !keep[g.index()] || !n.is_reg(g) {
+        if resolved[g.index()].gate() != g || !keep.get(g.index()) || !n.is_reg(g) {
             continue;
         }
         let new_reg = map[g.index()].expect("kept register missing").gate();
@@ -166,7 +178,7 @@ fn rebuild_once(n: &Netlist, repr: &[Lit]) -> Rebuilt {
         }
     }
     // Targets.
-    for t in n.targets() {
+    for t in targets {
         let l = translate(&map, t.lit);
         out.add_target(l, t.name.clone());
     }
@@ -237,13 +249,14 @@ pub fn reduce_coi(n: &Netlist) -> Rebuilt {
 /// assert_eq!(slice.netlist.num_regs(), 0); // r is not in t1's cone
 /// ```
 pub fn slice_target(n: &Netlist, index: usize) -> Rebuilt {
-    let t = &n.targets()[index];
-    // Clone keeps gate indices identical to `n`, so the rebuild map is
+    // Restricting the target set rather than cloning keeps `n`'s cached CSR
+    // warm across the per-target slicing loop and leaves the rebuild map
     // directly old-literal -> slice-literal.
-    let mut m = n.clone();
-    m.clear_targets();
-    m.add_target(t.lit, t.name.clone());
-    rebuild(&m, &identity_repr(&m))
+    rebuild_with_targets(
+        n,
+        &identity_repr(n),
+        std::slice::from_ref(&n.targets()[index]),
+    )
 }
 
 /// Replaces every [`Init::Nondet`] initial value by an explicit fresh primary

@@ -5,11 +5,20 @@
 //! evaluates 64 independent traces. This is what the redundancy-removal
 //! engine uses to generate equivalence candidates, and what the test suite
 //! uses to check that transformations preserve trace equivalence.
+//!
+//! Propagation order runs off the CSR AND plan ([`Csr::and_plan`]): after
+//! time 0 the registers are latched from the previous row first, so a
+//! **single** topological AND sweep per step settles the whole netlist. Only
+//! time 0 needs a preliminary sweep, to evaluate the (input-only, validated)
+//! `Init::Fn` reset cones before the registers are initialized.
+//!
+//! [`Csr::and_plan`]: crate::csr::Csr::and_plan
 
-use crate::{GateKind, Init, Lit, Netlist};
+use crate::csr::AndStep;
+use crate::{Init, Lit, Netlist};
 
 /// A deterministic splittable PRNG (SplitMix64), kept local so the netlist
-/// crate stays dependency-free.
+/// crate stays free of external RNG dependencies.
 #[derive(Debug, Clone)]
 pub struct SplitMix64 {
     state: u64,
@@ -143,16 +152,10 @@ pub fn simulate(n: &Netlist, stimulus: &Stimulus) -> Trace {
         n.num_regs(),
         "stimulus register width mismatch"
     );
+    let csr = n.csr();
+    let plan = csr.and_plan();
     let steps = stimulus.len();
     let mut values: Vec<Vec<u64>> = Vec::with_capacity(steps);
-    let mut reg_pos = vec![usize::MAX; n.num_gates()];
-    for (j, &r) in n.regs().iter().enumerate() {
-        reg_pos[r.index()] = j;
-    }
-    let mut input_pos = vec![usize::MAX; n.num_gates()];
-    for (k, &i) in n.inputs().iter().enumerate() {
-        input_pos[i.index()] = k;
-    }
 
     for t in 0..steps {
         assert_eq!(
@@ -161,70 +164,57 @@ pub fn simulate(n: &Netlist, stimulus: &Stimulus) -> Trace {
             "stimulus input width mismatch at step {t}"
         );
         let mut row = vec![0u64; n.num_gates()];
-        // Pass 1: inputs and the input-only combinational logic. Register
-        // slots are stale here; anything depending on them is fixed by pass 3.
-        for g in n.gates() {
-            match n.kind(g) {
-                GateKind::Input => row[g.index()] = stimulus.inputs[t][input_pos[g.index()]],
-                GateKind::And(a, b) => {
-                    row[g.index()] = eval_and(&row, a, b);
-                }
-                GateKind::Const0 | GateKind::Reg => {}
-            }
+        for (k, &i) in n.inputs().iter().enumerate() {
+            row[i.index()] = stimulus.inputs[t][k];
         }
-        // Pass 2: register values. Time 0 applies initial values (Fn cones
-        // are input-only, hence already correct after pass 1); later steps
-        // latch the next-state value computed at t-1.
-        for (j, &r) in n.regs().iter().enumerate() {
-            row[r.index()] = if t == 0 {
-                match n.reg_init(r) {
+        if t == 0 {
+            // Preliminary AND sweep so `Init::Fn` reset cones (input-only,
+            // guaranteed by validation) are available to the registers.
+            sweep_ands(plan, &mut row);
+            for (j, &r) in n.regs().iter().enumerate() {
+                row[r.index()] = match n.reg_init(r) {
                     Init::Zero => 0,
                     Init::One => !0,
                     Init::Nondet => stimulus.nondet_init[j],
-                    Init::Fn(l) => {
-                        let v = row[l.gate().index()];
-                        if l.is_complement() {
-                            !v
-                        } else {
-                            v
-                        }
-                    }
-                }
-            } else {
-                let prev: &Vec<u64> = &values[t - 1];
-                let nx = n.reg_next(r);
-                let v = prev[nx.gate().index()];
-                if nx.is_complement() {
-                    !v
-                } else {
-                    v
-                }
-            };
-        }
-        // Pass 3: re-evaluate AND gates now that registers are settled.
-        for g in n.gates() {
-            if let GateKind::And(a, b) = n.kind(g) {
-                row[g.index()] = eval_and(&row, a, b);
+                    Init::Fn(l) => eval_lit(&row, l),
+                };
+            }
+        } else {
+            // Latch registers from the previous row before the AND sweep:
+            // with inputs and registers settled, one topological pass
+            // settles every AND.
+            let prev = &values[t - 1];
+            for &r in n.regs() {
+                row[r.index()] = eval_lit(prev, n.reg_next(r));
             }
         }
+        sweep_ands(plan, &mut row);
         values.push(row);
     }
     Trace { values }
 }
 
+/// One topological pass over the flat AND plan.
 #[inline]
-fn eval_and(row: &[u64], a: Lit, b: Lit) -> u64 {
-    let va = if a.is_complement() {
-        !row[a.gate().index()]
+fn sweep_ands(plan: &[AndStep], row: &mut [u64]) {
+    for step in plan {
+        row[step.gate as usize] = eval_code(row, step.a) & eval_code(row, step.b);
+    }
+}
+
+#[inline]
+fn eval_code(row: &[u64], code: u32) -> u64 {
+    let v = row[(code >> 1) as usize];
+    if code & 1 != 0 {
+        !v
     } else {
-        row[a.gate().index()]
-    };
-    let vb = if b.is_complement() {
-        !row[b.gate().index()]
-    } else {
-        row[b.gate().index()]
-    };
-    va & vb
+        v
+    }
+}
+
+#[inline]
+fn eval_lit(row: &[u64], l: Lit) -> u64 {
+    eval_code(row, l.code())
 }
 
 /// Evaluates one combinational frame: given 64-trace words for every
@@ -249,11 +239,7 @@ pub fn eval_frame(n: &Netlist, reg_vals: &[u64], input_vals: &[u64]) -> Vec<u64>
     for (k, &i) in n.inputs().iter().enumerate() {
         row[i.index()] = input_vals[k];
     }
-    for g in n.gates() {
-        if let GateKind::And(a, b) = n.kind(g) {
-            row[g.index()] = eval_and(&row, a, b);
-        }
-    }
+    sweep_ands(n.csr().and_plan(), &mut row);
     row
 }
 
@@ -262,15 +248,7 @@ pub fn eval_frame(n: &Netlist, reg_vals: &[u64], input_vals: &[u64]) -> Vec<u64>
 pub fn next_state(n: &Netlist, frame: &[u64]) -> Vec<u64> {
     n.regs()
         .iter()
-        .map(|&r| {
-            let nx = n.reg_next(r);
-            let v = frame[nx.gate().index()];
-            if nx.is_complement() {
-                !v
-            } else {
-                v
-            }
-        })
+        .map(|&r| eval_lit(frame, n.reg_next(r)))
         .collect()
 }
 

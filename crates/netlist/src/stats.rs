@@ -70,23 +70,12 @@ impl std::fmt::Display for NetlistStats {
 /// assert_eq!(s.cyclic_sccs, 0);
 /// ```
 pub fn stats(n: &Netlist) -> NetlistStats {
-    let mut fanout = vec![0usize; n.num_gates()];
-    let bump = |l: crate::Lit, fanout: &mut Vec<usize>| fanout[l.gate().index()] += 1;
-    for g in n.gates() {
-        match n.kind(g) {
-            GateKind::And(a, b) => {
-                bump(a, &mut fanout);
-                bump(b, &mut fanout);
-            }
-            GateKind::Reg => {
-                bump(n.reg_next(g), &mut fanout);
-                if let Init::Fn(l) = n.reg_init(g) {
-                    bump(l, &mut fanout);
-                }
-            }
-            _ => {}
-        }
-    }
+    // Structural fanout comes straight off the cached CSR transpose; targets
+    // are observation points outside the graph, so they bump separately.
+    let csr = n.csr();
+    let mut fanout: Vec<usize> = (0..n.num_gates())
+        .map(|v| csr.fanout_degree(v as u32))
+        .collect();
     for t in n.targets() {
         fanout[t.lit.gate().index()] += 1;
     }

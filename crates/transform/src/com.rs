@@ -29,7 +29,7 @@
 
 use diam_netlist::rebuild::{identity_repr, rebuild, Rebuilt};
 use diam_netlist::sim::{eval_frame, next_state, simulate, SplitMix64, Stimulus};
-use diam_netlist::{Gate, Lit, Netlist};
+use diam_netlist::{Gate, Lit, Marks, Netlist};
 use diam_sat::{Lit as SatLit, SolveResult, Solver};
 
 use crate::unroll::{FrameZero, Unroller};
@@ -127,7 +127,7 @@ impl Classes {
     /// refutation round — a classic sweeping pathology. Register pairs and
     /// constant-class pairs are always kept; they are the merges that matter
     /// for diameter bounding, and spurious ones die in the cheap base check.
-    fn from_signatures(n: &Netlist, sigs: &[Vec<u64>], restrict: Option<&[bool]>) -> Classes {
+    fn from_signatures(n: &Netlist, sigs: &[Vec<u64>], restrict: Option<&Marks>) -> Classes {
         use std::collections::HashMap;
         let mut first: HashMap<&[u64], (Gate, bool)> = HashMap::new();
         let mut cand: Vec<Lit> = n.gates().map(Gate::lit).collect();
@@ -160,7 +160,7 @@ impl Classes {
             // restriction would exclude it.
             if g != Gate::CONST0 {
                 if let Some(r) = restrict {
-                    if !r[g.index()] {
+                    if !r.get(g.index()) {
                         continue;
                     }
                 }

@@ -93,7 +93,8 @@ fn level_assignment(g: &RegGraph) -> (Vec<i64>, i64) {
         level[start] = 0;
         let mut queue = std::collections::VecDeque::from([start]);
         while let Some(v) = queue.pop_front() {
-            for &w in &g.succs[v] {
+            for &w in g.succs(v) {
+                let w = w as usize;
                 if level[w] == i64::MIN {
                     level[w] = level[v] + 1;
                     queue.push_back(w);
@@ -101,7 +102,8 @@ fn level_assignment(g: &RegGraph) -> (Vec<i64>, i64) {
                     gcd = gcd_i64(gcd, level[v] + 1 - level[w]);
                 }
             }
-            for &u in &g.preds[v] {
+            for &u in g.preds(v) {
+                let u = u as usize;
                 if level[u] == i64::MIN {
                     level[u] = level[v] - 1;
                     queue.push_back(u);
@@ -182,8 +184,9 @@ pub fn fold(n: &Netlist, coloring: &Coloring, keep: u32) -> Result<Folded, FoldE
     // Validate the coloring.
     let regs: Vec<Gate> = n.regs().to_vec();
     let g = reg_graph(n, &regs);
-    for (u, succs) in g.succs.iter().enumerate() {
-        for &v in succs {
+    for u in 0..g.len() {
+        for &v in g.succs(u) {
+            let v = v as usize;
             if (coloring.colors[u] + 1) % c != coloring.colors[v] {
                 return Err(FoldError::InvalidColoring {
                     from: regs[u],
