@@ -8,7 +8,7 @@
 //! committed one with the noise-aware gate.
 //!
 //! ```text
-//! benchreport [--suite table1|table2|netlist] [--runs N] [--seed S] [--limit N]
+//! benchreport [--suite table1|table2|netlist|ecc] [--runs N] [--seed S] [--limit N]
 //!             [--label L] [--out PATH] [--baseline PATH] [--quick]
 //!             [--history-dir PATH] [--no-history]
 //! ```
@@ -41,7 +41,7 @@ use diam_par::Parallelism;
 use diam_trace::{diff, history, Baseline, DiffOptions, Trace};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: benchreport [--suite table1|table2|netlist] [--runs N] [--seed S] \
+const USAGE: &str = "usage: benchreport [--suite table1|table2|netlist|ecc] [--runs N] [--seed S] \
 [--limit N] [--label L] [--out PATH] [--baseline PATH] [--quick] [--history-dir PATH] \
 [--no-history]";
 
@@ -75,9 +75,9 @@ fn parse_cli() -> Result<Cli, String> {
         match arg.as_str() {
             "--suite" => {
                 cli.suite = value("--suite")?;
-                if !matches!(cli.suite.as_str(), "table1" | "table2" | "netlist") {
+                if !matches!(cli.suite.as_str(), "table1" | "table2" | "netlist" | "ecc") {
                     return Err(format!(
-                        "--suite expects table1|table2|netlist, got `{}`",
+                        "--suite expects table1|table2|netlist|ecc, got `{}`",
                         cli.suite
                     ));
                 }
@@ -134,6 +134,8 @@ fn one_run(cli: &Cli) -> Result<Trace, String> {
     if cli.suite == "netlist" {
         let min_gates = cli.limit.map_or(1_000_000, |l| l.max(1) * 1000);
         run_netlist_suite(cli.seed, min_gates);
+    } else if cli.suite == "ecc" {
+        run_ecc_suite(cli.seed);
     } else {
         let mut suite = match cli.suite.as_str() {
             "table2" => gp::suite(cli.seed),
@@ -183,6 +185,116 @@ fn run_netlist_suite(seed: u64, min_gates: usize) {
     sp.record("aig_bytes", buf.len());
     sp.record("cone_regs", cone.regs.len());
     sp.record("classified", classes.counts().total());
+}
+
+/// The eccentricity-engine workout: enumerate + SumSweep a 2^12- and a
+/// 2^16-state component, then prove an unreachable token-ring target twice —
+/// once at the blanket 2^12 BMC depth, once at the certified depth — so the
+/// baseline captures the end-to-end wall-time the tighter d̂ buys.
+fn run_ecc_suite(seed: u64) {
+    use diam_bmc::{prove, ProveOptions, ProveOutcome};
+    use diam_core::eccentricity::{self, sum_sweep, EccOptions};
+    use diam_core::state_graph::{StateGraph, StateGraphLimits};
+    use diam_core::{Pipeline, StructuralOptions};
+    use diam_gen::archetypes;
+    use diam_netlist::Netlist;
+    use diam_par::Parallelism;
+
+    // Every run starts cold so the enumerate phases time real work, not
+    // the memo cache.
+    eccentricity::cache_clear();
+    let mut sp = diam_obs::span!("ecc.scale", seed = seed);
+
+    // Enumerate + sweep at 2^12 and 2^16 states: an enabled binary counter
+    // visits every state on one long cycle (one free signal).
+    let mut states = [0u64; 2];
+    for (i, (enumerate_tag, sweep_tag, bits)) in [
+        ("ecc.enumerate_4k", "ecc.sweep_4k", 12usize),
+        ("ecc.enumerate_64k", "ecc.sweep_64k", 16),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut n = Netlist::new();
+        let en = n.input("en").lit();
+        let c = archetypes::counter(&mut n, "c", bits, en);
+        n.add_target(c.all_ones, "wrap");
+        let g = {
+            let _g = diam_obs::span!(enumerate_tag, bits = bits as u64);
+            StateGraph::build(&n, &c.regs, &StateGraphLimits::default())
+                .expect("counter fits the default limits")
+        };
+        let summary = {
+            let _g = diam_obs::span!(sweep_tag, states = g.num_states() as u64);
+            sum_sweep(&g, 16, Parallelism::Sequential)
+        };
+        assert_eq!(
+            g.num_states() as u64,
+            1 << bits,
+            "counter visits all states"
+        );
+        assert!(summary.diameter < 1 << bits, "certified below blanket");
+        states[i] = g.num_states() as u64;
+    }
+
+    // End-to-end BMC: the 12-position token ring's two-token target is
+    // unreachable; blanket d̂ unrolls to 2^12 − 1, the certificate to 11.
+    // Both sides run under the same depth cap. The blanket bound blows the
+    // cap, so that side falls back to a raw capped sweep that settles
+    // nothing (the practical "Unknown" a loose d̂ buys); the certificate
+    // fits under the cap and the proof completes outright.
+    let mut n = Netlist::new();
+    let step = n.input("step").lit();
+    let ring = archetypes::token_ring(&mut n, "ring", 12, step);
+    let two = n.and(ring[0].lit(), ring[1].lit());
+    n.add_target(two, "two_tokens");
+    let pipeline = Pipeline::new();
+    const CAP: u64 = 128;
+    {
+        let mut bmc_sp = diam_obs::span!("ecc.bmc_blanket", cap = CAP);
+        let opts = ProveOptions {
+            depth_cap: CAP,
+            ..ProveOptions::default()
+        };
+        let outcome = prove(&n, 0, &pipeline, &opts);
+        let ProveOutcome::BoundTooLarge { bound: Some(bound) } = outcome else {
+            panic!("blanket bound must exceed the cap, got {outcome:?}");
+        };
+        let swept = diam_bmc::check(
+            &n,
+            0,
+            &diam_bmc::BmcOptions {
+                max_depth: CAP,
+                ..diam_bmc::BmcOptions::default()
+            },
+        );
+        assert_eq!(
+            swept,
+            diam_bmc::BmcOutcome::NoHitUpTo(CAP),
+            "capped sweep must stay inconclusive"
+        );
+        bmc_sp.record("bound", bound);
+        bmc_sp.record("verdict", "unknown");
+    }
+    {
+        let mut bmc_sp = diam_obs::span!("ecc.bmc_tight", cap = CAP);
+        let opts = ProveOptions {
+            structural: StructuralOptions {
+                ecc: EccOptions::on(),
+                ..StructuralOptions::default()
+            },
+            depth_cap: CAP,
+            ..ProveOptions::default()
+        };
+        let outcome = prove(&n, 0, &pipeline, &opts);
+        let ProveOutcome::Proved { bound } = outcome else {
+            panic!("two-token ring target must prove under the cap, got {outcome:?}");
+        };
+        bmc_sp.record("bound", bound);
+        bmc_sp.record("verdict", "proved");
+    }
+    sp.record("states_4k", states[0]);
+    sp.record("states_64k", states[1]);
 }
 
 fn run() -> Result<ExitCode, String> {

@@ -3,9 +3,9 @@
 //! COM,RET,COM.
 //!
 //! Usage: `cargo run -p diam-bench --release --bin table1 [seed] [--jobs <N|seq|auto>]
-//! [--obs off|summary|json|live] [--trace-out <path.jsonl>] [--mem on|off] [--limit <N>]`
+//! [--obs off|summary|json|live] [--trace-out <path.jsonl>] [--mem on|off] [--limit <N>] [--ecc on|off|k=<N>]`
 
-use diam_bench::{format_sigma, parse_cli, run_suite_with};
+use diam_bench::{format_sigma, parse_cli, run_suite_opts};
 // Memory accounting (`--mem on`) needs the counting allocator installed
 // process-wide; while `--mem off` (the default) it costs one relaxed
 // atomic load per allocation.
@@ -17,7 +17,7 @@ use diam_gen::iscas;
 fn main() {
     let cli = parse_cli(
         "table1 [seed] [--jobs <N|seq|auto>] [--obs off|summary|json|live] \
-         [--trace-out <path.jsonl>] [--mem on|off] [--limit <N>]",
+         [--trace-out <path.jsonl>] [--mem on|off] [--limit <N>] [--ecc on|off|k=<N>]",
     );
     let session = cli.session("table1");
     println!(
@@ -25,7 +25,7 @@ fn main() {
         cli.seed, cli.jobs
     );
     let suite = cli.clamp(iscas::suite(cli.seed));
-    let sigma = run_suite_with(&suite, true, cli.jobs);
+    let sigma = run_suite_opts(&suite, true, cli.jobs, &cli.ecc);
     println!("\n{}", format_sigma(&sigma, iscas::TABLE1_SIGMA));
     cli.finish(session);
 }

@@ -16,7 +16,7 @@
 //! integration tests can assert the reproduced Σ shape.
 
 use diam_core::classify::{classify, ClassCounts, ClassifyOptions};
-use diam_core::{Bound, Pipeline, StructuralOptions};
+use diam_core::{Bound, EccOptions, Pipeline, StructuralOptions};
 use diam_gen::profile::DesignProfile;
 use diam_netlist::Netlist;
 use diam_obs::{ObsConfig, ObsMode, RunManifest, Session};
@@ -41,6 +41,10 @@ pub struct BenchCli {
     /// `diam_obs::alloc::CountingAlloc` as its `#[global_allocator]` for
     /// `on` to measure anything).
     pub mem: bool,
+    /// `--ecc <on|off|k=N>` — eccentricity-certified GC bounds. Off by
+    /// default so the tables reproduce the paper's blanket-bound Σ; `on`
+    /// demonstrates (and CI cross-checks) the tightened bounds.
+    pub ecc: EccOptions,
 }
 
 impl BenchCli {
@@ -64,6 +68,9 @@ impl BenchCli {
         }
         if self.mem {
             manifest = manifest.option("mem", "on".to_string());
+        }
+        if self.ecc.enabled {
+            manifest = manifest.option("ecc", self.ecc.render());
         }
         Session::install(self.obs.clone(), manifest)
     }
@@ -101,6 +108,7 @@ pub fn parse_cli(usage: &str) -> BenchCli {
         obs: ObsConfig::default(),
         limit: None,
         mem: false,
+        ecc: EccOptions::default(),
     };
     let fail = |what: &str| -> ! {
         eprintln!("{what}\nusage: {usage}");
@@ -134,6 +142,8 @@ pub fn parse_cli(usage: &str) -> BenchCli {
                 "off" => false,
                 _ => fail("--mem expects on|off"),
             };
+        } else if let Some(v) = flag_value("--ecc", None) {
+            cli.ecc = EccOptions::parse(&v).unwrap_or_else(|_| fail("--ecc expects on|off|k=<N>"));
         } else if let Some(v) = flag_value("--limit", None) {
             cli.limit = Some(
                 v.parse()
@@ -194,6 +204,18 @@ pub fn run_design_with(
     netlist: &Netlist,
     par: diam_par::Parallelism,
 ) -> DesignResult {
+    run_design_opts(profile, netlist, par, &EccOptions::default())
+}
+
+/// [`run_design_with`] with eccentricity-engine options (`--ecc` on the
+/// table binaries). The default-off variants reproduce the paper's blanket
+/// bounds.
+pub fn run_design_opts(
+    profile: &DesignProfile,
+    netlist: &Netlist,
+    par: diam_par::Parallelism,
+    ecc: &EccOptions,
+) -> DesignResult {
     let mut design_sp = diam_obs::span!(
         "suite.design",
         design = profile.name,
@@ -203,6 +225,7 @@ pub fn run_design_with(
     let names = ["original", "com", "com_ret_com"];
     let opts = StructuralOptions {
         parallelism: par,
+        ecc: *ecc,
         ..StructuralOptions::default()
     };
     let mut k = 0usize;
@@ -333,12 +356,22 @@ pub fn run_suite_with(
     print: bool,
     par: diam_par::Parallelism,
 ) -> Sigma {
+    run_suite_opts(suite, print, par, &EccOptions::default())
+}
+
+/// [`run_suite_with`] with eccentricity-engine options.
+pub fn run_suite_opts(
+    suite: &[(DesignProfile, Netlist)],
+    print: bool,
+    par: diam_par::Parallelism,
+    ecc: &EccOptions,
+) -> Sigma {
     if print {
         println!("{}", header());
     }
     let mut sigma = Sigma::default();
     for (profile, netlist) in suite {
-        let r = run_design_with(profile, netlist, par);
+        let r = run_design_opts(profile, netlist, par, ecc);
         if print {
             println!("{}", format_row(&r));
         }

@@ -1,0 +1,69 @@
+//! Release-mode soundness smoke for the eccentricity engine on the paper
+//! suite: `--ecc on` may only *tighten* diameter bounds — register
+//! classification is untouched, every per-target bound stays ≤ the blanket
+//! bound, and the useful-target count never drops. CI runs this in release
+//! mode so the smoke covers the optimized sweep kernels.
+
+use diam_bench::run_design_opts;
+use diam_core::{Bound, EccOptions, Pipeline, StructuralOptions};
+use diam_gen::iscas;
+use diam_par::Parallelism;
+
+fn bound_le(a: Bound, b: Bound) -> bool {
+    match (a, b) {
+        (Bound::Finite(x), Bound::Finite(y)) => x <= y,
+        (_, Bound::Exponential) => true,
+        (Bound::Exponential, Bound::Finite(_)) => false,
+    }
+}
+
+#[test]
+fn ecc_on_preserves_verdicts_and_tightens() {
+    let suite = iscas::suite(0);
+    for (profile, netlist) in suite.iter().take(4) {
+        let off = run_design_opts(
+            profile,
+            netlist,
+            Parallelism::Sequential,
+            &EccOptions::default(),
+        );
+        let on = run_design_opts(profile, netlist, Parallelism::Sequential, &EccOptions::on());
+        for c in 0..3 {
+            assert_eq!(
+                off.columns[c].counts, on.columns[c].counts,
+                "{}: classification must not depend on --ecc",
+                profile.name
+            );
+            assert!(
+                on.columns[c].useful >= off.columns[c].useful,
+                "{}: --ecc on lost useful targets ({} -> {})",
+                profile.name,
+                off.columns[c].useful,
+                on.columns[c].useful
+            );
+        }
+    }
+}
+
+#[test]
+fn per_target_bounds_are_monotone() {
+    let suite = iscas::suite(0);
+    for (profile, netlist) in suite.iter().take(4) {
+        let result = Pipeline::com_ret_com().run(netlist);
+        let off = result.bound_targets(&StructuralOptions::default());
+        let on = result.bound_targets(&StructuralOptions {
+            ecc: EccOptions::on(),
+            ..StructuralOptions::default()
+        });
+        for (b_off, b_on) in off.iter().zip(&on) {
+            assert!(
+                bound_le(b_on.original, b_off.original),
+                "{}/{}: --ecc on loosened the bound ({:?} vs {:?})",
+                profile.name,
+                b_on.name,
+                b_on.original,
+                b_off.original
+            );
+        }
+    }
+}

@@ -97,6 +97,11 @@ pub struct StrategyOptions {
     pub symbolic_reg_cap: usize,
     /// Maximum induction depth.
     pub max_induction: u64,
+    /// Structural bounding options for engine 3. The portfolio default
+    /// enables the eccentricity engine: tighter certified GC bounds pull
+    /// more targets under `depth_cap`, closing verdicts the blanket bound
+    /// leaves `Unknown`.
+    pub structural: StructuralOptions,
 }
 
 impl Default for StrategyOptions {
@@ -108,6 +113,10 @@ impl Default for StrategyOptions {
             depth_cap: 256,
             symbolic_reg_cap: 40,
             max_induction: 3,
+            structural: StructuralOptions {
+                ecc: diam_core::EccOptions::on(),
+                ..StructuralOptions::default()
+            },
         }
     }
 }
@@ -121,7 +130,7 @@ pub fn solve_all(n: &Netlist, opts: &StrategyOptions) -> Vec<TargetStatus> {
     // transformed-netlist counterexample home).
     let swept = sweep(n, &opts.sweep);
     let pipelined = opts.pipeline.run(n);
-    let bounds = pipelined.bound_targets(&StructuralOptions::default());
+    let bounds = pipelined.bound_targets(&opts.structural);
 
     (0..n.targets().len())
         .map(|i| {

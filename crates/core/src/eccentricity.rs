@@ -1,0 +1,488 @@
+//! The SumSweep eccentricity engine: certified diameter upper bounds for
+//! small general-circuit components, replacing the blanket `2^|regs|`
+//! factor of the Def.-3 serialized bound.
+//!
+//! For a component within the cutoff, the engine enumerates its reachable
+//! state graph ([`crate::state_graph`]), condenses it into SCCs (iterative
+//! Tarjan), seeds per-vertex forward-eccentricity **upper** bounds by a DAG
+//! DP over the condensation, and then runs SumSweep-style pivot sweeps —
+//! a forward BFS from the pivot (its exact eccentricity) paired with a
+//! backward BFS (distance-to-pivot lower bounds and `d(v,w) + ecc(w)` upper
+//! bounds for every `v`) — until the global upper bound `DU = max_v U(v)`
+//! meets the lower bound `DL` or the sweep budget runs out. Every BFS runs
+//! on the shared level-synchronous [`visit`](diam_netlist::visit) engine,
+//! so results are bit-identical at every parallelism setting.
+//!
+//! **The bound is certified at every step, not just at convergence.** The
+//! DAG DP seeds `U(v)` with the maximum number of *edges* any path from `v`
+//! can traverse (a shortest path visits at most `|C|` distinct vertices in
+//! each SCC `C` along a simple condensation chain), so `DU ≥ ecc(v)` for
+//! all `v` before the first sweep; sweeps only tighten with equally sound
+//! bounds. Exhausting the budget therefore still yields a valid certified
+//! diameter — `exact` merely records whether `DU == DL` was reached.
+//!
+//! Certificates are memoized in a process-wide cache keyed by the netlist
+//! CSR fingerprint, the component's register set, and the engine options,
+//! so `classify_targets`/`bound_targets` sweeps and repeated targets that
+//! share a component pay for enumeration once.
+
+use crate::state_graph::{StateGraph, StateGraphLimits};
+use diam_netlist::visit::bfs_graph;
+use diam_netlist::{Gate, Netlist};
+use diam_par::Parallelism;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Eccentricity-engine configuration. The `Default` is **disabled** so that
+/// existing `StructuralOptions::default()` call sites keep the blanket
+/// bound; enable with [`EccOptions::on`] or [`EccOptions::parse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EccOptions {
+    /// Master switch; when off, [`component_cert`] always returns `None`.
+    pub enabled: bool,
+    /// Component register-count cutoff `k`: only components with
+    /// `|regs| ≤ k` are enumerated (`--ecc k=<N>` on the CLI).
+    pub cutoff: usize,
+    /// Free-signal cutoff (cone inputs + out-of-component registers).
+    pub max_free: usize,
+    /// SumSweep pivot budget; exhausting it keeps the last certified bound.
+    pub max_sweeps: usize,
+    /// Parallelism for the sweep BFS runs (bit-identical at any setting).
+    pub parallelism: Parallelism,
+}
+
+/// Default cutoff: components up to 2^16 packed states.
+pub const DEFAULT_CUTOFF: usize = 16;
+
+impl Default for EccOptions {
+    fn default() -> EccOptions {
+        EccOptions {
+            enabled: false,
+            cutoff: DEFAULT_CUTOFF,
+            max_free: 10,
+            max_sweeps: 16,
+            parallelism: Parallelism::Sequential,
+        }
+    }
+}
+
+impl EccOptions {
+    /// The engine with default limits, enabled.
+    pub fn on() -> EccOptions {
+        EccOptions {
+            enabled: true,
+            ..EccOptions::default()
+        }
+    }
+
+    /// Parses a CLI value: `on`, `off`, or `k=<N>` (enabled with cutoff
+    /// `N`).
+    pub fn parse(s: &str) -> Result<EccOptions, String> {
+        match s {
+            "on" => Ok(EccOptions::on()),
+            "off" => Ok(EccOptions::default()),
+            _ => match s.strip_prefix("k=") {
+                Some(num) => match num.parse::<usize>() {
+                    Ok(k) if k >= 1 => Ok(EccOptions {
+                        cutoff: k,
+                        ..EccOptions::on()
+                    }),
+                    _ => Err(format!("invalid --ecc cutoff: {num}")),
+                },
+                None => Err(format!("invalid --ecc value: {s} (want on|off|k=<N>)")),
+            },
+        }
+    }
+
+    /// Renders the option back to its CLI form.
+    pub fn render(&self) -> String {
+        if !self.enabled {
+            "off".to_string()
+        } else if self.cutoff == DEFAULT_CUTOFF {
+            "on".to_string()
+        } else {
+            format!("k={}", self.cutoff)
+        }
+    }
+}
+
+/// A certified per-component diameter bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EccCert {
+    /// The serialized-bound factor replacing `2^|regs|`: the certified
+    /// diameter plus one (the `+1` state-count convention of `exact.rs`),
+    /// clamped to `2^|regs|` so the replacement is monotone.
+    pub factor: u64,
+    /// Certified upper bound on the pairwise diameter (in edges) of the
+    /// component's reachable state graph under free external signals.
+    pub diameter: u64,
+    /// Whether the sweeps converged (`DU == DL`), making `diameter` exact.
+    pub exact: bool,
+    /// Reachable state count.
+    pub states: u64,
+    /// SumSweep pivots spent.
+    pub sweeps: u32,
+}
+
+/// The outcome of [`sum_sweep`] on one state graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepSummary {
+    /// Certified pairwise diameter upper bound (in edges).
+    pub diameter: u64,
+    /// Whether `DU == DL` was reached.
+    pub exact: bool,
+    /// Pivots spent.
+    pub sweeps: u32,
+}
+
+/// Iterative Tarjan SCC over the forward edges. Components are numbered in
+/// emission order, which is reverse-topological: every condensation edge
+/// `c → d` has `d < c`.
+fn tarjan(g: &StateGraph) -> (Vec<u32>, u32) {
+    const UNSET: u32 = u32::MAX;
+    let nv = g.num_states();
+    let mut index = vec![UNSET; nv];
+    let mut lowlink = vec![0u32; nv];
+    let mut on_stack = vec![false; nv];
+    let mut comp_of = vec![UNSET; nv];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+    let mut next_index = 0u32;
+    let mut ncomps = 0u32;
+
+    for root in 0..nv as u32 {
+        if index[root as usize] != UNSET {
+            continue;
+        }
+        frames.push((root, 0));
+        while let Some(&(v, pos)) = frames.last() {
+            let vi = v as usize;
+            if pos == 0 {
+                index[vi] = next_index;
+                lowlink[vi] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[vi] = true;
+            }
+            let succs = g.succs(v);
+            let mut pos = pos;
+            let mut descended = false;
+            while pos < succs.len() {
+                let w = succs[pos];
+                pos += 1;
+                let wi = w as usize;
+                if index[wi] == UNSET {
+                    frames.last_mut().unwrap().1 = pos;
+                    frames.push((w, 0));
+                    descended = true;
+                    break;
+                } else if on_stack[wi] {
+                    lowlink[vi] = lowlink[vi].min(index[wi]);
+                }
+            }
+            if descended {
+                continue;
+            }
+            frames.pop();
+            if let Some(&(p, _)) = frames.last() {
+                let pi = p as usize;
+                lowlink[pi] = lowlink[pi].min(lowlink[vi]);
+            }
+            if lowlink[vi] == index[vi] {
+                loop {
+                    let w = stack.pop().unwrap();
+                    on_stack[w as usize] = false;
+                    comp_of[w as usize] = ncomps;
+                    if w == v {
+                        break;
+                    }
+                }
+                ncomps += 1;
+            }
+        }
+    }
+    (comp_of, ncomps)
+}
+
+/// Runs SumSweep bound propagation over `g` and returns a certified
+/// diameter upper bound (see the module docs for the invariants).
+/// Deterministic for any `par`.
+pub fn sum_sweep(g: &StateGraph, max_sweeps: usize, par: Parallelism) -> SweepSummary {
+    let nv = g.num_states();
+    if nv <= 1 {
+        return SweepSummary {
+            diameter: 0,
+            exact: true,
+            sweeps: 0,
+        };
+    }
+
+    // SCC condensation + DAG DP seed: U(C) = (|C| − 1) + max over
+    // condensation successors D of (1 + U(D)). Reverse-topological
+    // numbering makes a single ascending pass well-founded.
+    let (comp_of, ncomps) = tarjan(g);
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); ncomps as usize];
+    for v in 0..nv as u32 {
+        members[comp_of[v as usize] as usize].push(v);
+    }
+    let mut u_comp = vec![0u64; ncomps as usize];
+    for c in 0..ncomps as usize {
+        let mut best = 0u64;
+        for &v in &members[c] {
+            for &w in g.succs(v) {
+                let d = comp_of[w as usize] as usize;
+                if d != c {
+                    best = best.max(1 + u_comp[d]);
+                }
+            }
+        }
+        u_comp[c] = (members[c].len() as u64 - 1) + best;
+    }
+
+    let mut uf: Vec<u64> = (0..nv).map(|v| u_comp[comp_of[v] as usize]).collect();
+    let mut lf = vec![0u64; nv];
+    let mut confirmed = vec![false; nv];
+    let mut dl = 0u64;
+    let mut du = uf.iter().copied().max().unwrap();
+    let mut sweeps = 0u32;
+
+    while du > dl && (sweeps as usize) < max_sweeps {
+        // Pivot: the unconfirmed vertex with the loosest upper bound,
+        // smallest id on ties (determinism).
+        let mut pivot: Option<usize> = None;
+        for v in 0..nv {
+            if !confirmed[v] && pivot.is_none_or(|p| uf[v] > uf[p]) {
+                pivot = Some(v);
+            }
+        }
+        let Some(w) = pivot else { break };
+
+        // Forward BFS: the pivot's exact forward eccentricity is a
+        // diameter lower bound and pins U(w) = L(w).
+        let fwd = bfs_graph(&g.forward(), [w as u32], par);
+        let ecc_w = fwd.num_levels() as u64 - 1;
+        uf[w] = ecc_w;
+        lf[w] = ecc_w;
+        confirmed[w] = true;
+        dl = dl.max(ecc_w);
+
+        // Backward BFS: every v at distance d(v,w) = ℓ gains the lower
+        // bound ℓ and the upper bound ℓ + ecc(w) (triangle inequality).
+        let bwd = bfs_graph(&g.backward(), [w as u32], par);
+        for l in 0..bwd.num_levels() {
+            let level = &bwd.order[bwd.level_starts[l] as usize..bwd.level_starts[l + 1] as usize];
+            let dist = l as u64;
+            for &v in level {
+                let vi = v as usize;
+                if dist > lf[vi] {
+                    lf[vi] = dist;
+                }
+                let ub = dist + ecc_w;
+                if ub < uf[vi] {
+                    uf[vi] = ub;
+                }
+            }
+        }
+        dl = dl.max(bwd.num_levels() as u64 - 1);
+        du = uf.iter().copied().max().unwrap();
+        sweeps += 1;
+    }
+
+    SweepSummary {
+        diameter: du,
+        exact: du == dl,
+        sweeps,
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    fingerprint: u64,
+    regs: Vec<u32>,
+    cutoff: u32,
+    max_free: u32,
+    max_sweeps: u32,
+}
+
+struct CacheEntry {
+    cert: Option<EccCert>,
+    hits: u64,
+}
+
+fn cache() -> &'static Mutex<HashMap<CacheKey, CacheEntry>> {
+    static CACHE: OnceLock<Mutex<HashMap<CacheKey, CacheEntry>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Cache introspection for one netlist fingerprint: `(entries, total
+/// hits)`. Keyed per fingerprint so concurrent tests on other netlists
+/// cannot perturb the counts.
+pub fn cache_stats_for(fingerprint: u64) -> (usize, u64) {
+    let map = cache().lock().unwrap();
+    let mut entries = 0;
+    let mut hits = 0;
+    for (k, e) in map.iter() {
+        if k.fingerprint == fingerprint {
+            entries += 1;
+            hits += e.hits;
+        }
+    }
+    (entries, hits)
+}
+
+/// Drops every memoized certificate (bench harnesses use this to time cold
+/// enumeration honestly).
+pub fn cache_clear() {
+    cache().lock().unwrap().clear();
+}
+
+/// Computes (or recalls) the certified diameter bound for the component
+/// `comp` of `n`. Returns `None` when the engine is disabled, the
+/// component exceeds the cutoff or free-signal limit, or enumeration blows
+/// the budget — in all cases the caller keeps the blanket `2^|regs|`.
+///
+/// Declines are memoized too, so a component that exceeds the free-signal
+/// limit is probed once per netlist, not once per target.
+pub fn component_cert(n: &Netlist, comp: &[Gate], opts: &EccOptions) -> Option<EccCert> {
+    if !opts.enabled {
+        return None;
+    }
+    let mut regs: Vec<Gate> = comp.to_vec();
+    regs.sort();
+    regs.dedup();
+    if regs.is_empty() || regs.len() > opts.cutoff {
+        return None;
+    }
+    let key = CacheKey {
+        fingerprint: n.csr().fingerprint(),
+        regs: regs.iter().map(|r| r.index() as u32).collect(),
+        cutoff: opts.cutoff as u32,
+        max_free: opts.max_free as u32,
+        max_sweeps: opts.max_sweeps as u32,
+    };
+    if let Some(entry) = cache().lock().unwrap().get_mut(&key) {
+        entry.hits += 1;
+        diam_obs::counter_add("ecc.cache_hit", 1);
+        return entry.cert;
+    }
+    diam_obs::counter_add("ecc.cache_miss", 1);
+
+    let limits = StateGraphLimits {
+        max_regs: opts.cutoff,
+        max_free: opts.max_free,
+        ..StateGraphLimits::default()
+    };
+    let cert = StateGraph::build(n, &regs, &limits).map(|g| {
+        let mut span = diam_obs::span!("ecc.sweep", states = g.num_states() as u64,);
+        let s = sum_sweep(&g, opts.max_sweeps, opts.parallelism);
+        let blanket = 1u64 << regs.len().min(63);
+        let factor = (s.diameter + 1).min(blanket);
+        span.record("sweeps", s.sweeps as u64);
+        span.record("bound", factor);
+        span.record("exact", s.exact as u64);
+        EccCert {
+            factor,
+            diameter: s.diameter,
+            exact: s.exact,
+            states: g.num_states() as u64,
+            sweeps: s.sweeps,
+        }
+    });
+    cache()
+        .lock()
+        .unwrap()
+        .entry(key)
+        .or_insert(CacheEntry { cert, hits: 0 });
+    cert
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diam_netlist::Init;
+
+    /// `len`-stage one-hot token ring: exactly `len` reachable states on a
+    /// directed cycle, diameter `len − 1`.
+    fn ring(len: usize) -> Netlist {
+        let mut n = Netlist::new();
+        let regs: Vec<Gate> = (0..len)
+            .map(|k| n.reg(format!("t{k}"), if k == 0 { Init::One } else { Init::Zero }))
+            .collect();
+        for k in 0..len {
+            n.set_next(regs[k], regs[(k + len - 1) % len].lit());
+        }
+        n.add_target(regs[len - 1].lit(), "t");
+        n
+    }
+
+    #[test]
+    fn pure_cycle_diameter_is_exact() {
+        let n = ring(8);
+        let g = StateGraph::build(&n, n.regs(), &StateGraphLimits::default()).unwrap();
+        assert_eq!(g.num_states(), 8);
+        let s = sum_sweep(&g, 16, Parallelism::Sequential);
+        assert_eq!(s.diameter, 7);
+        assert!(s.exact);
+    }
+
+    #[test]
+    fn sweep_is_bit_identical_across_parallelism() {
+        let n = ring(12);
+        let g = StateGraph::build(&n, n.regs(), &StateGraphLimits::default()).unwrap();
+        let seq = sum_sweep(&g, 16, Parallelism::Sequential);
+        for par in [Parallelism::Threads(2), Parallelism::Threads(8)] {
+            assert_eq!(seq, sum_sweep(&g, 16, par));
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_still_certifies() {
+        let n = ring(8);
+        let g = StateGraph::build(&n, n.regs(), &StateGraphLimits::default()).unwrap();
+        // Zero sweeps: the DAG DP alone must certify. One 8-vertex SCC
+        // gives U = 7, which here happens to be exact.
+        let s = sum_sweep(&g, 0, Parallelism::Sequential);
+        assert_eq!(s.sweeps, 0);
+        assert!(s.diameter >= 7);
+        assert!(s.diameter <= 7, "DP bound is |C|−1 on a single cycle SCC");
+    }
+
+    #[test]
+    fn component_cert_respects_cutoff_and_caches() {
+        let n = ring(6);
+        let opts = EccOptions::on();
+        let cert = component_cert(&n, n.regs(), &opts).unwrap();
+        assert_eq!(cert.factor, 6);
+        assert_eq!(cert.diameter, 5);
+        assert!(cert.exact);
+        assert_eq!(cert.states, 6);
+        let fp = n.csr().fingerprint();
+        let (entries, _) = cache_stats_for(fp);
+        assert_eq!(entries, 1);
+        let again = component_cert(&n, n.regs(), &opts).unwrap();
+        assert_eq!(cert, again);
+        let (entries, hits) = cache_stats_for(fp);
+        assert_eq!(entries, 1);
+        assert!(hits >= 1, "second call must hit the cache");
+        let tight = EccOptions {
+            cutoff: 4,
+            ..EccOptions::on()
+        };
+        assert!(component_cert(&n, n.regs(), &tight).is_none());
+        assert!(component_cert(&n, n.regs(), &EccOptions::default()).is_none());
+    }
+
+    #[test]
+    fn options_parse_and_render_round_trip() {
+        assert_eq!(EccOptions::parse("on").unwrap(), EccOptions::on());
+        assert_eq!(EccOptions::parse("off").unwrap(), EccOptions::default());
+        let k8 = EccOptions::parse("k=8").unwrap();
+        assert!(k8.enabled);
+        assert_eq!(k8.cutoff, 8);
+        assert_eq!(k8.render(), "k=8");
+        assert_eq!(EccOptions::on().render(), "on");
+        assert_eq!(EccOptions::default().render(), "off");
+        assert!(EccOptions::parse("k=zero").is_err());
+        assert!(EccOptions::parse("maybe").is_err());
+    }
+}

@@ -50,9 +50,11 @@
 
 pub mod bound;
 pub mod classify;
+pub mod eccentricity;
 pub mod exact;
 pub mod pipeline;
 pub mod recurrence;
+pub mod state_graph;
 pub mod structural;
 pub mod symbolic;
 
@@ -60,5 +62,6 @@ pub use bound::Bound;
 pub use classify::{classify_targets, ClassCounts, Classification, ClassifyOptions, RegClass};
 pub use diam_par::Parallelism;
 pub use diam_transform::pass::{BoundStep, Certificate, CertificateChain};
+pub use eccentricity::{EccCert, EccOptions};
 pub use pipeline::{BackStep, Element, Engine, Pipeline, PipelineResult, PipelinedBound};
 pub use structural::{diameter_bound, StructuralOptions, TargetBound};

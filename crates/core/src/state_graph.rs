@@ -1,0 +1,443 @@
+//! Explicit-state graph enumeration for small register components — the
+//! substrate of the eccentricity engine ([`crate::eccentricity`]).
+//!
+//! Given a set of registers (typically one general-circuit SCC from
+//! [`crate::classify`]), the builder enumerates the component's reachable
+//! state graph by simulating the component's next-state cone over the cached
+//! [`diam_netlist::csr::Csr`] and its flat `and_plan`, exactly as `sim.rs`
+//! does — restricted to
+//! the cone's AND steps so each transition sweep touches only the component.
+//!
+//! Everything outside the component — primary inputs in the cone and
+//! registers of *other* components feeding it — is a **free signal**: the X
+//! leaves of a ternary view of the cone. Instead of propagating X
+//! symbolically, the builder concretizes it exhaustively, 64 assignments per
+//! sweep in the word-parallel style of `exact.rs`, which keeps the successor
+//! relation exact (every ternary completion is some concrete assignment).
+//!
+//! Initial states overapproximate: `Init::Nondet` **and** `Init::Fn` bits
+//! take both values (`Fn` cones may depend on time-0 inputs the component
+//! does not control). Overapproximation is sound for diameter purposes: the
+//! reachable set is successor-closed, so extra initial states only add
+//! vertices and ordered pairs — shortest distances between existing pairs
+//! never shrink, and the pairwise diameter is monotone in the state set.
+//!
+//! Determinism contract: state ids are assigned in BFS discovery order with
+//! each state's successor batch sorted by packed value before id assignment,
+//! so the graph — and everything the sweep engine derives from it — is
+//! identical across runs and parallelism settings.
+
+use diam_netlist::analysis::support;
+use diam_netlist::csr::{AndStep, NodeKind};
+use diam_netlist::visit::{self, Dir, Expand, Neighbors};
+use diam_netlist::{Gate, Init, Lit, Netlist};
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeSet, HashMap};
+
+/// Enumeration budgets. Exceeding any of them makes [`StateGraph::build`]
+/// decline (return `None`) so the caller falls back to the blanket
+/// `2^|regs|` bound — budgets affect performance, never soundness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateGraphLimits {
+    /// Maximum component register count (packed-state width). Hard-capped
+    /// at 26 regardless of the configured value.
+    pub max_regs: usize,
+    /// Maximum free-signal count: each state costs `2^free / 64` sweeps.
+    pub max_free: usize,
+    /// Total sweep-batch budget across the whole enumeration.
+    pub max_batches: u64,
+}
+
+impl Default for StateGraphLimits {
+    fn default() -> StateGraphLimits {
+        StateGraphLimits {
+            max_regs: 16,
+            max_free: 10,
+            max_batches: 1 << 22,
+        }
+    }
+}
+
+/// The reachable state graph of one register component: packed states,
+/// forward/backward adjacency in CSR form, and the initial-state prefix.
+#[derive(Debug, Clone)]
+pub struct StateGraph {
+    regs: Vec<Gate>,
+    free: Vec<Gate>,
+    /// Packed state per id. Bit `j` is the value of `regs[j]`.
+    states: Vec<u32>,
+    /// Ids `0..num_inits` are the (overapproximated) initial states.
+    num_inits: usize,
+    fwd_off: Vec<u32>,
+    fwd: Vec<u32>,
+    bwd_off: Vec<u32>,
+    bwd: Vec<u32>,
+}
+
+/// Forward-edge view of a [`StateGraph`] for [`visit::bfs_graph`].
+pub struct ForwardView<'a>(&'a StateGraph);
+
+/// Backward-edge view of a [`StateGraph`] for [`visit::bfs_graph`].
+pub struct BackwardView<'a>(&'a StateGraph);
+
+impl Neighbors for ForwardView<'_> {
+    fn num_nodes(&self) -> usize {
+        self.0.num_states()
+    }
+    fn neighbors(&self, v: u32) -> &[u32] {
+        self.0.succs(v)
+    }
+}
+
+impl Neighbors for BackwardView<'_> {
+    fn num_nodes(&self) -> usize {
+        self.0.num_states()
+    }
+    fn neighbors(&self, v: u32) -> &[u32] {
+        self.0.preds(v)
+    }
+}
+
+impl StateGraph {
+    /// Number of reachable states.
+    #[inline]
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of distinct transition edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.fwd.len()
+    }
+
+    /// Number of initial states (ids `0..num_inits`).
+    #[inline]
+    pub fn num_inits(&self) -> usize {
+        self.num_inits
+    }
+
+    /// The component registers, sorted; bit `j` of a packed state is the
+    /// value of `regs()[j]`.
+    #[inline]
+    pub fn regs(&self) -> &[Gate] {
+        &self.regs
+    }
+
+    /// The free signals (cone inputs plus out-of-component registers).
+    #[inline]
+    pub fn free(&self) -> &[Gate] {
+        &self.free
+    }
+
+    /// Packed state value of id `v`.
+    #[inline]
+    pub fn state(&self, v: u32) -> u32 {
+        self.states[v as usize]
+    }
+
+    /// Successor ids of state `v`, sorted ascending.
+    #[inline]
+    pub fn succs(&self, v: u32) -> &[u32] {
+        let v = v as usize;
+        &self.fwd[self.fwd_off[v] as usize..self.fwd_off[v + 1] as usize]
+    }
+
+    /// Predecessor ids of state `v`, sorted ascending.
+    #[inline]
+    pub fn preds(&self, v: u32) -> &[u32] {
+        let v = v as usize;
+        &self.bwd[self.bwd_off[v] as usize..self.bwd_off[v + 1] as usize]
+    }
+
+    /// Forward-edge [`Neighbors`] view.
+    #[inline]
+    pub fn forward(&self) -> ForwardView<'_> {
+        ForwardView(self)
+    }
+
+    /// Backward-edge [`Neighbors`] view.
+    #[inline]
+    pub fn backward(&self) -> BackwardView<'_> {
+        BackwardView(self)
+    }
+
+    /// Enumerates the reachable state graph of the component `comp` (a set
+    /// of registers of `n`), or `None` if the component exceeds a limit:
+    /// too many registers, too many free signals, or the sweep-batch budget.
+    ///
+    /// Opens an `ecc.enumerate` obs span recording `regs`/`free` on entry
+    /// and `states`/`edges` on close.
+    pub fn build(n: &Netlist, comp: &[Gate], limits: &StateGraphLimits) -> Option<StateGraph> {
+        let mut regs: Vec<Gate> = comp.to_vec();
+        regs.sort();
+        regs.dedup();
+        if regs.is_empty() || regs.len() > limits.max_regs.min(26) {
+            return None;
+        }
+        let csr = n.csr();
+        for &r in &regs {
+            if csr.kind(r.index() as u32) != NodeKind::Reg {
+                return None;
+            }
+        }
+        let next_lits: Vec<Lit> = regs.iter().map(|&r| n.reg_next(r)).collect();
+
+        // Free signals: the union of the next-state cones' leaves minus the
+        // component's own registers.
+        let in_comp: BTreeSet<Gate> = regs.iter().copied().collect();
+        let mut free_set: BTreeSet<Gate> = BTreeSet::new();
+        for &nl in &next_lits {
+            let sup = support(n, nl);
+            free_set.extend(sup.inputs.iter().copied());
+            free_set.extend(sup.regs.iter().filter(|r| !in_comp.contains(r)));
+        }
+        let free: Vec<Gate> = free_set.into_iter().collect();
+        if free.len() > limits.max_free {
+            return None;
+        }
+
+        let mut span = diam_obs::span!(
+            "ecc.enumerate",
+            regs = regs.len() as u64,
+            free = free.len() as u64,
+        );
+
+        // Restrict the and-plan to the next-state cone so each sweep costs
+        // the component, not the netlist.
+        let cone = visit::bfs(
+            csr,
+            Dir::Fanin,
+            Expand::Combinational,
+            next_lits.iter().map(|l| l.gate().index() as u32),
+            diam_par::Parallelism::Sequential,
+        );
+        let plan: Vec<AndStep> = csr
+            .and_plan()
+            .iter()
+            .filter(|s| cone.contains(s.gate))
+            .copied()
+            .collect();
+
+        // Initial states: Zero/One are fixed; Nondet and Fn bits take both
+        // values (see module docs for why overapproximating is sound).
+        let mut inits: Vec<u32> = vec![0];
+        for (j, &r) in regs.iter().enumerate() {
+            match n.reg_init(r) {
+                Init::Zero => {}
+                Init::One => {
+                    for s in &mut inits {
+                        *s |= 1 << j;
+                    }
+                }
+                Init::Nondet | Init::Fn(_) => {
+                    let with: Vec<u32> = inits.iter().map(|&s| s | 1 << j).collect();
+                    inits.extend(with);
+                }
+            }
+        }
+        inits.sort_unstable();
+        inits.dedup();
+
+        let mut states: Vec<u32> = inits.clone();
+        let mut id_of: HashMap<u32, u32> = states
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i as u32))
+            .collect();
+        let num_inits = states.len();
+
+        let mut frame = vec![0u64; n.num_gates()];
+        let combos: u64 = 1u64 << free.len();
+        let mut batches: u64 = 0;
+        let mut succ_lists: Vec<Vec<u32>> = Vec::with_capacity(states.len());
+        let mut head = 0usize;
+        while head < states.len() {
+            let s = states[head];
+            head += 1;
+            let mut out: Vec<u32> = Vec::with_capacity(combos as usize);
+            let mut combo = 0u64;
+            while combo < combos {
+                let batch = (combos - combo).min(64) as usize;
+                batches += 1;
+                if batches > limits.max_batches {
+                    span.record("aborted", "budget");
+                    return None;
+                }
+                for (j, &r) in regs.iter().enumerate() {
+                    frame[r.index()] = if (s >> j) & 1 == 1 { !0u64 } else { 0 };
+                }
+                for (k, &g) in free.iter().enumerate() {
+                    let mut w = 0u64;
+                    for b in 0..batch {
+                        if ((combo + b as u64) >> k) & 1 == 1 {
+                            w |= 1u64 << b;
+                        }
+                    }
+                    frame[g.index()] = w;
+                }
+                for step in &plan {
+                    frame[step.gate as usize] =
+                        eval_code(&frame, step.a) & eval_code(&frame, step.b);
+                }
+                for b in 0..batch {
+                    let mut t: u32 = 0;
+                    for (j, &nl) in next_lits.iter().enumerate() {
+                        let w = frame[nl.gate().index()];
+                        let bit = ((w >> b) & 1) as u32 ^ (nl.code() & 1);
+                        t |= bit << j;
+                    }
+                    out.push(t);
+                }
+                combo += batch as u64;
+            }
+            out.sort_unstable();
+            out.dedup();
+            let mut succ_ids: Vec<u32> = Vec::with_capacity(out.len());
+            for t in out {
+                let id = match id_of.entry(t) {
+                    Entry::Occupied(e) => *e.get(),
+                    Entry::Vacant(e) => {
+                        let id = states.len() as u32;
+                        states.push(t);
+                        e.insert(id);
+                        id
+                    }
+                };
+                succ_ids.push(id);
+            }
+            succ_ids.sort_unstable();
+            succ_lists.push(succ_ids);
+        }
+
+        // Flatten to CSR; the backward arrays come from a counting pass.
+        let nv = states.len();
+        let mut fwd_off: Vec<u32> = Vec::with_capacity(nv + 1);
+        fwd_off.push(0);
+        let mut fwd: Vec<u32> = Vec::new();
+        for l in &succ_lists {
+            fwd.extend_from_slice(l);
+            fwd_off.push(fwd.len() as u32);
+        }
+        let mut deg = vec![0u32; nv];
+        for &t in &fwd {
+            deg[t as usize] += 1;
+        }
+        let mut bwd_off: Vec<u32> = Vec::with_capacity(nv + 1);
+        bwd_off.push(0);
+        for d in &deg {
+            bwd_off.push(bwd_off.last().unwrap() + d);
+        }
+        let mut cursor = bwd_off[..nv].to_vec();
+        let mut bwd = vec![0u32; fwd.len()];
+        for (v, l) in succ_lists.iter().enumerate() {
+            for &t in l {
+                bwd[cursor[t as usize] as usize] = v as u32;
+                cursor[t as usize] += 1;
+            }
+        }
+        // Sources within each predecessor list arrive in ascending `v`
+        // order by construction, so `bwd` is already sorted per node.
+
+        span.record("states", nv as u64);
+        span.record("edges", fwd.len() as u64);
+        Some(StateGraph {
+            regs,
+            free,
+            states,
+            num_inits,
+            fwd_off,
+            fwd,
+            bwd_off,
+            bwd,
+        })
+    }
+}
+
+#[inline]
+fn eval_code(row: &[u64], code: u32) -> u64 {
+    let v = row[(code >> 1) as usize];
+    if code & 1 != 0 {
+        !v
+    } else {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> StateGraphLimits {
+        StateGraphLimits::default()
+    }
+
+    /// 2-bit counter with always-on increment: 00 → 01 → 10 → 11 → 00.
+    fn counter2() -> Netlist {
+        let mut n = Netlist::new();
+        let b0 = n.reg("b0", Init::Zero);
+        let b1 = n.reg("b1", Init::Zero);
+        n.set_next(b0, !b0.lit());
+        let x = n.xor(b1.lit(), b0.lit());
+        n.set_next(b1, x);
+        n.add_target(b1.lit(), "t");
+        n
+    }
+
+    #[test]
+    fn counter_cycle_is_enumerated() {
+        let n = counter2();
+        let g = StateGraph::build(&n, n.regs(), &limits()).unwrap();
+        assert_eq!(g.num_states(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.num_inits(), 1);
+        assert_eq!(g.state(0), 0);
+        // Deterministic single-successor chain covering all four states.
+        for v in 0..4u32 {
+            assert_eq!(g.succs(v).len(), 1);
+            assert_eq!(g.preds(v).len(), 1);
+        }
+    }
+
+    #[test]
+    fn free_input_fans_out_transitions() {
+        // One register toggled by a free input: 0 ⇄ 1 with self-loops.
+        let mut n = Netlist::new();
+        let i = n.input("i").lit();
+        let r = n.reg("r", Init::Zero);
+        let x = n.xor(r.lit(), i);
+        n.set_next(r, x);
+        n.add_target(r.lit(), "t");
+        let g = StateGraph::build(&n, n.regs(), &limits()).unwrap();
+        assert_eq!(g.num_states(), 2);
+        assert_eq!(g.free().len(), 1);
+        assert_eq!(g.succs(0), &[0, 1]);
+        assert_eq!(g.succs(1), &[0, 1]);
+    }
+
+    #[test]
+    fn nondet_init_seeds_multiple_states() {
+        let mut n = Netlist::new();
+        let r = n.reg("r", Init::Nondet);
+        n.set_next(r, r.lit());
+        n.add_target(r.lit(), "t");
+        let g = StateGraph::build(&n, n.regs(), &limits()).unwrap();
+        assert_eq!(g.num_inits(), 2);
+        assert_eq!(g.num_states(), 2);
+    }
+
+    #[test]
+    fn limits_decline_oversized_components() {
+        let n = counter2();
+        let tight = StateGraphLimits {
+            max_regs: 1,
+            ..limits()
+        };
+        assert!(StateGraph::build(&n, n.regs(), &tight).is_none());
+        let no_budget = StateGraphLimits {
+            max_batches: 1,
+            ..limits()
+        };
+        assert!(StateGraph::build(&n, n.regs(), &no_budget).is_none());
+    }
+}

@@ -22,7 +22,11 @@
 //!   the same deliberately pessimistic choice as the paper, which notes
 //!   that tightening GC bounds is orthogonal future work (products over
 //!   parallel GCs also pay for worst-case phase alignment, which `max`
-//!   would unsoundly ignore);
+//!   would unsoundly ignore). When the [`crate::eccentricity`] engine is
+//!   enabled ([`EccOptions`]), a GC component within the cutoff instead
+//!   multiplies by its certified state-graph diameter + 1, clamped to
+//!   `2^|regs|` so the replacement is monotone (never looser, typically
+//!   exponentially tighter);
 //! * **constant** registers contribute nothing (they are excluded from the
 //!   component graph entirely);
 //! * the empty cone has diameter 1 (Definition 3 is one greater than the
@@ -35,8 +39,9 @@
 
 use crate::bound::Bound;
 use crate::classify::{classify, Classification, ClassifyOptions, ComponentKind};
+use crate::eccentricity::{component_cert, EccCert, EccOptions};
 use diam_netlist::analysis::coi;
-use diam_netlist::{Lit, Netlist};
+use diam_netlist::{Gate, Lit, Netlist};
 use diam_par::Parallelism;
 
 /// Options for the structural diameter engine.
@@ -48,6 +53,9 @@ pub struct StructuralOptions {
     /// is an independent job; results are merged in original target order,
     /// so every setting produces identical output).
     pub parallelism: Parallelism,
+    /// Eccentricity-engine options for tightening general components
+    /// (disabled by default; see [`crate::eccentricity`]).
+    pub ecc: EccOptions,
 }
 
 /// The result of bounding one target.
@@ -84,16 +92,58 @@ pub struct TargetBound {
 pub fn diameter_bound(n: &Netlist, target: Lit, opts: &StructuralOptions) -> TargetBound {
     let cone = coi(n, [target]);
     let classification = classify(n, &cone.regs, &opts.classify);
-    let bound = serialized_bound(&classification);
+    let certs = gc_certificates(n, &classification, &opts.ecc);
+    let bound = serialized_bound_with(&classification, &certs);
     TargetBound {
         bound,
         classification,
     }
 }
 
+/// Certified eccentricity bounds per condensation component: `Some` for
+/// every general component the engine tightened, `None` elsewhere (acyclic
+/// and table components, components past the cutoff, engine disabled).
+///
+/// Certificates are memoized per `(fingerprint, register set, options)` in
+/// [`crate::eccentricity`], so `classify_targets`/`bound_targets` sweeps
+/// that reach a shared component from many targets enumerate it once.
+pub fn gc_certificates(n: &Netlist, cl: &Classification, ecc: &EccOptions) -> Vec<Option<EccCert>> {
+    let num = cl.cond.comps.len();
+    if !ecc.enabled {
+        return vec![None; num];
+    }
+    (0..num)
+        .map(|c| {
+            if !matches!(cl.kinds[c], ComponentKind::General) {
+                return None;
+            }
+            let regs: Vec<Gate> = cl.cond.comps[c].iter().map(|&i| cl.regs[i]).collect();
+            component_cert(n, &regs, ecc)
+        })
+        .collect()
+}
+
+/// The factor one general component contributes: the certified diameter
+/// bound when present (already clamped to `2^|regs|`), else the blanket.
+fn gc_factor(cl: &Classification, certs: &[Option<EccCert>], c: usize) -> Bound {
+    match certs.get(c).copied().flatten() {
+        Some(cert) => Bound::Finite(cert.factor),
+        None => Bound::pow2(cl.cond.comps[c].len() as u64),
+    }
+}
+
 /// The serialized compositional bound over a (cone-restricted)
-/// classification; see the module docs for the formula and its rationale.
+/// classification with the blanket `2^|regs|` GC factors; see the module
+/// docs for the formula and its rationale. [`serialized_bound_with`] takes
+/// eccentricity certificates.
 pub fn serialized_bound(cl: &Classification) -> Bound {
+    serialized_bound_with(cl, &[])
+}
+
+/// [`serialized_bound`] with per-component eccentricity certificates
+/// (as computed by [`gc_certificates`]; missing entries fall back to the
+/// blanket factor).
+pub fn serialized_bound_with(cl: &Classification, certs: &[Option<EccCert>]) -> Bound {
     let num = cl.cond.comps.len();
     // Longest AC-chain: AC components count 1, others 0, maximized along
     // the condensation's topological order (which the component numbering
@@ -119,7 +169,7 @@ pub fn serialized_bound(cl: &Classification) -> Bound {
     }
     for (c, kind) in cl.kinds.iter().enumerate() {
         if matches!(kind, ComponentKind::General) {
-            bound = bound.mul(Bound::pow2(cl.cond.comps[c].len() as u64));
+            bound = bound.mul(gc_factor(cl, certs, c));
         }
     }
     bound
@@ -128,7 +178,13 @@ pub fn serialized_bound(cl: &Classification) -> Bound {
 /// Per-component running bounds in the serialized composition — retained
 /// for explanation purposes: component `c`'s entry is the bound of the
 /// sub-sequence up to and including `c` along its own dominant chain.
+/// [`component_bounds_with`] takes eccentricity certificates.
 pub fn component_bounds(cl: &Classification) -> Vec<Bound> {
+    component_bounds_with(cl, &[])
+}
+
+/// [`component_bounds`] with per-component eccentricity certificates.
+pub fn component_bounds_with(cl: &Classification, certs: &[Option<EccCert>]) -> Vec<Bound> {
     let num = cl.cond.comps.len();
     let mut preds: Vec<Vec<usize>> = vec![Vec::new(); num];
     for (c, succs) in cl.cond.succs.iter().enumerate() {
@@ -144,7 +200,7 @@ pub fn component_bounds(cl: &Classification) -> Vec<Bound> {
             .fold(Bound::ONE, Bound::max);
         bound[c] = match &cl.kinds[c] {
             ComponentKind::Acyclic => up.add_const(1),
-            ComponentKind::General => up.mul(Bound::pow2(cl.cond.comps[c].len() as u64)),
+            ComponentKind::General => up.mul(gc_factor(cl, certs, c)),
             ComponentKind::Table { cluster } => up.mul_const(cl.clusters[*cluster].rows as u64 + 1),
         };
     }
@@ -200,6 +256,7 @@ impl std::fmt::Display for Explanation {
 pub fn explain(n: &Netlist, target: Lit, opts: &StructuralOptions) -> Explanation {
     let cone = coi(n, [target]);
     let cl = classify(n, &cone.regs, &opts.classify);
+    let certs = gc_certificates(n, &cl, &opts.ecc);
     let num = cl.cond.comps.len();
     let mut preds: Vec<Vec<usize>> = vec![Vec::new(); num];
     for (c, succs) in cl.cond.succs.iter().enumerate() {
@@ -249,10 +306,25 @@ pub fn explain(n: &Netlist, target: Lit, opts: &StructuralOptions) -> Explanatio
     gcs.sort_by_key(|&c| cl.cond.comps[c].len());
     for c in gcs {
         let k = cl.cond.comps[c].len();
-        bound = bound.mul(Bound::pow2(k as u64));
+        // A certificate that actually tightened the blanket names the
+        // certified diameter and the sweeps that earned it; the generic
+        // exponential blame line survives only untightened components.
+        let kind = match certs.get(c).copied().flatten() {
+            Some(cert) if k >= 64 || cert.factor < 1u64 << k => {
+                bound = bound.mul(Bound::Finite(cert.factor));
+                format!(
+                    "general({k} regs, ecc diameter {}, {} sweeps)",
+                    cert.diameter, cert.sweeps
+                )
+            }
+            _ => {
+                bound = bound.mul(Bound::pow2(k as u64));
+                format!("general({k} regs)")
+            }
+        };
         let witness = cl.regs[cl.cond.comps[c][0]];
         steps.push(ExplainStep {
-            kind: format!("general({k} regs)"),
+            kind,
             witness_reg: n.name(witness).unwrap_or("?").to_string(),
             regs: k,
             bound,
@@ -464,6 +536,37 @@ mod tests {
         let e = explain(&n, t, &StructuralOptions::default());
         let last = e.steps.last().unwrap();
         assert_eq!(last.kind, "general(10 regs)");
+        assert!(last.witness_reg.starts_with("ring"));
+    }
+
+    #[test]
+    fn ecc_certificate_tightens_bound_and_explanation() {
+        // The same 10-register twisted ring: blanket factor 2^10, but the
+        // reachable state graph is the 20-state Johnson cycle.
+        let mut n = Netlist::new();
+        let p = n.reg("p", Init::Zero);
+        let i = n.input("i");
+        n.set_next(p, i.lit());
+        let regs: Vec<Gate> = (0..10)
+            .map(|k| n.reg(format!("ring{k}"), Init::Zero))
+            .collect();
+        for k in 0..10 {
+            let prev = regs[(k + 9) % 10].lit();
+            n.set_next(regs[k], if k == 0 { !prev } else { prev });
+        }
+        let t = n.and(p.lit(), regs[0].lit());
+        n.add_target(t, "t");
+        let off = StructuralOptions::default();
+        let on = StructuralOptions {
+            ecc: EccOptions::on(),
+            ..StructuralOptions::default()
+        };
+        assert_eq!(diameter_bound(&n, t, &off).bound, Bound::Finite(2048));
+        assert_eq!(diameter_bound(&n, t, &on).bound, Bound::Finite(40));
+        let e = explain(&n, t, &on);
+        assert_eq!(e.bound, Bound::Finite(40));
+        let last = e.steps.last().unwrap();
+        assert_eq!(last.kind, "general(10 regs, ecc diameter 19, 1 sweeps)");
         assert!(last.witness_reg.starts_with("ring"));
     }
 

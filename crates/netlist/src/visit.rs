@@ -132,11 +132,41 @@ fn expands(csr: &Csr, expand: Expand, v: u32) -> bool {
     }
 }
 
-#[inline]
-fn neighbors(csr: &Csr, dir: Dir, v: u32) -> &[u32] {
-    match dir {
-        Dir::Fanin => csr.fanins(v),
-        Dir::Fanout => csr.fanouts(v),
+/// Adjacency abstraction for [`bfs_graph`]: any graph with dense `u32` node
+/// ids and slice-backed successor lists runs on the level-synchronous
+/// parallel engine. The netlist [`Csr`] (via [`bfs`]) and the eccentricity
+/// engine's explicit state graphs are both instances.
+pub trait Neighbors: Sync {
+    /// Number of nodes; valid ids are `0..num_nodes`.
+    fn num_nodes(&self) -> usize;
+    /// Successors of `v` under this traversal. A node the traversal should
+    /// not expand through simply returns an empty slice.
+    fn neighbors(&self, v: u32) -> &[u32];
+}
+
+/// [`Csr`] + traversal policy as a [`Neighbors`] instance: direction picks
+/// the edge set, and non-expanding nodes (per [`Expand`]) present as sinks.
+struct CsrView<'a> {
+    csr: &'a Csr,
+    dir: Dir,
+    expand: Expand,
+}
+
+impl Neighbors for CsrView<'_> {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.csr.num_nodes()
+    }
+
+    #[inline]
+    fn neighbors(&self, v: u32) -> &[u32] {
+        if !expands(self.csr, self.expand, v) {
+            return &[];
+        }
+        match self.dir {
+            Dir::Fanin => self.csr.fanins(v),
+            Dir::Fanout => self.csr.fanouts(v),
+        }
     }
 }
 
@@ -153,28 +183,45 @@ pub fn bfs(
     roots: impl IntoIterator<Item = u32>,
     par: Parallelism,
 ) -> Visit {
-    let marks = AtomicMarks::new(csr.num_nodes());
+    let label = match dir {
+        Dir::Fanin => "fanin",
+        Dir::Fanout => "fanout",
+    };
+    bfs_impl(&CsrView { csr, dir, expand }, label, roots, par)
+}
+
+/// Level-synchronous BFS over any [`Neighbors`] graph from `roots` — the
+/// same engine as [`bfs`], including the bit-identity guarantee across
+/// parallelism settings and the `visit.bfs` span (with `dir = "graph"`).
+pub fn bfs_graph<G: Neighbors>(
+    g: &G,
+    roots: impl IntoIterator<Item = u32>,
+    par: Parallelism,
+) -> Visit {
+    bfs_impl(g, "graph", roots, par)
+}
+
+fn bfs_impl<G: Neighbors>(
+    g: &G,
+    dir: &str,
+    roots: impl IntoIterator<Item = u32>,
+    par: Parallelism,
+) -> Visit {
+    let marks = AtomicMarks::new(g.num_nodes());
     let mut frontier: Vec<u32> = roots
         .into_iter()
         .inspect(|&v| {
             assert!(
-                (v as usize) < csr.num_nodes(),
-                "bfs root {v} out of range for CSR of {} nodes",
-                csr.num_nodes()
+                (v as usize) < g.num_nodes(),
+                "bfs root {v} out of range for graph of {} nodes",
+                g.num_nodes()
             );
         })
         .filter(|&v| marks.claim(v))
         .collect();
     frontier.sort_unstable();
 
-    let span = diam_obs::span!(
-        "visit.bfs",
-        dir = match dir {
-            Dir::Fanin => "fanin",
-            Dir::Fanout => "fanout",
-        },
-        roots = frontier.len() as u64,
-    );
+    let span = diam_obs::span!("visit.bfs", dir = dir, roots = frontier.len() as u64,);
 
     let mut order: Vec<u32> = Vec::with_capacity(frontier.len() * 2);
     let mut level_starts: Vec<u32> = vec![0];
@@ -202,11 +249,9 @@ pub fn bfs(
                 |_, c, _| {
                     let mut out = Vec::new();
                     for &v in c {
-                        if expands(csr, expand, v) {
-                            for &w in neighbors(csr, dir, v) {
-                                if marks.claim(w) {
-                                    out.push(w);
-                                }
+                        for &w in g.neighbors(v) {
+                            if marks.claim(w) {
+                                out.push(w);
                             }
                         }
                     }
@@ -217,11 +262,9 @@ pub fn bfs(
         } else {
             let mut out = Vec::new();
             for &v in &frontier {
-                if expands(csr, expand, v) {
-                    for &w in neighbors(csr, dir, v) {
-                        if marks.claim(w) {
-                            out.push(w);
-                        }
+                for &w in g.neighbors(v) {
+                    if marks.claim(w) {
+                        out.push(w);
                     }
                 }
             }
@@ -351,6 +394,37 @@ mod tests {
         let v = bfs(csr, Dir::Fanout, Expand::All, [i], Parallelism::Sequential);
         let r = n.regs()[0].index() as u32;
         assert!(v.contains(r), "input's forward cone reaches the register");
+    }
+
+    struct VecGraph {
+        succ: Vec<Vec<u32>>,
+    }
+
+    impl Neighbors for VecGraph {
+        fn num_nodes(&self) -> usize {
+            self.succ.len()
+        }
+        fn neighbors(&self, v: u32) -> &[u32] {
+            &self.succ[v as usize]
+        }
+    }
+
+    #[test]
+    fn bfs_graph_levels_match_distances_and_parallelism() {
+        // A 6-cycle with a chord: distances from 0 are 0,1,2,3,2,1.
+        let g = VecGraph {
+            succ: vec![vec![1, 5], vec![2], vec![3], vec![4], vec![5], vec![0, 4]],
+        };
+        let seq = bfs_graph(&g, [0u32], Parallelism::Sequential);
+        assert_eq!(seq.order, vec![0, 1, 5, 2, 4, 3]);
+        assert_eq!(seq.level_starts, vec![0, 1, 3, 5, 6]);
+        assert_eq!(seq.num_levels(), 4);
+        for par in [Parallelism::Threads(2), Parallelism::Threads(8)] {
+            let p = bfs_graph(&g, [0u32], par);
+            assert_eq!(seq.order, p.order);
+            assert_eq!(seq.level_starts, p.level_starts);
+            assert_eq!(seq.marks(), p.marks());
+        }
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //!                    com* or (com,ret)*:2       (default com-ret-com)
 //!   --threshold <N>  usefulness threshold       (default 50)
 //!   --depth-cap <N>  refuse BMC beyond N        (default 10000)
+//!   --ecc <V>        on | off | k=<N> — eccentricity engine: replace the
+//!                    blanket 2^|regs| factor of general components with a
+//!                    certified state-graph diameter, for components up to
+//!                    N registers (default on, cutoff 16). Sound either
+//!                    way; `off` reproduces the paper's blanket bounds
 //!   --cube <M>       off | repro | fast — cube-and-conquer splitting of
 //!                    deep BMC obligations (default off). `repro` keeps
 //!                    output bit-identical at any worker count; `fast`
@@ -41,7 +46,7 @@
 
 use diam::bmc::{prove, CubeMode, CubeOptions, ProveOptions, ProveOutcome};
 use diam::core::classify::{classify, ClassifyOptions};
-use diam::core::{Pipeline, StructuralOptions};
+use diam::core::{EccOptions, Pipeline, StructuralOptions};
 use diam::netlist::{aiger, Netlist};
 use diam::transform::com::{sweep, SweepOptions};
 use diam::transform::retime::retime;
@@ -63,6 +68,7 @@ struct Options {
     cube: CubeMode,
     portfolio: u64,
     explain: bool,
+    ecc: EccOptions,
     obs: ObsConfig,
     mem: bool,
     files: Vec<String>,
@@ -75,6 +81,13 @@ impl Options {
             ..CubeOptions::default()
         }
     }
+
+    fn structural(&self) -> StructuralOptions {
+        StructuralOptions {
+            ecc: self.ecc,
+            ..StructuralOptions::default()
+        }
+    }
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -84,6 +97,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut cube = CubeMode::Off;
     let mut portfolio = 0u64;
     let mut explain = false;
+    let mut ecc = EccOptions::on();
     let mut obs = ObsConfig::default();
     let mut mem = false;
     let mut files = Vec::new();
@@ -118,6 +132,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--cube" => {
                 cube = CubeMode::parse(it.next().ok_or("--cube needs a value")?)?;
+            }
+            "--ecc" => {
+                ecc = EccOptions::parse(it.next().ok_or("--ecc needs a value")?)?;
             }
             "--portfolio" => {
                 portfolio = it
@@ -160,6 +177,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         cube,
         portfolio,
         explain,
+        ecc,
         obs,
         mem,
         files,
@@ -184,9 +202,7 @@ fn cmd_bound(opts: &Options) -> Result<(), String> {
         n.targets().len(),
         opts.pipeline_name
     );
-    let bounds = opts
-        .pipeline
-        .bound_targets(&n, &StructuralOptions::default());
+    let bounds = opts.pipeline.bound_targets(&n, &opts.structural());
     let mut useful = 0;
     for b in &bounds {
         let mark = if b.original.is_useful(opts.threshold) {
@@ -214,11 +230,8 @@ fn cmd_bound(opts: &Options) -> Result<(), String> {
         for (i, b) in bounds.iter().enumerate() {
             if !b.original.is_useful(opts.threshold) {
                 let t = transformed.netlist.targets()[i].lit;
-                let e = diam::core::structural::explain(
-                    &transformed.netlist,
-                    t,
-                    &StructuralOptions::default(),
-                );
+                let e =
+                    diam::core::structural::explain(&transformed.netlist, t, &opts.structural());
                 println!("\nwhy {} is unboundable:\n{e}", b.name);
             }
         }
@@ -233,6 +246,7 @@ fn cmd_prove(opts: &Options) -> Result<(), String> {
         depth_cap: opts.depth_cap,
         cube: opts.cube_options(),
         portfolio: opts.portfolio,
+        structural: opts.structural(),
         ..Default::default()
     };
     let mut proved = 0;
@@ -353,6 +367,7 @@ fn cmd_solve(opts: &Options) -> Result<(), String> {
             portfolio: opts.portfolio,
             ..Default::default()
         },
+        structural: opts.structural(),
         ..Default::default()
     };
     let statuses = solve_all(&n, &strategy);
@@ -393,6 +408,7 @@ fn install_session(cmd: &str, opts: &Options) -> Session {
         .option("threshold", opts.threshold.to_string())
         .option("depth_cap", opts.depth_cap.to_string())
         .option("cube", format!("{:?}", opts.cube).to_lowercase())
+        .option("ecc", opts.ecc.render())
         .option("portfolio", opts.portfolio.to_string())
         .option("obs", opts.obs.mode.to_string());
     if opts.mem {
