@@ -7,11 +7,26 @@
 //! Tarjan), seeds per-vertex forward-eccentricity **upper** bounds by a DAG
 //! DP over the condensation, and then runs SumSweep-style pivot sweeps —
 //! a forward BFS from the pivot (its exact eccentricity) paired with a
-//! backward BFS (distance-to-pivot lower bounds and `d(v,w) + ecc(w)` upper
-//! bounds for every `v`) — until the global upper bound `DU = max_v U(v)`
-//! meets the lower bound `DL` or the sweep budget runs out. Every BFS runs
-//! on the shared level-synchronous [`visit`](diam_netlist::visit) engine,
-//! so results are bit-identical at every parallelism setting.
+//! backward BFS (distance-to-pivot lower bounds for every `v` that reaches
+//! the pivot, and `d(v,w) + ecc(w)` upper bounds for the pivot's own SCC)
+//! — until the global upper bound `DU = max_v U(v)` meets the lower bound
+//! `DL` or the sweep budget runs out. Every BFS runs on the shared
+//! level-synchronous [`visit`](diam_netlist::visit) engine, so results are
+//! bit-identical at every parallelism setting.
+//!
+//! **Why the triangle update is SCC-restricted.** `ecc(v) ≤ d(v,w) +
+//! ecc(w)` requires every vertex `v` reaches to be reachable from `w`.
+//! Membership in the pivot's backward BFS tree only certifies `v → w`,
+//! i.e. `reach(v) ⊇ reach(w)`; the containment the inequality needs is the
+//! converse, and (since `v ∈ reach(v)`) both hold together exactly when
+//! `v` and `w` share an SCC. Reachable state graphs are generally *not*
+//! strongly connected — a branch state can enter either a small
+//! free-running region or a long countdown chain — and applying the update
+//! across SCCs can cut `U(v)` below the true eccentricity. Cross-SCC
+//! information instead flows through a sound relaxation after each sweep:
+//! `ecc(v) ≤ 1 + max_{s ∈ succ(v)} ecc(s)`, applied in ascending SCC order
+//! (reverse-topological, successors first), which propagates confirmed
+//! pivot eccentricities backward without ever under-cutting.
 //!
 //! **The bound is certified at every step, not just at convergence.** The
 //! DAG DP seeds `U(v)` with the maximum number of *edges* any path from `v`
@@ -31,7 +46,7 @@ use diam_netlist::visit::bfs_graph;
 use diam_netlist::{Gate, Netlist};
 use diam_par::Parallelism;
 use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Condvar, Mutex, OnceLock};
 
 /// Eccentricity-engine configuration. The `Default` is **disabled** so that
 /// existing `StructuralOptions::default()` call sites keep the blanket
@@ -75,33 +90,56 @@ impl EccOptions {
         }
     }
 
-    /// Parses a CLI value: `on`, `off`, or `k=<N>` (enabled with cutoff
-    /// `N`).
+    /// Parses a CLI value: `off`, or a comma-separated list of `on`,
+    /// `k=<N>` (register cutoff, ≥ 1), `mf=<N>` (free-signal cap), and
+    /// `ms=<N>` (sweep budget). Any assignment implies the engine is on,
+    /// so `k=8,ms=4` and `on,mf=6` are both valid.
     pub fn parse(s: &str) -> Result<EccOptions, String> {
-        match s {
-            "on" => Ok(EccOptions::on()),
-            "off" => Ok(EccOptions::default()),
-            _ => match s.strip_prefix("k=") {
-                Some(num) => match num.parse::<usize>() {
-                    Ok(k) if k >= 1 => Ok(EccOptions {
-                        cutoff: k,
-                        ..EccOptions::on()
-                    }),
-                    _ => Err(format!("invalid --ecc cutoff: {num}")),
-                },
-                None => Err(format!("invalid --ecc value: {s} (want on|off|k=<N>)")),
-            },
+        if s == "off" {
+            return Ok(EccOptions::default());
         }
+        let mut opts = EccOptions::on();
+        for part in s.split(',') {
+            if part == "on" {
+                continue;
+            }
+            let err = || format!("invalid --ecc value: {part} (want on|off|k=<N>|mf=<N>|ms=<N>)");
+            let (field, num) = part.split_once('=').ok_or_else(err)?;
+            let v: usize = num.parse().map_err(|_| err())?;
+            match field {
+                "k" if v >= 1 => opts.cutoff = v,
+                "mf" => opts.max_free = v,
+                "ms" => opts.max_sweeps = v,
+                _ => return Err(err()),
+            }
+        }
+        Ok(opts)
     }
 
-    /// Renders the option back to its CLI form.
+    /// Renders the option back to its CLI form, losslessly: every field
+    /// that differs from the default is emitted (`parse(render(o)) == o`),
+    /// so run manifests record the limits actually used. `parallelism` is
+    /// the one exception — it is injected from `--jobs`, not `--ecc`, and
+    /// never affects results (sweeps are bit-identical at any setting).
     pub fn render(&self) -> String {
         if !self.enabled {
-            "off".to_string()
-        } else if self.cutoff == DEFAULT_CUTOFF {
+            return "off".to_string();
+        }
+        let d = EccOptions::default();
+        let mut parts: Vec<String> = Vec::new();
+        if self.cutoff != d.cutoff {
+            parts.push(format!("k={}", self.cutoff));
+        }
+        if self.max_free != d.max_free {
+            parts.push(format!("mf={}", self.max_free));
+        }
+        if self.max_sweeps != d.max_sweeps {
+            parts.push(format!("ms={}", self.max_sweeps));
+        }
+        if parts.is_empty() {
             "on".to_string()
         } else {
-            format!("k={}", self.cutoff)
+            parts.join(",")
         }
     }
 }
@@ -267,7 +305,11 @@ pub fn sum_sweep(g: &StateGraph, max_sweeps: usize, par: Parallelism) -> SweepSu
         dl = dl.max(ecc_w);
 
         // Backward BFS: every v at distance d(v,w) = ℓ gains the lower
-        // bound ℓ and the upper bound ℓ + ecc(w) (triangle inequality).
+        // bound ℓ. The triangle upper bound ℓ + ecc(w) is only sound when
+        // reach(v) ⊆ reach(w), which together with v → w means v and w
+        // share an SCC (see the module docs); confirmed vertices are
+        // already exact and must never be lowered.
+        let wc = comp_of[w];
         let bwd = bfs_graph(&g.backward(), [w as u32], par);
         for l in 0..bwd.num_levels() {
             let level = &bwd.order[bwd.level_starts[l] as usize..bwd.level_starts[l + 1] as usize];
@@ -277,13 +319,41 @@ pub fn sum_sweep(g: &StateGraph, max_sweeps: usize, par: Parallelism) -> SweepSu
                 if dist > lf[vi] {
                     lf[vi] = dist;
                 }
-                let ub = dist + ecc_w;
-                if ub < uf[vi] {
-                    uf[vi] = ub;
+                if comp_of[vi] == wc && !confirmed[vi] {
+                    let ub = dist + ecc_w;
+                    if ub < uf[vi] {
+                        uf[vi] = ub;
+                    }
                 }
             }
         }
         dl = dl.max(bwd.num_levels() as u64 - 1);
+
+        // Cross-SCC relaxation: ecc(v) ≤ 1 + max over successors s of
+        // ecc(s) (any shortest path from v leaves through some successor),
+        // so 1 + max U(s) is a sound upper bound whenever every U is.
+        // Ascending SCC order is reverse-topological — condensation
+        // successors relax first — so one pass carries a confirmed pivot's
+        // exact eccentricity through every acyclic stretch behind it.
+        for comp in &members {
+            for &v in comp {
+                let vi = v as usize;
+                if confirmed[vi] {
+                    continue;
+                }
+                let mut best: Option<u64> = None;
+                for &s in g.succs(v) {
+                    let u = uf[s as usize];
+                    best = Some(best.map_or(u, |b| b.max(u)));
+                }
+                if let Some(b) = best {
+                    let ub = 1 + b;
+                    if ub < uf[vi] {
+                        uf[vi] = ub;
+                    }
+                }
+            }
+        }
         du = uf.iter().copied().max().unwrap();
         sweeps += 1;
     }
@@ -304,21 +374,63 @@ struct CacheKey {
     max_sweeps: u32,
 }
 
+/// A memo slot is either a published result or an in-progress sentinel;
+/// concurrent probes of a sentinel wait on the cache condvar instead of
+/// recomputing, so one component costs one enumeration even when
+/// `bound_targets` workers race on a shared component.
+enum Slot {
+    InProgress,
+    Done(Option<EccCert>),
+}
+
 struct CacheEntry {
-    cert: Option<EccCert>,
+    slot: Slot,
     hits: u64,
 }
 
-fn cache() -> &'static Mutex<HashMap<CacheKey, CacheEntry>> {
-    static CACHE: OnceLock<Mutex<HashMap<CacheKey, CacheEntry>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+fn cache() -> &'static (Mutex<HashMap<CacheKey, CacheEntry>>, Condvar) {
+    static CACHE: OnceLock<(Mutex<HashMap<CacheKey, CacheEntry>>, Condvar)> = OnceLock::new();
+    CACHE.get_or_init(|| (Mutex::new(HashMap::new()), Condvar::new()))
+}
+
+/// Publishes the computed slot on drop — including on unwind, so threads
+/// waiting on the in-progress sentinel can never hang on a panicked
+/// computation (a panic removes the sentinel and the waiters recompute).
+struct Publish<'a> {
+    key: &'a CacheKey,
+    cert: Option<EccCert>,
+}
+
+impl Drop for Publish<'_> {
+    fn drop(&mut self) {
+        let (map, cvar) = cache();
+        let mut guard = map.lock().unwrap();
+        if std::thread::panicking() {
+            guard.remove(self.key);
+        } else {
+            match guard.get_mut(self.key) {
+                Some(e) => e.slot = Slot::Done(self.cert),
+                // cache_clear() raced the computation: keep the result.
+                None => {
+                    guard.insert(
+                        self.key.clone(),
+                        CacheEntry {
+                            slot: Slot::Done(self.cert),
+                            hits: 0,
+                        },
+                    );
+                }
+            }
+        }
+        cvar.notify_all();
+    }
 }
 
 /// Cache introspection for one netlist fingerprint: `(entries, total
 /// hits)`. Keyed per fingerprint so concurrent tests on other netlists
 /// cannot perturb the counts.
 pub fn cache_stats_for(fingerprint: u64) -> (usize, u64) {
-    let map = cache().lock().unwrap();
+    let map = cache().0.lock().unwrap();
     let mut entries = 0;
     let mut hits = 0;
     for (k, e) in map.iter() {
@@ -333,7 +445,7 @@ pub fn cache_stats_for(fingerprint: u64) -> (usize, u64) {
 /// Drops every memoized certificate (bench harnesses use this to time cold
 /// enumeration honestly).
 pub fn cache_clear() {
-    cache().lock().unwrap().clear();
+    cache().0.lock().unwrap().clear();
 }
 
 /// Computes (or recalls) the certified diameter bound for the component
@@ -360,13 +472,45 @@ pub fn component_cert(n: &Netlist, comp: &[Gate], opts: &EccOptions) -> Option<E
         max_free: opts.max_free as u32,
         max_sweeps: opts.max_sweeps as u32,
     };
-    if let Some(entry) = cache().lock().unwrap().get_mut(&key) {
-        entry.hits += 1;
-        diam_obs::counter_add("ecc.cache_hit", 1);
-        return entry.cert;
+    let (map, cvar) = cache();
+    let mut guard = map.lock().unwrap();
+    loop {
+        match guard.get_mut(&key) {
+            Some(CacheEntry {
+                slot: Slot::Done(cert),
+                hits,
+            }) => {
+                *hits += 1;
+                let cert = *cert;
+                drop(guard);
+                diam_obs::counter_add("ecc.cache_hit", 1);
+                return cert;
+            }
+            // Another worker is enumerating this component right now —
+            // wait for its publication instead of paying again.
+            Some(CacheEntry {
+                slot: Slot::InProgress,
+                ..
+            }) => guard = cvar.wait(guard).unwrap(),
+            None => {
+                guard.insert(
+                    key.clone(),
+                    CacheEntry {
+                        slot: Slot::InProgress,
+                        hits: 0,
+                    },
+                );
+                break;
+            }
+        }
     }
+    drop(guard);
     diam_obs::counter_add("ecc.cache_miss", 1);
 
+    let mut publish = Publish {
+        key: &key,
+        cert: None,
+    };
     let limits = StateGraphLimits {
         max_regs: opts.cutoff,
         max_free: opts.max_free,
@@ -388,11 +532,8 @@ pub fn component_cert(n: &Netlist, comp: &[Gate], opts: &EccOptions) -> Option<E
             sweeps: s.sweeps,
         }
     });
-    cache()
-        .lock()
-        .unwrap()
-        .entry(key)
-        .or_insert(CacheEntry { cert, hits: 0 });
+    publish.cert = cert;
+    drop(publish);
     cert
 }
 
@@ -447,6 +588,89 @@ mod tests {
         assert!(s.diameter <= 7, "DP bound is |C|−1 on a single cycle SCC");
     }
 
+    /// Exhaustive reference: the true pairwise diameter by one forward BFS
+    /// per vertex.
+    fn exact_diameter(g: &StateGraph) -> u64 {
+        let mut best = 0u64;
+        for src in 0..g.num_states() as u32 {
+            let r = bfs_graph(&g.forward(), [src], Parallelism::Sequential);
+            best = best.max(r.num_levels() as u64 - 1);
+        }
+        best
+    }
+
+    /// REVIEW.md soundness regression: a branch vertex (0) that can enter
+    /// either a free-running region (the 10-clique 1..=10, true
+    /// eccentricity 1, DP seed 9) or a countdown chain (11 → 12 → 13).
+    /// The graph is not strongly connected, and the old unrestricted
+    /// triangle update let a clique pivot's backward BFS cut the branch
+    /// vertex's upper bound to d(0, pivot) + ecc(pivot) = 2 — below its
+    /// true eccentricity 3 and below the already-confirmed exact value —
+    /// certifying diameter 2 for a diameter-3 graph.
+    #[test]
+    fn branch_into_clique_and_chain_stays_sound() {
+        let mut edges: Vec<(u32, u32)> = vec![(0, 1), (0, 11), (11, 12), (12, 13)];
+        for a in 1..=10u32 {
+            for b in 1..=10u32 {
+                if a != b {
+                    edges.push((a, b));
+                }
+            }
+        }
+        let g = StateGraph::from_edges(14, &edges);
+        let truth = exact_diameter(&g);
+        assert_eq!(truth, 3, "0 → 11 → 12 → 13 is the longest shortest path");
+        for budget in 0..=16 {
+            let s = sum_sweep(&g, budget, Parallelism::Sequential);
+            assert!(
+                s.diameter >= truth,
+                "budget {budget}: certified {} below true diameter {truth}",
+                s.diameter
+            );
+            if s.exact {
+                assert_eq!(s.diameter, truth, "budget {budget}: exact but wrong");
+            }
+        }
+        let s = sum_sweep(&g, 16, Parallelism::Sequential);
+        assert_eq!(s.diameter, truth);
+        assert!(s.exact, "full budget converges on the 14-state graph");
+        for par in [Parallelism::Threads(2), Parallelism::Threads(8)] {
+            assert_eq!(s, sum_sweep(&g, 16, par));
+        }
+    }
+
+    /// Concurrent probes of one uncached component enumerate it once: the
+    /// in-progress sentinel makes every other worker wait and record a
+    /// cache hit, so `hits` lands at exactly `threads − 1`.
+    #[test]
+    fn concurrent_probes_enumerate_once() {
+        let n = ring(7);
+        let fp = n.csr().fingerprint();
+        let (entries0, hits0) = cache_stats_for(fp);
+        assert_eq!(entries0, 0, "ring(7) is unique to this test");
+        let opts = EccOptions::on();
+        const THREADS: usize = 8;
+        let barrier = std::sync::Barrier::new(THREADS);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait();
+                        component_cert(&n, n.regs(), &opts).unwrap()
+                    })
+                })
+                .collect();
+            let certs: Vec<EccCert> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            for c in &certs {
+                assert_eq!(*c, certs[0]);
+            }
+            assert_eq!(certs[0].diameter, 6);
+        });
+        let (entries, hits) = cache_stats_for(fp);
+        assert_eq!(entries, 1);
+        assert_eq!(hits, hits0 + (THREADS as u64 - 1));
+    }
+
     #[test]
     fn component_cert_respects_cutoff_and_caches() {
         let n = ring(6);
@@ -483,6 +707,25 @@ mod tests {
         assert_eq!(EccOptions::on().render(), "on");
         assert_eq!(EccOptions::default().render(), "off");
         assert!(EccOptions::parse("k=zero").is_err());
+        assert!(EccOptions::parse("k=0").is_err());
         assert!(EccOptions::parse("maybe").is_err());
+        assert!(EccOptions::parse("k=8,wat=3").is_err());
+
+        // Non-default limits render losslessly and round-trip.
+        let tuned = EccOptions {
+            cutoff: 8,
+            max_free: 6,
+            max_sweeps: 4,
+            ..EccOptions::on()
+        };
+        assert_eq!(tuned.render(), "k=8,mf=6,ms=4");
+        assert_eq!(EccOptions::parse(&tuned.render()).unwrap(), tuned);
+        let mf_only = EccOptions {
+            max_free: 12,
+            ..EccOptions::on()
+        };
+        assert_eq!(mf_only.render(), "mf=12");
+        assert_eq!(EccOptions::parse("mf=12").unwrap(), mf_only);
+        assert_eq!(EccOptions::parse("on,ms=2").unwrap().max_sweeps, 2);
     }
 }

@@ -310,34 +310,8 @@ impl StateGraph {
             succ_lists.push(succ_ids);
         }
 
-        // Flatten to CSR; the backward arrays come from a counting pass.
         let nv = states.len();
-        let mut fwd_off: Vec<u32> = Vec::with_capacity(nv + 1);
-        fwd_off.push(0);
-        let mut fwd: Vec<u32> = Vec::new();
-        for l in &succ_lists {
-            fwd.extend_from_slice(l);
-            fwd_off.push(fwd.len() as u32);
-        }
-        let mut deg = vec![0u32; nv];
-        for &t in &fwd {
-            deg[t as usize] += 1;
-        }
-        let mut bwd_off: Vec<u32> = Vec::with_capacity(nv + 1);
-        bwd_off.push(0);
-        for d in &deg {
-            bwd_off.push(bwd_off.last().unwrap() + d);
-        }
-        let mut cursor = bwd_off[..nv].to_vec();
-        let mut bwd = vec![0u32; fwd.len()];
-        for (v, l) in succ_lists.iter().enumerate() {
-            for &t in l {
-                bwd[cursor[t as usize] as usize] = v as u32;
-                cursor[t as usize] += 1;
-            }
-        }
-        // Sources within each predecessor list arrive in ascending `v`
-        // order by construction, so `bwd` is already sorted per node.
+        let (fwd_off, fwd, bwd_off, bwd) = flatten_csr(&succ_lists);
 
         span.record("states", nv as u64);
         span.record("edges", fwd.len() as u64);
@@ -352,6 +326,67 @@ impl StateGraph {
             bwd,
         })
     }
+
+    /// Builds a bare graph directly from an edge list: vertices are
+    /// `0..num_states` with `state(v) == v`, no registers or free signals,
+    /// and every vertex counted as initial. This is the harness entry
+    /// point for tests and benches that exercise the sweep engine on
+    /// hand-shaped graphs the netlist generators rarely produce (e.g. a
+    /// branch vertex feeding both a clique and a long chain).
+    pub fn from_edges(num_states: usize, edges: &[(u32, u32)]) -> StateGraph {
+        let mut succ_lists: Vec<Vec<u32>> = vec![Vec::new(); num_states];
+        for &(src, dst) in edges {
+            succ_lists[src as usize].push(dst);
+        }
+        for l in &mut succ_lists {
+            l.sort_unstable();
+            l.dedup();
+        }
+        let (fwd_off, fwd, bwd_off, bwd) = flatten_csr(&succ_lists);
+        StateGraph {
+            regs: Vec::new(),
+            free: Vec::new(),
+            states: (0..num_states as u32).collect(),
+            num_inits: num_states,
+            fwd_off,
+            fwd,
+            bwd_off,
+            bwd,
+        }
+    }
+}
+
+/// Flattens per-vertex successor lists (each sorted ascending) into
+/// forward and backward CSR arrays. Sources within each predecessor list
+/// arrive in ascending order by construction, so `bwd` comes out sorted
+/// per node.
+fn flatten_csr(succ_lists: &[Vec<u32>]) -> (Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>) {
+    let nv = succ_lists.len();
+    let mut fwd_off: Vec<u32> = Vec::with_capacity(nv + 1);
+    fwd_off.push(0);
+    let mut fwd: Vec<u32> = Vec::new();
+    for l in succ_lists {
+        fwd.extend_from_slice(l);
+        fwd_off.push(fwd.len() as u32);
+    }
+    let mut deg = vec![0u32; nv];
+    for &t in &fwd {
+        deg[t as usize] += 1;
+    }
+    let mut bwd_off: Vec<u32> = Vec::with_capacity(nv + 1);
+    bwd_off.push(0);
+    for d in &deg {
+        bwd_off.push(bwd_off.last().unwrap() + d);
+    }
+    let mut cursor = bwd_off[..nv].to_vec();
+    let mut bwd = vec![0u32; fwd.len()];
+    for (v, l) in succ_lists.iter().enumerate() {
+        for &t in l {
+            bwd[cursor[t as usize] as usize] = v as u32;
+            cursor[t as usize] += 1;
+        }
+    }
+    (fwd_off, fwd, bwd_off, bwd)
 }
 
 #[inline]

@@ -19,11 +19,13 @@
 //!                    com* or (com,ret)*:2       (default com-ret-com)
 //!   --threshold <N>  usefulness threshold       (default 50)
 //!   --depth-cap <N>  refuse BMC beyond N        (default 10000)
-//!   --ecc <V>        on | off | k=<N> — eccentricity engine: replace the
-//!                    blanket 2^|regs| factor of general components with a
-//!                    certified state-graph diameter, for components up to
-//!                    N registers (default on, cutoff 16). Sound either
-//!                    way; `off` reproduces the paper's blanket bounds
+//!   --ecc <V>        on | off | k=<N>[,mf=<N>,ms=<N>] — eccentricity
+//!                    engine: replace the blanket 2^|regs| factor of
+//!                    general components with a certified state-graph
+//!                    diameter, for components up to k registers (default
+//!                    on, cutoff 16; mf caps free signals, ms the sweep
+//!                    budget). Sound either way; `off` reproduces the
+//!                    paper's blanket bounds
 //!   --cube <M>       off | repro | fast — cube-and-conquer splitting of
 //!                    deep BMC obligations (default off). `repro` keeps
 //!                    output bit-identical at any worker count; `fast`
